@@ -1,0 +1,95 @@
+// Command figures regenerates every figure panel of the paper's
+// evaluation section (§VII) as plain data tables: Fig. 4(a)/(b),
+// Fig. 5(a)/(b), Fig. 6(a)/(b), and Fig. 7(a)/(b).
+//
+// Usage:
+//
+//	figures [-panel all|4a|4b|5a|5b|6|7a|7b] [-quick] [-seed 1]
+//
+// -quick trims the sweep (one source, fewer trials) for a fast preview;
+// the default runs the full paper grid and takes a few minutes.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"repro"
+)
+
+func main() {
+	var (
+		panel = flag.String("panel", "all", "panel to regenerate: all|4a|4b|5a|5b|6|7a|7b|complexity|gap")
+		quick = flag.Bool("quick", false, "single source, fewer Monte Carlo trials")
+		seed  = flag.Int64("seed", 1, "trace seed")
+	)
+	flag.Parse()
+
+	cfg := tmedb.DefaultConfig()
+	cfg.TraceSeed = seed2(*seed)
+	if *quick {
+		cfg.Sources = []tmedb.NodeID{0}
+		cfg.Trials = 200
+	}
+
+	want := func(p string) bool { return *panel == "all" || *panel == p }
+	ran := false
+	start := time.Now()
+
+	if want("4a") {
+		emit(tmedb.Fig4(cfg, tmedb.Static))
+		ran = true
+	}
+	if want("4b") {
+		emit(tmedb.Fig4(cfg, tmedb.Rayleigh))
+		ran = true
+	}
+	if want("5a") {
+		emit(tmedb.Fig5(cfg, tmedb.Static))
+		ran = true
+	}
+	if want("5b") {
+		emit(tmedb.Fig5(cfg, tmedb.Rayleigh))
+		ran = true
+	}
+	if want("6") {
+		e, d := tmedb.Fig6(cfg)
+		emit(e)
+		emit(d)
+		ran = true
+	}
+	if want("7a") {
+		emit(tmedb.Fig7(cfg, tmedb.Static))
+		ran = true
+	}
+	if want("7b") {
+		emit(tmedb.Fig7(cfg, tmedb.Rayleigh))
+		ran = true
+	}
+	if want("complexity") {
+		emit(tmedb.ComplexityTable(cfg))
+		ran = true
+	}
+	if want("gap") {
+		emit(tmedb.GapTable(cfg))
+		ran = true
+	}
+	if !ran {
+		fmt.Fprintf(os.Stderr, "figures: unknown panel %q\n", *panel)
+		os.Exit(1)
+	}
+	fmt.Fprintf(os.Stderr, "figures: done in %v\n", time.Since(start).Round(time.Millisecond))
+}
+
+func seed2(s int64) int64 {
+	if s == 0 {
+		return 1
+	}
+	return s
+}
+
+func emit(f tmedb.FigureResult) {
+	fmt.Println(f.String())
+}

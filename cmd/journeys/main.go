@@ -1,0 +1,83 @@
+// Command journeys answers temporal-path queries on a contact trace:
+// the foremost (earliest-arrival), shortest (fewest-hop), and fastest
+// (minimum-duration) journeys between two nodes, plus the temporal
+// reachability count — the TVG toolbox of Bui-Xuan et al. and
+// Whitbeck et al. the paper builds on.
+//
+// Usage:
+//
+//	journeys -src 0 -dst 7 [-t0 0] [-trace t.txt | -seed 1 -n 20]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro"
+)
+
+func main() {
+	var (
+		tracePath = flag.String("trace", "", "trace file (empty: synthesize)")
+		n         = flag.Int("n", 20, "nodes for the synthetic trace")
+		seed      = flag.Int64("seed", 1, "synthetic trace seed")
+		src       = flag.Int("src", 0, "journey source")
+		dst       = flag.Int("dst", 1, "journey destination")
+		t0        = flag.Float64("t0", 0, "earliest departure time")
+	)
+	flag.Parse()
+
+	var trace *tmedb.Trace
+	if *tracePath != "" {
+		f, err := os.Open(*tracePath)
+		if err != nil {
+			fatal(err)
+		}
+		var rerr error
+		trace, rerr = tmedb.ReadTrace(f)
+		f.Close()
+		if rerr != nil {
+			fatal(rerr)
+		}
+	} else {
+		trace = tmedb.GenerateTrace(tmedb.TraceOptions{N: *n}, *seed)
+	}
+	g := trace.ToTVEG(0, tmedb.DefaultParams(), tmedb.Static)
+	if *src < 0 || *src >= g.N() || *dst < 0 || *dst >= g.N() {
+		fatal(fmt.Errorf("nodes must be in [0,%d)", g.N()))
+	}
+	s, d := tmedb.NodeID(*src), tmedb.NodeID(*dst)
+
+	fmt.Printf("journeys %d → %d departing at or after t=%.0f (horizon %.0f s):\n\n",
+		*src, *dst, *t0, trace.Horizon)
+	describe := func(name string, j tmedb.Journey) {
+		if j == nil {
+			fmt.Printf("%-9s unreachable\n", name)
+			return
+		}
+		fmt.Printf("%-9s %d hop(s), departs %.1f, arrives %.1f (duration %.1f)\n",
+			name, len(j), j.Departure(), j.Arrival(g.Graph), j.Arrival(g.Graph)-j.Departure())
+		for _, h := range j {
+			fmt.Printf("          %d → %d at t=%.1f\n", h.From, h.To, h.T)
+		}
+	}
+	describe("foremost", tmedb.Foremost(g, s, d, *t0))
+	describe("shortest", tmedb.Shortest(g, s, d, *t0))
+	describe("fastest", tmedb.Fastest(g, s, d, *t0, trace.Horizon))
+
+	m := tmedb.Reachable(g, *t0, trace.Horizon)
+	count := 0
+	for j, ok := range m[s] {
+		if ok && tmedb.NodeID(j) != s {
+			count++
+		}
+	}
+	fmt.Printf("\nnode %d can reach %d/%d other nodes within the window\n",
+		*src, count, g.N()-1)
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "journeys:", err)
+	os.Exit(1)
+}

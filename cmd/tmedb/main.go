@@ -1,0 +1,196 @@
+// Command tmedb plans and evaluates one delay-constrained broadcast on a
+// contact trace: it runs the chosen algorithm (EEDCB, FR-EEDCB, GREED,
+// FR-GREED, RAND, FR-RAND), prints the relay schedule, checks the §IV
+// feasibility conditions, and Monte Carlo-evaluates delivery and energy.
+//
+// Usage:
+//
+//	tmedb -alg fr-eedcb -model rayleigh [-trace t.txt] [-src 0] \
+//	      [-t0 9000] [-delay 2000] [-trials 1000]
+//
+// Without -trace a synthetic Haggle-like trace is generated (-seed, -n).
+package main
+
+import (
+	"errors"
+	"flag"
+	"fmt"
+	"math"
+	"os"
+	"strings"
+
+	"repro"
+)
+
+func main() {
+	var (
+		algName   = flag.String("alg", "eedcb", "algorithm: eedcb|greed|rand|fr-eedcb|fr-greed|fr-rand")
+		modelName = flag.String("model", "static", "channel model: static|rayleigh|rician|nakagami")
+		tracePath = flag.String("trace", "", "trace file (empty: synthesize)")
+		n         = flag.Int("n", 20, "nodes for the synthetic trace")
+		seed      = flag.Int64("seed", 1, "seed for synthetic trace / RAND / evaluation")
+		src       = flag.Int("src", 0, "source node")
+		t0        = flag.Float64("t0", 9000, "broadcast release time (s)")
+		delay     = flag.Float64("delay", 2000, "delay constraint (s)")
+		trials    = flag.Int("trials", 1000, "Monte Carlo trials")
+		level     = flag.Int("level", 2, "recursive-greedy Steiner level for (FR-)EEDCB")
+		outJSON   = flag.String("o", "", "write the planned schedule as JSON to this file")
+		targets   = flag.String("targets", "", "comma-separated multicast targets (empty: broadcast); only (fr-)eedcb")
+		verbose   = flag.Bool("v", false, "print every transmission")
+	)
+	flag.Parse()
+
+	model, err := parseModel(*modelName)
+	if err != nil {
+		fatal(err)
+	}
+	alg, err := parseAlg(*algName, *level, *seed)
+	if err != nil {
+		fatal(err)
+	}
+
+	var trace *tmedb.Trace
+	if *tracePath != "" {
+		f, err := os.Open(*tracePath)
+		if err != nil {
+			fatal(err)
+		}
+		trace, err = tmedb.ReadTrace(f)
+		f.Close()
+		if err != nil {
+			fatal(err)
+		}
+	} else {
+		trace = tmedb.GenerateTrace(tmedb.TraceOptions{N: *n}, *seed)
+	}
+	g := trace.ToTVEG(0, tmedb.DefaultParams(), model)
+	if *src < 0 || *src >= g.N() {
+		fatal(fmt.Errorf("source %d outside [0,%d)", *src, g.N()))
+	}
+
+	deadline := *t0 + *delay
+	var sched tmedb.Schedule
+	var tgt []tmedb.NodeID
+	if *targets != "" {
+		var terr error
+		tgt, terr = parseTargets(*targets, g.N())
+		if terr != nil {
+			fatal(terr)
+		}
+		switch a := alg.(type) {
+		case tmedb.EEDCB:
+			sched, err = a.Multicast(g, tmedb.NodeID(*src), tgt, *t0, deadline)
+		case tmedb.FREEDCB:
+			sched, err = a.Multicast(g, tmedb.NodeID(*src), tgt, *t0, deadline)
+		default:
+			fatal(fmt.Errorf("-targets requires -alg eedcb or fr-eedcb"))
+		}
+	} else {
+		sched, err = alg.Schedule(g, tmedb.NodeID(*src), *t0, deadline)
+	}
+	var inc *tmedb.IncompleteError
+	switch {
+	case err == nil:
+	case errors.As(err, &inc):
+		fmt.Printf("warning: %v\n", inc)
+	default:
+		fatal(err)
+	}
+
+	fmt.Printf("algorithm        %s (%s channel)\n", alg.Name(), model)
+	fmt.Printf("trace            %d nodes, %d contacts, horizon %.0f s\n",
+		trace.N, len(trace.Contacts), trace.Horizon)
+	fmt.Printf("broadcast        src=%d window=[%.0f, %.0f] s\n", *src, *t0, deadline)
+	fmt.Printf("transmissions    %d\n", len(sched))
+	fmt.Printf("planned energy   %.6g (normalized by γth)\n",
+		sched.NormalizedCost(g.Params.GammaTh))
+	if *verbose {
+		for k, x := range sched {
+			fmt.Printf("  tx %2d: node %2d at t=%.1f  w=%.4g\n", k, x.Relay, x.T, x.W)
+		}
+	}
+
+	if len(tgt) > 0 {
+		ok := true
+		for _, n := range tgt {
+			if p := tmedb.UninformedProb(g, sched, tmedb.NodeID(*src), n, deadline); p > g.Params.Eps*1.000001 {
+				fmt.Printf("feasibility      VIOLATED: target %d residual failure %.4g > ε\n", n, p)
+				ok = false
+			}
+		}
+		if ok {
+			fmt.Printf("feasibility      ok (every multicast target within ε)\n")
+		}
+	} else if err := tmedb.CheckFeasible(g, sched, tmedb.NodeID(*src), deadline, math.Inf(1)); err != nil {
+		fmt.Printf("feasibility      VIOLATED: %v\n", err)
+	} else {
+		fmt.Printf("feasibility      ok (all four §IV conditions)\n")
+	}
+
+	res := tmedb.Evaluate(g, sched, tmedb.NodeID(*src), *trials, *seed)
+	fmt.Printf("evaluation       %v\n", res)
+
+	if *outJSON != "" {
+		f, err := os.Create(*outJSON)
+		if err != nil {
+			fatal(err)
+		}
+		defer f.Close()
+		if err := tmedb.WriteScheduleJSON(f, sched); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("schedule written to %s\n", *outJSON)
+	}
+}
+
+func parseModel(s string) (tmedb.Model, error) {
+	switch strings.ToLower(s) {
+	case "static":
+		return tmedb.Static, nil
+	case "rayleigh":
+		return tmedb.Rayleigh, nil
+	case "rician":
+		return tmedb.Rician, nil
+	case "nakagami":
+		return tmedb.Nakagami, nil
+	}
+	return 0, fmt.Errorf("unknown model %q", s)
+}
+
+func parseAlg(s string, level int, seed int64) (tmedb.Scheduler, error) {
+	switch strings.ToLower(s) {
+	case "eedcb":
+		return tmedb.EEDCB{Level: level}, nil
+	case "greed":
+		return tmedb.Greedy{}, nil
+	case "rand":
+		return tmedb.Random{Seed: seed}, nil
+	case "fr-eedcb":
+		return tmedb.FREEDCB{Level: level}, nil
+	case "fr-greed":
+		return tmedb.FRGreedy{}, nil
+	case "fr-rand":
+		return tmedb.FRRandom{Seed: seed}, nil
+	}
+	return nil, fmt.Errorf("unknown algorithm %q", s)
+}
+
+func parseTargets(s string, n int) ([]tmedb.NodeID, error) {
+	var out []tmedb.NodeID
+	for _, part := range strings.Split(s, ",") {
+		var id int
+		if _, err := fmt.Sscanf(strings.TrimSpace(part), "%d", &id); err != nil {
+			return nil, fmt.Errorf("bad target %q", part)
+		}
+		if id < 0 || id >= n {
+			return nil, fmt.Errorf("target %d outside [0,%d)", id, n)
+		}
+		out = append(out, tmedb.NodeID(id))
+	}
+	return out, nil
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "tmedb:", err)
+	os.Exit(1)
+}

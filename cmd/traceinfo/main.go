@@ -1,0 +1,38 @@
+// Command traceinfo prints the descriptive statistics of a contact
+// trace: contact durations, inter-contact gaps with a power-law tail
+// fit, a degree timeline, and per-node activity — the Chaintreau-style
+// characterization used to validate the synthetic generator against the
+// Haggle setting.
+//
+// Usage:
+//
+//	traceinfo trace.txt
+//	tracegen -n 20 | traceinfo
+package main
+
+import (
+	"fmt"
+	"os"
+
+	"repro/internal/haggle"
+	"repro/internal/tracestats"
+)
+
+func main() {
+	in := os.Stdin
+	if len(os.Args) > 1 {
+		f, err := os.Open(os.Args[1])
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "traceinfo:", err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		in = f
+	}
+	tr, err := haggle.ReadAuto(in)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "traceinfo:", err)
+		os.Exit(1)
+	}
+	fmt.Print(tracestats.Analyze(tr, 24))
+}

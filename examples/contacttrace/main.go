@@ -1,0 +1,76 @@
+// Contact-trace walkthrough: the paper's §VII setting. Generate a
+// Haggle-like contact trace (or read one from disk), run all six
+// algorithms on the same broadcast, and compare planned energy against
+// Monte Carlo delivery under Rayleigh fading — the Fig. 5/6 experiment
+// in miniature.
+package main
+
+import (
+	"errors"
+	"flag"
+	"fmt"
+	"os"
+
+	"repro"
+)
+
+func main() {
+	var (
+		tracePath = flag.String("trace", "", "Haggle-format trace file (empty: synthesize)")
+		seed      = flag.Int64("seed", 7, "seed for trace synthesis and evaluation")
+		t0        = flag.Float64("t0", 9000, "broadcast release time (s)")
+		delay     = flag.Float64("delay", 2000, "delay constraint (s)")
+	)
+	flag.Parse()
+
+	var trace *tmedb.Trace
+	if *tracePath != "" {
+		f, err := os.Open(*tracePath)
+		if err != nil {
+			panic(err)
+		}
+		var rerr error
+		trace, rerr = tmedb.ReadTrace(f)
+		f.Close()
+		if rerr != nil {
+			panic(rerr)
+		}
+	} else {
+		trace = tmedb.GenerateTrace(tmedb.TraceOptions{N: 20}, *seed)
+	}
+	fmt.Printf("trace: %d nodes, %d contacts, horizon %.0f s\n\n",
+		trace.N, len(trace.Contacts), trace.Horizon)
+
+	// The network lives in a Rayleigh fading environment; the non-FR
+	// algorithms plan as if the channel were deterministic.
+	g := trace.ToTVEG(0, tmedb.DefaultParams(), tmedb.Rayleigh)
+
+	algorithms := []tmedb.Scheduler{
+		tmedb.EEDCB{},
+		tmedb.Greedy{},
+		tmedb.Random{Seed: *seed},
+		tmedb.FREEDCB{},
+		tmedb.FRGreedy{},
+		tmedb.FRRandom{Seed: *seed},
+	}
+
+	fmt.Printf("%-10s %14s %14s %10s\n", "algorithm", "planned-energy", "consumed", "delivery")
+	for _, alg := range algorithms {
+		sched, err := alg.Schedule(g, 0, *t0, *t0+*delay)
+		var inc *tmedb.IncompleteError
+		if err != nil && !errors.As(err, &inc) {
+			fmt.Printf("%-10s failed: %v\n", alg.Name(), err)
+			continue
+		}
+		res := tmedb.Evaluate(g, sched, 0, 2000, *seed)
+		note := ""
+		if inc != nil {
+			note = fmt.Sprintf("  (%d nodes unreachable)", len(inc.Uncovered))
+		}
+		fmt.Printf("%-10s %14.5g %14.5g %9.1f%%%s\n",
+			alg.Name(), res.PlannedEnergy, res.MeanEnergy, 100*res.MeanDelivery, note)
+	}
+	fmt.Println("\nThe FR variants pay roughly two orders of magnitude more energy")
+	fmt.Println("but deliver to ~100% of nodes; the deterministic planners lose a")
+	fmt.Println("third of the network to fading — the paper's central trade-off.")
+}

@@ -1,0 +1,59 @@
+// Fading-channel study: the same broadcast planned under different
+// channel models. Shows the energy-demand functions of §III-C in action
+// (step, Rayleigh, and the Rician / Nakagami extensions), and how the
+// fading-resistant planner's NLP energy allocation (Eq. 14-17) buys
+// delivery probability with energy.
+package main
+
+import (
+	"errors"
+	"fmt"
+
+	"repro"
+)
+
+func main() {
+	trace := tmedb.GenerateTrace(tmedb.TraceOptions{N: 15}, 21)
+
+	// 1. The ED-function zoo: failure probability vs cost on one edge.
+	gRay := trace.ToTVEG(0, tmedb.DefaultParams(), tmedb.Rayleigh)
+	src, dst, when := pickContact(gRay, trace)
+	fmt.Printf("edge (%d,%d) at t=%.0f s:\n", src, dst, when)
+	fmt.Printf("%-10s %14s\n", "model", "min-cost(J)")
+	for _, m := range []tmedb.Model{tmedb.Static, tmedb.Rayleigh, tmedb.Rician, tmedb.Nakagami} {
+		g := trace.ToTVEG(0, tmedb.DefaultParams(), m)
+		fmt.Printf("%-10v %14.5g\n", m, g.MinCost(src, dst, when))
+	}
+	fmt.Println("\nA fading channel needs ~100x the deterministic threshold to reach")
+	fmt.Println("the 1% per-hop failure target; line-of-sight (Rician) and")
+	fmt.Println("diversity (Nakagami m=2) close part of the gap.")
+
+	// 2. Plan under each fading model and measure delivery.
+	fmt.Printf("\n%-10s %-10s %14s %10s\n", "channel", "planner", "energy(/γth)", "delivery")
+	for _, m := range []tmedb.Model{tmedb.Rayleigh, tmedb.Rician, tmedb.Nakagami} {
+		g := trace.ToTVEG(0, tmedb.DefaultParams(), m)
+		for _, alg := range []tmedb.Scheduler{tmedb.EEDCB{}, tmedb.FREEDCB{}} {
+			sched, err := alg.Schedule(g, 0, 9000, 12000)
+			var inc *tmedb.IncompleteError
+			if err != nil && !errors.As(err, &inc) {
+				fmt.Printf("%-10v %-10s failed: %v\n", m, alg.Name(), err)
+				continue
+			}
+			res := tmedb.Evaluate(g, sched, 0, 2000, 5)
+			fmt.Printf("%-10v %-10s %14.5g %9.1f%%\n",
+				m, alg.Name(), res.PlannedEnergy, 100*res.MeanDelivery)
+		}
+	}
+}
+
+// pickContact returns a pair and time with an active contact after the
+// arrival ramp, preferring the broadcast source's neighborhood.
+func pickContact(g *tmedb.Graph, trace *tmedb.Trace) (tmedb.NodeID, tmedb.NodeID, float64) {
+	for _, c := range trace.Contacts {
+		if c.Start >= 9000 {
+			return tmedb.NodeID(c.I), tmedb.NodeID(c.J), (c.Start + c.End) / 2
+		}
+	}
+	c := trace.Contacts[0]
+	return tmedb.NodeID(c.I), tmedb.NodeID(c.J), (c.Start + c.End) / 2
+}

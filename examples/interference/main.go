@@ -1,0 +1,45 @@
+// Interference-aware broadcast — the protocol-model direction from the
+// paper's future work (§VIII). Minimum-energy schedules love
+// simultaneous transmissions (with τ ≈ 0 whole relay chains share one
+// timestamp), but simultaneous transmitters collide at shared receivers.
+// This example detects the collisions in an EEDCB schedule, serializes
+// it, and measures delivery before and after.
+package main
+
+import (
+	"errors"
+	"fmt"
+
+	"repro"
+)
+
+func main() {
+	trace := tmedb.GenerateTrace(tmedb.TraceOptions{N: 20}, 2)
+	g := trace.ToTVEG(0, tmedb.DefaultParams(), tmedb.Static)
+
+	sched, err := (tmedb.EEDCB{}).Schedule(g, 0, 9000, 12000)
+	var inc *tmedb.IncompleteError
+	if err != nil && !errors.As(err, &inc) {
+		panic(err)
+	}
+
+	// One packet at 1 Mbit/s and ~1 KB is ~8 ms of airtime.
+	const slot = 0.008
+	conflicts := tmedb.DetectConflicts(g, sched, slot)
+	fmt.Printf("schedule: %d transmissions, %d colliding pairs\n", len(sched), len(conflicts))
+	for _, c := range conflicts {
+		fmt.Printf("  collision: tx%d and tx%d meet at node %d\n", c.K, c.L, c.Receiver)
+	}
+
+	before := tmedb.EvaluateWithInterference(g, sched, 0, slot, 2000, 5)
+	fmt.Printf("delivery under collisions:  %.3f\n", before)
+
+	fixed, err := tmedb.SerializeSchedule(g, sched, slot)
+	if err != nil {
+		panic(err)
+	}
+	after := tmedb.EvaluateWithInterference(g, fixed, 0, slot, 2000, 5)
+	fmt.Printf("delivery after serializing: %.3f\n", after)
+	fmt.Printf("(energy unchanged: %.5g vs %.5g — only timing moved)\n",
+		sched.NormalizedCost(g.Params.GammaTh), fixed.NormalizedCost(g.Params.GammaTh))
+}

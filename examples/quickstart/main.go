@@ -1,0 +1,51 @@
+// Quickstart: build a small time-varying energy-demand graph by hand,
+// plan a minimum-energy delay-constrained broadcast with EEDCB, verify
+// the §IV feasibility conditions, and evaluate the result.
+package main
+
+import (
+	"fmt"
+	"math"
+
+	"repro"
+)
+
+func main() {
+	// Five nodes over a 100-second span; τ = 0 (instantaneous packets).
+	// Contacts appear and disappear: this is a time-varying graph, so the
+	// broadcast must route packets through contacts in temporal order.
+	g := tmedb.NewGraph(5, tmedb.Interval{Start: 0, End: 100}, 0,
+		tmedb.DefaultParams(), tmedb.Static)
+
+	//   time 10-30: node 0 meets nodes 1 (5 m) and 2 (12 m)
+	//   time 35-50: node 2 meets node 3 (4 m)
+	//   time 60-80: node 1 meets node 4 (9 m)
+	g.AddContact(0, 1, tmedb.Interval{Start: 10, End: 30}, 5)
+	g.AddContact(0, 2, tmedb.Interval{Start: 10, End: 30}, 12)
+	g.AddContact(2, 3, tmedb.Interval{Start: 35, End: 50}, 4)
+	g.AddContact(1, 4, tmedb.Interval{Start: 60, End: 80}, 9)
+
+	// Plan: minimum-energy broadcast from node 0, deadline t = 100.
+	sched, err := (tmedb.EEDCB{}).Schedule(g, 0, 0, 100)
+	if err != nil {
+		panic(err)
+	}
+
+	fmt.Println("broadcast relay schedule S = [R, T, W]:")
+	for k, tx := range sched {
+		fmt.Printf("  s_%d: node %d transmits at t=%-5.1f cost %.3g J\n",
+			k+1, tx.Relay, tx.T, tx.W)
+	}
+	fmt.Printf("total energy: %.6g (normalized by γth)\n",
+		sched.NormalizedCost(g.Params.GammaTh))
+
+	// Verify all four feasibility conditions of the TMEDB problem.
+	if err := tmedb.CheckFeasible(g, sched, 0, 100, math.Inf(1)); err != nil {
+		panic(err)
+	}
+	fmt.Println("feasible: every node informed within the deadline")
+
+	// Execute the schedule (deterministic on a static channel).
+	res := tmedb.Evaluate(g, sched, 0, 1, 1)
+	fmt.Printf("execution: %v\n", res)
+}

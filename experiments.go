@@ -1,0 +1,307 @@
+package tmedb
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"repro/internal/stats"
+)
+
+// ExperimentConfig parameterizes the §VII trace-driven experiments. The
+// zero value is not usable; start from DefaultConfig.
+type ExperimentConfig struct {
+	// TraceSeed seeds the synthetic Haggle-like trace.
+	TraceSeed int64
+	// TraceOpts tunes the trace generator. TraceOpts.N must be at least
+	// max(Ns).
+	TraceOpts TraceOptions
+	// Tau is the edge traversal time ζ. The paper's trace analysis uses
+	// τ ≈ 0 (§V).
+	Tau float64
+	// Params are the physical-layer constants.
+	Params Params
+	// Sources are the broadcast sources results are averaged over
+	// ("we randomly chose a source node", §VII).
+	Sources []NodeID
+	// T0 is the broadcast release time for the delay sweeps. The
+	// default (9000 s) sits after the degree ramp.
+	T0 float64
+	// Delays are the delay constraints swept by Fig. 4 and Fig. 5
+	// (§VII: 2000..6000 step 500).
+	Delays []float64
+	// Ns are the network sizes swept by Fig. 4 and Fig. 6.
+	Ns []int
+	// Trials is the Monte Carlo trial count for delivery ratios.
+	Trials int
+	// EvalSeed seeds the Monte Carlo evaluation.
+	EvalSeed int64
+	// SteinerLevel is the recursive-greedy level for EEDCB/FR-EEDCB.
+	SteinerLevel int
+	// Fig7Times are the window start times of Fig. 7 (§VII: every
+	// 500 s from 5000 to 15000) and Fig7Delay the per-window deadline.
+	Fig7Times []float64
+	Fig7Delay float64
+}
+
+// DefaultConfig returns the paper's §VII experiment setting: N = 20
+// nodes, 17000 s trace, delay constraints 2000..6000 s step 500, default
+// delay 2000 s, windows every 500 s in [5000, 15000] for Fig. 7.
+func DefaultConfig() ExperimentConfig {
+	cfg := ExperimentConfig{
+		TraceSeed:    1,
+		TraceOpts:    TraceOptions{N: 30}, // Fig. 6 sweeps up to 30 nodes
+		Tau:          0,
+		Params:       DefaultParams(),
+		Sources:      []NodeID{0, 3, 7},
+		T0:           9000,
+		Trials:       400,
+		EvalSeed:     42,
+		SteinerLevel: 2,
+		Fig7Delay:    2000,
+	}
+	for d := 2000.0; d <= 6000; d += 500 {
+		cfg.Delays = append(cfg.Delays, d)
+	}
+	cfg.Ns = []int{10, 15, 20, 25, 30}
+	for t := 5000.0; t <= 15000; t += 500 {
+		cfg.Fig7Times = append(cfg.Fig7Times, t)
+	}
+	return cfg
+}
+
+// FigureResult is one regenerated panel: a labelled family of series
+// over a shared x axis.
+type FigureResult struct {
+	Title  string
+	XLabel string
+	Series []*Series
+}
+
+// String renders the panel as an aligned data table.
+func (f FigureResult) String() string {
+	return stats.Table(f.Title, f.XLabel, f.Series...)
+}
+
+// schedulersFor returns the algorithm set of one §VII comparison family.
+func (cfg ExperimentConfig) schedulersFor(fading bool) []Scheduler {
+	if fading {
+		return []Scheduler{
+			FREEDCB{Level: cfg.SteinerLevel},
+			FRGreedy{},
+			FRRandom{Seed: cfg.TraceSeed},
+		}
+	}
+	return []Scheduler{
+		EEDCB{Level: cfg.SteinerLevel},
+		Greedy{},
+		Random{Seed: cfg.TraceSeed},
+	}
+}
+
+// allSchedulers returns all six algorithms (Fig. 6 order).
+func (cfg ExperimentConfig) allSchedulers() []Scheduler {
+	return append(cfg.schedulersFor(false), cfg.schedulersFor(true)...)
+}
+
+// graphFor materializes the experiment trace restricted to n nodes.
+func (cfg ExperimentConfig) graphFor(n int, model Model) *Graph {
+	opts := cfg.TraceOpts
+	if opts.N == 0 {
+		opts.N = 30
+	}
+	if n > opts.N {
+		panic(fmt.Sprintf("tmedb: n=%d exceeds trace nodes %d", n, opts.N))
+	}
+	tr := GenerateTrace(opts, cfg.TraceSeed)
+	return tr.Restrict(n).ToTVEG(cfg.Tau, cfg.Params, model)
+}
+
+// meanPlannedEnergy runs alg for every configured source and returns the
+// mean normalized planned energy over the sources whose broadcast the
+// planner completed. ok is false when no source completed.
+func (cfg ExperimentConfig) meanPlannedEnergy(alg Scheduler, g *Graph, t0, deadline float64) (float64, bool) {
+	var energies []float64
+	for _, src := range cfg.Sources {
+		if int(src) >= g.N() {
+			continue
+		}
+		s, err := alg.Schedule(g, src, t0, deadline)
+		if err != nil {
+			var ie *IncompleteError
+			if errors.As(err, &ie) {
+				continue // partial coverage: not comparable on energy
+			}
+			continue
+		}
+		energies = append(energies, s.NormalizedCost(g.Params.GammaTh))
+	}
+	if len(energies) == 0 {
+		return math.NaN(), false
+	}
+	return stats.Mean(energies), true
+}
+
+// Fig4 regenerates Fig. 4(a) (model == Static) or Fig. 4(b) (model ==
+// Rayleigh): normalized energy of EEDCB / FR-EEDCB versus the delay
+// constraint, one series per network size N ∈ Ns (clipped to the three
+// smallest, as in the paper).
+func Fig4(cfg ExperimentConfig, model Model) FigureResult {
+	alg := Scheduler(EEDCB{Level: cfg.SteinerLevel})
+	name := "EEDCB"
+	if model.Fading() {
+		alg = FREEDCB{Level: cfg.SteinerLevel}
+		name = "FR-EEDCB"
+	}
+	ns := cfg.Ns
+	if len(ns) > 3 {
+		ns = ns[:3]
+	}
+	out := FigureResult{
+		Title:  fmt.Sprintf("Fig.4 %s: normalized energy vs delay constraint (%v channel)", name, model),
+		XLabel: "delay(s)",
+	}
+	for _, n := range ns {
+		g := cfg.graphFor(n, model)
+		s := &Series{Label: fmt.Sprintf("N=%d", n)}
+		ys := make([]float64, len(cfg.Delays))
+		runParallel(len(cfg.Delays), func(i int) {
+			if e, ok := cfg.meanPlannedEnergy(alg, g, cfg.T0, cfg.T0+cfg.Delays[i]); ok {
+				ys[i] = e
+			} else {
+				ys[i] = math.NaN()
+			}
+		})
+		for i, d := range cfg.Delays {
+			s.Add(d, ys[i])
+		}
+		out.Series = append(out.Series, s)
+	}
+	return out
+}
+
+// Fig5 regenerates Fig. 5(a)/(b): normalized energy versus the delay
+// constraint for the three algorithms of one channel family at the
+// default network size (the largest N <= 20 in Ns).
+func Fig5(cfg ExperimentConfig, model Model) FigureResult {
+	n := defaultN(cfg)
+	g := cfg.graphFor(n, model)
+	out := FigureResult{
+		Title:  fmt.Sprintf("Fig.5: normalized energy vs delay constraint, N=%d (%v channel)", n, model),
+		XLabel: "delay(s)",
+	}
+	for _, alg := range cfg.schedulersFor(model.Fading()) {
+		alg := alg
+		s := &Series{Label: alg.Name()}
+		ys := make([]float64, len(cfg.Delays))
+		runParallel(len(cfg.Delays), func(i int) {
+			if e, ok := cfg.meanPlannedEnergy(alg, g, cfg.T0, cfg.T0+cfg.Delays[i]); ok {
+				ys[i] = e
+			} else {
+				ys[i] = math.NaN()
+			}
+		})
+		for i, d := range cfg.Delays {
+			s.Add(d, ys[i])
+		}
+		out.Series = append(out.Series, s)
+	}
+	return out
+}
+
+// Fig6 regenerates Fig. 6(a) and 6(b): planned normalized energy and
+// Monte Carlo delivery ratio versus the network size for all six
+// algorithms in the Rayleigh fading environment. The default delay
+// constraint (first of Delays) applies.
+func Fig6(cfg ExperimentConfig) (energy, delivery FigureResult) {
+	deadline := cfg.T0 + cfg.Delays[0]
+	energy = FigureResult{Title: "Fig.6(a): normalized energy vs N (fading)", XLabel: "N"}
+	delivery = FigureResult{Title: "Fig.6(b): packet delivery ratio vs N (fading)", XLabel: "N"}
+	algs := cfg.allSchedulers()
+	eSeries := make([]*Series, len(algs))
+	dSeries := make([]*Series, len(algs))
+	for i, alg := range algs {
+		eSeries[i] = &Series{Label: alg.Name()}
+		dSeries[i] = &Series{Label: alg.Name()}
+	}
+	type cell struct{ energy, delivery float64 }
+	grid := make([][]cell, len(cfg.Ns))
+	runParallel(len(cfg.Ns), func(ni int) {
+		g := cfg.graphFor(cfg.Ns[ni], Rayleigh)
+		row := make([]cell, len(algs))
+		for i, alg := range algs {
+			var energies, deliveries []float64
+			for _, src := range cfg.Sources {
+				if int(src) >= g.N() {
+					continue
+				}
+				s, err := alg.Schedule(g, src, cfg.T0, deadline)
+				if err != nil {
+					var ie *IncompleteError
+					if !errors.As(err, &ie) {
+						continue
+					}
+				}
+				res := Evaluate(g, s, src, cfg.Trials, cfg.EvalSeed)
+				energies = append(energies, s.NormalizedCost(g.Params.GammaTh))
+				deliveries = append(deliveries, res.MeanDelivery)
+			}
+			row[i] = cell{stats.Mean(energies), stats.Mean(deliveries)}
+		}
+		grid[ni] = row
+	})
+	for ni, n := range cfg.Ns {
+		for i := range algs {
+			eSeries[i].Add(float64(n), grid[ni][i].energy)
+			dSeries[i].Add(float64(n), grid[ni][i].delivery)
+		}
+	}
+	energy.Series = eSeries
+	delivery.Series = dSeries
+	return energy, delivery
+}
+
+// Fig7 regenerates Fig. 7(a) (static) or 7(b) (fading): normalized
+// energy of the three algorithms of the channel family for broadcasts
+// released every 500 s across the trace, plus the average node degree
+// series both panels overlay.
+func Fig7(cfg ExperimentConfig, model Model) FigureResult {
+	n := defaultN(cfg)
+	g := cfg.graphFor(n, model)
+	out := FigureResult{
+		Title:  fmt.Sprintf("Fig.7: energy and average degree over time, N=%d (%v channel)", n, model),
+		XLabel: "t0(s)",
+	}
+	for _, alg := range cfg.schedulersFor(model.Fading()) {
+		alg := alg
+		s := &Series{Label: alg.Name()}
+		ys := make([]float64, len(cfg.Fig7Times))
+		runParallel(len(cfg.Fig7Times), func(i int) {
+			if e, ok := cfg.meanPlannedEnergy(alg, g, cfg.Fig7Times[i], cfg.Fig7Times[i]+cfg.Fig7Delay); ok {
+				ys[i] = e
+			} else {
+				ys[i] = math.NaN()
+			}
+		})
+		for i, t0 := range cfg.Fig7Times {
+			s.Add(t0, ys[i])
+		}
+		out.Series = append(out.Series, s)
+	}
+	deg := &Series{Label: "avg-degree"}
+	for _, t0 := range cfg.Fig7Times {
+		deg.Add(t0, g.AverageDegreeOver(t0, t0+500, 50))
+	}
+	out.Series = append(out.Series, deg)
+	return out
+}
+
+func defaultN(cfg ExperimentConfig) int {
+	n := cfg.Ns[0]
+	for _, x := range cfg.Ns {
+		if x <= 20 && x > n {
+			n = x
+		}
+	}
+	return n
+}

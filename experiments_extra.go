@@ -1,0 +1,138 @@
+package tmedb
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"runtime"
+	"sync"
+
+	"repro/internal/auxgraph"
+	"repro/internal/dts"
+	"repro/internal/stats"
+)
+
+// This file holds the validation experiments beyond the paper's §VII
+// panels: the §V complexity claims (DTS and auxiliary-graph sizes as the
+// network grows) and per-instance approximation-gap certificates from
+// the auxiliary-graph lower bound.
+
+// runParallel executes f(0..n-1) across a worker pool and waits. Each
+// index writes only its own result slot, so output order is
+// deterministic regardless of scheduling.
+func runParallel(n int, f func(i int)) {
+	workers := runtime.GOMAXPROCS(0)
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		for i := 0; i < n; i++ {
+			f(i)
+		}
+		return
+	}
+	var wg sync.WaitGroup
+	next := make(chan int)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range next {
+				f(i)
+			}
+		}()
+	}
+	for i := 0; i < n; i++ {
+		next <- i
+	}
+	close(next)
+	wg.Wait()
+}
+
+// ComplexityTable validates the §V size claims empirically: for each
+// network size it reports the pruned DTS point count, the unpruned
+// count (the paper's O(N²L) closure for τ ≈ 0), and the auxiliary
+// graph's vertex and edge counts for the default delay window.
+func ComplexityTable(cfg ExperimentConfig) FigureResult {
+	out := FigureResult{
+		Title:  fmt.Sprintf("Complexity: DTS and auxiliary-graph size vs N (§V, delay=%gs)", cfg.Delays[0]),
+		XLabel: "N",
+	}
+	pruned := &Series{Label: "DTS-pruned"}
+	full := &Series{Label: "DTS-full"}
+	verts := &Series{Label: "aux-vertices"}
+	edges := &Series{Label: "aux-edges"}
+	deadline := cfg.T0 + cfg.Delays[0]
+	type row struct{ p, f, v, e float64 }
+	rows := make([]row, len(cfg.Ns))
+	runParallel(len(cfg.Ns), func(i int) {
+		g := cfg.graphFor(cfg.Ns[i], Static)
+		dp := dts.Build(g.Graph, cfg.T0, deadline, dts.Options{})
+		df := dts.Build(g.Graph, cfg.T0, deadline, dts.Options{NoPrune: true})
+		a := auxgraph.Build(g, dp, auxgraph.Options{})
+		st := a.Stats()
+		rows[i] = row{float64(dp.TotalPoints()), float64(df.TotalPoints()),
+			float64(st.Vertices), float64(st.Edges)}
+	})
+	for i, n := range cfg.Ns {
+		pruned.Add(float64(n), rows[i].p)
+		full.Add(float64(n), rows[i].f)
+		verts.Add(float64(n), rows[i].v)
+		edges.Add(float64(n), rows[i].e)
+	}
+	out.Series = []*Series{pruned, full, verts, edges}
+	return out
+}
+
+// GapTable certifies per-instance approximation quality: for each
+// network size it reports the mean EEDCB cost over the configured
+// sources, the mean certified lower bound, and their ratio (an upper
+// bound on the realized approximation factor).
+func GapTable(cfg ExperimentConfig) FigureResult {
+	out := FigureResult{
+		Title:  "Approximation gap: EEDCB vs certified lower bound (static)",
+		XLabel: "N",
+	}
+	cost := &Series{Label: "EEDCB"}
+	bound := &Series{Label: "lower-bound"}
+	ratio := &Series{Label: "gap<="}
+	deadline := cfg.T0 + cfg.Delays[0]
+	type row struct{ c, b float64 }
+	rows := make([]row, len(cfg.Ns))
+	runParallel(len(cfg.Ns), func(i int) {
+		g := cfg.graphFor(cfg.Ns[i], Static)
+		var cs, bs []float64
+		for _, src := range cfg.Sources {
+			if int(src) >= g.N() {
+				continue
+			}
+			s, err := (EEDCB{Level: cfg.SteinerLevel}).Schedule(g, src, cfg.T0, deadline)
+			var ie *IncompleteError
+			if err != nil && !errors.As(err, &ie) {
+				continue
+			}
+			if err != nil {
+				continue // partial coverage: bound and cost not comparable
+			}
+			lb, un, err := LowerBound(g, src, cfg.T0, deadline)
+			if err != nil || len(un) > 0 || lb <= 0 {
+				continue
+			}
+			cs = append(cs, s.TotalCost())
+			bs = append(bs, lb)
+		}
+		rows[i] = row{stats.Mean(cs), stats.Mean(bs)}
+	})
+	for i, n := range cfg.Ns {
+		c, b := rows[i].c, rows[i].b
+		cost.Add(float64(n), c/cfg.Params.GammaTh)
+		bound.Add(float64(n), b/cfg.Params.GammaTh)
+		if b > 0 {
+			ratio.Add(float64(n), c/b)
+		} else {
+			ratio.Add(float64(n), math.NaN())
+		}
+	}
+	out.Series = []*Series{cost, bound, ratio}
+	return out
+}

@@ -1,0 +1,163 @@
+package tmedb
+
+// Extensions beyond the paper's core pipeline: the exact small-instance
+// solver, trace characterization, parallel evaluation, and the two §VIII
+// future-work directions (non-deterministic TVGs, interference).
+
+import (
+	"io"
+	"math/rand"
+
+	"repro/internal/auxgraph"
+	"repro/internal/core"
+	"repro/internal/des"
+	"repro/internal/dts"
+	"repro/internal/exact"
+	"repro/internal/interference"
+	"repro/internal/ndtvg"
+	"repro/internal/schedule"
+	"repro/internal/sim"
+	"repro/internal/tracestats"
+)
+
+// EvaluateParallel is Evaluate across a deterministic worker pool:
+// results depend only on (seed, workers), not on scheduling. workers <= 0
+// selects GOMAXPROCS.
+func EvaluateParallel(g *Graph, s Schedule, src NodeID, trials int, seed int64, workers int) Result {
+	return sim.EvaluateParallel(g, s, src, trials, seed, workers)
+}
+
+// OptimalSchedule solves a small TMEDB-S instance (static channel,
+// τ = 0, N <= 16) exactly by search over (time, informed-set) states,
+// returning the minimum-cost feasible schedule and its cost. Use it to
+// validate heuristics; it is exponential in N.
+func OptimalSchedule(g *Graph, src NodeID, t0, deadline float64) (Schedule, float64, error) {
+	return exact.Solve(g, src, t0, deadline)
+}
+
+// TraceReport summarizes a contact trace: duration and inter-contact
+// statistics, a power-law tail fit, and a degree timeline.
+type TraceReport = tracestats.Report
+
+// AnalyzeTrace computes a TraceReport (degreeSamples <= 0 defaults
+// to 32).
+func AnalyzeTrace(t *Trace, degreeSamples int) TraceReport {
+	return tracestats.Analyze(t, degreeSamples)
+}
+
+// --- Non-deterministic TVGs (§VIII future work) --------------------------
+
+// NDGraph is a non-deterministic TVEG: every contact carries a
+// materialization probability (the general ρ: E×T → [0,1] presence
+// function of the TVG framework).
+type NDGraph = ndtvg.Graph
+
+// RobustResult aggregates a schedule's delivery across sampled
+// realizations of a non-deterministic graph.
+type RobustResult = ndtvg.RobustResult
+
+// NewNDGraph creates an empty non-deterministic graph.
+func NewNDGraph(n int, span Interval, tau float64, params Params, model Model) *NDGraph {
+	return ndtvg.New(n, span, tau, params, model)
+}
+
+// NDFromTrace lifts a trace into a non-deterministic graph with
+// per-contact probabilities drawn uniformly from [pmin, pmax].
+func NDFromTrace(t *Trace, tau float64, params Params, model Model, pmin, pmax float64, seed int64) *NDGraph {
+	return ndtvg.FromTrace(t, tau, params, model, pmin, pmax, rand.New(rand.NewSource(seed)))
+}
+
+// PlanRobust plans on the contacts with probability >= threshold and
+// evaluates the schedule across sampled realizations.
+func PlanRobust(g *NDGraph, planner Scheduler, src NodeID, t0, deadline, threshold float64, realizations, trialsPer int, seed int64) (Schedule, RobustResult, error) {
+	return ndtvg.PlanRobust(g, planner, src, t0, deadline, threshold, realizations, trialsPer, seed)
+}
+
+// EvaluateRobust executes an existing schedule across realizations.
+func EvaluateRobust(g *NDGraph, s Schedule, src NodeID, realizations, trialsPer int, seed int64) RobustResult {
+	return ndtvg.EvaluateRobust(g, s, src, realizations, trialsPer, seed)
+}
+
+// --- Interference (§VIII future work) ------------------------------------
+
+// Conflict names two schedule entries that can collide at a receiver
+// under the protocol interference model.
+type Conflict = interference.Conflict
+
+// DetectConflicts finds transmission pairs with overlapping airtime and
+// a shared in-range receiver. slot is one packet's airtime (used when
+// τ = 0).
+func DetectConflicts(g *Graph, s Schedule, slot float64) []Conflict {
+	return interference.Detect(g, s, slot)
+}
+
+// SerializeSchedule delays colliding transmissions apart within their
+// ET-law equivalence intervals so the schedule is collision-free.
+func SerializeSchedule(g *Graph, s Schedule, slot float64) (Schedule, error) {
+	return interference.Serialize(g, s, slot)
+}
+
+// EvaluateWithInterference measures delivery under collision semantics:
+// a receiver hearing two or more simultaneous transmitters decodes
+// nothing.
+func EvaluateWithInterference(g *Graph, s Schedule, src NodeID, slot float64, trials int, seed int64) float64 {
+	return interference.Evaluate(g, s, src, slot, trials, rand.New(rand.NewSource(seed)))
+}
+
+// WriteScheduleJSON writes a schedule in the stable versioned JSON
+// format; ReadScheduleJSON parses it back.
+func WriteScheduleJSON(w io.Writer, s Schedule) error { return s.WriteJSON(w) }
+
+// ReadScheduleJSON parses a schedule written by WriteScheduleJSON.
+func ReadScheduleJSON(r io.Reader) (Schedule, error) { return schedule.ReadJSON(r) }
+
+// LowerBound returns a certified lower bound on the optimal TMEDB cost:
+// the auxiliary-graph shortest-path cost to the hardest node. Any
+// feasible schedule costs at least this much, so
+// heuristicCost / LowerBound certifies a per-instance approximation gap.
+func LowerBound(g *Graph, src NodeID, t0, deadline float64) (bound float64, unreachable []NodeID, err error) {
+	return core.LowerBound(g, src, t0, deadline, dts.Options{}, auxgraph.Options{})
+}
+
+// --- Temporal-graph queries ----------------------------------------------
+
+// Foremost returns the earliest-arrival journey src→dst departing at or
+// after t0 (nil when unreachable). Shortest and Fastest follow
+// Bui-Xuan et al.'s taxonomy.
+func Foremost(g *Graph, src, dst NodeID, t0 float64) Journey {
+	return g.ForemostJourney(src, dst, t0)
+}
+
+// Shortest returns a minimum-hop journey src→dst departing at or after
+// t0.
+func Shortest(g *Graph, src, dst NodeID, t0 float64) Journey {
+	return g.ShortestJourney(src, dst, t0)
+}
+
+// Fastest returns a minimum-duration journey src→dst within [t0, tEnd].
+func Fastest(g *Graph, src, dst NodeID, t0, tEnd float64) Journey {
+	return g.FastestJourney(src, dst, t0, tEnd)
+}
+
+// Reachable returns the temporal reachability matrix for [t1, t2]:
+// m[i][j] reports whether a journey i→j fits in the window.
+func Reachable(g *Graph, t1, t2 float64) [][]bool {
+	return g.ReachabilityMatrix(t1, t2)
+}
+
+// --- Discrete-event execution ---------------------------------------------
+
+// ExecOptions tunes the airtime-accurate discrete-event executor.
+type ExecOptions = des.ExecOptions
+
+// ExecResult reports one discrete-event realization: per-node reception
+// timestamps, consumed energy, and collision counts.
+type ExecResult = des.ExecResult
+
+// ExecuteDES runs the schedule once through the discrete-event executor:
+// transmissions occupy the channel for a real airtime, relays cannot
+// decode and forward within one airtime, and (optionally) concurrent
+// transmitters collide at shared receivers. Deterministic per seed.
+func ExecuteDES(g *Graph, s Schedule, src NodeID, start float64, opts ExecOptions, seed int64) (ExecResult, error) {
+	return des.Execute(g, s, src, start, opts, rand.New(rand.NewSource(seed)))
+}

@@ -1,0 +1,146 @@
+package tmedb
+
+import (
+	"math"
+	"testing"
+)
+
+func TestOptimalScheduleFacade(t *testing.T) {
+	g := testGraph(Static)
+	s, cost, err := OptimalSchedule(g, 0, 0, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := g.Params.NoiseGamma() * (25 + 64)
+	if math.Abs(cost-want)/want > 1e-9 {
+		t.Errorf("optimal cost = %g, want %g", cost, want)
+	}
+	// EEDCB on the same instance can't beat it
+	h, err := (EEDCB{}).Schedule(g, 0, 0, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h.TotalCost() < cost*(1-1e-9) {
+		t.Errorf("heuristic %g below optimum %g", h.TotalCost(), cost)
+	}
+	if len(s) == 0 {
+		t.Error("empty optimal schedule")
+	}
+}
+
+func TestEvaluateParallelFacade(t *testing.T) {
+	g := testGraph(Rayleigh)
+	s, err := (FREEDCB{}).Schedule(g, 0, 0, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := EvaluateParallel(g, s, 0, 2000, 7, 4)
+	if r.Trials != 2000 || r.MeanDelivery < 0.95 {
+		t.Errorf("parallel result = %v", r)
+	}
+}
+
+func TestAnalyzeTraceFacade(t *testing.T) {
+	tr := GenerateTrace(TraceOptions{N: 8, Horizon: 5000}, 3)
+	rep := AnalyzeTrace(tr, 8)
+	if rep.N != 8 || rep.NumContacts != len(tr.Contacts) {
+		t.Errorf("report = %+v", rep)
+	}
+}
+
+func TestRobustPipelineFacade(t *testing.T) {
+	nd := NewNDGraph(3, Interval{Start: 0, End: 100}, 0, DefaultParams(), Static)
+	nd.AddContact(0, 1, Interval{Start: 10, End: 30}, 5, 1.0)
+	nd.AddContact(1, 2, Interval{Start: 40, End: 60}, 5, 0.5)
+	s, res, err := PlanRobust(nd, EEDCB{}, 0, 0, 100, 0.0, 200, 1, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(s) != 2 {
+		t.Fatalf("schedule %v, want 2 hops", s)
+	}
+	// node 2 delivered only when the p=0.5 contact materializes:
+	// expected delivery ≈ (2 + 0.5)/3
+	want := 2.5 / 3
+	if math.Abs(res.MeanDelivery-want) > 0.05 {
+		t.Errorf("robust delivery = %g, want ≈ %g", res.MeanDelivery, want)
+	}
+	// re-evaluate the same schedule directly
+	res2 := EvaluateRobust(nd, s, 0, 200, 1, 9)
+	if res2.MeanDelivery != res.MeanDelivery {
+		t.Errorf("EvaluateRobust mismatch: %g vs %g", res2.MeanDelivery, res.MeanDelivery)
+	}
+}
+
+func TestNDFromTraceFacade(t *testing.T) {
+	tr := GenerateTrace(TraceOptions{N: 6, Horizon: 3000}, 2)
+	nd := NDFromTrace(tr, 0, DefaultParams(), Static, 0.4, 0.8, 5)
+	if len(nd.Contacts) != len(tr.Contacts) {
+		t.Errorf("contacts = %d, want %d", len(nd.Contacts), len(tr.Contacts))
+	}
+}
+
+func TestInterferenceFacade(t *testing.T) {
+	g := NewGraph(4, Interval{Start: 0, End: 100}, 0, DefaultParams(), Static)
+	g.AddContact(0, 1, Interval{Start: 0, End: 5}, 5)
+	g.AddContact(0, 2, Interval{Start: 8, End: 100}, 5)
+	g.AddContact(1, 2, Interval{Start: 8, End: 100}, 5)
+	g.AddContact(0, 3, Interval{Start: 8, End: 100}, 5)
+	w := g.Params.NoiseGamma() * 25
+	s := Schedule{
+		{Relay: 0, T: 2, W: w},
+		{Relay: 0, T: 10, W: w},
+		{Relay: 1, T: 10, W: w},
+	}
+	if c := DetectConflicts(g, s, 1); len(c) == 0 {
+		t.Fatal("hidden terminal not detected")
+	}
+	before := EvaluateWithInterference(g, s, 0, 1, 100, 1)
+	fixed, err := SerializeSchedule(g, s, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	after := EvaluateWithInterference(g, fixed, 0, 1, 100, 1)
+	if after <= before {
+		t.Errorf("serialization should improve delivery: %g → %g", before, after)
+	}
+	if after != 1 {
+		t.Errorf("serialized delivery = %g, want 1", after)
+	}
+}
+
+func TestJourneyFacades(t *testing.T) {
+	g := testGraph(Static) // chain 0-1 [10,30), 1-2 [20,50)
+	fm := Foremost(g, 0, 2, 0)
+	if fm == nil || fm.Arrival(g.Graph) != 20 {
+		t.Errorf("foremost = %v", fm)
+	}
+	sh := Shortest(g, 0, 2, 0)
+	if sh == nil || len(sh) != 2 {
+		t.Errorf("shortest = %v", sh)
+	}
+	fa := Fastest(g, 0, 2, 0, 100)
+	if fa == nil {
+		t.Fatal("fastest nil")
+	}
+	if dur := fa.Arrival(g.Graph) - fa.Departure(); dur != 0 {
+		// τ=0 non-stop chain at t=20: duration 0
+		t.Errorf("fastest duration = %g, want 0", dur)
+	}
+	m := Reachable(g, 0, 100)
+	if !m[0][2] || !m[2][0] {
+		t.Errorf("reachability matrix wrong: %v", m)
+	}
+}
+
+func TestMulticastFacade(t *testing.T) {
+	g := testGraph(Static)
+	s, err := (EEDCB{}).Multicast(g, 0, []NodeID{1}, 0, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := g.Params.NoiseGamma() * 25
+	if math.Abs(s.TotalCost()-want)/want > 1e-9 {
+		t.Errorf("multicast cost = %g, want single hop %g", s.TotalCost(), want)
+	}
+}

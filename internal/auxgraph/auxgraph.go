@@ -1,0 +1,270 @@
+// Package auxgraph builds the auxiliary graph of §VI-A that maps TMEDB
+// on a discrete time set to a directed Steiner tree / minimum-energy
+// multicast tree instance.
+//
+// Virtual node u_{i,l} represents "node i at the l-th point of its
+// discrete time partition". Zero-weight wait edges u_{i,l} → u_{i,l+1}
+// express that informed status persists. Transmission edges express
+// Proposition 6.1: every useful cost lies in the sender's discrete cost
+// set (DCS). To model the wireless broadcast advantage of Property 6.1
+// — paying cost w_k once reaches ALL neighbors whose level is <= k — the
+// builder inserts one power vertex per (node, time, level): the sender
+// pays w_k on the edge into the power vertex, and free edges fan out to
+// every covered receiver at time t+τ. An ablation option disables the
+// expansion and falls back to independent per-link unicast edges.
+package auxgraph
+
+import (
+	"fmt"
+
+	"repro/internal/dts"
+	"repro/internal/graph"
+	"repro/internal/schedule"
+	"repro/internal/steiner"
+	"repro/internal/tveg"
+	"repro/internal/tvg"
+)
+
+// Options tunes the construction.
+type Options struct {
+	// NoBroadcastAdvantage replaces the power-vertex expansion with
+	// independent unicast edges (each receiver paid for separately).
+	// Used by the ablation benchmarks.
+	NoBroadcastAdvantage bool
+}
+
+// TxMeta describes the transmission a paying auxiliary edge stands for.
+type TxMeta struct {
+	Relay tvg.NodeID
+	T     float64
+	W     float64
+}
+
+type edgeID struct{ U, V int }
+
+// Aux is the auxiliary graph of one TMEDB instance.
+type Aux struct {
+	G  *graph.Digraph
+	D  *dts.DTS
+	TV *tveg.Graph
+
+	base      []int // base[i] = vertex id of u_{i,0}
+	meta      map[edgeID]TxMeta
+	advantage bool
+}
+
+// Build constructs the auxiliary graph for the TVEG g over the DTS d.
+func Build(g *tveg.Graph, d *dts.DTS, opts Options) *Aux {
+	n := g.N()
+	base := make([]int, n)
+	total := 0
+	for i := 0; i < n; i++ {
+		base[i] = total
+		total += len(d.Points[i])
+	}
+	a := &Aux{
+		D:         d,
+		TV:        g,
+		base:      base,
+		meta:      make(map[edgeID]TxMeta),
+		advantage: !opts.NoBroadcastAdvantage,
+	}
+
+	// Count power vertices first so the digraph can be sized once.
+	type tx struct {
+		i      tvg.NodeID
+		l      int
+		t      float64
+		levels []tveg.CostLevel
+	}
+	var txs []tx
+	tau := g.Tau()
+	for i := 0; i < n; i++ {
+		for l, t := range d.Points[i] {
+			if t+tau > d.Deadline {
+				continue // transmission would overrun the delay constraint
+			}
+			levels := g.DCS(tvg.NodeID(i), t)
+			if len(levels) == 0 {
+				continue
+			}
+			txs = append(txs, tx{tvg.NodeID(i), l, t, levels})
+		}
+	}
+	powerVerts := 0
+	if !opts.NoBroadcastAdvantage {
+		for _, x := range txs {
+			powerVerts += len(x.levels)
+		}
+	}
+
+	dg := graph.New(total + powerVerts)
+	a.G = dg
+
+	// Wait edges.
+	for i := 0; i < n; i++ {
+		for l := 0; l+1 < len(d.Points[i]); l++ {
+			dg.AddEdge(base[i]+l, base[i]+l+1, 0)
+		}
+	}
+
+	// Transmission edges.
+	next := total
+	for _, x := range txs {
+		u := base[x.i] + x.l
+		if opts.NoBroadcastAdvantage {
+			for _, lvl := range x.levels {
+				f := d.IndexAtOrAfter(lvl.Node, x.t+tau)
+				if f < 0 {
+					continue
+				}
+				v := base[lvl.Node] + f
+				dg.AddEdge(u, v, lvl.W)
+				a.recordMeta(u, v, TxMeta{x.i, x.t, lvl.W})
+			}
+			continue
+		}
+		for k, lvl := range x.levels {
+			p := next
+			next++
+			dg.AddEdge(u, p, lvl.W)
+			a.recordMeta(u, p, TxMeta{x.i, x.t, lvl.W})
+			// level k covers neighbors 0..k
+			for _, cov := range x.levels[:k+1] {
+				f := d.IndexAtOrAfter(cov.Node, x.t+tau)
+				if f < 0 {
+					continue
+				}
+				dg.AddEdge(p, base[cov.Node]+f, 0)
+			}
+		}
+	}
+	return a
+}
+
+func (a *Aux) recordMeta(u, v int, m TxMeta) {
+	a.meta[edgeID{u, v}] = m
+}
+
+// Vertex returns the auxiliary vertex id of u_{i,l}.
+func (a *Aux) Vertex(i tvg.NodeID, l int) int { return a.base[i] + l }
+
+// SourceVertex returns the root of the Steiner instance for a broadcast
+// from src starting at the DTS window start.
+func (a *Aux) SourceVertex(src tvg.NodeID) int { return a.base[src] }
+
+// Terminals returns the Steiner terminal set D = {u_{i,h_i}}: the last
+// DTS point of every node. The source's terminal is reachable through
+// its own wait edges at zero cost, so including it is harmless.
+func (a *Aux) Terminals() []int {
+	out := make([]int, a.TV.N())
+	for i := range out {
+		out[i] = a.base[i] + a.D.Last(tvg.NodeID(i))
+	}
+	return out
+}
+
+// MetaFor returns the transmission behind a paying edge, if any.
+func (a *Aux) MetaFor(u, v int) (TxMeta, bool) {
+	m, ok := a.meta[edgeID{u, v}]
+	return m, ok
+}
+
+// ScheduleFromSolution converts a Steiner solution on the auxiliary graph
+// back into a broadcast relay schedule. With the broadcast advantage on,
+// multiple chosen power levels of the same (relay, time) collapse into
+// one transmission at the maximum cost (Property 6.1: the higher level
+// covers everything the lower ones did). In unicast (no-advantage) mode
+// every paying edge stays its own transmission — that is exactly the
+// modeling difference the ablation measures.
+func (a *Aux) ScheduleFromSolution(sol steiner.Solution) schedule.Schedule {
+	var s schedule.Schedule
+	if a.advantage {
+		type key struct {
+			relay tvg.NodeID
+			t     float64
+		}
+		best := make(map[key]float64)
+		for _, e := range sol.Edges() {
+			m, ok := a.meta[edgeID{int(e[0]), int(e[1])}]
+			if !ok {
+				continue
+			}
+			k := key{m.Relay, m.T}
+			if m.W > best[k] {
+				best[k] = m.W
+			}
+		}
+		for k, w := range best {
+			s = append(s, schedule.Transmission{Relay: k.relay, T: k.t, W: w})
+		}
+	} else {
+		for _, e := range sol.Edges() {
+			m, ok := a.meta[edgeID{int(e[0]), int(e[1])}]
+			if !ok {
+				continue
+			}
+			s = append(s, schedule.Transmission{Relay: m.Relay, T: m.T, W: m.W})
+		}
+	}
+	s.SortByTime()
+	return s
+}
+
+// Stats summarizes the construction for logging and the complexity
+// benchmarks.
+type Stats struct {
+	Vertices, Edges, PowerVertices int
+}
+
+// Stats returns size statistics of the auxiliary graph.
+func (a *Aux) Stats() Stats {
+	userVerts := 0
+	for i := 0; i < a.TV.N(); i++ {
+		userVerts += len(a.D.Points[i])
+	}
+	return Stats{
+		Vertices:      a.G.N(),
+		Edges:         a.G.M(),
+		PowerVertices: a.G.N() - userVerts,
+	}
+}
+
+func (s Stats) String() string {
+	return fmt.Sprintf("aux{V=%d E=%d power=%d}", s.Vertices, s.Edges, s.PowerVertices)
+}
+
+// Solve runs the level-ℓ recursive greedy Steiner approximation on the
+// auxiliary graph for a broadcast from src and maps the result back to a
+// schedule. level <= 1 selects the shortest-path-tree heuristic.
+func (a *Aux) Solve(src tvg.NodeID, level int) (schedule.Schedule, error) {
+	solver := steiner.NewSolver(a.G)
+	root := a.SourceVertex(src)
+	terms := a.Terminals()
+	var (
+		sol steiner.Solution
+		err error
+	)
+	if level <= 1 {
+		sol, err = solver.ShortestPathTree(root, terms)
+	} else {
+		sol, err = solver.RecursiveGreedy(root, terms, level)
+	}
+	if err != nil {
+		return nil, fmt.Errorf("auxgraph: %w", err)
+	}
+	return a.ScheduleFromSolution(sol), nil
+}
+
+// FeasibleInstance reports whether every node can possibly be informed
+// within the window: each terminal must be reachable from the source in
+// the auxiliary graph. It returns the unreachable nodes.
+func (a *Aux) FeasibleInstance(src tvg.NodeID) (unreachable []tvg.NodeID) {
+	reach := a.G.Reachable(a.SourceVertex(src))
+	for i := 0; i < a.TV.N(); i++ {
+		if !reach[a.base[i]+a.D.Last(tvg.NodeID(i))] {
+			unreachable = append(unreachable, tvg.NodeID(i))
+		}
+	}
+	return unreachable
+}

@@ -1,0 +1,194 @@
+// Package channel implements the energy-demand (ED) functions of §III-C:
+// probabilistic channel models mapping a transmission cost w to the
+// probability that the receiver fails to decode the packet.
+//
+// An ED-function φ obeys Property 3.1 of the paper: it is non-increasing
+// in w, φ(w) = 1 for all w when the link is absent, φ(0) = 1, and
+// φ(w) → 0 as w → ∞ for a present link. The package provides the step
+// ED-function for static channels (Eq. 2), the Rayleigh fading
+// ED-function (Eq. 5), and Rician / Nakagami-m extensions (footnote 1 of
+// the paper), all sharing one interface.
+package channel
+
+import (
+	"fmt"
+	"math"
+)
+
+// EDFunction is an energy-demand function φ: cost → failure probability.
+type EDFunction interface {
+	// FailureProb returns φ(w), the probability that a single
+	// transmission at cost w is NOT decoded by the receiver.
+	FailureProb(w float64) float64
+
+	// MinCost returns the smallest cost w such that φ(w) <= eps, or
+	// +Inf if no finite cost achieves it (absent link). eps must be in
+	// (0, 1).
+	MinCost(eps float64) float64
+}
+
+// Absent is the ED-function of a non-existent link: every transmission
+// fails regardless of cost (Property 3.1 (iii)).
+type Absent struct{}
+
+// FailureProb always returns 1.
+func (Absent) FailureProb(float64) float64 { return 1 }
+
+// MinCost always returns +Inf.
+func (Absent) MinCost(float64) float64 { return math.Inf(1) }
+
+func (Absent) String() string { return "absent" }
+
+// Step is the static-channel ED-function of Eq. 2: the transmission
+// succeeds deterministically iff the cost reaches the minimum cost
+// Threshold = N0·γth/h, where h is the (constant) propagation gain.
+type Step struct {
+	// Threshold is the minimum cost N0·γth/h for successful decoding.
+	Threshold float64
+}
+
+// FailureProb returns 0 when w >= Threshold and 1 otherwise.
+func (s Step) FailureProb(w float64) float64 {
+	if w >= s.Threshold && w > 0 {
+		return 0
+	}
+	return 1
+}
+
+// MinCost returns the threshold: the step function jumps from 1 to 0
+// there, so any eps < 1 requires exactly Threshold.
+func (s Step) MinCost(float64) float64 { return s.Threshold }
+
+func (s Step) String() string { return fmt.Sprintf("step(%.3g)", s.Threshold) }
+
+// Rayleigh is the Rayleigh fading ED-function of Eq. 5:
+//
+//	φ(w) = 1 - exp(-β/w),  β = N0·γth·d^α
+//
+// where d is the sender-receiver distance and α the path-loss exponent.
+type Rayleigh struct {
+	// Beta is N0·γth/d^{-α} = N0·γth·d^α (joules).
+	Beta float64
+}
+
+// FailureProb returns 1 - exp(-β/w); φ(0) = 1 by convention (footnote 2).
+func (r Rayleigh) FailureProb(w float64) float64 {
+	if w <= 0 {
+		return 1
+	}
+	return -math.Expm1(-r.Beta / w)
+}
+
+// MinCost inverts Eq. 5: w = β / ln(1/(1-eps)).
+func (r Rayleigh) MinCost(eps float64) float64 {
+	if eps <= 0 || eps >= 1 {
+		panic(fmt.Sprintf("channel: MinCost eps %g outside (0,1)", eps))
+	}
+	return r.Beta / math.Log(1/(1-eps))
+}
+
+func (r Rayleigh) String() string { return fmt.Sprintf("rayleigh(β=%.3g)", r.Beta) }
+
+// Nakagami is the Nakagami-m fading ED-function (footnote 1): the channel
+// power |h|² follows a Gamma(m, 1/m) law with unit mean, so
+//
+//	φ(w) = P(m, m·β/w)
+//
+// where P is the regularized lower incomplete gamma function. m = 1
+// recovers the Rayleigh ED-function.
+type Nakagami struct {
+	// M is the Nakagami fading figure (m >= 0.5).
+	M float64
+	// Beta is N0·γth·d^α, as for Rayleigh.
+	Beta float64
+}
+
+// FailureProb returns P(m, m·β/w).
+func (n Nakagami) FailureProb(w float64) float64 {
+	if w <= 0 {
+		return 1
+	}
+	return regIncGammaP(n.M, n.M*n.Beta/w)
+}
+
+// MinCost solves φ(w) = eps by bisection on the monotone φ.
+func (n Nakagami) MinCost(eps float64) float64 { return invertMonotone(n, eps) }
+
+func (n Nakagami) String() string { return fmt.Sprintf("nakagami(m=%.3g,β=%.3g)", n.M, n.Beta) }
+
+// Rician is the Rician fading ED-function (footnote 1): the channel has a
+// line-of-sight component with Rice factor K, so with unit mean power
+//
+//	φ(w) = 1 - Q₁(√(2K), √(2(K+1)·β/w))
+//
+// where Q₁ is the first-order Marcum Q function, evaluated here through
+// the noncentral chi-square CDF. K = 0 recovers the Rayleigh ED-function.
+type Rician struct {
+	// K is the Rice factor: LOS power over scattered power.
+	K float64
+	// Beta is N0·γth·d^α, as for Rayleigh.
+	Beta float64
+}
+
+// FailureProb returns the noncentral chi-square CDF with 2 degrees of
+// freedom, noncentrality 2K, evaluated at 2(K+1)·β/w.
+func (r Rician) FailureProb(w float64) float64 {
+	if w <= 0 {
+		return 1
+	}
+	x := r.Beta / w
+	return noncentralChi2CDF(2*(r.K+1)*x, 2, 2*r.K)
+}
+
+// MinCost solves φ(w) = eps by bisection on the monotone φ.
+func (r Rician) MinCost(eps float64) float64 { return invertMonotone(r, eps) }
+
+func (r Rician) String() string { return fmt.Sprintf("rician(K=%.3g,β=%.3g)", r.K, r.Beta) }
+
+// invertMonotone finds the smallest w with f.FailureProb(w) <= eps by
+// exponential search followed by bisection. It relies on Property 3.1
+// (iv): φ is non-increasing.
+func invertMonotone(f EDFunction, eps float64) float64 {
+	if eps <= 0 || eps >= 1 {
+		panic(fmt.Sprintf("channel: MinCost eps %g outside (0,1)", eps))
+	}
+	lo, hi := 0.0, 1e-30
+	for f.FailureProb(hi) > eps {
+		lo = hi
+		hi *= 2
+		if math.IsInf(hi, 1) {
+			return math.Inf(1)
+		}
+	}
+	for i := 0; i < 200 && hi-lo > hi*1e-12; i++ {
+		mid := (lo + hi) / 2
+		if f.FailureProb(mid) <= eps {
+			hi = mid
+		} else {
+			lo = mid
+		}
+	}
+	return hi
+}
+
+// Validate checks Property 3.1 for f over the cost range [wmin, wmax] by
+// sampling: φ must be non-increasing and stay within [0, 1]. It returns
+// a descriptive error on the first violation.
+func Validate(f EDFunction, wmin, wmax float64, samples int) error {
+	if samples < 2 {
+		samples = 2
+	}
+	prev := math.Inf(1)
+	for i := 0; i < samples; i++ {
+		w := wmin + (wmax-wmin)*float64(i)/float64(samples-1)
+		p := f.FailureProb(w)
+		if p < 0 || p > 1 || math.IsNaN(p) {
+			return fmt.Errorf("channel: φ(%g) = %g outside [0,1]", w, p)
+		}
+		if p > prev+1e-9 {
+			return fmt.Errorf("channel: φ increasing at w=%g (%g > %g)", w, p, prev)
+		}
+		prev = p
+	}
+	return nil
+}

@@ -1,0 +1,319 @@
+package channel
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestAbsent(t *testing.T) {
+	var a Absent
+	if a.FailureProb(1e9) != 1 {
+		t.Error("absent link must always fail")
+	}
+	if !math.IsInf(a.MinCost(0.01), 1) {
+		t.Error("absent link MinCost must be +Inf")
+	}
+}
+
+func TestStepFailureProb(t *testing.T) {
+	s := Step{Threshold: 2}
+	if s.FailureProb(1.999) != 1 {
+		t.Error("below threshold must fail")
+	}
+	if s.FailureProb(2) != 0 {
+		t.Error("at threshold must succeed")
+	}
+	if s.FailureProb(5) != 0 {
+		t.Error("above threshold must succeed")
+	}
+	if s.FailureProb(0) != 1 {
+		t.Error("zero cost must fail (footnote 2)")
+	}
+}
+
+func TestStepMinCost(t *testing.T) {
+	s := Step{Threshold: 3.5}
+	if got := s.MinCost(0.01); got != 3.5 {
+		t.Errorf("MinCost = %g, want 3.5", got)
+	}
+}
+
+func TestRayleighKnownValues(t *testing.T) {
+	r := Rayleigh{Beta: 1}
+	// φ(w) = 1 - exp(-1/w)
+	if got, want := r.FailureProb(1), 1-math.Exp(-1); math.Abs(got-want) > 1e-12 {
+		t.Errorf("φ(1) = %g, want %g", got, want)
+	}
+	if got := r.FailureProb(0); got != 1 {
+		t.Errorf("φ(0) = %g, want 1", got)
+	}
+	// w → ∞: φ → 0
+	if got := r.FailureProb(1e12); got > 1e-11 {
+		t.Errorf("φ(1e12) = %g, want ≈0", got)
+	}
+}
+
+func TestRayleighMinCostInverts(t *testing.T) {
+	r := Rayleigh{Beta: 7.5}
+	for _, eps := range []float64{0.5, 0.1, 0.01, 0.001} {
+		w := r.MinCost(eps)
+		if got := r.FailureProb(w); math.Abs(got-eps) > 1e-9 {
+			t.Errorf("φ(MinCost(%g)) = %g, want %g", eps, got, eps)
+		}
+	}
+}
+
+func TestRayleighMinCostFormula(t *testing.T) {
+	// Paper §VI-B: w0 = N0·γth / (ln(1/(1-ε)) d^{-α})
+	const n0gamma, d, alpha, eps = 4.32e-21 * 389, 10.0, 2.0, 0.01
+	beta := n0gamma * math.Pow(d, alpha)
+	r := Rayleigh{Beta: beta}
+	want := n0gamma / (math.Log(1/(1-eps)) * math.Pow(d, -alpha))
+	if got := r.MinCost(eps); math.Abs(got-want)/want > 1e-12 {
+		t.Errorf("MinCost = %g, want %g", got, want)
+	}
+}
+
+func TestRayleighMinCostPanicsOnBadEps(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic for eps=0")
+		}
+	}()
+	Rayleigh{Beta: 1}.MinCost(0)
+}
+
+func TestNakagamiM1EqualsRayleigh(t *testing.T) {
+	n := Nakagami{M: 1, Beta: 3}
+	r := Rayleigh{Beta: 3}
+	for _, w := range []float64{0.5, 1, 3, 10, 100} {
+		got, want := n.FailureProb(w), r.FailureProb(w)
+		if math.Abs(got-want) > 1e-9 {
+			t.Errorf("Nakagami m=1 φ(%g) = %g, Rayleigh = %g", w, got, want)
+		}
+	}
+}
+
+func TestNakagamiHigherMSteeper(t *testing.T) {
+	// Larger m means less fading: at costs above the nominal threshold
+	// the failure probability should be smaller than Rayleigh's.
+	n4 := Nakagami{M: 4, Beta: 1}
+	r := Rayleigh{Beta: 1}
+	w := 5.0 // mean SNR is 5x threshold
+	if n4.FailureProb(w) >= r.FailureProb(w) {
+		t.Errorf("m=4 should beat Rayleigh above threshold: %g vs %g",
+			n4.FailureProb(w), r.FailureProb(w))
+	}
+}
+
+func TestRicianK0EqualsRayleigh(t *testing.T) {
+	ric := Rician{K: 0, Beta: 2}
+	r := Rayleigh{Beta: 2}
+	for _, w := range []float64{0.5, 1, 2, 8, 50} {
+		got, want := ric.FailureProb(w), r.FailureProb(w)
+		if math.Abs(got-want) > 1e-9 {
+			t.Errorf("Rician K=0 φ(%g) = %g, Rayleigh = %g", w, got, want)
+		}
+	}
+}
+
+func TestRicianStrongLOSBeatsRayleigh(t *testing.T) {
+	ric := Rician{K: 10, Beta: 1}
+	r := Rayleigh{Beta: 1}
+	w := 5.0
+	if ric.FailureProb(w) >= r.FailureProb(w) {
+		t.Errorf("K=10 should beat Rayleigh above threshold: %g vs %g",
+			ric.FailureProb(w), r.FailureProb(w))
+	}
+}
+
+func TestMinCostInvertsFadingModels(t *testing.T) {
+	fns := []EDFunction{
+		Nakagami{M: 2, Beta: 4},
+		Nakagami{M: 0.7, Beta: 0.3},
+		Rician{K: 3, Beta: 4},
+		Rician{K: 0.5, Beta: 11},
+	}
+	for _, f := range fns {
+		for _, eps := range []float64{0.2, 0.05, 0.01} {
+			w := f.MinCost(eps)
+			got := f.FailureProb(w)
+			if got > eps*(1+1e-6) {
+				t.Errorf("%v: φ(MinCost(%g)) = %g > eps", f, eps, got)
+			}
+			// slightly below w must exceed eps
+			if below := f.FailureProb(w * 0.999); below <= eps {
+				t.Errorf("%v: φ just below MinCost(%g) = %g <= eps", f, eps, below)
+			}
+		}
+	}
+}
+
+func TestValidateAcceptsAllModels(t *testing.T) {
+	fns := []EDFunction{
+		Absent{},
+		Step{Threshold: 1},
+		Rayleigh{Beta: 2},
+		Nakagami{M: 3, Beta: 2},
+		Rician{K: 2, Beta: 2},
+	}
+	for _, f := range fns {
+		if err := Validate(f, 0, 100, 500); err != nil {
+			t.Errorf("Validate(%v) = %v", f, err)
+		}
+	}
+}
+
+type increasingED struct{}
+
+func (increasingED) FailureProb(w float64) float64 { return math.Min(1, w/10) }
+func (increasingED) MinCost(float64) float64       { return 0 }
+
+func TestValidateRejectsIncreasing(t *testing.T) {
+	if err := Validate(increasingED{}, 0, 10, 100); err == nil {
+		t.Error("Validate should reject an increasing φ")
+	}
+}
+
+func TestRegIncGammaPKnownValues(t *testing.T) {
+	// P(1, x) = 1 - e^{-x}
+	for _, x := range []float64{0.1, 1, 2, 5} {
+		got := regIncGammaP(1, x)
+		want := 1 - math.Exp(-x)
+		if math.Abs(got-want) > 1e-10 {
+			t.Errorf("P(1,%g) = %g, want %g", x, got, want)
+		}
+	}
+	// P(a, 0) = 0; P(a, large) → 1
+	if got := regIncGammaP(3, 0); got != 0 {
+		t.Errorf("P(3,0) = %g, want 0", got)
+	}
+	if got := regIncGammaP(3, 100); math.Abs(got-1) > 1e-10 {
+		t.Errorf("P(3,100) = %g, want 1", got)
+	}
+	// P(0.5, x) = erf(sqrt(x))
+	for _, x := range []float64{0.25, 1, 4} {
+		got := regIncGammaP(0.5, x)
+		want := math.Erf(math.Sqrt(x))
+		if math.Abs(got-want) > 1e-9 {
+			t.Errorf("P(0.5,%g) = %g, want %g", x, got, want)
+		}
+	}
+}
+
+func TestChi2EvenCDF(t *testing.T) {
+	// χ²_2 CDF = 1 - e^{-y/2}
+	for _, y := range []float64{0.5, 2, 10} {
+		got := chi2EvenCDF(y, 1)
+		want := 1 - math.Exp(-y/2)
+		if math.Abs(got-want) > 1e-12 {
+			t.Errorf("chi2(%g;2) = %g, want %g", y, got, want)
+		}
+	}
+	// must agree with regularized gamma: P(χ²_{2m} <= y) = P(m, y/2)
+	for _, m := range []int{1, 2, 5} {
+		for _, y := range []float64{1, 4, 12} {
+			got := chi2EvenCDF(y, m)
+			want := regIncGammaP(float64(m), y/2)
+			if math.Abs(got-want) > 1e-9 {
+				t.Errorf("chi2(%g;%d) = %g, want %g", y, 2*m, got, want)
+			}
+		}
+	}
+}
+
+func TestNoncentralChi2ZeroLambda(t *testing.T) {
+	for _, y := range []float64{0.5, 3, 9} {
+		got := noncentralChi2CDF(y, 2, 0)
+		want := chi2EvenCDF(y, 1)
+		if math.Abs(got-want) > 1e-12 {
+			t.Errorf("ncx2(%g;2,0) = %g, want %g", y, got, want)
+		}
+	}
+}
+
+func TestNoncentralChi2MonteCarlo(t *testing.T) {
+	// Cross-check the Poisson-mixture series against simulation.
+	r := rand.New(rand.NewSource(42))
+	lambda := 4.0
+	y := 7.0
+	const trials = 200000
+	hits := 0
+	for i := 0; i < trials; i++ {
+		// noncentral chi-square with 2 dof: (Z1+δ)² + Z2², δ² = λ
+		z1 := r.NormFloat64() + math.Sqrt(lambda)
+		z2 := r.NormFloat64()
+		if z1*z1+z2*z2 <= y {
+			hits++
+		}
+	}
+	mc := float64(hits) / trials
+	got := noncentralChi2CDF(y, 2, lambda)
+	if math.Abs(got-mc) > 0.01 {
+		t.Errorf("ncx2 CDF = %g, Monte Carlo = %g", got, mc)
+	}
+}
+
+func TestQuickEDFunctionsMonotone(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		beta := 0.1 + r.Float64()*10
+		fns := []EDFunction{
+			Rayleigh{Beta: beta},
+			Nakagami{M: 0.5 + r.Float64()*4, Beta: beta},
+			Rician{K: r.Float64() * 8, Beta: beta},
+		}
+		for _, fn := range fns {
+			if Validate(fn, 0, beta*100, 200) != nil {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickMinCostIsMinimal(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		fn := Rayleigh{Beta: 0.1 + r.Float64()*10}
+		eps := 0.001 + r.Float64()*0.4
+		w := fn.MinCost(eps)
+		return fn.FailureProb(w) <= eps+1e-12 && fn.FailureProb(w*0.99) > eps
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestRicianExtremeCosts(t *testing.T) {
+	// Regression: at vanishing cost the argument of the noncentral
+	// chi-square CDF explodes; the old closed form produced NaN and made
+	// MinCost return ~0.
+	r := Rician{K: 5, Beta: 1.3e-17}
+	if got := r.FailureProb(1e-30); math.Abs(got-1) > 1e-9 {
+		t.Errorf("φ(1e-30) = %g, want 1", got)
+	}
+	w := r.MinCost(0.01)
+	if w < r.Beta/100 {
+		t.Errorf("MinCost = %g, implausibly below β/100 = %g", w, r.Beta/100)
+	}
+	if got := r.FailureProb(w); got > 0.01*(1+1e-6) {
+		t.Errorf("φ(MinCost) = %g > 0.01", got)
+	}
+}
+
+func TestChi2EvenCDFLargeArgs(t *testing.T) {
+	for _, m := range []int{1, 5, 60} {
+		if got := chi2EvenCDF(1e6, m); math.Abs(got-1) > 1e-9 {
+			t.Errorf("chi2(1e6;%d) = %g, want 1", 2*m, got)
+		}
+		if got := chi2EvenCDF(2000, m); math.IsNaN(got) || got < 0 || got > 1 {
+			t.Errorf("chi2(2000;%d) = %g out of range", 2*m, got)
+		}
+	}
+}

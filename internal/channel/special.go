@@ -1,0 +1,155 @@
+package channel
+
+import "math"
+
+// Special functions needed by the fading ED-functions. Implementations
+// follow the classic series / continued-fraction expansions; only the
+// standard library is used.
+
+// regIncGammaP computes the regularized lower incomplete gamma function
+// P(a, x) = γ(a, x)/Γ(a) for a > 0, x >= 0.
+func regIncGammaP(a, x float64) float64 {
+	switch {
+	case x <= 0:
+		return 0
+	case a <= 0:
+		return 1
+	case x < a+1:
+		return gammaSeries(a, x)
+	default:
+		return 1 - gammaContinuedFraction(a, x)
+	}
+}
+
+// gammaSeries evaluates P(a, x) by its power series (converges fast for
+// x < a+1).
+func gammaSeries(a, x float64) float64 {
+	const itmax = 500
+	const eps = 3e-14
+	ap := a
+	sum := 1.0 / a
+	del := sum
+	for i := 0; i < itmax; i++ {
+		ap++
+		del *= x / ap
+		sum += del
+		if math.Abs(del) < math.Abs(sum)*eps {
+			break
+		}
+	}
+	lg, _ := math.Lgamma(a)
+	return sum * math.Exp(-x+a*math.Log(x)-lg)
+}
+
+// gammaContinuedFraction evaluates Q(a, x) = 1 - P(a, x) by the Lentz
+// continued fraction (converges fast for x >= a+1).
+func gammaContinuedFraction(a, x float64) float64 {
+	const itmax = 500
+	const eps = 3e-14
+	const fpmin = 1e-300
+	b := x + 1 - a
+	c := 1 / fpmin
+	d := 1 / b
+	h := d
+	for i := 1; i <= itmax; i++ {
+		an := -float64(i) * (float64(i) - a)
+		b += 2
+		d = an*d + b
+		if math.Abs(d) < fpmin {
+			d = fpmin
+		}
+		c = b + an/c
+		if math.Abs(c) < fpmin {
+			c = fpmin
+		}
+		d = 1 / d
+		del := d * c
+		h *= del
+		if math.Abs(del-1) < eps {
+			break
+		}
+	}
+	lg, _ := math.Lgamma(a)
+	return math.Exp(-x+a*math.Log(x)-lg) * h
+}
+
+// chi2EvenCDF computes the CDF of a central chi-square variable with an
+// even number 2m of degrees of freedom at y:
+//
+//	P(χ²_{2m} <= y) = 1 - e^{-y/2} Σ_{i<m} (y/2)^i / i!
+func chi2EvenCDF(y float64, m int) float64 {
+	if y <= 0 {
+		return 0
+	}
+	h := y / 2
+	// For large h the closed form multiplies an underflowing exp(-h) by
+	// an overflowing series (0·Inf = NaN); the regularized gamma
+	// evaluation is robust there, and P(χ²_{2m} <= y) = P(m, y/2).
+	if h > 700 || m > 50 {
+		return regIncGammaP(float64(m), h)
+	}
+	term := 1.0
+	sum := 1.0
+	for i := 1; i < m; i++ {
+		term *= h / float64(i)
+		sum += term
+	}
+	v := 1 - math.Exp(-h)*sum
+	if v < 0 {
+		return 0
+	}
+	return v
+}
+
+// noncentralChi2CDF computes the CDF of a noncentral chi-square variable
+// with even dof degrees of freedom and noncentrality lambda at y, via the
+// Poisson mixture of central chi-square CDFs:
+//
+//	P(χ'²_{dof}(λ) <= y) = Σ_j pois(j; λ/2) · P(χ²_{dof+2j} <= y)
+//
+// dof must be even and positive. 1 - Q_{dof/2}(√λ, √y) equals this CDF,
+// which is how the Rician ED-function uses it.
+func noncentralChi2CDF(y float64, dof int, lambda float64) float64 {
+	if y <= 0 {
+		return 0
+	}
+	if lambda <= 0 {
+		return chi2EvenCDF(y, dof/2)
+	}
+	half := lambda / 2
+	// Start the Poisson series at its mode for numerical robustness.
+	mode := int(half)
+	logPois := func(j int) float64 {
+		lg, _ := math.Lgamma(float64(j) + 1)
+		return -half + float64(j)*math.Log(half) - lg
+	}
+	sum := 0.0
+	// Walk outward from the mode until terms vanish.
+	for dir := 0; dir < 2; dir++ {
+		j := mode
+		if dir == 1 {
+			j = mode - 1
+		}
+		for ; j >= 0; j = nextJ(j, dir) {
+			w := math.Exp(logPois(j))
+			if w < 1e-18 && j != mode {
+				break
+			}
+			sum += w * chi2EvenCDF(y, dof/2+j)
+			if dir == 0 && j > mode+10000 {
+				break
+			}
+		}
+	}
+	if sum > 1 {
+		return 1
+	}
+	return sum
+}
+
+func nextJ(j, dir int) int {
+	if dir == 0 {
+		return j + 1
+	}
+	return j - 1
+}

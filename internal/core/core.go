@@ -1,0 +1,162 @@
+// Package core implements the paper's broadcast schedulers (§VI–§VII):
+//
+//   - EEDCB — the energy-efficient delay-constrained broadcast of §VI-A:
+//     DTS → auxiliary graph → directed Steiner approximation.
+//   - FR-EEDCB — the fading-resistant variant of §VI-B: EEDCB backbone
+//     on fading-aware edge weights, then NLP energy allocation.
+//   - GREED / FR-GREED — the coverage-greedy baselines of §VII.
+//   - RAND / FR-RAND — the random-relay baselines of §VII.
+//
+// Every scheduler implements the Scheduler interface and is deterministic
+// given its construction parameters (RAND takes an explicit seed).
+package core
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"repro/internal/tveg"
+	"repro/internal/tvg"
+
+	"repro/internal/schedule"
+)
+
+// Scheduler plans a broadcast relay schedule on a TVEG for a broadcast
+// from src released at t0 that must finish by the absolute deadline.
+type Scheduler interface {
+	// Name returns the algorithm's display name as used in §VII.
+	Name() string
+	// Schedule plans the broadcast. When some nodes cannot possibly be
+	// reached within the window, implementations return the best-effort
+	// schedule covering the rest together with an *IncompleteError.
+	Schedule(g *tveg.Graph, src tvg.NodeID, t0, deadline float64) (schedule.Schedule, error)
+}
+
+// IncompleteError reports nodes that the planner could not cover within
+// the delay window. The accompanying schedule is still valid for the
+// covered nodes — the delivery-ratio experiments rely on that.
+type IncompleteError struct {
+	Uncovered []tvg.NodeID
+}
+
+func (e *IncompleteError) Error() string {
+	return fmt.Sprintf("core: %d node(s) unreachable within the delay window: %v",
+		len(e.Uncovered), e.Uncovered)
+}
+
+// plannerView returns the graph the algorithm plans on: fading-aware
+// algorithms see the true model, the rest assume a static channel.
+func plannerView(g *tveg.Graph, fadingAware bool) *tveg.Graph {
+	if fadingAware || g.Model == tveg.Static {
+		return g
+	}
+	return g.WithModel(tveg.Static)
+}
+
+// informedSet tracks deterministic informed times during backbone
+// construction (the planner's view: a transmission at sufficient cost
+// informs its targets with certainty).
+type informedSet struct {
+	at []float64 // informed time per node, +Inf when uninformed
+}
+
+func newInformedSet(n int, src tvg.NodeID, t0 float64) *informedSet {
+	s := &informedSet{at: make([]float64, n)}
+	for i := range s.at {
+		s.at[i] = math.Inf(1)
+	}
+	s.at[src] = t0
+	return s
+}
+
+func (s *informedSet) informed(i tvg.NodeID) bool   { return !math.IsInf(s.at[i], 1) }
+func (s *informedSet) time(i tvg.NodeID) float64    { return s.at[i] }
+func (s *informedSet) mark(i tvg.NodeID, t float64) { s.at[i] = math.Min(s.at[i], t) }
+
+func (s *informedSet) allInformed() bool {
+	for _, t := range s.at {
+		if math.IsInf(t, 1) {
+			return false
+		}
+	}
+	return true
+}
+
+func (s *informedSet) uncovered() []tvg.NodeID {
+	var out []tvg.NodeID
+	for i, t := range s.at {
+		if math.IsInf(t, 1) {
+			out = append(out, tvg.NodeID(i))
+		}
+	}
+	return out
+}
+
+// candidate is one evaluated greedy transmission: relay transmits at t
+// with cost w, newly informing newNodes.
+type candidate struct {
+	relay    tvg.NodeID
+	t        float64
+	w        float64
+	newNodes []tvg.NodeID
+}
+
+// betterThan orders candidates: more coverage first, then earlier, then
+// cheaper, then smaller relay id for determinism.
+func (c *candidate) betterThan(o *candidate) bool {
+	if o == nil {
+		return true
+	}
+	if len(c.newNodes) != len(o.newNodes) {
+		return len(c.newNodes) > len(o.newNodes)
+	}
+	if c.t != o.t {
+		return c.t < o.t
+	}
+	if c.w != o.w {
+		return c.w < o.w
+	}
+	return c.relay < o.relay
+}
+
+// bestLevelCandidate finds, for relay i at time t, the DCS level
+// maximizing newly informed nodes with minimal sufficient cost. It
+// returns nil when no level informs anyone new.
+func bestLevelCandidate(view *tveg.Graph, inf *informedSet, i tvg.NodeID, t float64) *candidate {
+	levels := view.DCS(i, t)
+	if len(levels) == 0 {
+		return nil
+	}
+	var best *candidate
+	var covered []tvg.NodeID
+	for _, lvl := range levels {
+		if !inf.informed(lvl.Node) {
+			covered = append(covered, lvl.Node)
+			cand := &candidate{relay: i, t: t, w: lvl.W,
+				newNodes: append([]tvg.NodeID(nil), covered...)}
+			if cand.betterThan(best) {
+				best = cand
+			}
+		}
+	}
+	return best
+}
+
+// transmissionTimes enumerates the candidate transmission times of node i
+// within [from, deadline-τ], drawn from its DTS points.
+func transmissionTimes(view *tveg.Graph, pts [][]float64, i tvg.NodeID, from, deadline float64) []float64 {
+	tau := view.Tau()
+	var out []float64
+	for _, t := range pts[i] {
+		if t >= from-1e-9 && t+tau <= deadline+1e-9 {
+			out = append(out, t)
+		}
+	}
+	return out
+}
+
+// sortNodeIDs sorts node ids ascending (determinism helper).
+func sortNodeIDs(xs []tvg.NodeID) {
+	sort.Slice(xs, func(a, b int) bool { return xs[a] < xs[b] })
+}

@@ -1,0 +1,99 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/auxgraph"
+	"repro/internal/dts"
+	"repro/internal/schedule"
+	"repro/internal/steiner"
+	"repro/internal/tveg"
+	"repro/internal/tvg"
+)
+
+// EEDCB is the energy-efficient delay-constrained broadcast of §VI-A:
+// build the discrete time set, map the instance onto the auxiliary graph,
+// and run the directed Steiner approximation. On a fading graph the
+// planner assumes a static channel (it is the non-fading-aware
+// algorithm); FREEDCB is the fading-resistant variant.
+type EEDCB struct {
+	// Level is the recursive-greedy level ℓ (>= 1). Level 2 is the
+	// default trade-off; level 1 degrades to the shortest-path-tree
+	// heuristic.
+	Level int
+	// DTSOpts and AuxOpts tune the reduction (ablation hooks).
+	DTSOpts dts.Options
+	AuxOpts auxgraph.Options
+}
+
+// Name implements Scheduler.
+func (e EEDCB) Name() string { return "EEDCB" }
+
+func (e EEDCB) level() int {
+	if e.Level <= 0 {
+		return 2
+	}
+	return e.Level
+}
+
+// Schedule implements Scheduler.
+func (e EEDCB) Schedule(g *tveg.Graph, src tvg.NodeID, t0, deadline float64) (schedule.Schedule, error) {
+	view := plannerView(g, false)
+	return solveViaAux(view, src, nil, t0, deadline, e.level(), e.DTSOpts, e.AuxOpts)
+}
+
+// Multicast plans a minimum-energy delay-constrained multicast: only the
+// target nodes must be informed by the deadline. The §VI-A reduction is
+// literally the minimum-energy multicast tree problem, so the pipeline is
+// identical with a restricted terminal set.
+func (e EEDCB) Multicast(g *tveg.Graph, src tvg.NodeID, targets []tvg.NodeID, t0, deadline float64) (schedule.Schedule, error) {
+	view := plannerView(g, false)
+	return solveViaAux(view, src, targets, t0, deadline, e.level(), e.DTSOpts, e.AuxOpts)
+}
+
+// solveViaAux runs the §VI-A pipeline on the given planner view for the
+// target set (nil = broadcast to every node). It covers as many targets
+// as are reachable, reporting the rest through *IncompleteError.
+func solveViaAux(view *tveg.Graph, src tvg.NodeID, targets []tvg.NodeID, t0, deadline float64, level int, dOpts dts.Options, aOpts auxgraph.Options) (schedule.Schedule, error) {
+	d := dts.Build(view.Graph, t0, deadline, dOpts)
+	a := auxgraph.Build(view, d, aOpts)
+	if targets == nil {
+		targets = make([]tvg.NodeID, view.N())
+		for i := range targets {
+			targets[i] = tvg.NodeID(i)
+		}
+	}
+	reach := a.G.Reachable(a.SourceVertex(src))
+	var unreachable []tvg.NodeID
+	var terms []int
+	for _, n := range targets {
+		v := a.Vertex(n, d.Last(n))
+		if reach[v] {
+			terms = append(terms, v)
+		} else {
+			unreachable = append(unreachable, n)
+		}
+	}
+	if len(terms) == 0 {
+		return nil, &IncompleteError{Uncovered: unreachable}
+	}
+	solver := steiner.NewSolver(a.G)
+	var (
+		sol steiner.Solution
+		err error
+	)
+	if level <= 1 {
+		sol, err = solver.ShortestPathTree(a.SourceVertex(src), terms)
+	} else {
+		sol, err = solver.RecursiveGreedy(a.SourceVertex(src), terms, level)
+	}
+	if err != nil {
+		return nil, fmt.Errorf("core: EEDCB: %w", err)
+	}
+	s := normalizeET(view, a.ScheduleFromSolution(sol), src, t0, !aOpts.NoBroadcastAdvantage)
+	if len(unreachable) > 0 {
+		sortNodeIDs(unreachable)
+		return s, &IncompleteError{Uncovered: unreachable}
+	}
+	return s, nil
+}

@@ -1,0 +1,156 @@
+package core
+
+import (
+	"math"
+	"sort"
+
+	"repro/internal/dts"
+	"repro/internal/schedule"
+	"repro/internal/tveg"
+	"repro/internal/tvg"
+)
+
+// normalizeET applies the ET-law (Proposition 5.1) to a schedule on the
+// planner view: each transmission moves to its earliest equivalent time —
+// max(relay's informed time, start of the adjacency interval containing
+// the original time). Within one adjacency interval the relay's neighbor
+// set and every edge's channel segment are constant, so coverage and
+// sufficiency are preserved. When collapse is true (the wireless
+// broadcast advantage holds), transmissions that land on the same
+// (relay, time) merge into one at the maximum cost.
+//
+// Moving transmissions earlier can only help feasibility, and it removes
+// the redundant "same interval, different time copy" transmissions that
+// tie-broken Steiner paths occasionally produce.
+func normalizeET(view *tveg.Graph, s schedule.Schedule, src tvg.NodeID, t0 float64, collapse bool) schedule.Schedule {
+	if len(s) == 0 {
+		return s
+	}
+	out := make(schedule.Schedule, len(s))
+	copy(out, s)
+	for pass := 0; pass < 4; pass++ {
+		out = causalSort(view, out, src, t0)
+		informed := deterministicInformedTimes(view, out, src, t0)
+		changed := false
+		for k := range out {
+			x := &out[k]
+			inf := informed[x.Relay]
+			if math.IsInf(inf, 1) {
+				continue // uninformed relay (best-effort leftovers): leave as is
+			}
+			et := dts.EarliestTransmissionTime(view.Graph, x.Relay, inf, x.T)
+			if et < x.T-1e-12 {
+				x.T = et
+				changed = true
+			}
+		}
+		if !changed {
+			break
+		}
+	}
+	if !collapse {
+		return causalSort(view, out, src, t0)
+	}
+	type key struct {
+		relay tvg.NodeID
+		t     float64
+	}
+	best := make(map[key]float64, len(out))
+	for _, x := range out {
+		k := key{x.Relay, x.T}
+		if x.W > best[k] {
+			best[k] = x.W
+		}
+	}
+	merged := make(schedule.Schedule, 0, len(best))
+	for k, w := range best {
+		merged = append(merged, schedule.Transmission{Relay: k.relay, T: k.t, W: w})
+	}
+	return causalSort(view, merged, src, t0)
+}
+
+// causalSort orders a schedule chronologically and, within groups of
+// equal-time transmissions, causally: a transmission whose relay is
+// already informed (deterministically, on the planner view) fires before
+// one whose relay still needs a same-instant reception. With τ = 0,
+// non-stop journeys place whole relay chains on one timestamp, so the
+// within-group order IS the causal order — Eq. 16's tie-break and the
+// Monte Carlo executor both depend on it. Ties beyond causality break
+// deterministically by (relay, cost).
+func causalSort(view *tveg.Graph, s schedule.Schedule, src tvg.NodeID, t0 float64) schedule.Schedule {
+	out := make(schedule.Schedule, len(s))
+	copy(out, s)
+	sort.SliceStable(out, func(i, j int) bool {
+		if out[i].T != out[j].T {
+			return out[i].T < out[j].T
+		}
+		if out[i].Relay != out[j].Relay {
+			return out[i].Relay < out[j].Relay
+		}
+		return out[i].W < out[j].W
+	})
+	informedAt := make([]float64, view.N())
+	for i := range informedAt {
+		informedAt[i] = math.Inf(1)
+	}
+	informedAt[src] = t0
+	tau := view.Tau()
+	result := out[:0]
+	i := 0
+	for i < len(out) {
+		j := i
+		for j < len(out) && out[j].T == out[i].T {
+			j++
+		}
+		pending := append(schedule.Schedule(nil), out[i:j]...)
+		for len(pending) > 0 {
+			picked := -1
+			for k, x := range pending {
+				if informedAt[x.Relay] <= x.T {
+					picked = k
+					break
+				}
+			}
+			fires := picked != -1
+			if !fires {
+				picked = 0 // uninformed leftovers keep deterministic order
+			}
+			x := pending[picked]
+			pending = append(pending[:picked], pending[picked+1:]...)
+			result = append(result, x)
+			if fires {
+				for _, nb := range view.CoveredBy(x.Relay, x.T, x.W*(1+1e-12)) {
+					if t := x.T + tau; t < informedAt[nb] {
+						informedAt[nb] = t
+					}
+				}
+			}
+		}
+		i = j
+	}
+	return result
+}
+
+// deterministicInformedTimes propagates informed status through the
+// schedule under the planner view's deterministic coverage rule: a
+// transmission at cost w informs every adjacent node whose minimum cost
+// at that time is <= w.
+func deterministicInformedTimes(view *tveg.Graph, ordered schedule.Schedule, src tvg.NodeID, t0 float64) []float64 {
+	informed := make([]float64, view.N())
+	for i := range informed {
+		informed[i] = math.Inf(1)
+	}
+	informed[src] = t0
+	tau := view.Tau()
+	for _, x := range ordered {
+		if informed[x.Relay] > x.T {
+			continue
+		}
+		for _, j := range view.CoveredBy(x.Relay, x.T, x.W*(1+1e-12)) {
+			if t := x.T + tau; t < informed[j] {
+				informed[j] = t
+			}
+		}
+	}
+	return informed
+}

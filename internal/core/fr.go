@@ -1,0 +1,283 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/auxgraph"
+	"repro/internal/dts"
+	"repro/internal/nlp"
+	"repro/internal/schedule"
+	"repro/internal/tveg"
+	"repro/internal/tvg"
+)
+
+// The fading-resistant schedulers of §VI-B and §VII decompose TMEDB-R
+// into broadcast backbone selection (reusing the static-channel machinery
+// with fading-aware edge weights w0 such that φ(w0) = ε) and optimal
+// energy allocation (the NLP of Eq. 14–17).
+
+// Allocator selects the NLP solver for the energy allocation step.
+type Allocator int
+
+const (
+	// AllocGreedy is the greedy constraint-fixing pass with coordinate
+	// descent (the default).
+	AllocGreedy Allocator = iota
+	// AllocPenalty is the penalty/projected-gradient refiner.
+	AllocPenalty
+	// AllocDual is the Lagrangian dual decomposition with subgradient
+	// ascent.
+	AllocDual
+)
+
+func (a Allocator) String() string {
+	switch a {
+	case AllocGreedy:
+		return "greedy"
+	case AllocPenalty:
+		return "penalty"
+	case AllocDual:
+		return "dual"
+	default:
+		return "allocator(?)"
+	}
+}
+
+// FREEDCB is FR-EEDCB: EEDCB backbone on the fading view + NLP.
+type FREEDCB struct {
+	Level   int
+	DTSOpts dts.Options
+	AuxOpts auxgraph.Options
+	// Allocator selects the NLP solver (ablation hook).
+	Allocator Allocator
+	// UsePenalty is a deprecated alias for Allocator = AllocPenalty.
+	UsePenalty bool
+}
+
+func (f FREEDCB) allocator() Allocator {
+	if f.UsePenalty {
+		return AllocPenalty
+	}
+	return f.Allocator
+}
+
+// Name implements Scheduler.
+func (FREEDCB) Name() string { return "FR-EEDCB" }
+
+func (f FREEDCB) level() int {
+	if f.Level <= 0 {
+		return 2
+	}
+	return f.Level
+}
+
+// Schedule implements Scheduler.
+func (f FREEDCB) Schedule(g *tveg.Graph, src tvg.NodeID, t0, deadline float64) (schedule.Schedule, error) {
+	view := plannerView(g, true)
+	backbone, incErr := solveViaAux(view, src, nil, t0, deadline, f.level(), f.DTSOpts, f.AuxOpts)
+	if bad := onlyIncomplete(incErr); bad != nil {
+		return nil, bad
+	}
+	return allocateEnergy(g, backbone, src, nil, incErr, f.allocator())
+}
+
+// Multicast plans a fading-resistant multicast to the target subset:
+// backbone selection restricted to the targets, then NLP allocation with
+// residual-failure constraints only for targets and backbone relays.
+func (f FREEDCB) Multicast(g *tveg.Graph, src tvg.NodeID, targets []tvg.NodeID, t0, deadline float64) (schedule.Schedule, error) {
+	view := plannerView(g, true)
+	backbone, incErr := solveViaAux(view, src, targets, t0, deadline, f.level(), f.DTSOpts, f.AuxOpts)
+	if bad := onlyIncomplete(incErr); bad != nil {
+		return nil, bad
+	}
+	return allocateEnergy(g, backbone, src, targets, incErr, f.allocator())
+}
+
+// FRGreedy is FR-GREED: the coverage-greedy backbone on the fading view
+// + NLP energy allocation.
+type FRGreedy struct {
+	DTSOpts dts.Options
+	// Allocator selects the NLP solver (ablation hook).
+	Allocator Allocator
+	// UsePenalty is a deprecated alias for Allocator = AllocPenalty.
+	UsePenalty bool
+}
+
+func (f FRGreedy) allocator() Allocator {
+	if f.UsePenalty {
+		return AllocPenalty
+	}
+	return f.Allocator
+}
+
+// Name implements Scheduler.
+func (FRGreedy) Name() string { return "FR-GREED" }
+
+// Schedule implements Scheduler.
+func (f FRGreedy) Schedule(g *tveg.Graph, src tvg.NodeID, t0, deadline float64) (schedule.Schedule, error) {
+	view := plannerView(g, true)
+	backbone, incErr := greedyBackbone(view, src, t0, deadline, f.DTSOpts)
+	if bad := onlyIncomplete(incErr); bad != nil {
+		return nil, bad
+	}
+	return allocateEnergy(g, backbone, src, nil, incErr, f.allocator())
+}
+
+// FRRandom is FR-RAND: the random-relay backbone on the fading view +
+// NLP energy allocation.
+type FRRandom struct {
+	Seed    int64
+	DTSOpts dts.Options
+	// Allocator selects the NLP solver (ablation hook).
+	Allocator Allocator
+	// UsePenalty is a deprecated alias for Allocator = AllocPenalty.
+	UsePenalty bool
+}
+
+func (f FRRandom) allocator() Allocator {
+	if f.UsePenalty {
+		return AllocPenalty
+	}
+	return f.Allocator
+}
+
+// Name implements Scheduler.
+func (FRRandom) Name() string { return "FR-RAND" }
+
+// Schedule implements Scheduler.
+func (f FRRandom) Schedule(g *tveg.Graph, src tvg.NodeID, t0, deadline float64) (schedule.Schedule, error) {
+	view := plannerView(g, true)
+	backbone, incErr := randomBackbone(view, src, t0, deadline, f.Seed, f.DTSOpts)
+	if bad := onlyIncomplete(incErr); bad != nil {
+		return nil, bad
+	}
+	return allocateEnergy(g, backbone, src, nil, incErr, f.allocator())
+}
+
+// onlyIncomplete passes through nil and *IncompleteError, returning any
+// other error unchanged so callers can fail fast.
+func onlyIncomplete(err error) error {
+	if err == nil {
+		return nil
+	}
+	var ie *IncompleteError
+	if errors.As(err, &ie) {
+		return nil
+	}
+	return err
+}
+
+// allocateEnergy solves the optimal energy allocation NLP (Eq. 14–17)
+// for a fixed backbone [R, T] on the true channel model of g, returning
+// the schedule with the allocated cost vector W. Coverage constraints
+// (Eq. 15) apply to targets (nil = every node); relay-informed
+// constraints (Eq. 16) always apply to every backbone relay. The
+// incoming incomplete error (uncovered nodes, if any) is propagated:
+// uncovered nodes get no coverage constraint.
+func allocateEnergy(g *tveg.Graph, backbone schedule.Schedule, src tvg.NodeID, targets []tvg.NodeID, incErr error, alloc Allocator) (schedule.Schedule, error) {
+	if len(backbone) == 0 {
+		return backbone, incErr
+	}
+	uncov := make(map[tvg.NodeID]bool)
+	if incErr != nil {
+		var ie *IncompleteError
+		if errors.As(incErr, &ie) {
+			for _, u := range ie.Uncovered {
+				uncov[u] = true
+			}
+		} else {
+			return nil, incErr
+		}
+	}
+	eps := g.Params.Eps
+	p := nlp.NewProblem(len(backbone), g.Params.WMin, g.Params.WMax)
+
+	if targets == nil {
+		targets = make([]tvg.NodeID, g.N())
+		for i := range targets {
+			targets[i] = tvg.NodeID(i)
+		}
+	}
+	// Eq. 15: every covered target must end up informed.
+	for _, nj := range targets {
+		if nj == src || uncov[nj] {
+			continue
+		}
+		var terms []nlp.Term
+		for k, x := range backbone {
+			if x.Relay == nj || !g.RhoTau(x.Relay, nj, x.T) {
+				continue
+			}
+			terms = append(terms, nlp.Term{Var: k, ED: g.EDAt(x.Relay, nj, x.T)})
+		}
+		if len(terms) == 0 {
+			// The backbone never reaches this node: degrade to
+			// incomplete coverage rather than failing the whole NLP.
+			uncov[nj] = true
+			continue
+		}
+		p.AddConstraint(eps, terms...)
+	}
+
+	// Eq. 16: every relay must be informed before (or exactly when, for
+	// τ = 0 non-stop chains) it transmits. Schedule order breaks ties.
+	for j, xj := range backbone {
+		if xj.Relay == src {
+			continue
+		}
+		var terms []nlp.Term
+		for k, xk := range backbone {
+			if k == j || xk.Relay == xj.Relay {
+				continue
+			}
+			if xk.T > xj.T || (xk.T == xj.T && k > j) {
+				continue
+			}
+			if !g.RhoTau(xk.Relay, xj.Relay, xk.T) {
+				continue
+			}
+			terms = append(terms, nlp.Term{Var: k, ED: g.EDAt(xk.Relay, xj.Relay, xk.T)})
+		}
+		if len(terms) == 0 {
+			return nil, fmt.Errorf("core: backbone relay v%d transmits at %g without any informing transmission", xj.Relay, xj.T)
+		}
+		p.AddConstraint(eps, terms...)
+	}
+
+	var (
+		w   []float64
+		err error
+	)
+	switch alloc {
+	case AllocPenalty:
+		w, err = nlp.SolvePenalty(p, nlp.PenaltyOptions{})
+	case AllocDual:
+		w, err = nlp.SolveDual(p, nlp.DualOptions{})
+	default:
+		w, err = nlp.SolveGreedy(p)
+	}
+	if err != nil {
+		return nil, fmt.Errorf("core: energy allocation: %w", err)
+	}
+	out := make(schedule.Schedule, 0, len(backbone))
+	for k, x := range backbone {
+		if w[k] == 0 {
+			// The allocator decided other transmissions already cover
+			// this one's targets (φ(0) = 1 contributes nothing), so the
+			// transmission is pure overhead.
+			continue
+		}
+		x.W = w[k]
+		out = append(out, x)
+	}
+	if len(uncov) > 0 {
+		ie := &IncompleteError{}
+		for u := range uncov {
+			ie.Uncovered = append(ie.Uncovered, u)
+		}
+		sortNodeIDs(ie.Uncovered)
+		return out, ie
+	}
+	return out, nil
+}

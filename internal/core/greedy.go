@@ -1,0 +1,59 @@
+package core
+
+import (
+	"repro/internal/dts"
+	"repro/internal/schedule"
+	"repro/internal/tveg"
+	"repro/internal/tvg"
+)
+
+// Greedy is the GREED baseline of §VII: at each step it selects, among
+// all informed nodes and their candidate transmission times, the
+// transmission that informs the largest number of still-uninformed nodes,
+// paying the minimum cost in the relay's discrete cost set sufficient for
+// that coverage. It finds local optima where EEDCB optimizes globally.
+type Greedy struct {
+	DTSOpts dts.Options
+}
+
+// Name implements Scheduler.
+func (Greedy) Name() string { return "GREED" }
+
+// Schedule implements Scheduler.
+func (gr Greedy) Schedule(g *tveg.Graph, src tvg.NodeID, t0, deadline float64) (schedule.Schedule, error) {
+	view := plannerView(g, false)
+	return greedyBackbone(view, src, t0, deadline, gr.DTSOpts)
+}
+
+// greedyBackbone runs the coverage-greedy selection on the given view.
+func greedyBackbone(view *tveg.Graph, src tvg.NodeID, t0, deadline float64, dOpts dts.Options) (schedule.Schedule, error) {
+	d := dts.Build(view.Graph, t0, deadline, dOpts)
+	inf := newInformedSet(view.N(), src, t0)
+	var s schedule.Schedule
+	for !inf.allInformed() {
+		var best *candidate
+		for i := 0; i < view.N(); i++ {
+			ni := tvg.NodeID(i)
+			if !inf.informed(ni) {
+				continue
+			}
+			for _, t := range transmissionTimes(view, d.Points, ni, inf.time(ni), deadline) {
+				if c := bestLevelCandidate(view, inf, ni, t); c != nil && c.betterThan(best) {
+					best = c
+				}
+			}
+		}
+		if best == nil {
+			break // no transmission can inform anyone new
+		}
+		s = append(s, schedule.Transmission{Relay: best.relay, T: best.t, W: best.w})
+		for _, j := range best.newNodes {
+			inf.mark(j, best.t+view.Tau())
+		}
+	}
+	s = causalSort(view, s, src, t0)
+	if un := inf.uncovered(); len(un) > 0 {
+		return s, &IncompleteError{Uncovered: un}
+	}
+	return s, nil
+}

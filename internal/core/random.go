@@ -1,0 +1,85 @@
+package core
+
+import (
+	"math/rand"
+
+	"repro/internal/dts"
+	"repro/internal/schedule"
+	"repro/internal/tveg"
+	"repro/internal/tvg"
+)
+
+// Random is the RAND baseline of §VII: at each step it picks a random
+// informed node as relay (among those that can still inform someone new),
+// transmitting at the earliest time it has an uninformed neighbor with
+// the minimum cost level of its discrete cost set that reaches at least
+// one uninformed node.
+type Random struct {
+	// Seed drives relay selection; runs are deterministic per seed.
+	Seed    int64
+	DTSOpts dts.Options
+}
+
+// Name implements Scheduler.
+func (Random) Name() string { return "RAND" }
+
+// Schedule implements Scheduler.
+func (r Random) Schedule(g *tveg.Graph, src tvg.NodeID, t0, deadline float64) (schedule.Schedule, error) {
+	view := plannerView(g, false)
+	return randomBackbone(view, src, t0, deadline, r.Seed, r.DTSOpts)
+}
+
+// randomBackbone runs the random-relay selection on the given view.
+func randomBackbone(view *tveg.Graph, src tvg.NodeID, t0, deadline float64, seed int64, dOpts dts.Options) (schedule.Schedule, error) {
+	rng := rand.New(rand.NewSource(seed))
+	d := dts.Build(view.Graph, t0, deadline, dOpts)
+	inf := newInformedSet(view.N(), src, t0)
+	var s schedule.Schedule
+	for !inf.allInformed() {
+		// Collect informed nodes with any productive transmission and
+		// their earliest such opportunity.
+		var cands []*candidate
+		for i := 0; i < view.N(); i++ {
+			ni := tvg.NodeID(i)
+			if !inf.informed(ni) {
+				continue
+			}
+			for _, t := range transmissionTimes(view, d.Points, ni, inf.time(ni), deadline) {
+				c := minimalNewCoverage(view, inf, ni, t)
+				if c != nil {
+					cands = append(cands, c)
+					break // earliest productive time for this relay
+				}
+			}
+		}
+		if len(cands) == 0 {
+			break
+		}
+		pick := cands[rng.Intn(len(cands))]
+		s = append(s, schedule.Transmission{Relay: pick.relay, T: pick.t, W: pick.w})
+		for _, j := range pick.newNodes {
+			inf.mark(j, pick.t+view.Tau())
+		}
+	}
+	s = causalSort(view, s, src, t0)
+	if un := inf.uncovered(); len(un) > 0 {
+		return s, &IncompleteError{Uncovered: un}
+	}
+	return s, nil
+}
+
+// minimalNewCoverage returns the cheapest DCS level of (i, t) that
+// informs at least one new node, or nil when none does. All informed
+// nodes covered along the way ride along in newNodes (they are already
+// informed, so newNodes holds only the uninformed ones).
+func minimalNewCoverage(view *tveg.Graph, inf *informedSet, i tvg.NodeID, t float64) *candidate {
+	levels := view.DCS(i, t)
+	var news []tvg.NodeID
+	for _, lvl := range levels {
+		if !inf.informed(lvl.Node) {
+			news = append(news, lvl.Node)
+			return &candidate{relay: i, t: t, w: lvl.W, newNodes: news}
+		}
+	}
+	return nil
+}

@@ -1,0 +1,150 @@
+// Package des implements a small deterministic discrete-event simulation
+// engine: a future-event list ordered by (time, insertion sequence) with
+// support for cancelling pending events. It is the execution substrate
+// for the airtime-accurate broadcast executor in des/exec.go, and is
+// generic enough for any continuous-time protocol experiment on top of
+// the TVEG model.
+package des
+
+import (
+	"container/heap"
+	"fmt"
+	"math"
+)
+
+// Action is a scheduled callback; it runs with the simulation clock set
+// to its firing time.
+type Action func(now float64)
+
+// EventID identifies a scheduled event for cancellation.
+type EventID int64
+
+type event struct {
+	t      float64
+	class  int
+	seq    int64
+	id     EventID
+	action Action
+	dead   bool
+}
+
+type eventQueue []*event
+
+func (q eventQueue) Len() int { return len(q) }
+func (q eventQueue) Less(i, j int) bool {
+	if q[i].t != q[j].t {
+		return q[i].t < q[j].t
+	}
+	if q[i].class != q[j].class {
+		return q[i].class < q[j].class // lower class first at equal times
+	}
+	return q[i].seq < q[j].seq // FIFO among simultaneous same-class events
+}
+func (q eventQueue) Swap(i, j int)       { q[i], q[j] = q[j], q[i] }
+func (q *eventQueue) Push(x interface{}) { *q = append(*q, x.(*event)) }
+func (q *eventQueue) Pop() interface{} {
+	old := *q
+	n := len(old)
+	e := old[n-1]
+	*q = old[:n-1]
+	return e
+}
+
+// Sim is one simulation run. The zero value is not usable; create with
+// New.
+type Sim struct {
+	now     float64
+	seq     int64
+	nextID  EventID
+	queue   eventQueue
+	pending map[EventID]*event
+	steps   int
+}
+
+// New creates an empty simulation starting at time 0.
+func New() *Sim {
+	return &Sim{pending: make(map[EventID]*event)}
+}
+
+// Now returns the current simulation time.
+func (s *Sim) Now() float64 { return s.now }
+
+// Steps returns the number of events executed so far.
+func (s *Sim) Steps() int { return s.steps }
+
+// At schedules action to run at time t (>= Now) in the default class 0.
+// Events scheduled for the same instant run by (class, scheduling
+// order).
+func (s *Sim) At(t float64, action Action) EventID {
+	return s.AtClass(t, 0, action)
+}
+
+// AtClass schedules action at time t in the given class: at equal
+// times, lower classes run first. The broadcast executor uses class 0
+// for reception completions and class 1 for transmission starts, so a
+// packet received at instant t is available to forward at t.
+func (s *Sim) AtClass(t float64, class int, action Action) EventID {
+	if t < s.now {
+		panic(fmt.Sprintf("des: scheduling at %g before now %g", t, s.now))
+	}
+	if action == nil {
+		panic("des: nil action")
+	}
+	s.seq++
+	s.nextID++
+	e := &event{t: t, class: class, seq: s.seq, id: s.nextID, action: action}
+	heap.Push(&s.queue, e)
+	s.pending[e.id] = e
+	return e.id
+}
+
+// After schedules action delay seconds from now (class 0).
+func (s *Sim) After(delay float64, action Action) EventID {
+	return s.At(s.now+delay, action)
+}
+
+// Cancel removes a pending event. Cancelling an already-fired or unknown
+// event is a no-op returning false.
+func (s *Sim) Cancel(id EventID) bool {
+	e, ok := s.pending[id]
+	if !ok {
+		return false
+	}
+	e.dead = true
+	delete(s.pending, id)
+	return true
+}
+
+// Run executes events in order until the queue empties or the clock
+// would pass `until`. It returns the number of events executed in this
+// call. Events scheduled exactly at `until` still run.
+func (s *Sim) Run(until float64) int {
+	ran := 0
+	for s.queue.Len() > 0 {
+		e := s.queue[0]
+		if e.dead {
+			heap.Pop(&s.queue)
+			continue
+		}
+		if e.t > until {
+			break
+		}
+		heap.Pop(&s.queue)
+		delete(s.pending, e.id)
+		s.now = e.t
+		e.action(s.now)
+		s.steps++
+		ran++
+	}
+	if s.queue.Len() == 0 && s.now < until && !math.IsInf(until, 1) {
+		s.now = until
+	}
+	return ran
+}
+
+// RunAll executes every pending event (including those scheduled by
+// earlier events) and returns the count.
+func (s *Sim) RunAll() int { return s.Run(math.Inf(1)) }
+
+// Pending returns the number of live scheduled events.
+func (s *Sim) Pending() int { return len(s.pending) }

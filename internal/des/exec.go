@@ -1,0 +1,149 @@
+package des
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/schedule"
+	"repro/internal/tveg"
+	"repro/internal/tvg"
+)
+
+// Airtime-accurate broadcast execution: every transmission occupies the
+// channel for a configurable airtime, receivers track the set of
+// concurrently audible transmitters, and a packet decodes only if its
+// transmitter was the sole audible one for the whole airtime (protocol
+// interference model) — or unconditionally-with-φ when interference
+// modelling is disabled. Compared to the closed-form executor in
+// internal/sim, this one yields per-node reception timestamps and honors
+// τ > 0 naturally.
+
+// ExecOptions tunes one execution.
+type ExecOptions struct {
+	// Airtime is the channel occupancy of one packet (seconds). Zero
+	// uses the graph's τ, and if that is also zero a minimal slot is
+	// required when Interference is on.
+	Airtime float64
+	// Interference enables the protocol collision model.
+	Interference bool
+}
+
+// ExecResult reports one realization.
+type ExecResult struct {
+	// InformedAt holds each node's reception time (+Inf when never
+	// informed; the source is informed at the start time).
+	InformedAt []float64
+	// Delivered counts informed nodes (source included).
+	Delivered int
+	// ConsumedEnergy sums the costs of transmissions that fired.
+	ConsumedEnergy float64
+	// Collisions counts receptions lost to interference.
+	Collisions int
+}
+
+// Execute runs the schedule once on g from src, with transmissions
+// released at their scheduled times (a transmission whose relay lacks
+// the packet at its start time is skipped). Deterministic per rng.
+func Execute(g *tveg.Graph, s schedule.Schedule, src tvg.NodeID, start float64, opts ExecOptions, rng *rand.Rand) (ExecResult, error) {
+	airtime := opts.Airtime
+	if airtime == 0 {
+		airtime = g.Tau()
+	}
+	if airtime == 0 && opts.Interference {
+		return ExecResult{}, fmt.Errorf("des: interference model needs a positive airtime")
+	}
+
+	n := g.N()
+	res := ExecResult{InformedAt: make([]float64, n)}
+	for i := range res.InformedAt {
+		res.InformedAt[i] = inf
+	}
+	res.InformedAt[src] = start
+
+	// audible[j] = number of concurrently audible transmitters at j;
+	// corrupted[j] marks an ongoing candidate reception that lost to a
+	// second transmitter.
+	audible := make([]int, n)
+	type reception struct {
+		from      tvg.NodeID
+		w         float64
+		t         float64 // transmission start
+		corrupted bool
+	}
+	current := make([]*reception, n)
+
+	sim := New()
+	ordered := make(schedule.Schedule, len(s))
+	copy(ordered, s)
+	ordered.SortByTime()
+
+	// Transmission starts run in class 1 so that reception completions
+	// (class 0) landing at the same instant are visible to them.
+	for _, x := range ordered {
+		x := x
+		sim.AtClass(x.T, 1, func(now float64) {
+			if res.InformedAt[x.Relay] > now {
+				return // relay lacks the packet: transmission skipped
+			}
+			res.ConsumedEnergy += x.W
+			// mark the channel busy at every in-range node
+			for _, j := range g.EverNeighbors(x.Relay) {
+				if !g.RhoTau(x.Relay, j, x.T) {
+					continue
+				}
+				audible[j]++
+				if opts.Interference && audible[j] > 1 {
+					// collision: corrupt any ongoing reception too
+					if cur := current[j]; cur != nil && !cur.corrupted {
+						cur.corrupted = true
+						res.Collisions++
+					}
+				}
+				if res.InformedAt[j] <= now {
+					continue // already has the packet
+				}
+				if current[j] == nil {
+					rec := &reception{from: x.Relay, w: x.W, t: x.T}
+					if opts.Interference && audible[j] > 1 {
+						rec.corrupted = true
+						res.Collisions++
+					}
+					current[j] = rec
+				}
+			}
+			// end of this transmission's airtime
+			sim.After(airtime, func(end float64) {
+				for _, j := range g.EverNeighbors(x.Relay) {
+					if !g.RhoTau(x.Relay, j, x.T) {
+						continue
+					}
+					audible[j]--
+					cur := current[j]
+					if cur == nil || cur.from != x.Relay {
+						continue
+					}
+					current[j] = nil
+					if cur.corrupted {
+						continue
+					}
+					if res.InformedAt[j] <= end {
+						continue
+					}
+					failure := g.EDAt(cur.from, j, cur.t).FailureProb(cur.w)
+					if failure <= 0 || rng.Float64() >= failure {
+						res.InformedAt[j] = end
+					}
+				}
+			})
+		})
+	}
+	sim.RunAll()
+	for _, t := range res.InformedAt {
+		if t < inf {
+			res.Delivered++
+		}
+	}
+	return res, nil
+}
+
+const inf = 1e308

@@ -1,0 +1,196 @@
+package des
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/interference"
+	"repro/internal/interval"
+	"repro/internal/schedule"
+	"repro/internal/tveg"
+)
+
+func iv(a, b float64) interval.Interval { return interval.Interval{Start: a, End: b} }
+
+func chain() *tveg.Graph {
+	g := tveg.New(3, iv(0, 100), 0, tveg.DefaultParams(), tveg.Static)
+	g.AddContact(0, 1, iv(0, 100), 5)
+	g.AddContact(1, 2, iv(0, 100), 8)
+	return g
+}
+
+func sufficient(g *tveg.Graph, d float64) float64 {
+	return g.Params.NoiseGamma() * d * d
+}
+
+func TestExecuteChainTimestamps(t *testing.T) {
+	g := chain()
+	s := schedule.Schedule{
+		{Relay: 0, T: 10, W: sufficient(g, 5)},
+		{Relay: 1, T: 20, W: sufficient(g, 8)},
+	}
+	res, err := Execute(g, s, 0, 0, ExecOptions{Airtime: 1}, rand.New(rand.NewSource(1)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Delivered != 3 {
+		t.Fatalf("delivered %d, want 3 (informedAt=%v)", res.Delivered, res.InformedAt)
+	}
+	// receptions land at transmission start + airtime
+	if res.InformedAt[1] != 11 || res.InformedAt[2] != 21 {
+		t.Errorf("InformedAt = %v, want [0 11 21]", res.InformedAt)
+	}
+	want := sufficient(g, 5) + sufficient(g, 8)
+	if math.Abs(res.ConsumedEnergy-want) > 1e-24 {
+		t.Errorf("energy = %g, want %g", res.ConsumedEnergy, want)
+	}
+}
+
+func TestExecuteSkipsUninformedRelay(t *testing.T) {
+	g := chain()
+	s := schedule.Schedule{{Relay: 1, T: 20, W: sufficient(g, 8)}}
+	res, err := Execute(g, s, 0, 0, ExecOptions{Airtime: 1}, rand.New(rand.NewSource(1)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Delivered != 1 || res.ConsumedEnergy != 0 {
+		t.Errorf("res = %+v, want source-only with zero energy", res)
+	}
+}
+
+func TestExecuteAirtimeBlocksSameSlotForwarding(t *testing.T) {
+	g := chain()
+	// both transmissions at t=10: with 1 s airtime, node 1 receives at
+	// 11, so its own transmission at 10 must be skipped
+	s := schedule.Schedule{
+		{Relay: 0, T: 10, W: sufficient(g, 5)},
+		{Relay: 1, T: 10, W: sufficient(g, 8)},
+	}
+	res, err := Execute(g, s, 0, 0, ExecOptions{Airtime: 1}, rand.New(rand.NewSource(1)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Delivered != 2 {
+		t.Errorf("delivered %d, want 2 (relay can't forward mid-airtime)", res.Delivered)
+	}
+}
+
+func TestExecuteCollision(t *testing.T) {
+	// hidden terminal: 1 and 3 transmit simultaneously, 2 hears both
+	g := tveg.New(4, iv(0, 100), 0, tveg.DefaultParams(), tveg.Static)
+	g.AddContact(0, 1, iv(0, 100), 5)
+	g.AddContact(0, 3, iv(0, 100), 5)
+	g.AddContact(1, 2, iv(0, 100), 5)
+	g.AddContact(3, 2, iv(0, 100), 5)
+	w := sufficient(g, 5)
+	s := schedule.Schedule{
+		{Relay: 0, T: 1, W: w}, // informs 1 and 3
+		{Relay: 1, T: 10, W: w},
+		{Relay: 3, T: 10, W: w},
+	}
+	res, err := Execute(g, s, 0, 0, ExecOptions{Airtime: 1, Interference: true}, rand.New(rand.NewSource(1)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.InformedAt[2] < inf {
+		t.Errorf("node 2 informed at %g despite collision", res.InformedAt[2])
+	}
+	if res.Collisions == 0 {
+		t.Error("collision not counted")
+	}
+	// without interference modelling node 2 decodes
+	res, err = Execute(g, s, 0, 0, ExecOptions{Airtime: 1}, rand.New(rand.NewSource(1)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.InformedAt[2] >= inf {
+		t.Error("node 2 should decode without the interference model")
+	}
+}
+
+func TestExecutePartialOverlapCorrupts(t *testing.T) {
+	// second transmitter starts mid-airtime of the first: the ongoing
+	// reception at the shared receiver is corrupted
+	g := tveg.New(4, iv(0, 100), 0, tveg.DefaultParams(), tveg.Static)
+	g.AddContact(0, 1, iv(0, 100), 5)
+	g.AddContact(0, 3, iv(0, 100), 5)
+	g.AddContact(1, 2, iv(0, 100), 5)
+	g.AddContact(3, 2, iv(0, 100), 5)
+	w := sufficient(g, 5)
+	s := schedule.Schedule{
+		{Relay: 0, T: 1, W: w},
+		{Relay: 1, T: 10, W: w},
+		{Relay: 3, T: 10.5, W: w}, // overlaps [10,11)
+	}
+	res, err := Execute(g, s, 0, 0, ExecOptions{Airtime: 1, Interference: true}, rand.New(rand.NewSource(1)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.InformedAt[2] < inf {
+		t.Errorf("node 2 informed at %g despite partial-overlap collision", res.InformedAt[2])
+	}
+}
+
+func TestExecuteInterferenceNeedsAirtime(t *testing.T) {
+	g := chain()
+	if _, err := Execute(g, nil, 0, 0, ExecOptions{Interference: true}, rand.New(rand.NewSource(1))); err == nil {
+		t.Error("interference with zero airtime should error")
+	}
+}
+
+func TestExecuteAgreesWithSimOnFading(t *testing.T) {
+	// statistical cross-check against the closed-form executor on a
+	// single-hop fading link
+	g := tveg.New(2, iv(0, 100), 0, tveg.DefaultParams(), tveg.RayleighFading)
+	g.AddContact(0, 1, iv(0, 100), 5)
+	w := g.EDAt(0, 1, 10).MinCost(0.4)
+	s := schedule.Schedule{{Relay: 0, T: 10, W: w}}
+	hits := 0
+	const trials = 20000
+	rng := rand.New(rand.NewSource(5))
+	for i := 0; i < trials; i++ {
+		res, err := Execute(g, s, 0, 0, ExecOptions{Airtime: 0.001}, rng)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Delivered == 2 {
+			hits++
+		}
+	}
+	got := float64(hits) / trials
+	if math.Abs(got-0.6) > 0.02 {
+		t.Errorf("success rate %g, want ≈ 0.6", got)
+	}
+}
+
+func TestExecuteEEDCBScheduleEndToEnd(t *testing.T) {
+	g := chain()
+	s, err := (core.EEDCB{}).Schedule(g, 0, 0, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// τ=0 plans put whole relay chains on one instant; under a real
+	// airtime the relay cannot decode and forward simultaneously, so the
+	// raw schedule loses the tail of the chain...
+	raw, err := Execute(g, s, 0, 0, ExecOptions{Airtime: 0.01}, rand.New(rand.NewSource(1)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if raw.Delivered != 2 {
+		t.Fatalf("raw schedule delivered %d, want 2 (chain tail lost to airtime)", raw.Delivered)
+	}
+	// ...and the interference serializer is exactly the repair step.
+	fixed, err := interference.Serialize(g, s, 0.01)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Execute(g, fixed, 0, 0, ExecOptions{Airtime: 0.01}, rand.New(rand.NewSource(1)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Delivered != 3 {
+		t.Errorf("serialized EEDCB schedule delivered %d/3 under DES execution", res.Delivered)
+	}
+}

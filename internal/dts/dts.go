@@ -1,0 +1,183 @@
+// Package dts implements the discrete time set of §V: the per-node time
+// points at which an optimal TMEDB schedule can be assumed to transmit.
+//
+// Theorem 5.2 shows that TMEDB on continuous time is equivalent to TMEDB
+// restricted to the DTS: by the ET-law (Proposition 5.1), every feasible
+// schedule can be normalized so each relay transmits either at the start
+// of one of its adjacency intervals or at the moment it became informed.
+// Adjacency-interval starts are breakpoints of the adjacent partitions
+// P_i^ad; informed-times are arrivals of earlier transmissions, i.e.
+// earlier DTS points shifted by the traversal time τ. The closure of the
+// adjacency breakpoints under "+kτ" (up to the non-stop journey length,
+// at most N hops) therefore contains every time an optimal schedule needs
+// — O(N³L) points in general and O(N²L) when τ ≈ 0, matching §V.
+//
+// Build additionally prunes, per node, the points at which the node has
+// no neighbor: it can neither transmit nor receive there, and the
+// auxiliary graph's zero-weight wait edges carry informed status across
+// the gap unchanged. Pruning preserves the Theorem 5.2 equivalence while
+// shrinking the auxiliary graph dramatically on sparse contact traces.
+package dts
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"repro/internal/tvg"
+)
+
+// Options tunes the DTS construction.
+type Options struct {
+	// MaxHops bounds the +kτ propagation depth. Zero means N-1 (the
+	// maximum circle-free non-stop journey length). Ignored when τ = 0.
+	MaxHops int
+	// NoPrune disables the zero-degree point pruning (used by the
+	// ablation benchmarks; the pruned and unpruned DTS admit the same
+	// optimal schedules).
+	NoPrune bool
+}
+
+// DTS is a discrete time set D_V: one discrete time partition P_i^di per
+// node, over the window [T0, Deadline].
+type DTS struct {
+	T0, Deadline float64
+	// Points[i] holds P_i^di, sorted ascending. The final point is
+	// always Deadline (the terminal marker used by the auxiliary graph).
+	Points [][]float64
+}
+
+// timeEps is the tolerance for deduplicating time points.
+const timeEps = 1e-9
+
+// Build computes the DTS of g for a broadcast starting at t0 with delay
+// constraint deadline (absolute time, t0 < deadline <= span end).
+func Build(g *tvg.Graph, t0, deadline float64, opts Options) *DTS {
+	span := g.Span()
+	if t0 < span.Start || deadline > span.End || deadline <= t0 {
+		panic(fmt.Sprintf("dts: window [%g,%g] outside span [%g,%g]", t0, deadline, span.Start, span.End))
+	}
+	n := g.N()
+	tau := g.Tau()
+	maxHops := opts.MaxHops
+	if maxHops <= 0 {
+		maxHops = n - 1
+	}
+
+	// 1. Adjacency breakpoints of every pair, clipped to the window.
+	base := []float64{t0}
+	for i := 0; i < n; i++ {
+		for _, j := range g.EverNeighbors(tvg.NodeID(i)) {
+			if tvg.NodeID(i) > j {
+				continue // each pair once
+			}
+			eroded := g.Presence(tvg.NodeID(i), j).Erode(tau)
+			for _, iv := range eroded.Intervals() {
+				for _, p := range []float64{iv.Start, iv.End} {
+					if p >= t0 && p <= deadline {
+						base = append(base, p)
+					}
+				}
+			}
+		}
+	}
+	base = dedupSorted(base)
+
+	// 2. τ-propagation: each point spawns t+kτ (arrival chains of
+	// non-stop journeys).
+	var global []float64
+	if tau > 0 {
+		global = make([]float64, 0, len(base)*(maxHops+1))
+		for _, p := range base {
+			for k := 0; k <= maxHops; k++ {
+				q := p + float64(k)*tau
+				if q > deadline {
+					break
+				}
+				global = append(global, q)
+			}
+		}
+		global = dedupSorted(global)
+	} else {
+		global = base
+	}
+
+	// 3. Per-node partitions: keep points where the node can act, plus
+	// the window endpoints.
+	pts := make([][]float64, n)
+	for i := 0; i < n; i++ {
+		var mine []float64
+		for _, p := range global {
+			if opts.NoPrune || g.DegreeAt(tvg.NodeID(i), p) > 0 {
+				mine = append(mine, p)
+			}
+		}
+		mine = append(mine, t0, deadline)
+		pts[i] = dedupSorted(mine)
+	}
+	return &DTS{T0: t0, Deadline: deadline, Points: pts}
+}
+
+func dedupSorted(xs []float64) []float64 {
+	sort.Float64s(xs)
+	out := xs[:0]
+	for _, x := range xs {
+		if len(out) == 0 || x-out[len(out)-1] > timeEps {
+			out = append(out, x)
+		}
+	}
+	return out
+}
+
+// TotalPoints returns Σ_i |P_i^di|, the size driving the auxiliary graph.
+func (d *DTS) TotalPoints() int {
+	total := 0
+	for _, p := range d.Points {
+		total += len(p)
+	}
+	return total
+}
+
+// Index returns the index of the largest point of P_i^di that is <= t
+// (within tolerance), or -1 when t precedes every point.
+func (d *DTS) Index(i tvg.NodeID, t float64) int {
+	p := d.Points[i]
+	k := sort.SearchFloat64s(p, t+timeEps)
+	return k - 1
+}
+
+// IndexAtOrAfter returns the index of the smallest point of P_i^di that
+// is >= t (within tolerance), or -1 when every point precedes t. It is
+// how receptions at time t map onto the receiver's partition: informed
+// status persists, so arriving "between" points is equivalent to arriving
+// at the next point.
+func (d *DTS) IndexAtOrAfter(i tvg.NodeID, t float64) int {
+	p := d.Points[i]
+	k := sort.SearchFloat64s(p, t-timeEps)
+	if k == len(p) {
+		return -1
+	}
+	return k
+}
+
+// At returns the l-th point of P_i^di.
+func (d *DTS) At(i tvg.NodeID, l int) float64 { return d.Points[i][l] }
+
+// Last returns the index of the terminal point of P_i^di.
+func (d *DTS) Last(i tvg.NodeID) int { return len(d.Points[i]) - 1 }
+
+// EarliestTransmissionTime applies the ET-law (Proposition 5.1): given
+// that node i became informed at time informed and wants to transmit
+// while adjacent to the same node set as at time t, the earliest
+// equivalent transmission time is max(informed, start of the adjacency
+// interval of t). Both candidates are DTS points by construction.
+func EarliestTransmissionTime(g *tvg.Graph, i tvg.NodeID, informed, t float64) float64 {
+	// Find the start of the adjacent-partition interval containing t.
+	ap := g.AdjacentPartition(i)
+	idx := ap.IndexOf(t)
+	if idx < 0 {
+		return math.Max(informed, t)
+	}
+	start, _ := ap.Interval(idx)
+	return math.Max(informed, start)
+}

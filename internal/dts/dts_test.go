@@ -1,0 +1,256 @@
+package dts
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/interval"
+	"repro/internal/tvg"
+)
+
+func iv(a, b float64) interval.Interval { return interval.Interval{Start: a, End: b} }
+
+func lineGraph(tau float64) *tvg.Graph {
+	g := tvg.New(4, iv(0, 100), tau)
+	g.AddContact(0, 1, iv(10, 30))
+	g.AddContact(1, 2, iv(25, 45))
+	g.AddContact(2, 3, iv(40, 55))
+	return g
+}
+
+func TestBuildTauZeroContainsAdjacencyBreakpoints(t *testing.T) {
+	g := lineGraph(0)
+	d := Build(g, 0, 100, Options{})
+	// node 1 has contacts [10,30) and [25,45): breakpoints 10,25,30,45;
+	// also 40 (edge 2-3 start) is a global point, and node 1 has degree>0
+	// there (contact [25,45) covers 40) so it is kept. At 45 its last
+	// contact is over (half-open), so 45 is pruned.
+	want := []float64{0, 10, 25, 30, 40, 100}
+	got := d.Points[1]
+	if len(got) != len(want) {
+		t.Fatalf("P_1^di = %v, want %v", got, want)
+	}
+	for i := range want {
+		if math.Abs(got[i]-want[i]) > 1e-9 {
+			t.Errorf("P_1^di[%d] = %g, want %g", i, got[i], want[i])
+		}
+	}
+}
+
+func TestBuildPrunesZeroDegreePoints(t *testing.T) {
+	g := lineGraph(0)
+	d := Build(g, 0, 100, Options{})
+	// node 3 only has the contact [40,55): 40 stays, 45 (a global point
+	// inside the contact) stays, 55 is the excluded endpoint and is
+	// pruned along with every other zero-degree point.
+	want := []float64{0, 40, 45, 100}
+	got := d.Points[3]
+	if len(got) != len(want) {
+		t.Fatalf("P_3^di = %v, want %v", got, want)
+	}
+	for i := range want {
+		if math.Abs(got[i]-want[i]) > 1e-9 {
+			t.Errorf("P_3^di[%d] = %g, want %g", i, got[i], want[i])
+		}
+	}
+}
+
+func TestBuildNoPruneKeepsAllGlobalPoints(t *testing.T) {
+	g := lineGraph(0)
+	pruned := Build(g, 0, 100, Options{})
+	full := Build(g, 0, 100, Options{NoPrune: true})
+	if full.TotalPoints() <= pruned.TotalPoints() {
+		t.Errorf("NoPrune total %d should exceed pruned %d",
+			full.TotalPoints(), pruned.TotalPoints())
+	}
+	// every node then shares the same global point list
+	for i := 1; i < len(full.Points); i++ {
+		if len(full.Points[i]) != len(full.Points[0]) {
+			t.Errorf("NoPrune points differ between nodes: %v vs %v",
+				full.Points[i], full.Points[0])
+		}
+	}
+}
+
+func TestBuildTauPropagation(t *testing.T) {
+	g := lineGraph(2) // τ = 2
+	d := Build(g, 0, 100, Options{})
+	// contact (0,1) eroded: [10,28); breakpoint 10 spawns 12,14,16 via
+	// +kτ. Node 1 has degree > 0 at those times (contact [10,30) up),
+	// so they must appear in P_1^di.
+	for _, want := range []float64{10, 12, 14, 16} {
+		found := false
+		for _, p := range d.Points[1] {
+			if math.Abs(p-want) < 1e-9 {
+				found = true
+				break
+			}
+		}
+		if !found {
+			t.Errorf("P_1^di missing τ-propagated point %g: %v", want, d.Points[1])
+		}
+	}
+}
+
+func TestBuildWindowClipping(t *testing.T) {
+	g := lineGraph(0)
+	d := Build(g, 20, 42, Options{})
+	for i, pts := range d.Points {
+		if pts[0] != 20 || pts[len(pts)-1] != 42 {
+			t.Errorf("node %d window endpoints wrong: %v", i, pts)
+		}
+		for _, p := range pts {
+			if p < 20 || p > 42 {
+				t.Errorf("node %d point %g outside window", i, p)
+			}
+		}
+	}
+}
+
+func TestBuildPanicsOutsideSpan(t *testing.T) {
+	g := lineGraph(0)
+	for _, f := range []func(){
+		func() { Build(g, -5, 50, Options{}) },
+		func() { Build(g, 0, 150, Options{}) },
+		func() { Build(g, 50, 50, Options{}) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Error("expected panic")
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+func TestIndexAndAt(t *testing.T) {
+	g := lineGraph(0)
+	d := Build(g, 0, 100, Options{})
+	// P_1^di = [0 10 25 30 40 45 100]
+	if got := d.Index(1, 10); d.At(1, got) != 10 {
+		t.Errorf("Index(1,10) = %d (point %g), want point 10", got, d.At(1, got))
+	}
+	if got := d.Index(1, 24.9); d.At(1, got) != 10 {
+		t.Errorf("Index(1,24.9) → point %g, want 10", d.At(1, got))
+	}
+	if got := d.Index(1, -1); got != -1 {
+		t.Errorf("Index before first point = %d, want -1", got)
+	}
+	if got := d.Last(1); d.At(1, got) != 100 {
+		t.Errorf("Last point = %g, want 100", d.At(1, got))
+	}
+}
+
+func TestEarliestTransmissionTime(t *testing.T) {
+	g := lineGraph(0)
+	// node 1's adjacent partition intervals include [25,30) etc.
+	// informed before the interval → transmit at interval start
+	got := EarliestTransmissionTime(g, 1, 12, 27)
+	if got != 25 {
+		t.Errorf("ET(informed=12, t=27) = %g, want 25 (interval start)", got)
+	}
+	// informed inside the interval → transmit at informed time
+	got = EarliestTransmissionTime(g, 1, 26, 27)
+	if got != 26 {
+		t.Errorf("ET(informed=26, t=27) = %g, want 26", got)
+	}
+}
+
+func TestTotalPointsBoundTauZero(t *testing.T) {
+	// §V: with τ≈0 the DTS has O(N²L) points. Check the literal bound
+	// N * (global points) for a random graph.
+	r := rand.New(rand.NewSource(1))
+	n := 8
+	g := tvg.New(n, iv(0, 1000), 0)
+	contacts := 0
+	for c := 0; c < 40; c++ {
+		i, j := tvg.NodeID(r.Intn(n)), tvg.NodeID(r.Intn(n))
+		if i == j {
+			continue
+		}
+		s := r.Float64() * 900
+		g.AddContact(i, j, iv(s, s+50))
+		contacts++
+	}
+	d := Build(g, 0, 1000, Options{NoPrune: true})
+	// global points <= 2*contacts + 2 (window endpoints)
+	maxGlobal := 2*contacts + 2
+	if d.TotalPoints() > n*maxGlobal {
+		t.Errorf("TotalPoints %d exceeds N·(2·contacts+2) = %d", d.TotalPoints(), n*maxGlobal)
+	}
+}
+
+func TestQuickPointsSortedAndInWindow(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		n := 3 + r.Intn(5)
+		tau := float64(r.Intn(3))
+		g := tvg.New(n, iv(0, 500), tau)
+		for c := 0; c < 3*n; c++ {
+			i, j := tvg.NodeID(r.Intn(n)), tvg.NodeID(r.Intn(n))
+			if i == j {
+				continue
+			}
+			s := r.Float64() * 450
+			g.AddContact(i, j, iv(s, s+5+r.Float64()*40))
+		}
+		d := Build(g, 0, 500, Options{})
+		for _, pts := range d.Points {
+			for k, p := range pts {
+				if p < 0 || p > 500 {
+					return false
+				}
+				if k > 0 && pts[k]-pts[k-1] <= timeEps {
+					return false
+				}
+			}
+			if pts[len(pts)-1] != 500 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickPrunedSubsetOfUnpruned(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		n := 3 + r.Intn(4)
+		g := tvg.New(n, iv(0, 200), 0)
+		for c := 0; c < 2*n; c++ {
+			i, j := tvg.NodeID(r.Intn(n)), tvg.NodeID(r.Intn(n))
+			if i == j {
+				continue
+			}
+			s := r.Float64() * 180
+			g.AddContact(i, j, iv(s, s+5+r.Float64()*15))
+		}
+		pruned := Build(g, 0, 200, Options{})
+		full := Build(g, 0, 200, Options{NoPrune: true})
+		for i := range pruned.Points {
+			for _, p := range pruned.Points[i] {
+				found := false
+				for _, q := range full.Points[i] {
+					if math.Abs(p-q) <= timeEps {
+						found = true
+						break
+					}
+				}
+				if !found {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}

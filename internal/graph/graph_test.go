@@ -1,0 +1,220 @@
+package graph
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func diamond() *Digraph {
+	// 0→1 (1), 0→2 (4), 1→2 (2), 1→3 (6), 2→3 (3)
+	g := New(4)
+	g.AddEdge(0, 1, 1)
+	g.AddEdge(0, 2, 4)
+	g.AddEdge(1, 2, 2)
+	g.AddEdge(1, 3, 6)
+	g.AddEdge(2, 3, 3)
+	return g
+}
+
+func TestAddEdgePanics(t *testing.T) {
+	g := New(2)
+	for _, f := range []func(){
+		func() { g.AddEdge(0, 5, 1) },
+		func() { g.AddEdge(-1, 0, 1) },
+		func() { g.AddEdge(0, 1, -2) },
+		func() { g.AddEdge(0, 1, math.NaN()) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Error("expected panic")
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+func TestShortestPathsDiamond(t *testing.T) {
+	g := diamond()
+	dist, prev := g.ShortestPaths(0)
+	want := []float64{0, 1, 3, 6}
+	for v, d := range want {
+		if dist[v] != d {
+			t.Errorf("dist[%d] = %g, want %g", v, dist[v], d)
+		}
+	}
+	path := PathTo(prev, 0, 3)
+	wantPath := []int{0, 1, 2, 3}
+	if len(path) != len(wantPath) {
+		t.Fatalf("path = %v, want %v", path, wantPath)
+	}
+	for i := range wantPath {
+		if path[i] != wantPath[i] {
+			t.Errorf("path[%d] = %d, want %d", i, path[i], wantPath[i])
+		}
+	}
+}
+
+func TestShortestPathsUnreachable(t *testing.T) {
+	g := New(3)
+	g.AddEdge(0, 1, 1)
+	dist, prev := g.ShortestPaths(0)
+	if !math.IsInf(dist[2], 1) {
+		t.Errorf("dist[2] = %g, want +Inf", dist[2])
+	}
+	if PathTo(prev, 0, 2) != nil {
+		t.Error("PathTo unreachable should be nil")
+	}
+}
+
+func TestPathToSelf(t *testing.T) {
+	g := diamond()
+	_, prev := g.ShortestPaths(0)
+	p := PathTo(prev, 0, 0)
+	if len(p) != 1 || p[0] != 0 {
+		t.Errorf("PathTo self = %v, want [0]", p)
+	}
+}
+
+func TestZeroWeightEdges(t *testing.T) {
+	g := New(3)
+	g.AddEdge(0, 1, 0)
+	g.AddEdge(1, 2, 0)
+	dist, _ := g.ShortestPaths(0)
+	if dist[2] != 0 {
+		t.Errorf("dist through zero-weight chain = %g, want 0", dist[2])
+	}
+}
+
+func TestAllPairs(t *testing.T) {
+	g := diamond()
+	dist, _ := g.AllPairs()
+	if dist[0][3] != 6 {
+		t.Errorf("dist[0][3] = %g, want 6", dist[0][3])
+	}
+	if dist[1][3] != 5 {
+		t.Errorf("dist[1][3] = %g, want 5", dist[1][3])
+	}
+	if !math.IsInf(dist[3][0], 1) {
+		t.Errorf("dist[3][0] = %g, want +Inf (directed)", dist[3][0])
+	}
+}
+
+func TestReachable(t *testing.T) {
+	g := New(4)
+	g.AddEdge(0, 1, 1)
+	g.AddEdge(1, 2, 1)
+	r := g.Reachable(0)
+	if !r[0] || !r[1] || !r[2] || r[3] {
+		t.Errorf("Reachable = %v, want [true true true false]", r)
+	}
+}
+
+func TestCounts(t *testing.T) {
+	g := diamond()
+	if g.N() != 4 || g.M() != 5 {
+		t.Errorf("N=%d M=%d, want 4, 5", g.N(), g.M())
+	}
+}
+
+func randomDigraph(r *rand.Rand, n, m int) *Digraph {
+	g := New(n)
+	for k := 0; k < m; k++ {
+		g.AddEdge(r.Intn(n), r.Intn(n), r.Float64()*10)
+	}
+	return g
+}
+
+func TestQuickTriangleInequality(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		g := randomDigraph(r, 12, 40)
+		dist, _ := g.AllPairs()
+		for u := 0; u < g.N(); u++ {
+			for v := 0; v < g.N(); v++ {
+				for w := 0; w < g.N(); w++ {
+					if dist[u][w] > dist[u][v]+dist[v][w]+1e-9 {
+						return false
+					}
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickPathMatchesDistance(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		g := randomDigraph(r, 10, 30)
+		dist, prev := g.ShortestPaths(0)
+		for v := 0; v < g.N(); v++ {
+			p := PathTo(prev, 0, v)
+			if p == nil {
+				if !math.IsInf(dist[v], 1) && v != 0 {
+					return false
+				}
+				continue
+			}
+			// sum path edge weights — take the min parallel edge
+			var total float64
+			for i := 0; i+1 < len(p); i++ {
+				best := math.Inf(1)
+				for _, e := range g.Out(p[i]) {
+					if e.To == p[i+1] && e.W < best {
+						best = e.W
+					}
+				}
+				total += best
+			}
+			if math.Abs(total-dist[v]) > 1e-9 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickDijkstraAgainstBellmanFord(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		g := randomDigraph(r, 9, 25)
+		dist, _ := g.ShortestPaths(0)
+		// Bellman-Ford reference
+		bf := make([]float64, g.N())
+		for i := range bf {
+			bf[i] = math.Inf(1)
+		}
+		bf[0] = 0
+		for iter := 0; iter < g.N(); iter++ {
+			for u := 0; u < g.N(); u++ {
+				for _, e := range g.Out(u) {
+					if bf[u]+e.W < bf[e.To] {
+						bf[e.To] = bf[u] + e.W
+					}
+				}
+			}
+		}
+		for v := range bf {
+			if math.IsInf(bf[v], 1) != math.IsInf(dist[v], 1) {
+				return false
+			}
+			if !math.IsInf(bf[v], 1) && math.Abs(bf[v]-dist[v]) > 1e-9 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}

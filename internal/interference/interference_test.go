@@ -1,0 +1,178 @@
+package interference
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/interval"
+	"repro/internal/schedule"
+	"repro/internal/tveg"
+)
+
+func iv(a, b float64) interval.Interval { return interval.Interval{Start: a, End: b} }
+
+// hiddenTerminal: transmitters 0 and 1 both cover receiver 2; 0 also
+// covers 3 privately, 1 covers 4 privately.
+func hiddenTerminal() *tveg.Graph {
+	g := tveg.New(5, iv(0, 100), 0, tveg.DefaultParams(), tveg.Static)
+	g.AddContact(0, 2, iv(0, 100), 5)
+	g.AddContact(1, 2, iv(0, 100), 5)
+	g.AddContact(0, 3, iv(0, 100), 5)
+	g.AddContact(1, 4, iv(0, 100), 5)
+	g.AddContact(0, 1, iv(0, 100), 5)
+	return g
+}
+
+func sufficientW(g *tveg.Graph) float64 { return g.Params.NoiseGamma() * 25 }
+
+func TestDetectFindsHiddenTerminal(t *testing.T) {
+	g := hiddenTerminal()
+	w := sufficientW(g)
+	s := schedule.Schedule{
+		{Relay: 0, T: 10, W: w},
+		{Relay: 1, T: 10, W: w},
+	}
+	conflicts := Detect(g, s, 1)
+	if len(conflicts) != 1 {
+		t.Fatalf("conflicts = %v, want 1", conflicts)
+	}
+	if conflicts[0].K != 0 || conflicts[0].L != 1 {
+		t.Errorf("conflict pair = %v", conflicts[0])
+	}
+}
+
+func TestDetectNoConflictWhenSeparated(t *testing.T) {
+	g := hiddenTerminal()
+	w := sufficientW(g)
+	s := schedule.Schedule{
+		{Relay: 0, T: 10, W: w},
+		{Relay: 1, T: 20, W: w},
+	}
+	if c := Detect(g, s, 1); len(c) != 0 {
+		t.Errorf("separated transmissions conflict: %v", c)
+	}
+}
+
+func TestDetectSameRelayNeverConflicts(t *testing.T) {
+	g := hiddenTerminal()
+	w := sufficientW(g)
+	s := schedule.Schedule{
+		{Relay: 0, T: 10, W: w},
+		{Relay: 0, T: 10, W: w / 2},
+	}
+	if c := Detect(g, s, 1); len(c) != 0 {
+		t.Errorf("same-relay transmissions conflict: %v", c)
+	}
+}
+
+func TestSerializeResolvesConflicts(t *testing.T) {
+	g := hiddenTerminal()
+	w := sufficientW(g)
+	s := schedule.Schedule{
+		{Relay: 0, T: 10, W: w},
+		{Relay: 1, T: 10, W: w},
+	}
+	out, err := Serialize(g, s, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c := Detect(g, out, 1); len(c) != 0 {
+		t.Errorf("serialized schedule still conflicts: %v", c)
+	}
+	// the shifted transmission stays within its contact
+	for _, x := range out {
+		if x.T < 0 || x.T > 100 {
+			t.Errorf("transmission moved outside span: %v", x)
+		}
+	}
+}
+
+func TestSerializeBadSlot(t *testing.T) {
+	g := hiddenTerminal()
+	if _, err := Serialize(g, nil, 0); err == nil {
+		t.Error("slot 0 should error")
+	}
+}
+
+func TestSerializeFailsAtIntervalEdge(t *testing.T) {
+	// contact so short the conflicting tx cannot be delayed inside it
+	g := tveg.New(3, iv(0, 100), 0, tveg.DefaultParams(), tveg.Static)
+	g.AddContact(0, 2, iv(10, 10.5), 5)
+	g.AddContact(1, 2, iv(10, 10.5), 5)
+	w := sufficientW(g)
+	s := schedule.Schedule{
+		{Relay: 0, T: 10, W: w},
+		{Relay: 1, T: 10, W: w},
+	}
+	if _, err := Serialize(g, s, 1); err == nil {
+		t.Error("expected failure: no room to serialize inside a 0.5 s contact")
+	}
+}
+
+func TestEvaluateCollisionKillsSharedReceiver(t *testing.T) {
+	// Hidden-terminal gadget: 0 informs 1 through an early private
+	// contact, then 0 and 1 transmit simultaneously. Receivers 3 and 4
+	// each hear exactly one transmitter and decode; the shared receiver
+	// 2 hears both and collides.
+	g2 := tveg.New(5, iv(0, 100), 0, tveg.DefaultParams(), tveg.Static)
+	g2.AddContact(0, 1, iv(0, 5), 5)   // early private link 0-1
+	g2.AddContact(0, 2, iv(8, 100), 5) // later shared receiver window
+	g2.AddContact(1, 2, iv(8, 100), 5)
+	g2.AddContact(0, 3, iv(8, 100), 5)
+	g2.AddContact(1, 4, iv(8, 100), 5)
+	w2 := g2.Params.NoiseGamma() * 25
+	s := schedule.Schedule{
+		{Relay: 0, T: 2, W: w2},  // informs 1
+		{Relay: 0, T: 10, W: w2}, // collides with next at receiver 2
+		{Relay: 1, T: 10, W: w2},
+	}
+	got := Evaluate(g2, s, 0, 1, 200, rand.New(rand.NewSource(1)))
+	// informed: 0 (src), 1 (early), 3 (hears only 0), 4 (hears only 1);
+	// 2 collides → 4/5
+	if math.Abs(got-0.8) > 1e-9 {
+		t.Errorf("delivery = %g, want 0.8 (receiver 2 collided)", got)
+	}
+	// serializing repairs it
+	fixed, err := Serialize(g2, s, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got = Evaluate(g2, fixed, 0, 1, 200, rand.New(rand.NewSource(1)))
+	if got != 1 {
+		t.Errorf("serialized delivery = %g, want 1", got)
+	}
+}
+
+func TestEvaluateNoIntraClusterForwarding(t *testing.T) {
+	// chain 0→1→2 with both transmissions at the same instant: 1 cannot
+	// decode and forward within one airtime, so 2 stays uninformed.
+	g := tveg.New(3, iv(0, 100), 0, tveg.DefaultParams(), tveg.Static)
+	g.AddContact(0, 1, iv(0, 100), 5)
+	g.AddContact(1, 2, iv(0, 100), 5)
+	w := sufficientW(g)
+	s := schedule.Schedule{
+		{Relay: 0, T: 10, W: w},
+		{Relay: 1, T: 10, W: w},
+	}
+	got := Evaluate(g, s, 0, 1, 100, rand.New(rand.NewSource(1)))
+	if math.Abs(got-2.0/3) > 1e-9 {
+		t.Errorf("delivery = %g, want 2/3 (no same-slot forwarding)", got)
+	}
+	// separated by a slot, the chain completes
+	s[1].T = 12
+	got = Evaluate(g, s, 0, 1, 100, rand.New(rand.NewSource(1)))
+	if got != 1 {
+		t.Errorf("delivery = %g, want 1", got)
+	}
+}
+
+func TestEvaluatePanics(t *testing.T) {
+	g := hiddenTerminal()
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic")
+		}
+	}()
+	Evaluate(g, nil, 0, 1, 0, rand.New(rand.NewSource(1)))
+}

@@ -1,0 +1,244 @@
+// Package interval implements sets of half-open intervals [start, end)
+// over continuous time. Interval sets are the substrate for the presence
+// functions of time-varying graphs: an edge's presence function ρ(e, ·)
+// is represented as the set of times at which the edge exists.
+//
+// All operations keep the canonical form: intervals sorted by start,
+// pairwise disjoint, non-empty, and non-adjacent (touching intervals are
+// merged). The zero value of Set is the empty set and is ready to use.
+package interval
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+)
+
+// Interval is a half-open interval [Start, End). An interval with
+// End <= Start is empty.
+type Interval struct {
+	Start, End float64
+}
+
+// Empty reports whether the interval contains no points.
+func (iv Interval) Empty() bool { return iv.End <= iv.Start }
+
+// Len returns the length of the interval (zero if empty).
+func (iv Interval) Len() float64 {
+	if iv.Empty() {
+		return 0
+	}
+	return iv.End - iv.Start
+}
+
+// Contains reports whether t lies in [Start, End).
+func (iv Interval) Contains(t float64) bool { return t >= iv.Start && t < iv.End }
+
+// ContainsWindow reports whether every point of the window [t, t+d] lies
+// inside the half-open interval [Start, End). It is the primitive behind
+// ρ_τ: a transmission started at t with traversal time d needs the link
+// present during the whole window, and presence is half-open, so the
+// window must end strictly before End when d > 0 — and for d = 0 this
+// reduces to Contains(t).
+func (iv Interval) ContainsWindow(t, d float64) bool {
+	if d == 0 {
+		return iv.Contains(t)
+	}
+	return t >= iv.Start && t+d < iv.End
+}
+
+// Intersect returns the intersection of two intervals (possibly empty).
+func (iv Interval) Intersect(o Interval) Interval {
+	return Interval{math.Max(iv.Start, o.Start), math.Min(iv.End, o.End)}
+}
+
+// Overlaps reports whether the two intervals share at least one point.
+func (iv Interval) Overlaps(o Interval) bool { return !iv.Intersect(o).Empty() }
+
+func (iv Interval) String() string { return fmt.Sprintf("[%g,%g)", iv.Start, iv.End) }
+
+// Set is a union of disjoint half-open intervals in canonical form.
+type Set struct {
+	ivs []Interval
+}
+
+// NewSet builds a set from arbitrary intervals, normalizing them.
+func NewSet(ivs ...Interval) Set {
+	s := Set{}
+	for _, iv := range ivs {
+		s = s.Add(iv)
+	}
+	return s
+}
+
+// Intervals returns the canonical intervals of the set. The returned
+// slice must not be modified.
+func (s Set) Intervals() []Interval { return s.ivs }
+
+// Empty reports whether the set contains no points.
+func (s Set) Empty() bool { return len(s.ivs) == 0 }
+
+// Measure returns the total length of the set.
+func (s Set) Measure() float64 {
+	var m float64
+	for _, iv := range s.ivs {
+		m += iv.Len()
+	}
+	return m
+}
+
+// Add returns the set with iv unioned in.
+func (s Set) Add(iv Interval) Set {
+	if iv.Empty() {
+		return s
+	}
+	out := make([]Interval, 0, len(s.ivs)+1)
+	inserted := false
+	for _, cur := range s.ivs {
+		switch {
+		case cur.End < iv.Start: // strictly before, not touching
+			out = append(out, cur)
+		case iv.End < cur.Start: // strictly after, not touching
+			if !inserted {
+				out = append(out, iv)
+				inserted = true
+			}
+			out = append(out, cur)
+		default: // overlapping or touching: merge into iv
+			iv.Start = math.Min(iv.Start, cur.Start)
+			iv.End = math.Max(iv.End, cur.End)
+		}
+	}
+	if !inserted {
+		out = append(out, iv)
+	}
+	return Set{out}
+}
+
+// Union returns the union of the two sets.
+func (s Set) Union(o Set) Set {
+	out := s
+	for _, iv := range o.ivs {
+		out = out.Add(iv)
+	}
+	return out
+}
+
+// Intersect returns the intersection of the two sets.
+func (s Set) Intersect(o Set) Set {
+	var out []Interval
+	i, j := 0, 0
+	for i < len(s.ivs) && j < len(o.ivs) {
+		x := s.ivs[i].Intersect(o.ivs[j])
+		if !x.Empty() {
+			out = append(out, x)
+		}
+		if s.ivs[i].End < o.ivs[j].End {
+			i++
+		} else {
+			j++
+		}
+	}
+	return Set{out}
+}
+
+// Complement returns the complement of s within the universe interval u.
+func (s Set) Complement(u Interval) Set {
+	if u.Empty() {
+		return Set{}
+	}
+	var out []Interval
+	cur := u.Start
+	for _, iv := range s.ivs {
+		if iv.End <= u.Start {
+			continue
+		}
+		if iv.Start >= u.End {
+			break
+		}
+		if iv.Start > cur {
+			out = append(out, Interval{cur, math.Min(iv.Start, u.End)})
+		}
+		if iv.End > cur {
+			cur = iv.End
+		}
+	}
+	if cur < u.End {
+		out = append(out, Interval{cur, u.End})
+	}
+	return Set{out}
+}
+
+// Contains reports whether t is in the set.
+func (s Set) Contains(t float64) bool {
+	i := sort.Search(len(s.ivs), func(i int) bool { return s.ivs[i].End > t })
+	return i < len(s.ivs) && s.ivs[i].Contains(t)
+}
+
+// ContainsWindow reports whether the window [t, t+d] lies inside a
+// single interval of the set (the ρ_τ primitive).
+func (s Set) ContainsWindow(t, d float64) bool {
+	i := sort.Search(len(s.ivs), func(i int) bool { return s.ivs[i].End > t })
+	return i < len(s.ivs) && s.ivs[i].ContainsWindow(t, d)
+}
+
+// Erode returns the set of start times t such that the window [t, t+d]
+// fits inside one interval of s: {t : s.ContainsWindow(t, d)}. The
+// result is the domain of ρ_τ(e, ·) = 1 when s is the domain of
+// ρ(e, ·) = 1, and it stays in the half-open algebra: each interval
+// [Start, End) erodes to [Start, End-d). Eroding by d = 0 returns s
+// unchanged.
+func (s Set) Erode(d float64) Set {
+	if d == 0 {
+		return s
+	}
+	var out []Interval
+	for _, iv := range s.ivs {
+		e := Interval{iv.Start, iv.End - d}
+		if !e.Empty() {
+			out = append(out, e)
+		}
+	}
+	return Set{out}
+}
+
+// Breakpoints appends to dst every boundary point of the set that lies
+// inside the universe u (inclusive of u's endpoints when they coincide
+// with a boundary) and returns the extended slice. Boundaries are where
+// membership flips, i.e. interval starts and ends clipped to u.
+func (s Set) Breakpoints(u Interval, dst []float64) []float64 {
+	for _, iv := range s.ivs {
+		if iv.Start >= u.Start && iv.Start <= u.End {
+			dst = append(dst, iv.Start)
+		}
+		if iv.End >= u.Start && iv.End <= u.End {
+			dst = append(dst, iv.End)
+		}
+	}
+	return dst
+}
+
+// Equal reports whether two sets contain exactly the same points.
+func (s Set) Equal(o Set) bool {
+	if len(s.ivs) != len(o.ivs) {
+		return false
+	}
+	for i := range s.ivs {
+		if s.ivs[i] != o.ivs[i] {
+			return false
+		}
+	}
+	return true
+}
+
+func (s Set) String() string {
+	if s.Empty() {
+		return "∅"
+	}
+	parts := make([]string, len(s.ivs))
+	for i, iv := range s.ivs {
+		parts[i] = iv.String()
+	}
+	return strings.Join(parts, "∪")
+}

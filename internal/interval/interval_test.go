@@ -1,0 +1,352 @@
+package interval
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestIntervalEmpty(t *testing.T) {
+	cases := []struct {
+		iv   Interval
+		want bool
+	}{
+		{Interval{0, 1}, false},
+		{Interval{1, 1}, true},
+		{Interval{2, 1}, true},
+		{Interval{-3, -2}, false},
+	}
+	for _, c := range cases {
+		if got := c.iv.Empty(); got != c.want {
+			t.Errorf("%v.Empty() = %v, want %v", c.iv, got, c.want)
+		}
+	}
+}
+
+func TestIntervalContains(t *testing.T) {
+	iv := Interval{1, 3}
+	for _, tc := range []struct {
+		t    float64
+		want bool
+	}{{0.5, false}, {1, true}, {2, true}, {3, false}, {3.5, false}} {
+		if got := iv.Contains(tc.t); got != tc.want {
+			t.Errorf("Contains(%g) = %v, want %v", tc.t, got, tc.want)
+		}
+	}
+}
+
+func TestIntervalContainsWindow(t *testing.T) {
+	iv := Interval{1, 3}
+	if iv.ContainsWindow(1, 2) {
+		t.Error("ContainsWindow(1,2) must fail: window reaches End, presence is half-open")
+	}
+	if !iv.ContainsWindow(1, 1.9) {
+		t.Error("ContainsWindow(1,1.9) should hold")
+	}
+	if !iv.ContainsWindow(1.5, 1) {
+		t.Error("ContainsWindow(1.5,1) should hold")
+	}
+	if iv.ContainsWindow(0.9, 1) {
+		t.Error("start before interval should fail")
+	}
+	// d = 0 reduces to Contains
+	if !iv.ContainsWindow(1, 0) || iv.ContainsWindow(3, 0) {
+		t.Error("d=0 semantics must match Contains")
+	}
+}
+
+func TestIntervalIntersect(t *testing.T) {
+	a := Interval{0, 5}
+	b := Interval{3, 8}
+	got := a.Intersect(b)
+	if got != (Interval{3, 5}) {
+		t.Errorf("Intersect = %v, want [3,5)", got)
+	}
+	if !a.Overlaps(b) || !b.Overlaps(a) {
+		t.Error("Overlaps should be symmetric and true")
+	}
+	c := Interval{5, 6}
+	if a.Overlaps(c) {
+		t.Error("touching half-open intervals do not overlap")
+	}
+}
+
+func TestSetAddMergesTouching(t *testing.T) {
+	s := NewSet(Interval{0, 1}, Interval{1, 2})
+	if len(s.Intervals()) != 1 {
+		t.Fatalf("touching intervals should merge, got %v", s)
+	}
+	if s.Intervals()[0] != (Interval{0, 2}) {
+		t.Errorf("merged = %v, want [0,2)", s.Intervals()[0])
+	}
+}
+
+func TestSetAddDisjoint(t *testing.T) {
+	s := NewSet(Interval{3, 4}, Interval{0, 1})
+	ivs := s.Intervals()
+	if len(ivs) != 2 || ivs[0] != (Interval{0, 1}) || ivs[1] != (Interval{3, 4}) {
+		t.Errorf("got %v, want [0,1)∪[3,4)", s)
+	}
+}
+
+func TestSetAddOverlapChain(t *testing.T) {
+	s := NewSet(Interval{0, 2}, Interval{4, 6}, Interval{8, 10})
+	s = s.Add(Interval{1, 9})
+	ivs := s.Intervals()
+	if len(ivs) != 1 || ivs[0] != (Interval{0, 10}) {
+		t.Errorf("got %v, want [0,10)", s)
+	}
+}
+
+func TestSetAddEmptyIgnored(t *testing.T) {
+	s := NewSet(Interval{0, 1})
+	s2 := s.Add(Interval{5, 5})
+	if !s.Equal(s2) {
+		t.Errorf("adding empty interval changed set: %v", s2)
+	}
+}
+
+func TestSetUnion(t *testing.T) {
+	a := NewSet(Interval{0, 1}, Interval{4, 5})
+	b := NewSet(Interval{0.5, 4.5}, Interval{7, 8})
+	got := a.Union(b)
+	want := NewSet(Interval{0, 5}, Interval{7, 8})
+	if !got.Equal(want) {
+		t.Errorf("Union = %v, want %v", got, want)
+	}
+}
+
+func TestSetIntersect(t *testing.T) {
+	a := NewSet(Interval{0, 4}, Interval{6, 10})
+	b := NewSet(Interval{2, 7}, Interval{9, 12})
+	got := a.Intersect(b)
+	want := NewSet(Interval{2, 4}, Interval{6, 7}, Interval{9, 10})
+	if !got.Equal(want) {
+		t.Errorf("Intersect = %v, want %v", got, want)
+	}
+}
+
+func TestSetIntersectEmpty(t *testing.T) {
+	a := NewSet(Interval{0, 1})
+	b := NewSet(Interval{2, 3})
+	if got := a.Intersect(b); !got.Empty() {
+		t.Errorf("Intersect = %v, want empty", got)
+	}
+}
+
+func TestSetComplement(t *testing.T) {
+	s := NewSet(Interval{2, 4}, Interval{6, 8})
+	got := s.Complement(Interval{0, 10})
+	want := NewSet(Interval{0, 2}, Interval{4, 6}, Interval{8, 10})
+	if !got.Equal(want) {
+		t.Errorf("Complement = %v, want %v", got, want)
+	}
+}
+
+func TestSetComplementEdges(t *testing.T) {
+	s := NewSet(Interval{0, 4})
+	got := s.Complement(Interval{0, 4})
+	if !got.Empty() {
+		t.Errorf("Complement of full universe = %v, want empty", got)
+	}
+	empty := Set{}
+	got = empty.Complement(Interval{1, 2})
+	if !got.Equal(NewSet(Interval{1, 2})) {
+		t.Errorf("Complement of empty set = %v, want universe", got)
+	}
+}
+
+func TestSetComplementClipsOutside(t *testing.T) {
+	s := NewSet(Interval{-5, 1}, Interval{9, 20})
+	got := s.Complement(Interval{0, 10})
+	want := NewSet(Interval{1, 9})
+	if !got.Equal(want) {
+		t.Errorf("Complement = %v, want %v", got, want)
+	}
+}
+
+func TestSetContains(t *testing.T) {
+	s := NewSet(Interval{1, 2}, Interval{5, 7})
+	for _, tc := range []struct {
+		t    float64
+		want bool
+	}{{0, false}, {1, true}, {1.9, true}, {2, false}, {5, true}, {6.99, true}, {7, false}} {
+		if got := s.Contains(tc.t); got != tc.want {
+			t.Errorf("Contains(%g) = %v, want %v", tc.t, got, tc.want)
+		}
+	}
+}
+
+func TestSetContainsWindow(t *testing.T) {
+	s := NewSet(Interval{0, 5}, Interval{10, 12})
+	if !s.ContainsWindow(3, 1.9) {
+		t.Error("[3,4.9] fits in [0,5)")
+	}
+	if s.ContainsWindow(3, 2) {
+		t.Error("[3,5] must not fit: 5 is excluded")
+	}
+	if s.ContainsWindow(4, 2) {
+		t.Error("[4,6] does not fit")
+	}
+	if !s.ContainsWindow(10, 1.5) {
+		t.Error("[10,11.5] fits in [10,12)")
+	}
+	if !s.ContainsWindow(4.5, 0) {
+		t.Error("point query inside should hold")
+	}
+	if s.ContainsWindow(5, 0) {
+		t.Error("point query at excluded endpoint should fail")
+	}
+}
+
+func TestSetErode(t *testing.T) {
+	s := NewSet(Interval{0, 5}, Interval{10, 11})
+	got := s.Erode(2)
+	want := NewSet(Interval{0, 3})
+	if !got.Equal(want) {
+		t.Errorf("Erode(2) = %v, want %v", got, want)
+	}
+	if !s.Erode(0).Equal(s) {
+		t.Error("Erode(0) should be identity")
+	}
+}
+
+func TestSetMeasure(t *testing.T) {
+	s := NewSet(Interval{0, 2}, Interval{5, 5.5})
+	if got := s.Measure(); got != 2.5 {
+		t.Errorf("Measure = %g, want 2.5", got)
+	}
+}
+
+func TestSetBreakpoints(t *testing.T) {
+	s := NewSet(Interval{1, 3}, Interval{8, 12})
+	// The end 12 of [8,12) lies outside the universe so it is not a
+	// breakpoint; partitions add universe endpoints themselves.
+	got := s.Breakpoints(Interval{0, 10}, nil)
+	want := []float64{1, 3, 8}
+	if len(got) != len(want) {
+		t.Fatalf("Breakpoints = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("Breakpoints[%d] = %g, want %g", i, got[i], want[i])
+		}
+	}
+}
+
+func TestSetString(t *testing.T) {
+	if got := (Set{}).String(); got != "∅" {
+		t.Errorf("empty String = %q", got)
+	}
+	s := NewSet(Interval{0, 1}, Interval{2, 3})
+	if got := s.String(); got != "[0,1)∪[2,3)" {
+		t.Errorf("String = %q", got)
+	}
+}
+
+// randomSet builds a random canonical set for property tests.
+func randomSet(r *rand.Rand) Set {
+	s := Set{}
+	n := r.Intn(8)
+	for i := 0; i < n; i++ {
+		start := r.Float64() * 100
+		s = s.Add(Interval{start, start + r.Float64()*20})
+	}
+	return s
+}
+
+func TestQuickCanonicalForm(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		s := randomSet(r)
+		ivs := s.Intervals()
+		for i, iv := range ivs {
+			if iv.Empty() {
+				return false
+			}
+			if i > 0 && ivs[i-1].End >= iv.Start {
+				return false // must be disjoint and non-touching
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickUnionCommutative(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		a, b := randomSet(r), randomSet(r)
+		return a.Union(b).Equal(b.Union(a))
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickIntersectSubset(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		a, b := randomSet(r), randomSet(r)
+		x := a.Intersect(b)
+		// every point sample of x must be in both a and b
+		for _, iv := range x.Intervals() {
+			mid := (iv.Start + iv.End) / 2
+			if !a.Contains(mid) || !b.Contains(mid) {
+				return false
+			}
+		}
+		return x.Measure() <= a.Measure()+1e-9 && x.Measure() <= b.Measure()+1e-9
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickComplementPartitionsUniverse(t *testing.T) {
+	u := Interval{0, 150}
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		s := randomSet(r)
+		clipped := s.Intersect(NewSet(u))
+		c := s.Complement(u)
+		// measures must add up, and they must be disjoint
+		if m := clipped.Measure() + c.Measure(); m < u.Len()-1e-6 || m > u.Len()+1e-6 {
+			return false
+		}
+		return clipped.Intersect(c).Empty()
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickErodeConsistentWithContainsWindow(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		s := randomSet(r)
+		d := 0.1 + r.Float64()*5 // keep d away from 0 so End-d is exact enough
+		e := s.Erode(d)
+		// sample interior points of eroded set: the window must fit
+		for _, iv := range e.Intervals() {
+			mid := (iv.Start + iv.End) / 2
+			if !s.ContainsWindow(mid, d) {
+				return false
+			}
+		}
+		// the right edge of each eroded interval is excluded: a window
+		// starting there (nudged past rounding) overruns the interval
+		for _, iv := range s.Intervals() {
+			probe := iv.End - d + 1e-9
+			if probe > iv.Start && probe < iv.End && s.ContainsWindow(probe, d) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,191 @@
+// Package mobility implements a random-waypoint mobility model over a 2D
+// arena and extracts contact events (with representative distances) from
+// the resulting node trajectories.
+//
+// The Haggle trace the paper evaluates on records only proximity, not
+// geometry, yet the Rayleigh ED-function needs sender-receiver distances
+// d_{i,j,t}. This package is the synthetic stand-in: trajectories →
+// pairwise distances → contacts whenever two nodes are within radio
+// range, each contact carrying its mean distance. Sampling is
+// deterministic given the seed.
+package mobility
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+)
+
+// Point is a 2D position in meters.
+type Point struct {
+	X, Y float64
+}
+
+// Dist returns the Euclidean distance between two points.
+func (p Point) Dist(q Point) float64 {
+	return math.Hypot(p.X-q.X, p.Y-q.Y)
+}
+
+// Model holds random-waypoint parameters.
+type Model struct {
+	// Width and Height bound the arena (meters).
+	Width, Height float64
+	// VMin and VMax bound node speed (m/s); VMin > 0.
+	VMin, VMax float64
+	// Pause is the wait time at each waypoint (seconds).
+	Pause float64
+}
+
+// DefaultModel returns a pedestrian-scale arena: 200x200 m, 0.5–1.5 m/s,
+// 30 s pauses — conference-floor numbers matching the Haggle setting.
+func DefaultModel() Model {
+	return Model{Width: 200, Height: 200, VMin: 0.5, VMax: 1.5, Pause: 30}
+}
+
+// Trace holds sampled positions: Pos[k][i] is node i's position at time
+// k·Dt.
+type Trace struct {
+	N       int
+	Horizon float64
+	Dt      float64
+	Pos     [][]Point
+}
+
+// walker is per-node random-waypoint state.
+type walker struct {
+	at      Point
+	target  Point
+	speed   float64
+	pausing float64 // remaining pause time
+}
+
+// Simulate runs the model for n nodes over [0, horizon] sampling every dt
+// seconds. The returned trace has 1 + horizon/dt samples.
+func Simulate(m Model, n int, horizon, dt float64, rng *rand.Rand) *Trace {
+	if n <= 0 || horizon <= 0 || dt <= 0 {
+		panic(fmt.Sprintf("mobility: invalid n=%d horizon=%g dt=%g", n, horizon, dt))
+	}
+	if m.VMin <= 0 || m.VMax < m.VMin || m.Width <= 0 || m.Height <= 0 {
+		panic(fmt.Sprintf("mobility: invalid model %+v", m))
+	}
+	randPoint := func() Point {
+		return Point{rng.Float64() * m.Width, rng.Float64() * m.Height}
+	}
+	ws := make([]walker, n)
+	for i := range ws {
+		ws[i] = walker{
+			at:     randPoint(),
+			target: randPoint(),
+			speed:  m.VMin + rng.Float64()*(m.VMax-m.VMin),
+		}
+	}
+	steps := int(horizon/dt) + 1
+	tr := &Trace{N: n, Horizon: horizon, Dt: dt, Pos: make([][]Point, steps)}
+	for k := 0; k < steps; k++ {
+		snap := make([]Point, n)
+		for i := range ws {
+			snap[i] = ws[i].at
+		}
+		tr.Pos[k] = snap
+		for i := range ws {
+			ws[i].advance(dt, m, rng, randPoint)
+		}
+	}
+	return tr
+}
+
+func (w *walker) advance(dt float64, m Model, rng *rand.Rand, randPoint func() Point) {
+	remaining := dt
+	for remaining > 0 {
+		if w.pausing > 0 {
+			wait := math.Min(w.pausing, remaining)
+			w.pausing -= wait
+			remaining -= wait
+			continue
+		}
+		d := w.at.Dist(w.target)
+		travel := w.speed * remaining
+		if travel < d {
+			frac := travel / d
+			w.at.X += (w.target.X - w.at.X) * frac
+			w.at.Y += (w.target.Y - w.at.Y) * frac
+			return
+		}
+		// reach the waypoint, pause, pick a new one
+		timeToTarget := d / w.speed
+		w.at = w.target
+		remaining -= timeToTarget
+		w.pausing = m.Pause
+		w.target = randPoint()
+		w.speed = m.VMin + rng.Float64()*(m.VMax-m.VMin)
+	}
+}
+
+// Contact is a pairwise proximity event: nodes I < J are within range
+// during [Start, End), at representative (mean) distance Dist.
+type Contact struct {
+	I, J       int
+	Start, End float64
+	Dist       float64
+}
+
+// Contacts extracts contact events: maximal runs of samples with
+// pairwise distance <= radius. Each contact carries the mean distance
+// over its samples, floored at minDist to keep path-loss finite.
+func (tr *Trace) Contacts(radius, minDist float64) []Contact {
+	type open struct {
+		startIdx int
+		sumDist  float64
+		samples  int
+	}
+	var out []Contact
+	active := make(map[[2]int]*open)
+	closeContact := func(key [2]int, o *open, endIdx int) {
+		d := o.sumDist / float64(o.samples)
+		if d < minDist {
+			d = minDist
+		}
+		out = append(out, Contact{
+			I:     key[0],
+			J:     key[1],
+			Start: float64(o.startIdx) * tr.Dt,
+			End:   float64(endIdx) * tr.Dt,
+			Dist:  d,
+		})
+	}
+	for k, snap := range tr.Pos {
+		for i := 0; i < tr.N; i++ {
+			for j := i + 1; j < tr.N; j++ {
+				key := [2]int{i, j}
+				d := snap[i].Dist(snap[j])
+				o := active[key]
+				switch {
+				case d <= radius && o == nil:
+					active[key] = &open{startIdx: k, sumDist: d, samples: 1}
+				case d <= radius:
+					o.sumDist += d
+					o.samples++
+				case o != nil:
+					closeContact(key, o, k)
+					delete(active, key)
+				}
+			}
+		}
+	}
+	last := len(tr.Pos)
+	for key, o := range active {
+		closeContact(key, o, last)
+	}
+	// deterministic order: by start, then pair
+	sort.Slice(out, func(a, b int) bool {
+		if out[a].Start != out[b].Start {
+			return out[a].Start < out[b].Start
+		}
+		if out[a].I != out[b].I {
+			return out[a].I < out[b].I
+		}
+		return out[a].J < out[b].J
+	})
+	return out
+}

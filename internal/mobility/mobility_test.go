@@ -1,0 +1,157 @@
+package mobility
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestPointDist(t *testing.T) {
+	p := Point{0, 0}
+	q := Point{3, 4}
+	if d := p.Dist(q); d != 5 {
+		t.Errorf("Dist = %g, want 5", d)
+	}
+}
+
+func TestSimulatePanics(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for _, f := range []func(){
+		func() { Simulate(DefaultModel(), 0, 100, 1, rng) },
+		func() { Simulate(DefaultModel(), 3, 0, 1, rng) },
+		func() { Simulate(DefaultModel(), 3, 100, 0, rng) },
+		func() { Simulate(Model{Width: 10, Height: 10, VMin: 0, VMax: 1}, 3, 100, 1, rng) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Error("expected panic")
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+func TestSimulateShape(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	tr := Simulate(DefaultModel(), 5, 100, 10, rng)
+	if len(tr.Pos) != 11 {
+		t.Errorf("samples = %d, want 11", len(tr.Pos))
+	}
+	for _, snap := range tr.Pos {
+		if len(snap) != 5 {
+			t.Fatalf("snapshot has %d nodes, want 5", len(snap))
+		}
+	}
+}
+
+func TestPositionsStayInArena(t *testing.T) {
+	m := DefaultModel()
+	rng := rand.New(rand.NewSource(3))
+	tr := Simulate(m, 8, 2000, 5, rng)
+	for k, snap := range tr.Pos {
+		for i, p := range snap {
+			if p.X < 0 || p.X > m.Width || p.Y < 0 || p.Y > m.Height {
+				t.Fatalf("node %d outside arena at sample %d: %+v", i, k, p)
+			}
+		}
+	}
+}
+
+func TestSpeedBounded(t *testing.T) {
+	m := DefaultModel()
+	rng := rand.New(rand.NewSource(4))
+	dt := 1.0
+	tr := Simulate(m, 4, 500, dt, rng)
+	for k := 1; k < len(tr.Pos); k++ {
+		for i := range tr.Pos[k] {
+			d := tr.Pos[k][i].Dist(tr.Pos[k-1][i])
+			if d > m.VMax*dt*(1+1e-9) {
+				t.Fatalf("node %d moved %g m in %g s (vmax %g)", i, d, dt, m.VMax)
+			}
+		}
+	}
+}
+
+func TestDeterministicPerSeed(t *testing.T) {
+	a := Simulate(DefaultModel(), 4, 200, 5, rand.New(rand.NewSource(9)))
+	b := Simulate(DefaultModel(), 4, 200, 5, rand.New(rand.NewSource(9)))
+	for k := range a.Pos {
+		for i := range a.Pos[k] {
+			if a.Pos[k][i] != b.Pos[k][i] {
+				t.Fatal("same seed produced different trajectories")
+			}
+		}
+	}
+}
+
+func TestContactsBasic(t *testing.T) {
+	// hand-built trace: two nodes approach then separate
+	tr := &Trace{N: 2, Horizon: 4, Dt: 1, Pos: [][]Point{
+		{{0, 0}, {100, 0}},
+		{{0, 0}, {5, 0}},
+		{{0, 0}, {8, 0}},
+		{{0, 0}, {100, 0}},
+		{{0, 0}, {100, 0}},
+	}}
+	cs := tr.Contacts(10, 1)
+	if len(cs) != 1 {
+		t.Fatalf("contacts = %v, want 1", cs)
+	}
+	c := cs[0]
+	if c.I != 0 || c.J != 1 {
+		t.Errorf("pair = (%d,%d), want (0,1)", c.I, c.J)
+	}
+	if c.Start != 1 || c.End != 3 {
+		t.Errorf("window = [%g,%g), want [1,3)", c.Start, c.End)
+	}
+	if math.Abs(c.Dist-6.5) > 1e-9 {
+		t.Errorf("Dist = %g, want mean 6.5", c.Dist)
+	}
+}
+
+func TestContactsOpenAtEnd(t *testing.T) {
+	tr := &Trace{N: 2, Horizon: 1, Dt: 1, Pos: [][]Point{
+		{{0, 0}, {5, 0}},
+		{{0, 0}, {5, 0}},
+	}}
+	cs := tr.Contacts(10, 1)
+	if len(cs) != 1 {
+		t.Fatalf("contacts = %v, want 1", cs)
+	}
+	if cs[0].End != 2 {
+		t.Errorf("open contact End = %g, want 2 (one step past last sample)", cs[0].End)
+	}
+}
+
+func TestContactsMinDistFloor(t *testing.T) {
+	tr := &Trace{N: 2, Horizon: 1, Dt: 1, Pos: [][]Point{
+		{{0, 0}, {0.01, 0}},
+		{{0, 0}, {0.01, 0}},
+	}}
+	cs := tr.Contacts(10, 1)
+	if len(cs) != 1 || cs[0].Dist != 1 {
+		t.Errorf("contacts = %v, want Dist floored to 1", cs)
+	}
+}
+
+func TestQuickContactsWithinRange(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		tr := Simulate(DefaultModel(), 6, 600, 10, rng)
+		for _, c := range tr.Contacts(30, 1) {
+			if c.I >= c.J || c.Start >= c.End {
+				return false
+			}
+			if c.Dist > 30+1e-9 {
+				return false // mean of in-range samples cannot exceed range
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 15}); err != nil {
+		t.Error(err)
+	}
+}

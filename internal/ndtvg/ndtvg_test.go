@@ -1,0 +1,184 @@
+package ndtvg
+
+import (
+	"errors"
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/core"
+	"repro/internal/haggle"
+	"repro/internal/interval"
+	"repro/internal/schedule"
+	"repro/internal/tveg"
+	"repro/internal/tvg"
+)
+
+func iv(a, b float64) interval.Interval { return interval.Interval{Start: a, End: b} }
+
+func twoPathGraph() *Graph {
+	// 0→1 has a reliable path (p=1) and 0→2 an unreliable one (p=0.3)
+	g := New(3, iv(0, 100), 0, tveg.DefaultParams(), tveg.Static)
+	g.AddContact(0, 1, iv(10, 30), 5, 1.0)
+	g.AddContact(0, 2, iv(40, 60), 5, 0.3)
+	return g
+}
+
+func TestAddContactPanicsOnBadProb(t *testing.T) {
+	g := New(2, iv(0, 10), 0, tveg.DefaultParams(), tveg.Static)
+	for _, p := range []float64{0, -1, 1.5} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("p=%g should panic", p)
+				}
+			}()
+			g.AddContact(0, 1, iv(0, 5), 5, p)
+		}()
+	}
+}
+
+func TestSampleRespectsProbabilities(t *testing.T) {
+	g := twoPathGraph()
+	rng := rand.New(rand.NewSource(1))
+	const trials = 5000
+	kept := 0
+	for i := 0; i < trials; i++ {
+		real := g.Sample(rng)
+		if !real.Presence(0, 1).Empty() != true {
+			t.Fatal("p=1 contact must always materialize")
+		}
+		if !real.Presence(0, 2).Empty() {
+			kept++
+		}
+	}
+	frac := float64(kept) / trials
+	if math.Abs(frac-0.3) > 0.02 {
+		t.Errorf("p=0.3 contact kept %.3f of the time", frac)
+	}
+}
+
+func TestLikelyView(t *testing.T) {
+	g := twoPathGraph()
+	high := g.LikelyView(0.9)
+	if high.Presence(0, 1).Empty() {
+		t.Error("p=1 contact missing from 0.9 view")
+	}
+	if !high.Presence(0, 2).Empty() {
+		t.Error("p=0.3 contact present in 0.9 view")
+	}
+	all := g.LikelyView(0.0)
+	if all.Presence(0, 2).Empty() {
+		t.Error("threshold 0 should keep everything")
+	}
+}
+
+func TestFromTrace(t *testing.T) {
+	tr := haggle.Generate(haggle.GenOptions{N: 6, Horizon: 3000}, rand.New(rand.NewSource(2)))
+	g := FromTrace(tr, 0, tveg.DefaultParams(), tveg.Static, 0.5, 0.9, rand.New(rand.NewSource(3)))
+	if len(g.Contacts) != len(tr.Contacts) {
+		t.Fatalf("contacts = %d, want %d", len(g.Contacts), len(tr.Contacts))
+	}
+	for _, c := range g.Contacts {
+		if c.P < 0.5 || c.P > 0.9 {
+			t.Fatalf("probability %g outside [0.5,0.9]", c.P)
+		}
+	}
+}
+
+func TestEvaluateRobustDeterministicGraph(t *testing.T) {
+	// all-probability-1 graph: robust evaluation equals plain evaluation
+	g := New(2, iv(0, 100), 0, tveg.DefaultParams(), tveg.Static)
+	g.AddContact(0, 1, iv(10, 30), 5, 1)
+	view := g.LikelyView(0.5)
+	s, err := (core.EEDCB{}).Schedule(view, 0, 0, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := EvaluateRobust(g, s, 0, 20, 5, 7)
+	if res.MeanDelivery != 1 || res.WorstDelivery != 1 {
+		t.Errorf("deterministic robust result = %v", res)
+	}
+}
+
+func TestEvaluateRobustDegradesWithUncertainty(t *testing.T) {
+	// plan assuming everything exists; unreliable contacts then cost
+	// delivery in realizations
+	g := twoPathGraph()
+	view := g.LikelyView(0)
+	s, err := (core.EEDCB{}).Schedule(view, 0, 0, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := EvaluateRobust(g, s, 0, 400, 1, 11)
+	// node 2 reachable only via the p=0.3 contact:
+	// expected delivery = (2 + 0.3)/3 ≈ 0.767
+	want := (2 + 0.3) / 3
+	if math.Abs(res.MeanDelivery-want) > 0.03 {
+		t.Errorf("mean delivery = %g, want ≈ %g", res.MeanDelivery, want)
+	}
+	if res.WorstDelivery > 0.67 {
+		t.Errorf("worst delivery = %g, want a realization missing node 2", res.WorstDelivery)
+	}
+}
+
+func TestPlanRobustThresholdTradeoff(t *testing.T) {
+	// With a high threshold the planner only sees the reliable contact
+	// and reports node 2 uncoverable; with threshold 0 it covers both
+	// but delivery drops in realizations.
+	g := twoPathGraph()
+	_, _, err := PlanRobust(g, core.EEDCB{}, 0, 0, 100, 0.9, 50, 1, 5)
+	var inc *core.IncompleteError
+	if !errors.As(err, &inc) || len(inc.Uncovered) != 1 || inc.Uncovered[0] != 2 {
+		t.Errorf("high threshold: want node 2 uncovered, got %v", err)
+	}
+	_, res, err := PlanRobust(g, core.EEDCB{}, 0, 0, 100, 0.0, 300, 1, 5)
+	if err != nil {
+		t.Fatalf("threshold 0: %v", err)
+	}
+	if res.MeanDelivery < 0.7 || res.MeanDelivery > 0.85 {
+		t.Errorf("threshold 0 delivery = %g, want ≈ 0.77", res.MeanDelivery)
+	}
+}
+
+func TestEvaluateRobustPanics(t *testing.T) {
+	g := twoPathGraph()
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic for zero realizations")
+		}
+	}()
+	EvaluateRobust(g, schedule.Schedule{}, 0, 0, 1, 1)
+}
+
+func TestQuickSampleSubsetOfContacts(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		tr := haggle.Generate(haggle.GenOptions{N: 5, Horizon: 2000}, rng)
+		g := FromTrace(tr, 0, tveg.DefaultParams(), tveg.Static, 0.2, 0.8, rng)
+		real := g.Sample(rng)
+		// every materialized presence interval must come from a contact
+		for i := 0; i < g.N; i++ {
+			for j := i + 1; j < g.N; j++ {
+				pres := real.Presence(tvg.NodeID(i), tvg.NodeID(j))
+				for _, ivl := range pres.Intervals() {
+					found := false
+					for _, c := range g.Contacts {
+						if int(c.I) == i && int(c.J) == j && c.Iv.Start <= ivl.Start && c.Iv.End >= ivl.End {
+							found = true
+							break
+						}
+					}
+					if !found {
+						return false
+					}
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 15}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,360 @@
+// Package nlp solves the optimal energy allocation problem of §VI-B
+// (Eq. 14–17): after broadcast backbone selection fixes the relays R and
+// transmission times T, choose the cost vector W minimizing Σ w_k subject
+// to, for every node, the product of per-transmission failure
+// probabilities staying below the acceptable error rate ε, within the box
+// [w_min, w_max].
+//
+// In log space each constraint becomes Σ_k log φ_k(w_k) <= log ε — a sum
+// of monotone non-increasing univariate functions, which the package
+// exploits twice: a greedy constraint-fixing pass (raise the single
+// cheapest variable until each constraint holds; raising a variable never
+// breaks another constraint), then coordinate descent (shrink every
+// variable to its minimal feasible value given the others). A
+// penalty-based projected-gradient solver is provided as the ablation
+// comparator.
+package nlp
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"repro/internal/channel"
+)
+
+// Term is one factor of a product constraint: variable Var transmitting
+// through channel ED.
+type Term struct {
+	Var int
+	ED  channel.EDFunction
+}
+
+// Constraint requires Σ_k log φ_k(w_k) <= Bound (Bound = log ε).
+type Constraint struct {
+	Terms []Term
+	Bound float64
+}
+
+// Problem is an energy allocation instance.
+type Problem struct {
+	NumVars     int
+	WMin, WMax  float64
+	Constraints []Constraint
+}
+
+// NewProblem creates a problem with n variables in [wmin, wmax].
+func NewProblem(n int, wmin, wmax float64) *Problem {
+	if n < 0 || wmin < 0 || wmax < wmin {
+		panic(fmt.Sprintf("nlp: invalid problem n=%d wmin=%g wmax=%g", n, wmin, wmax))
+	}
+	return &Problem{NumVars: n, WMin: wmin, WMax: wmax}
+}
+
+// AddConstraint appends a product constraint with failure bound eps
+// (0 < eps < 1): Π φ_k(w_k) <= eps.
+func (p *Problem) AddConstraint(eps float64, terms ...Term) {
+	if eps <= 0 || eps >= 1 {
+		panic(fmt.Sprintf("nlp: constraint eps %g outside (0,1)", eps))
+	}
+	for _, t := range terms {
+		if t.Var < 0 || t.Var >= p.NumVars {
+			panic(fmt.Sprintf("nlp: term variable %d out of range", t.Var))
+		}
+	}
+	p.Constraints = append(p.Constraints, Constraint{Terms: terms, Bound: math.Log(eps)})
+}
+
+// logPhi returns log φ(w), with -Inf for φ = 0.
+func logPhi(ed channel.EDFunction, w float64) float64 {
+	phi := ed.FailureProb(w)
+	if phi <= 0 {
+		return math.Inf(-1)
+	}
+	return math.Log(phi)
+}
+
+// lhs evaluates Σ log φ of a constraint at w.
+func (c Constraint) lhs(w []float64) float64 {
+	s := 0.0
+	for _, t := range c.Terms {
+		s += logPhi(t.ED, w[t.Var])
+		if math.IsInf(s, -1) {
+			return s
+		}
+	}
+	return s
+}
+
+// Residual returns lhs - Bound (> 0 means violated).
+func (c Constraint) Residual(w []float64) float64 { return c.lhs(w) - c.Bound }
+
+// feasTol absorbs floating-point slack in feasibility checks.
+const feasTol = 1e-9
+
+// Feasible reports whether w satisfies every constraint and the box.
+func (p *Problem) Feasible(w []float64) bool {
+	for _, x := range w {
+		if x < p.WMin-feasTol || x > p.WMax+feasTol {
+			return false
+		}
+	}
+	for _, c := range p.Constraints {
+		if c.Residual(w) > feasTol {
+			return false
+		}
+	}
+	return true
+}
+
+// Violation returns the maximum constraint residual (0 when feasible).
+func (p *Problem) Violation(w []float64) float64 {
+	worst := 0.0
+	for _, c := range p.Constraints {
+		if r := c.Residual(w); r > worst {
+			worst = r
+		}
+	}
+	return worst
+}
+
+// Cost returns Σ w_k.
+func (p *Problem) Cost(w []float64) float64 {
+	s := 0.0
+	for _, x := range w {
+		s += x
+	}
+	return s
+}
+
+// ErrInfeasible is returned when no allocation within the box satisfies
+// all constraints.
+var ErrInfeasible = errors.New("nlp: problem infeasible within [wmin, wmax]")
+
+// raiseTo returns the smallest w' >= w such that log φ(w') <= target, or
+// +Inf when impossible within wmax.
+func (p *Problem) raiseTo(ed channel.EDFunction, w, target float64) float64 {
+	if logPhi(ed, w) <= target {
+		return w
+	}
+	if target >= 0 {
+		return w // log φ <= 0 always
+	}
+	epsNeeded := math.Exp(target)
+	wNeed := ed.MinCost(epsNeeded)
+	if wNeed > p.WMax {
+		return math.Inf(1)
+	}
+	if wNeed < w {
+		wNeed = w
+	}
+	return wNeed
+}
+
+// SolveGreedy runs the greedy constraint-fixing pass followed by
+// coordinate-descent refinement. It returns a feasible allocation or
+// ErrInfeasible.
+func SolveGreedy(p *Problem) ([]float64, error) {
+	w := make([]float64, p.NumVars)
+	for i := range w {
+		w[i] = p.WMin
+	}
+	// Greedy fixing: handle the most violated constraint by raising the
+	// single variable that repairs it most cheaply. Raising a variable
+	// only decreases every log φ, so repaired constraints stay repaired;
+	// the loop terminates after at most len(Constraints) repairs.
+	for iter := 0; iter <= len(p.Constraints); iter++ {
+		worstIdx, worstRes := -1, feasTol
+		for ci, c := range p.Constraints {
+			if r := c.Residual(w); r > worstRes {
+				worstRes = r
+				worstIdx = ci
+			}
+		}
+		if worstIdx == -1 {
+			break
+		}
+		c := p.Constraints[worstIdx]
+		if len(c.Terms) == 0 {
+			return nil, fmt.Errorf("%w: constraint %d has no terms", ErrInfeasible, worstIdx)
+		}
+		bestVar, bestNew, bestDelta := -1, 0.0, math.Inf(1)
+		for _, t := range c.Terms {
+			// fix the whole residual with this variable alone
+			target := logPhi(t.ED, w[t.Var]) - c.Residual(w)
+			nw := p.raiseTo(t.ED, w[t.Var], target)
+			if delta := nw - w[t.Var]; delta < bestDelta {
+				bestDelta = delta
+				bestVar = t.Var
+				bestNew = nw
+			}
+		}
+		if bestVar == -1 || math.IsInf(bestNew, 1) {
+			return nil, ErrInfeasible
+		}
+		w[bestVar] = bestNew
+	}
+	if !p.Feasible(w) {
+		return nil, ErrInfeasible
+	}
+	CoordinateDescent(p, w, 50)
+	return w, nil
+}
+
+// CoordinateDescent shrinks each variable in turn to the minimum value
+// keeping every constraint satisfied given the other variables, repeating
+// up to maxSweeps or until a sweep changes nothing. w must be feasible on
+// entry and stays feasible throughout.
+func CoordinateDescent(p *Problem, w []float64, maxSweeps int) {
+	// Index constraints by variable.
+	byVar := make([][]int, p.NumVars)
+	for ci, c := range p.Constraints {
+		for _, t := range c.Terms {
+			byVar[t.Var] = append(byVar[t.Var], ci)
+		}
+	}
+	for sweep := 0; sweep < maxSweeps; sweep++ {
+		changed := false
+		for v := 0; v < p.NumVars; v++ {
+			need := p.WMin
+			for _, ci := range byVar[v] {
+				c := p.Constraints[ci]
+				// slack available to variable v in this constraint
+				others := 0.0
+				var eds []channel.EDFunction
+				for _, t := range c.Terms {
+					if t.Var == v {
+						eds = append(eds, t.ED)
+						continue
+					}
+					others += logPhi(t.ED, w[t.Var])
+				}
+				// v may appear multiple times in one constraint (a relay
+				// reaching the same node at different times) — rare;
+				// handle by requiring each appearance to carry an equal
+				// share of the remaining budget.
+				if len(eds) == 0 {
+					continue
+				}
+				target := (c.Bound - others) / float64(len(eds))
+				for _, ed := range eds {
+					nw := p.raiseTo(ed, p.WMin, target)
+					if nw > need {
+						need = nw
+					}
+				}
+			}
+			if need < w[v]-1e-15 {
+				w[v] = need
+				changed = true
+			}
+		}
+		if !changed {
+			break
+		}
+	}
+}
+
+// PenaltyOptions tunes SolvePenalty.
+type PenaltyOptions struct {
+	// MaxOuter is the number of penalty escalations (default 12).
+	MaxOuter int
+	// MaxInner is the gradient steps per escalation (default 400).
+	MaxInner int
+	// Mu0 is the initial penalty weight (default 1).
+	Mu0 float64
+}
+
+func (o *PenaltyOptions) fill() {
+	if o.MaxOuter == 0 {
+		o.MaxOuter = 12
+	}
+	if o.MaxInner == 0 {
+		o.MaxInner = 400
+	}
+	if o.Mu0 == 0 {
+		o.Mu0 = 1
+	}
+}
+
+// SolvePenalty minimizes Σw + μ·Σ max(0, residual)² by projected
+// gradient descent with escalating μ, starting from the greedy solution
+// when available (otherwise from w_min). It returns a feasible allocation
+// or ErrInfeasible.
+func SolvePenalty(p *Problem, opts PenaltyOptions) ([]float64, error) {
+	opts.fill()
+	w, err := SolveGreedy(p)
+	if err != nil {
+		return nil, err
+	}
+	best := append([]float64(nil), w...)
+	bestCost := p.Cost(best)
+
+	scale := bestCost / float64(len(w)+1)
+	if scale <= 0 {
+		scale = 1
+	}
+	mu := opts.Mu0
+	grad := make([]float64, p.NumVars)
+	for outer := 0; outer < opts.MaxOuter; outer++ {
+		step := scale * 0.1
+		for inner := 0; inner < opts.MaxInner; inner++ {
+			objGrad(p, w, mu, grad, scale)
+			moved := false
+			for v := range w {
+				nw := w[v] - step*grad[v]
+				if nw < p.WMin {
+					nw = p.WMin
+				}
+				if nw > p.WMax {
+					nw = p.WMax
+				}
+				if nw != w[v] {
+					moved = true
+				}
+				w[v] = nw
+			}
+			if !moved {
+				break
+			}
+			if inner%50 == 49 {
+				step *= 0.5
+			}
+		}
+		if p.Feasible(w) && p.Cost(w) < bestCost {
+			bestCost = p.Cost(w)
+			copy(best, w)
+		}
+		mu *= 4
+	}
+	if !p.Feasible(best) {
+		return nil, ErrInfeasible
+	}
+	return best, nil
+}
+
+// objGrad fills grad with the numeric gradient of the penalized
+// objective Σw/scale + μ·Σ max(0,res)².
+func objGrad(p *Problem, w []float64, mu float64, grad []float64, scale float64) {
+	h := scale * 1e-6
+	if h <= 0 {
+		h = 1e-12
+	}
+	base := penalized(p, w, mu, scale)
+	for v := range w {
+		old := w[v]
+		w[v] = old + h
+		grad[v] = (penalized(p, w, mu, scale) - base) / h
+		w[v] = old
+	}
+}
+
+func penalized(p *Problem, w []float64, mu, scale float64) float64 {
+	obj := p.Cost(w) / scale
+	for _, c := range p.Constraints {
+		if r := c.Residual(w); r > 0 {
+			obj += mu * r * r
+		}
+	}
+	return obj
+}

@@ -1,0 +1,121 @@
+// Package partition implements partitions of a time span (Definition 5.1
+// of the paper): finite ordered sequences of time points
+// 0 = t_0 < t_1 < ... < t_m = T whose consecutive pairs form the
+// intervals [t_k, t_{k+1}). The combination operator (Eq. 8) merges the
+// points of several partitions into one.
+package partition
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Eps is the tolerance under which two time points are considered equal
+// when combining partitions. Contact traces carry second-resolution
+// timestamps, so 1e-9 is far below any meaningful gap.
+const Eps = 1e-9
+
+// Partition is a sorted sequence of strictly increasing time points.
+// A valid partition has at least two points (the span endpoints).
+type Partition struct {
+	pts []float64
+}
+
+// New builds a partition of the span [start, end] from the given interior
+// points. Points outside (start, end) are dropped, duplicates (within
+// Eps) are merged, and the endpoints are always included.
+func New(start, end float64, interior ...float64) Partition {
+	if end < start {
+		panic(fmt.Sprintf("partition: end %g before start %g", end, start))
+	}
+	pts := make([]float64, 0, len(interior)+2)
+	pts = append(pts, start)
+	sorted := append([]float64(nil), interior...)
+	sort.Float64s(sorted)
+	for _, p := range sorted {
+		if p <= start+Eps || p >= end-Eps {
+			continue
+		}
+		if p-pts[len(pts)-1] > Eps {
+			pts = append(pts, p)
+		}
+	}
+	if end > start {
+		pts = append(pts, end)
+	}
+	return Partition{pts}
+}
+
+// Points returns the time points of the partition. The returned slice
+// must not be modified.
+func (p Partition) Points() []float64 { return p.pts }
+
+// Len returns the number of time points.
+func (p Partition) Len() int { return len(p.pts) }
+
+// NumIntervals returns the number of intervals [t_k, t_{k+1}).
+func (p Partition) NumIntervals() int {
+	if len(p.pts) < 2 {
+		return 0
+	}
+	return len(p.pts) - 1
+}
+
+// Span returns the start and end of the partitioned time span.
+func (p Partition) Span() (start, end float64) {
+	if len(p.pts) == 0 {
+		return 0, 0
+	}
+	return p.pts[0], p.pts[len(p.pts)-1]
+}
+
+// Interval returns the k-th interval [t_k, t_{k+1}).
+func (p Partition) Interval(k int) (start, end float64) {
+	return p.pts[k], p.pts[k+1]
+}
+
+// IndexOf returns the index k of the interval [t_k, t_{k+1}) containing
+// t, or -1 if t is outside the span. The final point t_m is treated as
+// belonging to the last interval so queries at the horizon still resolve.
+func (p Partition) IndexOf(t float64) int {
+	if len(p.pts) < 2 || t < p.pts[0] || t > p.pts[len(p.pts)-1] {
+		return -1
+	}
+	// Find the rightmost point <= t.
+	k := sort.SearchFloat64s(p.pts, t)
+	if k == len(p.pts) || p.pts[k] > t {
+		k--
+	}
+	if k == len(p.pts)-1 {
+		k-- // horizon point belongs to the last interval
+	}
+	return k
+}
+
+// Combine returns the combination (Eq. 8) of the partitions: the
+// partition whose points are the union of all input points. All inputs
+// must share the same span.
+func Combine(parts ...Partition) Partition {
+	if len(parts) == 0 {
+		return Partition{}
+	}
+	start, end := parts[0].Span()
+	var interior []float64
+	for _, p := range parts {
+		s, e := p.Span()
+		if absDiff(s, start) > Eps || absDiff(e, end) > Eps {
+			panic(fmt.Sprintf("partition: combining mismatched spans [%g,%g] and [%g,%g]", start, end, s, e))
+		}
+		interior = append(interior, p.pts...)
+	}
+	return New(start, end, interior...)
+}
+
+func absDiff(a, b float64) float64 {
+	if a > b {
+		return a - b
+	}
+	return b - a
+}
+
+func (p Partition) String() string { return fmt.Sprint(p.pts) }

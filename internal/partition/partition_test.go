@@ -1,0 +1,211 @@
+package partition
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestNewBasic(t *testing.T) {
+	p := New(0, 10, 3, 7)
+	want := []float64{0, 3, 7, 10}
+	if got := p.Points(); len(got) != 4 {
+		t.Fatalf("Points = %v, want %v", got, want)
+	} else {
+		for i := range want {
+			if got[i] != want[i] {
+				t.Errorf("Points[%d] = %g, want %g", i, got[i], want[i])
+			}
+		}
+	}
+	if p.NumIntervals() != 3 {
+		t.Errorf("NumIntervals = %d, want 3", p.NumIntervals())
+	}
+}
+
+func TestNewDedupAndClip(t *testing.T) {
+	p := New(0, 10, 5, 5, 5+1e-12, -3, 12, 0, 10)
+	if p.Len() != 3 {
+		t.Errorf("Points = %v, want [0 5 10]", p.Points())
+	}
+}
+
+func TestNewUnsortedInterior(t *testing.T) {
+	p := New(0, 10, 8, 2, 6)
+	want := []float64{0, 2, 6, 8, 10}
+	got := p.Points()
+	if len(got) != len(want) {
+		t.Fatalf("Points = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("Points[%d] = %g, want %g", i, got[i], want[i])
+		}
+	}
+}
+
+func TestNewPanicsOnReversedSpan(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic for end < start")
+		}
+	}()
+	New(5, 1)
+}
+
+func TestSpanAndInterval(t *testing.T) {
+	p := New(2, 8, 4)
+	s, e := p.Span()
+	if s != 2 || e != 8 {
+		t.Errorf("Span = (%g,%g), want (2,8)", s, e)
+	}
+	a, b := p.Interval(1)
+	if a != 4 || b != 8 {
+		t.Errorf("Interval(1) = [%g,%g), want [4,8)", a, b)
+	}
+}
+
+func TestIndexOf(t *testing.T) {
+	p := New(0, 10, 3, 7)
+	cases := []struct {
+		t    float64
+		want int
+	}{
+		{-1, -1}, {0, 0}, {2.9, 0}, {3, 1}, {6.99, 1}, {7, 2}, {9.5, 2},
+		{10, 2}, // horizon belongs to last interval
+		{10.5, -1},
+	}
+	for _, c := range cases {
+		if got := p.IndexOf(c.t); got != c.want {
+			t.Errorf("IndexOf(%g) = %d, want %d", c.t, got, c.want)
+		}
+	}
+}
+
+func TestCombine(t *testing.T) {
+	a := New(0, 10, 3)
+	b := New(0, 10, 7)
+	c := Combine(a, b)
+	want := []float64{0, 3, 7, 10}
+	got := c.Points()
+	if len(got) != len(want) {
+		t.Fatalf("Combine = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("Combine[%d] = %g, want %g", i, got[i], want[i])
+		}
+	}
+}
+
+func TestCombineDedup(t *testing.T) {
+	a := New(0, 10, 3, 7)
+	b := New(0, 10, 3, 5)
+	c := Combine(a, b)
+	if c.Len() != 5 {
+		t.Errorf("Combine = %v, want [0 3 5 7 10]", c.Points())
+	}
+}
+
+func TestCombineMismatchedSpansPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic for mismatched spans")
+		}
+	}()
+	Combine(New(0, 10), New(0, 20))
+}
+
+func TestCombineEmpty(t *testing.T) {
+	c := Combine()
+	if c.Len() != 0 {
+		t.Errorf("Combine() = %v, want empty", c.Points())
+	}
+}
+
+func TestQuickPointsStrictlyIncreasing(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		n := r.Intn(20)
+		interior := make([]float64, n)
+		for i := range interior {
+			interior[i] = r.Float64() * 100
+		}
+		p := New(0, 100, interior...)
+		pts := p.Points()
+		for i := 1; i < len(pts); i++ {
+			if pts[i]-pts[i-1] <= Eps {
+				return false
+			}
+		}
+		return pts[0] == 0 && pts[len(pts)-1] == 100
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickCombineSupersetOfInputs(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		mk := func() Partition {
+			n := r.Intn(10)
+			in := make([]float64, n)
+			for i := range in {
+				in[i] = r.Float64() * 50
+			}
+			return New(0, 50, in...)
+		}
+		a, b := mk(), mk()
+		c := Combine(a, b)
+		contains := func(p Partition, x float64) bool {
+			for _, v := range p.Points() {
+				if absDiff(v, x) <= Eps {
+					return true
+				}
+			}
+			return false
+		}
+		for _, x := range a.Points() {
+			if !contains(c, x) {
+				return false
+			}
+		}
+		for _, x := range b.Points() {
+			if !contains(c, x) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickIndexOfConsistent(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		n := 1 + r.Intn(10)
+		in := make([]float64, n)
+		for i := range in {
+			in[i] = r.Float64() * 100
+		}
+		p := New(0, 100, in...)
+		for trial := 0; trial < 20; trial++ {
+			x := r.Float64() * 100
+			k := p.IndexOf(x)
+			if k < 0 {
+				return false
+			}
+			s, e := p.Interval(k)
+			if x < s || (x >= e && k != p.NumIntervals()-1) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

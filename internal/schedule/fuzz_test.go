@@ -1,0 +1,38 @@
+package schedule
+
+import (
+	"strings"
+	"testing"
+)
+
+// FuzzReadJSON checks that arbitrary bytes never panic the schedule
+// decoder and that accepted schedules re-encode losslessly.
+func FuzzReadJSON(f *testing.F) {
+	f.Add(`{"version":1,"transmissions":[{"relay":0,"t":1,"w":2}]}`)
+	f.Add(`{"version":1,"transmissions":[]}`)
+	f.Add(`{"version":2}`)
+	f.Add(`{`)
+	f.Add(`null`)
+	f.Fuzz(func(t *testing.T, in string) {
+		s, err := ReadJSON(strings.NewReader(in))
+		if err != nil {
+			return
+		}
+		b, merr := s.MarshalJSON()
+		if merr != nil {
+			t.Fatalf("accepted schedule fails to marshal: %v", merr)
+		}
+		back, rerr := ReadJSON(strings.NewReader(string(b)))
+		if rerr != nil {
+			t.Fatalf("re-parse failed: %v", rerr)
+		}
+		if len(back) != len(s) {
+			t.Fatalf("round trip length %d vs %d", len(back), len(s))
+		}
+		for i := range s {
+			if back[i] != s[i] {
+				t.Fatalf("tx %d differs: %v vs %v", i, back[i], s[i])
+			}
+		}
+	})
+}

@@ -1,0 +1,78 @@
+package schedule
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+
+	"repro/internal/tvg"
+)
+
+// JSON encoding for schedules, so planned broadcasts can be stored,
+// diffed, and replayed by external tooling. The format is stable:
+//
+//	{"version":1,"transmissions":[{"relay":0,"t":9000,"w":1.2e-15},...]}
+
+// jsonEnvelope is the on-disk representation.
+type jsonEnvelope struct {
+	Version       int      `json:"version"`
+	Transmissions []jsonTx `json:"transmissions"`
+}
+
+type jsonTx struct {
+	Relay int     `json:"relay"`
+	T     float64 `json:"t"`
+	W     float64 `json:"w"`
+}
+
+// jsonVersion is the current schedule file format version.
+const jsonVersion = 1
+
+// MarshalJSON implements json.Marshaler with the versioned envelope.
+func (s Schedule) MarshalJSON() ([]byte, error) {
+	env := jsonEnvelope{Version: jsonVersion, Transmissions: make([]jsonTx, len(s))}
+	for i, x := range s {
+		env.Transmissions[i] = jsonTx{Relay: int(x.Relay), T: x.T, W: x.W}
+	}
+	return json.Marshal(env)
+}
+
+// UnmarshalJSON implements json.Unmarshaler, validating the version and
+// basic field sanity.
+func (s *Schedule) UnmarshalJSON(data []byte) error {
+	var env jsonEnvelope
+	if err := json.Unmarshal(data, &env); err != nil {
+		return fmt.Errorf("schedule: %w", err)
+	}
+	if env.Version != jsonVersion {
+		return fmt.Errorf("schedule: unsupported version %d (want %d)", env.Version, jsonVersion)
+	}
+	out := make(Schedule, len(env.Transmissions))
+	for i, x := range env.Transmissions {
+		if x.Relay < 0 {
+			return fmt.Errorf("schedule: transmission %d has negative relay %d", i, x.Relay)
+		}
+		if x.W < 0 {
+			return fmt.Errorf("schedule: transmission %d has negative cost %g", i, x.W)
+		}
+		out[i] = Transmission{Relay: tvg.NodeID(x.Relay), T: x.T, W: x.W}
+	}
+	*s = out
+	return nil
+}
+
+// WriteJSON writes the schedule to w.
+func (s Schedule) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(s)
+}
+
+// ReadJSON parses a schedule written by WriteJSON.
+func ReadJSON(r io.Reader) (Schedule, error) {
+	var s Schedule
+	if err := json.NewDecoder(r).Decode(&s); err != nil {
+		return nil, err
+	}
+	return s, nil
+}

@@ -1,0 +1,110 @@
+package schedule
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/tvg"
+)
+
+func TestJSONRoundTrip(t *testing.T) {
+	s := Schedule{{Relay: 0, T: 9000, W: 1.2e-15}, {Relay: 7, T: 9100.5, W: 3e-16}}
+	var buf bytes.Buffer
+	if err := s.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadJSON(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(s) {
+		t.Fatalf("round trip length %d, want %d", len(got), len(s))
+	}
+	for i := range s {
+		if got[i] != s[i] {
+			t.Errorf("tx %d = %v, want %v", i, got[i], s[i])
+		}
+	}
+}
+
+func TestJSONEmptySchedule(t *testing.T) {
+	var buf bytes.Buffer
+	if err := (Schedule{}).WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadJSON(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 0 {
+		t.Errorf("got %v, want empty", got)
+	}
+}
+
+func TestJSONRejectsBadVersion(t *testing.T) {
+	in := `{"version":99,"transmissions":[]}`
+	if _, err := ReadJSON(strings.NewReader(in)); err == nil {
+		t.Error("version 99 should be rejected")
+	}
+}
+
+func TestJSONRejectsBadFields(t *testing.T) {
+	cases := []string{
+		`{"version":1,"transmissions":[{"relay":-1,"t":0,"w":1}]}`,
+		`{"version":1,"transmissions":[{"relay":0,"t":0,"w":-5}]}`,
+		`not json`,
+	}
+	for _, in := range cases {
+		if _, err := ReadJSON(strings.NewReader(in)); err == nil {
+			t.Errorf("ReadJSON(%q) should fail", in)
+		}
+	}
+}
+
+func TestJSONFormatStable(t *testing.T) {
+	s := Schedule{{Relay: 2, T: 5, W: 0.25}}
+	b, err := s.MarshalJSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := `{"version":1,"transmissions":[{"relay":2,"t":5,"w":0.25}]}`
+	if string(b) != want {
+		t.Errorf("encoding = %s, want %s", b, want)
+	}
+}
+
+func TestQuickJSONRoundTrip(t *testing.T) {
+	f := func(relays []uint8, ts []float64) bool {
+		n := len(relays)
+		if len(ts) < n {
+			n = len(ts)
+		}
+		s := make(Schedule, 0, n)
+		for i := 0; i < n; i++ {
+			w := ts[i]
+			if w < 0 {
+				w = -w
+			}
+			s = append(s, Transmission{Relay: tvg.NodeID(relays[i]), T: ts[i], W: w})
+		}
+		var buf bytes.Buffer
+		if s.WriteJSON(&buf) != nil {
+			return false
+		}
+		got, err := ReadJSON(&buf)
+		if err != nil || len(got) != len(s) {
+			return false
+		}
+		for i := range s {
+			if got[i] != s[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}

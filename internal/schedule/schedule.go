@@ -1,0 +1,191 @@
+// Package schedule implements broadcast relay schedules (§IV): the
+// n×3 matrix S = [R, T, W] of transmissions, the uninformed-probability
+// computation of Eq. 6, and the four feasibility conditions of the TMEDB
+// decision problem.
+package schedule
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"repro/internal/tveg"
+	"repro/internal/tvg"
+)
+
+// Transmission is one row s_k = [r_k, t_k, w_k] of a schedule: relay
+// Relay transmits at time T with cost W.
+type Transmission struct {
+	Relay tvg.NodeID
+	T     float64
+	W     float64
+}
+
+func (x Transmission) String() string {
+	return fmt.Sprintf("(v%d @%g w=%.3g)", x.Relay, x.T, x.W)
+}
+
+// Schedule is a broadcast relay schedule: an ordered list of
+// transmissions. A relay may appear multiple times.
+type Schedule []Transmission
+
+// TotalCost returns Σ w_k, the cost of the schedule.
+func (s Schedule) TotalCost() float64 {
+	var c float64
+	for _, x := range s {
+		c += x.W
+	}
+	return c
+}
+
+// NormalizedCost returns the total cost divided by the linear decoding
+// threshold γth, the paper's "normalized energy consumption" metric.
+func (s Schedule) NormalizedCost(gammaTh float64) float64 {
+	return s.TotalCost() / gammaTh
+}
+
+// Latency returns max(t_k) + τ, the broadcast latency of condition (iii).
+func (s Schedule) Latency(tau float64) float64 {
+	if len(s) == 0 {
+		return 0
+	}
+	latest := s[0].T
+	for _, x := range s[1:] {
+		if x.T > latest {
+			latest = x.T
+		}
+	}
+	return latest + tau
+}
+
+// SortByTime orders the schedule chronologically (stable, so equal-time
+// transmissions keep their relative order).
+func (s Schedule) SortByTime() {
+	sort.SliceStable(s, func(i, j int) bool { return s[i].T < s[j].T })
+}
+
+// Relays returns the relay vector R.
+func (s Schedule) Relays() []tvg.NodeID {
+	out := make([]tvg.NodeID, len(s))
+	for i, x := range s {
+		out[i] = x.Relay
+	}
+	return out
+}
+
+// Times returns the time vector T.
+func (s Schedule) Times() []float64 {
+	out := make([]float64, len(s))
+	for i, x := range s {
+		out[i] = x.T
+	}
+	return out
+}
+
+// Costs returns the cost vector W.
+func (s Schedule) Costs() []float64 {
+	out := make([]float64, len(s))
+	for i, x := range s {
+		out[i] = x.W
+	}
+	return out
+}
+
+// UninformedProb evaluates Eq. 6: the probability p_{i,t} that node i has
+// not successfully received the packet by time t, given that src is the
+// broadcast source (informed from the start). Only transmissions with
+// t_k <= t whose link to i satisfies ρ_τ at t_k contribute.
+func UninformedProb(g *tveg.Graph, s Schedule, src, node tvg.NodeID, t float64) float64 {
+	if node == src {
+		return 0
+	}
+	p := 1.0
+	for _, x := range s {
+		if x.T > t || x.Relay == node {
+			continue
+		}
+		if !g.RhoTau(x.Relay, node, x.T) {
+			continue
+		}
+		p *= g.EDAt(x.Relay, node, x.T).FailureProb(x.W)
+		if p == 0 {
+			return 0
+		}
+	}
+	return p
+}
+
+// UninformedProbs evaluates p_{i,t} for every node at once.
+func UninformedProbs(g *tveg.Graph, s Schedule, src tvg.NodeID, t float64) []float64 {
+	out := make([]float64, g.N())
+	for i := range out {
+		out[i] = UninformedProb(g, s, src, tvg.NodeID(i), t)
+	}
+	return out
+}
+
+// Violation describes a broken feasibility condition.
+type Violation struct {
+	Condition int // 1..4 as in §IV
+	Detail    string
+}
+
+func (v *Violation) Error() string {
+	return fmt.Sprintf("schedule: condition (%s) violated: %s", roman(v.Condition), v.Detail)
+}
+
+func roman(i int) string {
+	switch i {
+	case 1:
+		return "i"
+	case 2:
+		return "ii"
+	case 3:
+		return "iii"
+	case 4:
+		return "iv"
+	}
+	return fmt.Sprint(i)
+}
+
+// CheckFeasible verifies the four conditions of the TMEDB decision
+// problem for the schedule:
+//
+//	(i)   every relay is informed (p <= ε) by its transmission time,
+//	(ii)  every node is informed by some t <= T-τ,
+//	(iii) broadcast latency max(t_k)+τ <= T,
+//	(iv)  total cost <= C (skipped when C is +Inf).
+//
+// It returns nil for a feasible schedule, or a *Violation naming the
+// first broken condition.
+func CheckFeasible(g *tveg.Graph, s Schedule, src tvg.NodeID, deadline, costBound float64) error {
+	// Tolerate rounding: a cost computed by inverting φ lands exactly on
+	// ε up to floating point.
+	eps := g.Params.Eps * (1 + 1e-9)
+	tau := g.Tau()
+	// (i) relays informed by their transmission times. Relays strictly
+	// need p_{r,t} <= ε using transmissions before t; Eq. 6 already
+	// restricts to t_k <= t, and a relay's own transmissions never count.
+	for _, x := range s {
+		if p := UninformedProb(g, s, src, x.Relay, x.T); p > eps {
+			return &Violation{1, fmt.Sprintf("relay v%d uninformed at %g (p=%.4g > ε=%g)", x.Relay, x.T, p, eps)}
+		}
+	}
+	// (iii) latency
+	if lat := s.Latency(tau); lat > deadline {
+		return &Violation{3, fmt.Sprintf("latency %g > T=%g", lat, deadline)}
+	}
+	// (ii) all nodes informed by T-τ
+	for i := 0; i < g.N(); i++ {
+		if p := UninformedProb(g, s, src, tvg.NodeID(i), deadline-tau); p > eps {
+			return &Violation{2, fmt.Sprintf("node v%d uninformed by %g (p=%.4g > ε=%g)", i, deadline-tau, p, eps)}
+		}
+	}
+	// (iv) cost bound
+	if !math.IsInf(costBound, 1) {
+		if c := s.TotalCost(); c > costBound {
+			return &Violation{4, fmt.Sprintf("cost %g > C=%g", c, costBound)}
+		}
+	}
+	return nil
+}

@@ -1,0 +1,197 @@
+package schedule
+
+import (
+	"errors"
+	"math"
+	"testing"
+
+	"repro/internal/interval"
+	"repro/internal/tveg"
+)
+
+func iv(a, b float64) interval.Interval { return interval.Interval{Start: a, End: b} }
+
+// chainGraph: 0—1—2 chain, always connected, distances 5 and 10, τ=1.
+func chainGraph(m tveg.Model) *tveg.Graph {
+	g := tveg.New(3, iv(0, 100), 1, tveg.DefaultParams(), m)
+	g.AddContact(0, 1, iv(0, 100), 5)
+	g.AddContact(1, 2, iv(0, 100), 10)
+	return g
+}
+
+func TestVectorsAndCost(t *testing.T) {
+	s := Schedule{{0, 5, 2}, {1, 10, 3}}
+	if s.TotalCost() != 5 {
+		t.Errorf("TotalCost = %g, want 5", s.TotalCost())
+	}
+	if s.NormalizedCost(2.5) != 2 {
+		t.Errorf("NormalizedCost = %g, want 2", s.NormalizedCost(2.5))
+	}
+	if r := s.Relays(); len(r) != 2 || r[0] != 0 || r[1] != 1 {
+		t.Errorf("Relays = %v", r)
+	}
+	if ts := s.Times(); ts[1] != 10 {
+		t.Errorf("Times = %v", ts)
+	}
+	if ws := s.Costs(); ws[0] != 2 {
+		t.Errorf("Costs = %v", ws)
+	}
+	if lat := s.Latency(1); lat != 11 {
+		t.Errorf("Latency = %g, want 11", lat)
+	}
+	if (Schedule{}).Latency(1) != 0 {
+		t.Error("empty schedule latency should be 0")
+	}
+}
+
+func TestSortByTime(t *testing.T) {
+	s := Schedule{{2, 30, 1}, {0, 5, 1}, {1, 10, 1}}
+	s.SortByTime()
+	if s[0].Relay != 0 || s[1].Relay != 1 || s[2].Relay != 2 {
+		t.Errorf("SortByTime = %v", s)
+	}
+}
+
+func TestUninformedProbStatic(t *testing.T) {
+	g := chainGraph(tveg.Static)
+	w01 := g.MinCost(0, 1, 5)
+	s := Schedule{{0, 5, w01}}
+	// source always informed
+	if p := UninformedProb(g, s, 0, 0, 0); p != 0 {
+		t.Errorf("p_src = %g, want 0", p)
+	}
+	// before the transmission node 1 is uninformed
+	if p := UninformedProb(g, s, 0, 1, 4); p != 1 {
+		t.Errorf("p_1 before tx = %g, want 1", p)
+	}
+	// after a sufficient transmission: informed
+	if p := UninformedProb(g, s, 0, 1, 5); p != 0 {
+		t.Errorf("p_1 after tx = %g, want 0", p)
+	}
+	// insufficient power: still uninformed
+	weak := Schedule{{0, 5, w01 * 0.5}}
+	if p := UninformedProb(g, weak, 0, 1, 50); p != 1 {
+		t.Errorf("p_1 weak tx = %g, want 1", p)
+	}
+	// node 2 unaffected by 0's transmission (no edge 0-2)
+	if p := UninformedProb(g, s, 0, 2, 50); p != 1 {
+		t.Errorf("p_2 = %g, want 1", p)
+	}
+}
+
+func TestUninformedProbFadingMultiplies(t *testing.T) {
+	g := chainGraph(tveg.RayleighFading)
+	ed := g.EDAt(0, 1, 5)
+	w := ed.MinCost(0.3) // failure prob 0.3 per tx
+	s := Schedule{{0, 5, w}, {0, 10, w}}
+	p := UninformedProb(g, s, 0, 1, 20)
+	if math.Abs(p-0.09) > 1e-9 {
+		t.Errorf("p after two tx = %g, want 0.09", p)
+	}
+	// only the first counts at t=7
+	p = UninformedProb(g, s, 0, 1, 7)
+	if math.Abs(p-0.3) > 1e-9 {
+		t.Errorf("p after one tx = %g, want 0.3", p)
+	}
+}
+
+func TestUninformedProbIgnoresOwnTransmissions(t *testing.T) {
+	g := chainGraph(tveg.Static)
+	s := Schedule{{1, 5, 1e6}}
+	if p := UninformedProb(g, s, 0, 1, 50); p != 1 {
+		t.Errorf("node's own tx should not inform it, p = %g", p)
+	}
+}
+
+func TestUninformedProbs(t *testing.T) {
+	g := chainGraph(tveg.Static)
+	w01 := g.MinCost(0, 1, 5)
+	s := Schedule{{0, 5, w01}}
+	ps := UninformedProbs(g, s, 0, 50)
+	if ps[0] != 0 || ps[1] != 0 || ps[2] != 1 {
+		t.Errorf("UninformedProbs = %v, want [0 0 1]", ps)
+	}
+}
+
+func TestCheckFeasibleHappyPath(t *testing.T) {
+	g := chainGraph(tveg.Static)
+	w01 := g.MinCost(0, 1, 5)
+	w12 := g.MinCost(1, 2, 10)
+	s := Schedule{{0, 5, w01}, {1, 10, w12}}
+	if err := CheckFeasible(g, s, 0, 100, math.Inf(1)); err != nil {
+		t.Errorf("feasible schedule rejected: %v", err)
+	}
+}
+
+func TestCheckFeasibleConditionI(t *testing.T) {
+	g := chainGraph(tveg.Static)
+	w12 := g.MinCost(1, 2, 10)
+	// relay 1 transmits before being informed
+	s := Schedule{{1, 10, w12}}
+	err := CheckFeasible(g, s, 0, 100, math.Inf(1))
+	var v *Violation
+	if !errors.As(err, &v) || v.Condition != 1 {
+		t.Errorf("want condition (i) violation, got %v", err)
+	}
+}
+
+func TestCheckFeasibleConditionII(t *testing.T) {
+	g := chainGraph(tveg.Static)
+	w01 := g.MinCost(0, 1, 5)
+	// node 2 never informed
+	s := Schedule{{0, 5, w01}}
+	err := CheckFeasible(g, s, 0, 100, math.Inf(1))
+	var v *Violation
+	if !errors.As(err, &v) || v.Condition != 2 {
+		t.Errorf("want condition (ii) violation, got %v", err)
+	}
+}
+
+func TestCheckFeasibleConditionIII(t *testing.T) {
+	g := chainGraph(tveg.Static)
+	w01 := g.MinCost(0, 1, 5)
+	w12 := g.MinCost(1, 2, 10)
+	s := Schedule{{0, 5, w01}, {1, 50, w12}}
+	err := CheckFeasible(g, s, 0, 20, math.Inf(1)) // latency 51 > 20
+	var v *Violation
+	if !errors.As(err, &v) || v.Condition != 3 {
+		t.Errorf("want condition (iii) violation, got %v", err)
+	}
+}
+
+func TestCheckFeasibleConditionIV(t *testing.T) {
+	g := chainGraph(tveg.Static)
+	w01 := g.MinCost(0, 1, 5)
+	w12 := g.MinCost(1, 2, 10)
+	s := Schedule{{0, 5, w01}, {1, 10, w12}}
+	err := CheckFeasible(g, s, 0, 100, s.TotalCost()/2)
+	var v *Violation
+	if !errors.As(err, &v) || v.Condition != 4 {
+		t.Errorf("want condition (iv) violation, got %v", err)
+	}
+}
+
+func TestCheckFeasibleFading(t *testing.T) {
+	g := chainGraph(tveg.RayleighFading)
+	eps := g.Params.Eps
+	w01 := g.EDAt(0, 1, 5).MinCost(eps)
+	w12 := g.EDAt(1, 2, 10).MinCost(eps)
+	s := Schedule{{0, 5, w01}, {1, 10, w12}}
+	if err := CheckFeasible(g, s, 0, 100, math.Inf(1)); err != nil {
+		t.Errorf("per-hop ε schedule should be feasible: %v", err)
+	}
+	// halving the second power breaks condition (ii) for node 2
+	weak := Schedule{{0, 5, w01}, {1, 10, w12 / 100}}
+	err := CheckFeasible(g, weak, 0, 100, math.Inf(1))
+	var v *Violation
+	if !errors.As(err, &v) || v.Condition != 2 {
+		t.Errorf("want condition (ii) violation, got %v", err)
+	}
+}
+
+func TestViolationError(t *testing.T) {
+	v := &Violation{2, "detail"}
+	if got := v.Error(); got != "schedule: condition (ii) violated: detail" {
+		t.Errorf("Error() = %q", got)
+	}
+}

@@ -1,0 +1,198 @@
+// Package setcover implements the Set Cover machinery behind the
+// hardness results of §IV: the classic greedy ln(n)-approximation, and
+// the Theorem 4.1 reduction that turns any Set Cover instance into a
+// TMEDB instance whose optimal schedules correspond to optimal covers.
+//
+// The gadget: a source node, one "set" node per set, one "element" node
+// per universe element.
+//
+//   - Phase 1 [0, 1): the source is adjacent to every set node at unit
+//     distance, so one broadcast informs all of them at a fixed cost.
+//   - Phase 2 [2, 3): set node i is adjacent (unit distance) to exactly
+//     the element nodes of S_i. Informing all elements requires choosing
+//     transmitting set nodes whose sets cover the universe, each paying
+//     the same unit cost — so minimizing energy minimizes the number of
+//     chosen sets.
+//
+// The package is used by the tests to cross-check the EEDCB pipeline
+// against greedy set cover on reduction instances, demonstrating the
+// reduction experimentally.
+package setcover
+
+import (
+	"fmt"
+
+	"repro/internal/interval"
+	"repro/internal/schedule"
+	"repro/internal/tveg"
+	"repro/internal/tvg"
+)
+
+// Instance is a Set Cover instance over the universe {0, ..., U-1}.
+type Instance struct {
+	UniverseSize int
+	Sets         [][]int
+}
+
+// Validate checks element ranges and that the union covers the universe.
+func (in Instance) Validate() error {
+	if in.UniverseSize <= 0 {
+		return fmt.Errorf("setcover: empty universe")
+	}
+	covered := make([]bool, in.UniverseSize)
+	for si, s := range in.Sets {
+		for _, e := range s {
+			if e < 0 || e >= in.UniverseSize {
+				return fmt.Errorf("setcover: set %d has element %d outside universe [0,%d)", si, e, in.UniverseSize)
+			}
+			covered[e] = true
+		}
+	}
+	for e, ok := range covered {
+		if !ok {
+			return fmt.Errorf("setcover: element %d not coverable", e)
+		}
+	}
+	return nil
+}
+
+// Greedy runs the classic ln(n)-approximation: repeatedly pick the set
+// covering the most uncovered elements. It returns the chosen set
+// indices in pick order.
+func (in Instance) Greedy() ([]int, error) {
+	if err := in.Validate(); err != nil {
+		return nil, err
+	}
+	covered := make([]bool, in.UniverseSize)
+	remaining := in.UniverseSize
+	var picks []int
+	for remaining > 0 {
+		best, bestGain := -1, 0
+		for si, s := range in.Sets {
+			gain := 0
+			for _, e := range s {
+				if !covered[e] {
+					gain++
+				}
+			}
+			if gain > bestGain {
+				best, bestGain = si, gain
+			}
+		}
+		if best == -1 {
+			return nil, fmt.Errorf("setcover: stuck with %d uncovered elements", remaining)
+		}
+		picks = append(picks, best)
+		for _, e := range in.Sets[best] {
+			if !covered[e] {
+				covered[e] = true
+				remaining--
+			}
+		}
+	}
+	return picks, nil
+}
+
+// Covers reports whether the chosen set indices cover the universe.
+func (in Instance) Covers(picks []int) bool {
+	covered := make([]bool, in.UniverseSize)
+	for _, si := range picks {
+		if si < 0 || si >= len(in.Sets) {
+			return false
+		}
+		for _, e := range in.Sets[si] {
+			covered[e] = true
+		}
+	}
+	for _, ok := range covered {
+		if !ok {
+			return false
+		}
+	}
+	return true
+}
+
+// Reduction holds the TMEDB instance produced from a Set Cover instance
+// plus the node-role mapping needed to read schedules back as covers.
+type Reduction struct {
+	Instance Instance
+	Graph    *tveg.Graph
+	Source   tvg.NodeID
+	Deadline float64
+	// SetNode[i] is the TVEG node standing for set i; ElementNode[e]
+	// likewise for universe element e.
+	SetNode     []tvg.NodeID
+	ElementNode []tvg.NodeID
+}
+
+// Reduce builds the Theorem 4.1 gadget for the instance under the given
+// parameters (the channel model is static, as in the proof).
+func Reduce(in Instance, params tveg.Params) (*Reduction, error) {
+	if err := in.Validate(); err != nil {
+		return nil, err
+	}
+	nNodes := 1 + len(in.Sets) + in.UniverseSize
+	g := tveg.New(nNodes, interval.Interval{Start: 0, End: 4}, 0, params, tveg.Static)
+	r := &Reduction{
+		Instance:    in,
+		Graph:       g,
+		Source:      0,
+		Deadline:    4,
+		SetNode:     make([]tvg.NodeID, len(in.Sets)),
+		ElementNode: make([]tvg.NodeID, in.UniverseSize),
+	}
+	for i := range in.Sets {
+		r.SetNode[i] = tvg.NodeID(1 + i)
+	}
+	for e := 0; e < in.UniverseSize; e++ {
+		r.ElementNode[e] = tvg.NodeID(1 + len(in.Sets) + e)
+	}
+	// Phase 1: source ↔ set nodes.
+	for _, sn := range r.SetNode {
+		g.AddContact(r.Source, sn, interval.Interval{Start: 0, End: 1}, 1)
+	}
+	// Phase 2: set node i ↔ its elements.
+	for i, s := range in.Sets {
+		for _, e := range s {
+			g.AddContact(r.SetNode[i], r.ElementNode[e], interval.Interval{Start: 2, End: 3}, 1)
+		}
+	}
+	return r, nil
+}
+
+// UnitCost returns the cost of one unit-distance transmission in the
+// gadget (every productive transmission in the reduction costs this).
+func (r *Reduction) UnitCost() float64 { return r.Graph.Params.NoiseGamma() }
+
+// CoverFromSchedule extracts the chosen sets from a TMEDB schedule on
+// the reduction: the set nodes that transmit during phase 2.
+func (r *Reduction) CoverFromSchedule(s schedule.Schedule) []int {
+	setOf := make(map[tvg.NodeID]int, len(r.SetNode))
+	for i, sn := range r.SetNode {
+		setOf[sn] = i
+	}
+	seen := make(map[int]bool)
+	var picks []int
+	for _, x := range s {
+		if x.T < 2 || x.T >= 3 {
+			continue
+		}
+		if si, ok := setOf[x.Relay]; ok && !seen[si] {
+			seen[si] = true
+			picks = append(picks, si)
+		}
+	}
+	return picks
+}
+
+// ScheduleFromCover builds the canonical feasible schedule for a cover:
+// the source broadcasts once in phase 1, each chosen set node once in
+// phase 2. Useful as a certificate in both directions of the reduction.
+func (r *Reduction) ScheduleFromCover(picks []int) schedule.Schedule {
+	unit := r.UnitCost()
+	s := schedule.Schedule{{Relay: r.Source, T: 0, W: unit}}
+	for _, si := range picks {
+		s = append(s, schedule.Transmission{Relay: r.SetNode[si], T: 2, W: unit})
+	}
+	return s
+}

@@ -1,0 +1,180 @@
+package setcover
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/core"
+	"repro/internal/schedule"
+	"repro/internal/tveg"
+)
+
+func smallInstance() Instance {
+	return Instance{
+		UniverseSize: 5,
+		Sets: [][]int{
+			{0, 1, 2}, // the big set
+			{0, 3},
+			{1, 4},
+			{3, 4},
+		},
+	}
+}
+
+func TestValidate(t *testing.T) {
+	if err := smallInstance().Validate(); err != nil {
+		t.Fatal(err)
+	}
+	bad := Instance{UniverseSize: 2, Sets: [][]int{{0}}}
+	if bad.Validate() == nil {
+		t.Error("uncoverable element should fail validation")
+	}
+	bad2 := Instance{UniverseSize: 2, Sets: [][]int{{0, 5}}}
+	if bad2.Validate() == nil {
+		t.Error("out-of-range element should fail validation")
+	}
+	if (Instance{}).Validate() == nil {
+		t.Error("empty universe should fail validation")
+	}
+}
+
+func TestGreedyCoversAndIsSmall(t *testing.T) {
+	in := smallInstance()
+	picks, err := in.Greedy()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !in.Covers(picks) {
+		t.Fatalf("greedy picks %v do not cover", picks)
+	}
+	// optimum here is 2 ({0,1,2} + {3,4}); greedy finds it
+	if len(picks) != 2 {
+		t.Errorf("greedy used %d sets, want 2", len(picks))
+	}
+}
+
+func TestCovers(t *testing.T) {
+	in := smallInstance()
+	if in.Covers([]int{0}) {
+		t.Error("single set should not cover")
+	}
+	if !in.Covers([]int{0, 3}) {
+		t.Error("{0,3} should cover")
+	}
+	if in.Covers([]int{-1}) || in.Covers([]int{9}) {
+		t.Error("invalid indices should not cover")
+	}
+}
+
+func TestReduceStructure(t *testing.T) {
+	in := smallInstance()
+	r, err := Reduce(in, tveg.DefaultParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Graph.N() != 1+4+5 {
+		t.Errorf("gadget nodes = %d, want 10", r.Graph.N())
+	}
+	// source adjacent to every set node in phase 1
+	for _, sn := range r.SetNode {
+		if !r.Graph.RhoTau(r.Source, sn, 0.5) {
+			t.Errorf("source not adjacent to set node %d in phase 1", sn)
+		}
+	}
+	// set 1 = {0,3}: adjacent to element nodes 0 and 3 in phase 2
+	if !r.Graph.RhoTau(r.SetNode[1], r.ElementNode[0], 2.5) {
+		t.Error("set node 1 not adjacent to element 0")
+	}
+	if r.Graph.RhoTau(r.SetNode[1], r.ElementNode[1], 2.5) {
+		t.Error("set node 1 wrongly adjacent to element 1")
+	}
+}
+
+func TestScheduleFromCoverFeasible(t *testing.T) {
+	in := smallInstance()
+	r, err := Reduce(in, tveg.DefaultParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	picks, _ := in.Greedy()
+	s := r.ScheduleFromCover(picks)
+	if err := schedule.CheckFeasible(r.Graph, s, r.Source, r.Deadline, math.Inf(1)); err != nil {
+		t.Errorf("cover schedule infeasible: %v", err)
+	}
+	// non-cover schedule must be infeasible
+	bad := r.ScheduleFromCover([]int{1})
+	if schedule.CheckFeasible(r.Graph, bad, r.Source, r.Deadline, math.Inf(1)) == nil {
+		t.Error("non-cover schedule should be infeasible")
+	}
+}
+
+func TestEEDCBSolvesReduction(t *testing.T) {
+	// The experimental side of Theorem 4.1: running the TMEDB solver on
+	// the gadget yields a valid cover, no larger than greedy's.
+	in := smallInstance()
+	r, err := Reduce(in, tveg.DefaultParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	sch, err := core.EEDCB{}.Schedule(r.Graph, r.Source, 0, r.Deadline)
+	if err != nil {
+		t.Fatal(err)
+	}
+	picks := r.CoverFromSchedule(sch)
+	if !in.Covers(picks) {
+		t.Fatalf("EEDCB schedule decodes to non-cover %v (schedule %v)", picks, sch)
+	}
+	greedyPicks, _ := in.Greedy()
+	if len(picks) > len(greedyPicks) {
+		t.Errorf("EEDCB cover size %d worse than greedy %d", len(picks), len(greedyPicks))
+	}
+	// energy accounting: source broadcast + one unit per chosen set
+	wantCost := float64(1+len(picks)) * r.UnitCost()
+	if math.Abs(sch.TotalCost()-wantCost)/wantCost > 1e-9 {
+		t.Errorf("schedule cost %g, want %g", sch.TotalCost(), wantCost)
+	}
+}
+
+func TestQuickReductionPreservesCovers(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		u := 3 + r.Intn(5)
+		nSets := 2 + r.Intn(5)
+		in := Instance{UniverseSize: u}
+		for s := 0; s < nSets; s++ {
+			var set []int
+			for e := 0; e < u; e++ {
+				if r.Intn(2) == 0 {
+					set = append(set, e)
+				}
+			}
+			in.Sets = append(in.Sets, set)
+		}
+		// ensure coverability
+		var all []int
+		for e := 0; e < u; e++ {
+			all = append(all, e)
+		}
+		in.Sets = append(in.Sets, all)
+		red, err := Reduce(in, tveg.DefaultParams())
+		if err != nil {
+			return false
+		}
+		picks, err := in.Greedy()
+		if err != nil {
+			return false
+		}
+		s := red.ScheduleFromCover(picks)
+		if schedule.CheckFeasible(red.Graph, s, red.Source, red.Deadline, math.Inf(1)) != nil {
+			return false
+		}
+		// decode must give back the same picks
+		decoded := red.CoverFromSchedule(s)
+		return in.Covers(decoded) && len(decoded) == len(picks)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,81 @@
+package sim
+
+import (
+	"math"
+	"math/rand"
+	"runtime"
+	"sync"
+
+	"repro/internal/schedule"
+	"repro/internal/tveg"
+	"repro/internal/tvg"
+)
+
+// EvaluateParallel runs Evaluate's Monte Carlo trials across a worker
+// pool and merges the results. Each worker owns a private RNG seeded
+// from the base seed and its worker index, so the aggregate is
+// deterministic for a given (seed, workers) pair regardless of
+// interleaving. workers <= 0 selects GOMAXPROCS.
+func EvaluateParallel(g *tveg.Graph, s schedule.Schedule, src tvg.NodeID, trials int, seed int64, workers int) Result {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > trials {
+		workers = trials
+	}
+	if workers <= 1 {
+		return Evaluate(g, s, src, trials, rand.New(rand.NewSource(seed)))
+	}
+	per := trials / workers
+	extra := trials % workers
+
+	results := make([]Result, workers)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		n := per
+		if w < extra {
+			n++
+		}
+		wg.Add(1)
+		go func(w, n int) {
+			defer wg.Done()
+			results[w] = Evaluate(g, s, src, n, rand.New(rand.NewSource(seed+int64(w)*0x9e3779b9)))
+		}(w, n)
+	}
+	wg.Wait()
+	return mergeResults(results)
+}
+
+// mergeResults pools per-worker Monte Carlo aggregates into one Result.
+// The pooled delivery standard deviation uses the standard combined
+// sum-of-squares formula.
+func mergeResults(rs []Result) Result {
+	var total int
+	var sumDel, sumEnergy, sumSq float64
+	for _, r := range rs {
+		n := float64(r.Trials)
+		total += r.Trials
+		sumDel += r.MeanDelivery * n
+		sumEnergy += r.MeanEnergy * n
+		// reconstruct Σx² from mean and sample variance
+		variance := r.StdDelivery * r.StdDelivery
+		sumSq += variance*(n-1) + r.MeanDelivery*r.MeanDelivery*n
+	}
+	out := Result{Trials: total}
+	if total == 0 {
+		return out
+	}
+	if len(rs) > 0 {
+		out.PlannedEnergy = rs[0].PlannedEnergy
+	}
+	n := float64(total)
+	out.MeanDelivery = sumDel / n
+	out.MeanEnergy = sumEnergy / n
+	if total > 1 {
+		variance := (sumSq - sumDel*sumDel/n) / (n - 1)
+		if variance > 0 {
+			out.StdDelivery = math.Sqrt(variance)
+		}
+	}
+	return out
+}

@@ -1,0 +1,93 @@
+package sim
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/schedule"
+	"repro/internal/tveg"
+)
+
+func fadingPair() (*tveg.Graph, schedule.Schedule) {
+	g := tveg.New(2, iv(0, 100), 0, tveg.DefaultParams(), tveg.RayleighFading)
+	g.AddContact(0, 1, iv(0, 100), 5)
+	w := g.EDAt(0, 1, 10).MinCost(0.4)
+	return g, schedule.Schedule{{Relay: 0, T: 10, W: w}}
+}
+
+func TestEvaluateParallelMatchesSequentialStatistically(t *testing.T) {
+	g, s := fadingPair()
+	seq := Evaluate(g, s, 0, 40000, rand.New(rand.NewSource(5)))
+	par := EvaluateParallel(g, s, 0, 40000, 5, 4)
+	if math.Abs(seq.MeanDelivery-par.MeanDelivery) > 0.01 {
+		t.Errorf("parallel delivery %g vs sequential %g", par.MeanDelivery, seq.MeanDelivery)
+	}
+	if math.Abs(seq.MeanEnergy-par.MeanEnergy)/seq.MeanEnergy > 0.02 {
+		t.Errorf("parallel energy %g vs sequential %g", par.MeanEnergy, seq.MeanEnergy)
+	}
+	if par.Trials != 40000 {
+		t.Errorf("Trials = %d, want 40000", par.Trials)
+	}
+}
+
+func TestEvaluateParallelDeterministic(t *testing.T) {
+	g, s := fadingPair()
+	a := EvaluateParallel(g, s, 0, 5000, 9, 4)
+	b := EvaluateParallel(g, s, 0, 5000, 9, 4)
+	if a != b {
+		t.Errorf("same seed/workers differ: %+v vs %+v", a, b)
+	}
+}
+
+func TestEvaluateParallelSingleWorkerEqualsSequential(t *testing.T) {
+	g, s := fadingPair()
+	a := EvaluateParallel(g, s, 0, 1000, 3, 1)
+	b := Evaluate(g, s, 0, 1000, rand.New(rand.NewSource(3)))
+	if a != b {
+		t.Errorf("workers=1 should match sequential exactly: %+v vs %+v", a, b)
+	}
+}
+
+func TestEvaluateParallelMoreWorkersThanTrials(t *testing.T) {
+	g, s := fadingPair()
+	r := EvaluateParallel(g, s, 0, 3, 1, 16)
+	if r.Trials != 3 {
+		t.Errorf("Trials = %d, want 3", r.Trials)
+	}
+}
+
+func TestEvaluateParallelDefaultWorkers(t *testing.T) {
+	g, s := fadingPair()
+	r := EvaluateParallel(g, s, 0, 200, 1, 0)
+	if r.Trials != 200 {
+		t.Errorf("Trials = %d, want 200", r.Trials)
+	}
+	if r.MeanDelivery <= 0.5 || r.MeanDelivery > 1 {
+		t.Errorf("delivery = %g out of plausible range", r.MeanDelivery)
+	}
+}
+
+func TestMergeResultsPooledStd(t *testing.T) {
+	// two degenerate batches with known pooled statistics
+	a := Result{Trials: 2, MeanDelivery: 0.5, StdDelivery: 0, MeanEnergy: 1}
+	b := Result{Trials: 2, MeanDelivery: 1.0, StdDelivery: 0, MeanEnergy: 3}
+	m := mergeResults([]Result{a, b})
+	if m.Trials != 4 || math.Abs(m.MeanDelivery-0.75) > 1e-12 {
+		t.Fatalf("merge = %+v", m)
+	}
+	// samples are {0.5, 0.5, 1, 1}: sample std = sqrt(1/12)
+	want := math.Sqrt(1.0 / 12.0)
+	if math.Abs(m.StdDelivery-want) > 1e-9 {
+		t.Errorf("pooled std = %g, want %g", m.StdDelivery, want)
+	}
+	if math.Abs(m.MeanEnergy-2) > 1e-12 {
+		t.Errorf("pooled energy = %g, want 2", m.MeanEnergy)
+	}
+}
+
+func TestMergeResultsEmpty(t *testing.T) {
+	if m := mergeResults(nil); m.Trials != 0 {
+		t.Errorf("merge(nil) = %+v", m)
+	}
+}

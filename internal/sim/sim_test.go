@@ -1,0 +1,186 @@
+package sim
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/interval"
+	"repro/internal/schedule"
+	"repro/internal/tveg"
+	"repro/internal/tvg"
+)
+
+func iv(a, b float64) interval.Interval { return interval.Interval{Start: a, End: b} }
+
+func chain(m tveg.Model) *tveg.Graph {
+	g := tveg.New(3, iv(0, 100), 0, tveg.DefaultParams(), m)
+	g.AddContact(0, 1, iv(10, 30), 5)
+	g.AddContact(1, 2, iv(20, 50), 8)
+	return g
+}
+
+func TestEvaluatePanicsOnZeroTrials(t *testing.T) {
+	g := chain(tveg.Static)
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic")
+		}
+	}()
+	Evaluate(g, nil, 0, 0, rand.New(rand.NewSource(1)))
+}
+
+func TestEvaluateStaticDeterministic(t *testing.T) {
+	g := chain(tveg.Static)
+	w01 := g.MinCost(0, 1, 10)
+	w12 := g.MinCost(1, 2, 20)
+	s := schedule.Schedule{{Relay: 0, T: 10, W: w01}, {Relay: 1, T: 20, W: w12}}
+	r := Evaluate(g, s, 0, 5, rand.New(rand.NewSource(1)))
+	if r.MeanDelivery != 1 {
+		t.Errorf("delivery = %g, want 1", r.MeanDelivery)
+	}
+	if r.StdDelivery != 0 {
+		t.Errorf("static delivery should have zero variance, got %g", r.StdDelivery)
+	}
+	want := (w01 + w12) / g.Params.GammaTh
+	if math.Abs(r.MeanEnergy-want) > 1e-12 {
+		t.Errorf("energy = %g, want %g", r.MeanEnergy, want)
+	}
+	if math.Abs(r.PlannedEnergy-want) > 1e-12 {
+		t.Errorf("planned = %g, want %g", r.PlannedEnergy, want)
+	}
+}
+
+func TestEvaluateRelayCannotForwardWithoutPacket(t *testing.T) {
+	g := chain(tveg.Static)
+	w12 := g.MinCost(1, 2, 20)
+	// node 1 transmits but was never informed: nothing happens, no energy
+	s := schedule.Schedule{{Relay: 1, T: 20, W: w12}}
+	r := Evaluate(g, s, 0, 3, rand.New(rand.NewSource(1)))
+	if r.MeanDelivery != 1.0/3 {
+		t.Errorf("delivery = %g, want 1/3 (source only)", r.MeanDelivery)
+	}
+	if r.MeanEnergy != 0 {
+		t.Errorf("energy = %g, want 0 (transmission never fires)", r.MeanEnergy)
+	}
+	if r.PlannedEnergy == 0 {
+		t.Error("planned energy should still count the scheduled transmission")
+	}
+}
+
+func TestEvaluateInsufficientPowerStaticFails(t *testing.T) {
+	g := chain(tveg.Static)
+	w01 := g.MinCost(0, 1, 10)
+	s := schedule.Schedule{{Relay: 0, T: 10, W: w01 * 0.9}}
+	r := Evaluate(g, s, 0, 2, rand.New(rand.NewSource(1)))
+	if r.MeanDelivery != 1.0/3 {
+		t.Errorf("delivery = %g, want 1/3", r.MeanDelivery)
+	}
+}
+
+func TestEvaluateFadingMatchesAnalyticSingleHop(t *testing.T) {
+	g := tveg.New(2, iv(0, 100), 0, tveg.DefaultParams(), tveg.RayleighFading)
+	g.AddContact(0, 1, iv(0, 100), 5)
+	ed := g.EDAt(0, 1, 10)
+	w := ed.MinCost(0.3) // 70% success
+	s := schedule.Schedule{{Relay: 0, T: 10, W: w}}
+	r := Evaluate(g, s, 0, 40000, rand.New(rand.NewSource(7)))
+	// delivery = (1 + P(success))/2
+	want := (1 + 0.7) / 2
+	if math.Abs(r.MeanDelivery-want) > 0.01 {
+		t.Errorf("delivery = %g, want ≈%g", r.MeanDelivery, want)
+	}
+}
+
+func TestEvaluateFadingCascade(t *testing.T) {
+	// two-hop chain with 50%-success hops: delivery of node 2 should be
+	// ≈ 0.25 (both hops must succeed; relay 1 fires only when informed).
+	g := chain(tveg.RayleighFading)
+	w01 := g.EDAt(0, 1, 10).MinCost(0.5)
+	w12 := g.EDAt(1, 2, 20).MinCost(0.5)
+	s := schedule.Schedule{{Relay: 0, T: 10, W: w01}, {Relay: 1, T: 20, W: w12}}
+	r := Evaluate(g, s, 0, 60000, rand.New(rand.NewSource(9)))
+	// node1 informed: 1/2; node2 informed: 1/4 → delivery = (1 + 1/2 + 1/4)/3
+	want := (1 + 0.5 + 0.25) / 3
+	if math.Abs(r.MeanDelivery-want) > 0.01 {
+		t.Errorf("delivery = %g, want ≈%g", r.MeanDelivery, want)
+	}
+	// consumed energy: tx0 always fires; tx1 fires half the time
+	wantEnergy := (w01 + 0.5*w12) / g.Params.GammaTh
+	if math.Abs(r.MeanEnergy-wantEnergy)/wantEnergy > 0.02 {
+		t.Errorf("energy = %g, want ≈%g", r.MeanEnergy, wantEnergy)
+	}
+}
+
+func TestFRBeatsNonFRDeliveryUnderFading(t *testing.T) {
+	// The headline Fig. 6 effect on a single trace.
+	r := rand.New(rand.NewSource(4))
+	g := tveg.New(6, iv(0, 1000), 0, tveg.DefaultParams(), tveg.RayleighFading)
+	for c := 0; c < 30; c++ {
+		i, j := tvg.NodeID(r.Intn(6)), tvg.NodeID(r.Intn(6))
+		if i == j {
+			continue
+		}
+		s := r.Float64() * 800
+		g.AddContact(i, j, iv(s, s+50+r.Float64()*100), 1+r.Float64()*9)
+	}
+	nonFR, err1 := core.EEDCB{}.Schedule(g, 0, 0, 1000)
+	fr, err2 := core.FREEDCB{}.Schedule(g, 0, 0, 1000)
+	if err1 != nil || err2 != nil {
+		t.Skipf("trace not fully connected: %v %v", err1, err2)
+	}
+	rng := rand.New(rand.NewSource(11))
+	resNon := Evaluate(g, nonFR, 0, 3000, rng)
+	resFR := Evaluate(g, fr, 0, 3000, rng)
+	if resFR.MeanDelivery <= resNon.MeanDelivery {
+		t.Errorf("FR delivery %g should beat non-FR %g",
+			resFR.MeanDelivery, resNon.MeanDelivery)
+	}
+	if resFR.MeanDelivery < 0.95 {
+		t.Errorf("FR delivery %g should be near 1", resFR.MeanDelivery)
+	}
+}
+
+func TestInformedTimes(t *testing.T) {
+	g := chain(tveg.Static)
+	w01 := g.MinCost(0, 1, 10)
+	w12 := g.MinCost(1, 2, 20)
+	s := schedule.Schedule{{Relay: 0, T: 10, W: w01}, {Relay: 1, T: 20, W: w12}}
+	times := InformedTimes(g, s, 0)
+	if times[0] != 0 || times[1] != 10 || times[2] != 20 {
+		t.Errorf("times = %v, want [0 10 20]", times)
+	}
+}
+
+func TestInformedTimesPanicsOnFading(t *testing.T) {
+	g := chain(tveg.RayleighFading)
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic")
+		}
+	}()
+	InformedTimes(g, nil, 0)
+}
+
+func TestDegreeSeries(t *testing.T) {
+	g := chain(tveg.Static)
+	ds := DegreeSeries(g, []float64{5, 25, 60})
+	if ds[0] != 0 {
+		t.Errorf("degree(5) = %g, want 0", ds[0])
+	}
+	if ds[1] <= 0 {
+		t.Errorf("degree(25) = %g, want > 0", ds[1])
+	}
+	if ds[2] != 0 {
+		t.Errorf("degree(60) = %g, want 0", ds[2])
+	}
+}
+
+func TestSortedCopyDoesNotMutate(t *testing.T) {
+	s := schedule.Schedule{{Relay: 1, T: 30, W: 1}, {Relay: 0, T: 10, W: 1}}
+	c := SortedCopy(s)
+	if c[0].T != 10 || s[0].T != 30 {
+		t.Errorf("SortedCopy wrong: c=%v s=%v", c, s)
+	}
+}

@@ -1,0 +1,154 @@
+// Package stats provides the small statistical toolkit the benchmark
+// harness uses to aggregate per-seed experiment results: means, sample
+// standard deviations, normal-approximation confidence intervals, and
+// labelled series formatting.
+package stats
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+)
+
+// Mean returns the arithmetic mean (0 for an empty slice).
+func Mean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	s := 0.0
+	for _, x := range xs {
+		s += x
+	}
+	return s / float64(len(xs))
+}
+
+// StdDev returns the sample standard deviation (0 for fewer than two
+// samples).
+func StdDev(xs []float64) float64 {
+	n := len(xs)
+	if n < 2 {
+		return 0
+	}
+	m := Mean(xs)
+	ss := 0.0
+	for _, x := range xs {
+		d := x - m
+		ss += d * d
+	}
+	return math.Sqrt(ss / float64(n-1))
+}
+
+// CI95 returns the half-width of the 95% normal-approximation confidence
+// interval of the mean.
+func CI95(xs []float64) float64 {
+	if len(xs) < 2 {
+		return 0
+	}
+	return 1.96 * StdDev(xs) / math.Sqrt(float64(len(xs)))
+}
+
+// Summary holds aggregate statistics of one sample.
+type Summary struct {
+	N          int
+	Mean, Std  float64
+	Min, Max   float64
+	CI95Margin float64
+}
+
+// Summarize computes a Summary of xs.
+func Summarize(xs []float64) Summary {
+	s := Summary{N: len(xs), Mean: Mean(xs), Std: StdDev(xs), CI95Margin: CI95(xs)}
+	if len(xs) == 0 {
+		return s
+	}
+	s.Min, s.Max = xs[0], xs[0]
+	for _, x := range xs[1:] {
+		s.Min = math.Min(s.Min, x)
+		s.Max = math.Max(s.Max, x)
+	}
+	return s
+}
+
+func (s Summary) String() string {
+	return fmt.Sprintf("n=%d mean=%.4g ±%.2g [%.4g,%.4g]", s.N, s.Mean, s.CI95Margin, s.Min, s.Max)
+}
+
+// Percentile returns the p-quantile (0 <= p <= 1) of xs by linear
+// interpolation between order statistics. It copies and sorts; 0 for an
+// empty slice.
+func Percentile(xs []float64, p float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	if p < 0 || p > 1 || math.IsNaN(p) {
+		panic(fmt.Sprintf("stats: percentile %g outside [0,1]", p))
+	}
+	sorted := append([]float64(nil), xs...)
+	sort.Float64s(sorted)
+	if len(sorted) == 1 {
+		return sorted[0]
+	}
+	pos := p * float64(len(sorted)-1)
+	lo := int(pos)
+	if lo == len(sorted)-1 {
+		return sorted[lo]
+	}
+	frac := pos - float64(lo)
+	return sorted[lo]*(1-frac) + sorted[lo+1]*frac
+}
+
+// Series is a labelled sequence of (x, y) points — one curve of a figure.
+type Series struct {
+	Label string
+	X, Y  []float64
+}
+
+// Add appends a point.
+func (s *Series) Add(x, y float64) {
+	s.X = append(s.X, x)
+	s.Y = append(s.Y, y)
+}
+
+// Table renders aligned rows "x  y1 y2 ..." for a set of series sharing
+// the same X grid, with a header line — the format the figure harness
+// prints so paper panels can be regenerated as plain data.
+func Table(title string, xLabel string, series ...*Series) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "# %s\n", title)
+	fmt.Fprintf(&b, "%-12s", xLabel)
+	for _, s := range series {
+		fmt.Fprintf(&b, " %14s", s.Label)
+	}
+	b.WriteByte('\n')
+	if len(series) == 0 {
+		return b.String()
+	}
+	for i := range series[0].X {
+		fmt.Fprintf(&b, "%-12.6g", series[0].X[i])
+		for _, s := range series {
+			if i < len(s.Y) {
+				fmt.Fprintf(&b, " %14.6g", s.Y[i])
+			} else {
+				fmt.Fprintf(&b, " %14s", "-")
+			}
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+// Monotone reports whether ys is non-increasing (dir < 0) or
+// non-decreasing (dir > 0) within a relative tolerance — the shape checks
+// EXPERIMENTS.md records.
+func Monotone(ys []float64, dir int, tol float64) bool {
+	for i := 1; i < len(ys); i++ {
+		switch {
+		case dir < 0 && ys[i] > ys[i-1]*(1+tol):
+			return false
+		case dir > 0 && ys[i] < ys[i-1]*(1-tol):
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,138 @@
+package stats
+
+import (
+	"math"
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestMean(t *testing.T) {
+	if Mean(nil) != 0 {
+		t.Error("Mean(nil) should be 0")
+	}
+	if got := Mean([]float64{1, 2, 3, 4}); got != 2.5 {
+		t.Errorf("Mean = %g, want 2.5", got)
+	}
+}
+
+func TestStdDev(t *testing.T) {
+	if StdDev([]float64{5}) != 0 {
+		t.Error("single sample std should be 0")
+	}
+	got := StdDev([]float64{2, 4, 4, 4, 5, 5, 7, 9})
+	want := math.Sqrt(32.0 / 7.0)
+	if math.Abs(got-want) > 1e-12 {
+		t.Errorf("StdDev = %g, want %g", got, want)
+	}
+}
+
+func TestCI95(t *testing.T) {
+	xs := []float64{1, 2, 3, 4, 5}
+	want := 1.96 * StdDev(xs) / math.Sqrt(5)
+	if got := CI95(xs); math.Abs(got-want) > 1e-12 {
+		t.Errorf("CI95 = %g, want %g", got, want)
+	}
+	if CI95([]float64{1}) != 0 {
+		t.Error("CI95 of one sample should be 0")
+	}
+}
+
+func TestSummarize(t *testing.T) {
+	s := Summarize([]float64{3, 1, 2})
+	if s.N != 3 || s.Min != 1 || s.Max != 3 || s.Mean != 2 {
+		t.Errorf("Summary = %+v", s)
+	}
+	if !strings.Contains(s.String(), "n=3") {
+		t.Errorf("String = %q", s.String())
+	}
+	empty := Summarize(nil)
+	if empty.N != 0 || empty.Min != 0 || empty.Max != 0 {
+		t.Errorf("empty Summary = %+v", empty)
+	}
+}
+
+func TestSeriesAndTable(t *testing.T) {
+	a := &Series{Label: "alg1"}
+	b := &Series{Label: "alg2"}
+	a.Add(1, 10)
+	a.Add(2, 20)
+	b.Add(1, 11)
+	// b is shorter: missing cell renders "-"
+	out := Table("fig", "x", a, b)
+	if !strings.Contains(out, "# fig") || !strings.Contains(out, "alg1") {
+		t.Errorf("Table = %q", out)
+	}
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if len(lines) != 4 {
+		t.Fatalf("Table has %d lines, want 4:\n%s", len(lines), out)
+	}
+	if !strings.Contains(lines[3], "-") {
+		t.Errorf("missing cell not rendered: %q", lines[3])
+	}
+}
+
+func TestTableEmpty(t *testing.T) {
+	out := Table("t", "x")
+	if !strings.Contains(out, "# t") {
+		t.Errorf("Table = %q", out)
+	}
+}
+
+func TestMonotone(t *testing.T) {
+	if !Monotone([]float64{5, 4, 4, 3}, -1, 0) {
+		t.Error("non-increasing should pass dir=-1")
+	}
+	if Monotone([]float64{5, 6}, -1, 0) {
+		t.Error("increasing should fail dir=-1")
+	}
+	if !Monotone([]float64{1, 2, 2, 3}, +1, 0) {
+		t.Error("non-decreasing should pass dir=+1")
+	}
+	// tolerance absorbs small bumps
+	if !Monotone([]float64{100, 101}, -1, 0.02) {
+		t.Error("1% bump within 2% tolerance should pass")
+	}
+}
+
+func TestQuickMeanWithinMinMax(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		n := 1 + r.Intn(20)
+		xs := make([]float64, n)
+		for i := range xs {
+			xs[i] = r.Float64()*200 - 100
+		}
+		s := Summarize(xs)
+		return s.Mean >= s.Min-1e-9 && s.Mean <= s.Max+1e-9 && s.Std >= 0
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPercentile(t *testing.T) {
+	xs := []float64{4, 1, 3, 2}
+	if got := Percentile(xs, 0); got != 1 {
+		t.Errorf("p0 = %g, want 1", got)
+	}
+	if got := Percentile(xs, 1); got != 4 {
+		t.Errorf("p100 = %g, want 4", got)
+	}
+	if got := Percentile(xs, 0.5); got != 2.5 {
+		t.Errorf("median = %g, want 2.5", got)
+	}
+	if got := Percentile([]float64{7}, 0.9); got != 7 {
+		t.Errorf("single = %g, want 7", got)
+	}
+	if got := Percentile(nil, 0.5); got != 0 {
+		t.Errorf("empty = %g, want 0", got)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic for p > 1")
+		}
+	}()
+	Percentile(xs, 1.5)
+}

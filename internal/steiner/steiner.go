@@ -1,0 +1,471 @@
+// Package steiner approximates the directed Steiner tree problem: given
+// a weighted digraph, a root, and a terminal set, find a cheap subgraph
+// in which every terminal is reachable from the root.
+//
+// This is the algorithmic core Liang's minimum-energy multicast tree
+// algorithm [3] reduces to, and therefore the engine behind EEDCB
+// (§VI-A): the auxiliary graph of a TMEDB instance is handed to this
+// package. Two algorithms are provided:
+//
+//   - ShortestPathTree — the union of shortest paths root→terminal, a
+//     fast heuristic with ratio at most the number of terminals.
+//   - RecursiveGreedy — the Charikar et al. level-ℓ recursive greedy with
+//     approximation ratio O(ℓ·k^{1/ℓ}) for k terminals, matching the
+//     O(N^ε) guarantee family the paper cites.
+//
+// Distances are computed lazily: one forward Dijkstra per recursion root
+// and one reverse-graph Dijkstra per terminal, so the level-2 solver
+// runs on auxiliary graphs with tens of thousands of vertices without
+// ever materializing all-pairs distances. Levels >= 3 need forward
+// distances from arbitrary vertices and are therefore restricted to
+// small graphs.
+package steiner
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"repro/internal/graph"
+)
+
+// maxLevel3Vertices bounds the graph size accepted by levels >= 3, whose
+// per-vertex forward Dijkstra caching is quadratic in the worst case.
+const maxLevel3Vertices = 4000
+
+// edgeID identifies a directed edge by endpoints.
+type edgeID struct{ U, V int }
+
+// Solution is a subgraph (a union of root-to-terminal paths) solving a
+// Steiner instance.
+type Solution struct {
+	Root  int
+	edges map[edgeID]float64
+}
+
+func newSolution(root int) Solution {
+	return Solution{Root: root, edges: make(map[edgeID]float64)}
+}
+
+// Cost returns the total weight of the distinct edges in the solution.
+func (s Solution) Cost() float64 {
+	var c float64
+	for _, w := range s.edges {
+		c += w
+	}
+	return c
+}
+
+// NumEdges returns the number of distinct edges.
+func (s Solution) NumEdges() int { return len(s.edges) }
+
+// Edges returns the solution edges as (u, v, w) triples, in deterministic
+// order.
+func (s Solution) Edges() [][3]float64 {
+	out := make([][3]float64, 0, len(s.edges))
+	for id, w := range s.edges {
+		out = append(out, [3]float64{float64(id.U), float64(id.V), w})
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i][0] != out[j][0] {
+			return out[i][0] < out[j][0]
+		}
+		return out[i][1] < out[j][1]
+	})
+	return out
+}
+
+// addEdge merges an edge, keeping the cheaper weight for duplicates.
+func (s Solution) addEdge(u, v int, w float64) {
+	id := edgeID{u, v}
+	if old, ok := s.edges[id]; !ok || w < old {
+		s.edges[id] = w
+	}
+}
+
+// merge folds other into s.
+func (s Solution) merge(other Solution) {
+	for id, w := range other.edges {
+		if old, ok := s.edges[id]; !ok || w < old {
+			s.edges[id] = w
+		}
+	}
+}
+
+// ReachableFromRoot returns the vertices reachable from the root using
+// only solution edges.
+func (s Solution) ReachableFromRoot() map[int]bool {
+	adj := make(map[int][]int)
+	for id := range s.edges {
+		adj[id.U] = append(adj[id.U], id.V)
+	}
+	seen := map[int]bool{s.Root: true}
+	stack := []int{s.Root}
+	for len(stack) > 0 {
+		u := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		for _, v := range adj[u] {
+			if !seen[v] {
+				seen[v] = true
+				stack = append(stack, v)
+			}
+		}
+	}
+	return seen
+}
+
+// Pruned returns the solution restricted to its useful edges: those on
+// some root→terminal path (the tail u reachable from the root, the head
+// v reaching a terminal). Union-of-paths constructions can leave dead
+// branches behind — e.g. a power vertex adopted for several terminals of
+// which later greedy rounds re-covered some more cheaply — and pruning
+// removes their cost without affecting coverage.
+func (s Solution) Pruned(terminals []int) Solution {
+	// Removing a dead branch can expose another (its feeder), so iterate
+	// to a fixpoint; each pass strictly shrinks the edge set.
+	for {
+		next := s.prunedOnce(terminals)
+		if next.NumEdges() == s.NumEdges() {
+			return next
+		}
+		s = next
+	}
+}
+
+func (s Solution) prunedOnce(terminals []int) Solution {
+	fwd := s.ReachableFromRoot()
+	radj := make(map[int][]int)
+	for id := range s.edges {
+		radj[id.V] = append(radj[id.V], id.U)
+	}
+	rev := make(map[int]bool, len(terminals))
+	var stack []int
+	for _, t := range terminals {
+		if !rev[t] {
+			rev[t] = true
+			stack = append(stack, t)
+		}
+	}
+	for len(stack) > 0 {
+		v := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		for _, u := range radj[v] {
+			if !rev[u] {
+				rev[u] = true
+				stack = append(stack, u)
+			}
+		}
+	}
+	out := newSolution(s.Root)
+	for id, w := range s.edges {
+		if fwd[id.U] && rev[id.V] {
+			out.edges[id] = w
+		}
+	}
+	return out
+}
+
+// Verify checks that the solution is sound for the instance: every edge
+// exists in g with at least the claimed weight available, and every
+// terminal is reachable from the root through solution edges.
+func (s Solution) Verify(g *graph.Digraph, terminals []int) error {
+	for id, w := range s.edges {
+		found := false
+		for _, e := range g.Out(id.U) {
+			if e.To == id.V && e.W <= w+1e-12 {
+				found = true
+				break
+			}
+		}
+		if !found {
+			return fmt.Errorf("steiner: edge (%d,%d,w=%g) not in graph", id.U, id.V, w)
+		}
+	}
+	reach := s.ReachableFromRoot()
+	for _, t := range terminals {
+		if !reach[t] {
+			return fmt.Errorf("steiner: terminal %d not reachable from root %d", t, s.Root)
+		}
+	}
+	return nil
+}
+
+// sp caches one Dijkstra run.
+type sp struct {
+	dist []float64
+	prev []int
+}
+
+// Solver answers Steiner queries on one digraph with lazily cached
+// shortest-path computations.
+type Solver struct {
+	g   *graph.Digraph
+	rev *graph.Digraph
+	fwd map[int]*sp // forward Dijkstra per source
+	bwd map[int]*sp // reverse-graph Dijkstra per terminal (distances TO it)
+}
+
+// NewSolver builds a solver for g.
+func NewSolver(g *graph.Digraph) *Solver {
+	rev := graph.New(g.N())
+	for u := 0; u < g.N(); u++ {
+		for _, e := range g.Out(u) {
+			rev.AddEdge(e.To, u, e.W)
+		}
+	}
+	return &Solver{g: g, rev: rev, fwd: make(map[int]*sp), bwd: make(map[int]*sp)}
+}
+
+func (s *Solver) from(u int) *sp {
+	if c, ok := s.fwd[u]; ok {
+		return c
+	}
+	d, p := s.g.ShortestPaths(u)
+	c := &sp{d, p}
+	s.fwd[u] = c
+	return c
+}
+
+// distTo returns, for terminal x, the distance vector dist(v, x) over all
+// v, via one reverse-graph Dijkstra.
+func (s *Solver) distTo(x int) []float64 {
+	if c, ok := s.bwd[x]; ok {
+		return c.dist
+	}
+	d, p := s.rev.ShortestPaths(x)
+	s.bwd[x] = &sp{d, p}
+	return d
+}
+
+// Dist returns the shortest-path distance u→v.
+func (s *Solver) Dist(u, v int) float64 { return s.from(u).dist[v] }
+
+// addPath merges the shortest path u→v into sol. It returns false when v
+// is unreachable from u.
+func (s *Solver) addPath(sol Solution, u, v int) bool {
+	c := s.from(u)
+	p := graph.PathTo(c.prev, u, v)
+	if p == nil {
+		return false
+	}
+	for i := 0; i+1 < len(p); i++ {
+		sol.addEdge(p[i], p[i+1], s.minEdge(p[i], p[i+1]))
+	}
+	return true
+}
+
+func (s *Solver) minEdge(u, v int) float64 {
+	best := math.Inf(1)
+	for _, e := range s.g.Out(u) {
+		if e.To == v && e.W < best {
+			best = e.W
+		}
+	}
+	return best
+}
+
+// ShortestPathTree returns the union of shortest paths from root to each
+// terminal. It errors when a terminal is unreachable.
+func (s *Solver) ShortestPathTree(root int, terminals []int) (Solution, error) {
+	sol := newSolution(root)
+	for _, t := range terminals {
+		if !s.addPath(sol, root, t) {
+			return Solution{}, fmt.Errorf("steiner: terminal %d unreachable from %d", t, root)
+		}
+	}
+	return sol.Pruned(terminals), nil
+}
+
+// RecursiveGreedy runs the Charikar et al. level-ℓ recursive greedy
+// covering all terminals. level must be >= 1; level 1 degenerates to the
+// shortest-path union, level 2 and above trade running time for the
+// O(ℓ·k^{1/ℓ}) density guarantee.
+func (s *Solver) RecursiveGreedy(root int, terminals []int, level int) (Solution, error) {
+	if level < 1 {
+		return Solution{}, fmt.Errorf("steiner: level %d < 1", level)
+	}
+	if level >= 3 && s.g.N() > maxLevel3Vertices {
+		return Solution{}, fmt.Errorf("steiner: level %d needs quadratic distance caching; graph has %d > %d vertices",
+			level, s.g.N(), maxLevel3Vertices)
+	}
+	rootDist := s.from(root).dist
+	for _, t := range terminals {
+		if math.IsInf(rootDist[t], 1) {
+			return Solution{}, fmt.Errorf("steiner: terminal %d unreachable from %d", t, root)
+		}
+	}
+	remaining := append([]int(nil), terminals...)
+	sol := newSolution(root)
+	for len(remaining) > 0 {
+		sub, covered, _ := s.rg(level, len(remaining), root, remaining)
+		if len(covered) == 0 {
+			return Solution{}, fmt.Errorf("steiner: no progress covering %v", remaining)
+		}
+		sol.merge(sub)
+		remaining = subtract(remaining, covered)
+	}
+	return sol.Pruned(terminals), nil
+}
+
+// rg is the recursive density-greedy A_level(k, r, X): it returns a
+// partial solution rooted at r covering up to k terminals of X, the
+// covered terminals, and the density-estimate cost.
+func (s *Solver) rg(level, k, r int, X []int) (Solution, []int, float64) {
+	if level <= 1 {
+		return s.rgBase(k, r, X)
+	}
+	sol := newSolution(r)
+	var covered []int
+	var cost float64
+	rem := append([]int(nil), X...)
+	distR := s.from(r).dist
+	for k > 0 && len(rem) > 0 {
+		var bestV int
+		var bestCov []int
+		var bestCost float64
+		if level == 2 {
+			bestV, bestCov, bestCost = s.scanLevel2(k, distR, rem)
+		} else {
+			bestV, bestCov, bestCost = s.scanRecursive(level, k, distR, rem)
+		}
+		if bestV == -1 {
+			break
+		}
+		// materialize: path r→bestV plus paths bestV→covered terminals
+		s.addPath(sol, r, bestV)
+		for _, x := range bestCov {
+			s.addPath(sol, bestV, x)
+		}
+		cost += distR[bestV] + bestCost
+		covered = append(covered, bestCov...)
+		rem = subtract(rem, bestCov)
+		k -= len(bestCov)
+	}
+	return sol, covered, cost
+}
+
+// scanLevel2 finds the vertex v and prefix size k' minimizing the A_1
+// density (d(r,v) + Σ_{k' nearest} d(v,x)) / k', using reverse-graph
+// distances to the remaining terminals. It returns (-1, nil, 0) when no
+// vertex can reach any terminal.
+func (s *Solver) scanLevel2(k int, distR []float64, rem []int) (int, []int, float64) {
+	// dTo[xi][v] = dist(v, rem[xi])
+	dTo := make([][]float64, len(rem))
+	for xi, x := range rem {
+		dTo[xi] = s.distTo(x)
+	}
+	type td struct {
+		xi int
+		d  float64
+	}
+	bestV, bestDensity := -1, math.Inf(1)
+	var bestCov []int
+	var bestCost float64
+	cands := make([]td, 0, len(rem))
+	for v := 0; v < s.g.N(); v++ {
+		if math.IsInf(distR[v], 1) {
+			continue
+		}
+		cands = cands[:0]
+		for xi := range rem {
+			if d := dTo[xi][v]; !math.IsInf(d, 1) {
+				cands = append(cands, td{xi, d})
+			}
+		}
+		if len(cands) == 0 {
+			continue
+		}
+		sort.Slice(cands, func(a, b int) bool { return cands[a].d < cands[b].d })
+		kv := k
+		if kv > len(cands) {
+			kv = len(cands)
+		}
+		prefix := 0.0
+		for kp := 1; kp <= kv; kp++ {
+			prefix += cands[kp-1].d
+			if dens := (distR[v] + prefix) / float64(kp); dens < bestDensity {
+				bestDensity = dens
+				bestV = v
+				bestCost = prefix
+				bestCov = bestCov[:0]
+				for _, c := range cands[:kp] {
+					bestCov = append(bestCov, rem[c.xi])
+				}
+			}
+		}
+	}
+	if bestV == -1 {
+		return -1, nil, 0
+	}
+	return bestV, append([]int(nil), bestCov...), bestCost
+}
+
+// scanRecursive evaluates A_{level-1}(k', v, X) for every vertex and
+// budget, returning the density-optimal choice. Quadratic in the graph
+// size; guarded by maxLevel3Vertices.
+func (s *Solver) scanRecursive(level, k int, distR []float64, rem []int) (int, []int, float64) {
+	bestV, bestDensity := -1, math.Inf(1)
+	var bestCov []int
+	var bestCost float64
+	for v := 0; v < s.g.N(); v++ {
+		if math.IsInf(distR[v], 1) {
+			continue
+		}
+		for kp := 1; kp <= k; kp++ {
+			_, cov, c := s.rg(level-1, kp, v, rem)
+			if len(cov) == 0 {
+				continue
+			}
+			if dens := (distR[v] + c) / float64(len(cov)); dens < bestDensity {
+				bestDensity = dens
+				bestV = v
+				bestCov = cov
+				bestCost = c
+			}
+		}
+	}
+	return bestV, bestCov, bestCost
+}
+
+// rgBase is A_1(k, r, X): connect r to the k nearest reachable terminals
+// by direct shortest paths.
+func (s *Solver) rgBase(k, r int, X []int) (Solution, []int, float64) {
+	type td struct {
+		t int
+		d float64
+	}
+	dist := s.from(r).dist
+	cands := make([]td, 0, len(X))
+	for _, t := range X {
+		if d := dist[t]; !math.IsInf(d, 1) {
+			cands = append(cands, td{t, d})
+		}
+	}
+	sort.Slice(cands, func(i, j int) bool { return cands[i].d < cands[j].d })
+	if k > len(cands) {
+		k = len(cands)
+	}
+	sol := newSolution(r)
+	var covered []int
+	var cost float64
+	for _, c := range cands[:k] {
+		s.addPath(sol, r, c.t)
+		covered = append(covered, c.t)
+		cost += c.d
+	}
+	return sol, covered, cost
+}
+
+func subtract(xs, remove []int) []int {
+	rm := make(map[int]bool, len(remove))
+	for _, r := range remove {
+		rm[r] = true
+	}
+	out := xs[:0]
+	for _, x := range xs {
+		if !rm[x] {
+			out = append(out, x)
+		}
+	}
+	return out
+}

@@ -1,0 +1,299 @@
+package steiner
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/graph"
+)
+
+// starGadget: hub structure where the greedy-density approach pays off.
+// root 0 → hub 1 (cost 10), hub 1 → terminals 2,3,4 (cost 1 each);
+// also direct expensive edges 0→t (cost 9 each).
+func starGadget() (*graph.Digraph, []int) {
+	g := graph.New(5)
+	g.AddEdge(0, 1, 10)
+	for _, t := range []int{2, 3, 4} {
+		g.AddEdge(1, t, 1)
+		g.AddEdge(0, t, 9)
+	}
+	return g, []int{2, 3, 4}
+}
+
+func TestShortestPathTreeStar(t *testing.T) {
+	g, terms := starGadget()
+	s := NewSolver(g)
+	sol, err := s.ShortestPathTree(0, terms)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sol.Verify(g, terms); err != nil {
+		t.Fatal(err)
+	}
+	// SPT takes the three direct 9-cost edges: total 27.
+	if got := sol.Cost(); math.Abs(got-27) > 1e-9 {
+		t.Errorf("SPT cost = %g, want 27", got)
+	}
+}
+
+func TestRecursiveGreedyLevel2BeatsSPTOnStar(t *testing.T) {
+	g, terms := starGadget()
+	s := NewSolver(g)
+	sol, err := s.RecursiveGreedy(0, terms, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sol.Verify(g, terms); err != nil {
+		t.Fatal(err)
+	}
+	// Optimal: 0→1 (10) + three hub edges (3) = 13.
+	if got := sol.Cost(); math.Abs(got-13) > 1e-9 {
+		t.Errorf("RG2 cost = %g, want 13 (optimal)", got)
+	}
+}
+
+func TestRecursiveGreedyLevel1EqualsGreedySPT(t *testing.T) {
+	g, terms := starGadget()
+	s := NewSolver(g)
+	sol, err := s.RecursiveGreedy(0, terms, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sol.Verify(g, terms); err != nil {
+		t.Fatal(err)
+	}
+	if got := sol.Cost(); math.Abs(got-27) > 1e-9 {
+		t.Errorf("RG1 cost = %g, want 27 (direct paths)", got)
+	}
+}
+
+func TestUnreachableTerminal(t *testing.T) {
+	g := graph.New(3)
+	g.AddEdge(0, 1, 1)
+	s := NewSolver(g)
+	if _, err := s.ShortestPathTree(0, []int{2}); err == nil {
+		t.Error("SPT should fail on unreachable terminal")
+	}
+	if _, err := s.RecursiveGreedy(0, []int{2}, 2); err == nil {
+		t.Error("RG should fail on unreachable terminal")
+	}
+}
+
+func TestBadLevel(t *testing.T) {
+	g := graph.New(2)
+	g.AddEdge(0, 1, 1)
+	s := NewSolver(g)
+	if _, err := s.RecursiveGreedy(0, []int{1}, 0); err == nil {
+		t.Error("level 0 should error")
+	}
+}
+
+func TestSingleTerminalIsShortestPath(t *testing.T) {
+	g := graph.New(4)
+	g.AddEdge(0, 1, 1)
+	g.AddEdge(1, 2, 1)
+	g.AddEdge(0, 2, 5)
+	g.AddEdge(2, 3, 1)
+	s := NewSolver(g)
+	for _, level := range []int{1, 2, 3} {
+		sol, err := s.RecursiveGreedy(0, []int{3}, level)
+		if err != nil {
+			t.Fatalf("level %d: %v", level, err)
+		}
+		if got := sol.Cost(); math.Abs(got-3) > 1e-9 {
+			t.Errorf("level %d cost = %g, want 3", level, got)
+		}
+	}
+}
+
+func TestTerminalEqualsRoot(t *testing.T) {
+	g := graph.New(2)
+	g.AddEdge(0, 1, 1)
+	s := NewSolver(g)
+	sol, err := s.ShortestPathTree(0, []int{0, 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sol.Verify(g, []int{0, 1}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSharedPathNotDoubleCounted(t *testing.T) {
+	// 0→1 (10), 1→2 (1), 1→3 (1): both terminals share the 0→1 edge.
+	g := graph.New(4)
+	g.AddEdge(0, 1, 10)
+	g.AddEdge(1, 2, 1)
+	g.AddEdge(1, 3, 1)
+	s := NewSolver(g)
+	sol, err := s.ShortestPathTree(0, []int{2, 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := sol.Cost(); math.Abs(got-12) > 1e-9 {
+		t.Errorf("cost = %g, want 12 (shared edge counted once)", got)
+	}
+}
+
+func TestEdgesDeterministic(t *testing.T) {
+	g, terms := starGadget()
+	s := NewSolver(g)
+	sol, _ := s.RecursiveGreedy(0, terms, 2)
+	a := sol.Edges()
+	b := sol.Edges()
+	if len(a) != len(b) {
+		t.Fatal("Edges() length changed between calls")
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Error("Edges() order not deterministic")
+		}
+	}
+}
+
+func TestVerifyCatchesFakeEdge(t *testing.T) {
+	g := graph.New(3)
+	g.AddEdge(0, 1, 1)
+	sol := newSolution(0)
+	sol.addEdge(0, 2, 1) // not in graph
+	if err := sol.Verify(g, nil); err == nil {
+		t.Error("Verify should reject edge missing from graph")
+	}
+}
+
+func randomInstance(r *rand.Rand, n, m, k int) (*graph.Digraph, []int) {
+	g := graph.New(n)
+	// a random backbone guaranteeing reachability from 0
+	order := r.Perm(n)
+	pos := make([]int, n)
+	for i, v := range order {
+		pos[v] = i
+	}
+	if pos[0] != 0 {
+		order[pos[0]], order[0] = order[0], order[pos[0]]
+	}
+	for i := 1; i < n; i++ {
+		g.AddEdge(order[r.Intn(i)], order[i], 1+r.Float64()*10)
+	}
+	for e := 0; e < m; e++ {
+		g.AddEdge(r.Intn(n), r.Intn(n), 1+r.Float64()*10)
+	}
+	terms := make([]int, 0, k)
+	for _, v := range r.Perm(n)[:k] {
+		if v != 0 {
+			terms = append(terms, v)
+		}
+	}
+	return g, terms
+}
+
+func TestQuickSolutionsValid(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		g, terms := randomInstance(r, 15, 30, 6)
+		s := NewSolver(g)
+		for _, level := range []int{1, 2} {
+			sol, err := s.RecursiveGreedy(0, terms, level)
+			if err != nil {
+				return false
+			}
+			if sol.Verify(g, terms) != nil {
+				return false
+			}
+		}
+		spt, err := s.ShortestPathTree(0, terms)
+		return err == nil && spt.Verify(g, terms) == nil
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickCostAtLeastMaxShortestPath(t *testing.T) {
+	// Any solution must cost at least the distance to the farthest
+	// terminal (a lower bound on OPT).
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		g, terms := randomInstance(r, 12, 25, 5)
+		s := NewSolver(g)
+		lb := 0.0
+		for _, x := range terms {
+			if d := s.Dist(0, x); d > lb {
+				lb = d
+			}
+		}
+		for _, level := range []int{1, 2} {
+			sol, err := s.RecursiveGreedy(0, terms, level)
+			if err != nil || sol.Cost() < lb-1e-9 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestLevel3RunsOnSmallInstance(t *testing.T) {
+	r := rand.New(rand.NewSource(7))
+	g, terms := randomInstance(r, 10, 15, 4)
+	s := NewSolver(g)
+	sol, err := s.RecursiveGreedy(0, terms, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sol.Verify(g, terms); err != nil {
+		t.Error(err)
+	}
+	// Level 3 should not be worse than level 1 on this gadget family.
+	sol1, _ := s.RecursiveGreedy(0, terms, 1)
+	if sol.Cost() > sol1.Cost()*3+1e-9 {
+		t.Errorf("level 3 cost %g suspiciously worse than level 1 %g", sol.Cost(), sol1.Cost())
+	}
+}
+
+func TestPrunedRemovesDeadBranch(t *testing.T) {
+	sol := newSolution(0)
+	sol.addEdge(0, 1, 1) // on the path to terminal 2
+	sol.addEdge(1, 2, 1)
+	sol.addEdge(1, 3, 5) // dead branch: 3 is not a terminal
+	sol.addEdge(4, 2, 7) // unreachable tail: 4 not reachable from root
+	pruned := sol.Pruned([]int{2})
+	if pruned.NumEdges() != 2 {
+		t.Fatalf("pruned edges = %v", pruned.Edges())
+	}
+	if pruned.Cost() != 2 {
+		t.Errorf("pruned cost = %g, want 2", pruned.Cost())
+	}
+}
+
+func TestPrunedFixpointCascade(t *testing.T) {
+	// chain 1→5→6 is dead; removing 5→6 exposes 1→5 as dead too
+	sol := newSolution(0)
+	sol.addEdge(0, 1, 1)
+	sol.addEdge(1, 2, 1)
+	sol.addEdge(1, 5, 3)
+	sol.addEdge(5, 6, 3)
+	pruned := sol.Pruned([]int{2})
+	if pruned.NumEdges() != 2 {
+		t.Fatalf("pruned edges = %v, want the 0→1→2 chain", pruned.Edges())
+	}
+}
+
+func TestPrunedKeepsCoverage(t *testing.T) {
+	r := rand.New(rand.NewSource(4))
+	for trial := 0; trial < 20; trial++ {
+		g, terms := randomInstance(r, 14, 30, 5)
+		s := NewSolver(g)
+		sol, err := s.RecursiveGreedy(0, terms, 2)
+		if err != nil {
+			continue
+		}
+		if err := sol.Verify(g, terms); err != nil {
+			t.Fatalf("trial %d: pruned solution broken: %v", trial, err)
+		}
+	}
+}

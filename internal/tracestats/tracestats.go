@@ -1,0 +1,157 @@
+// Package tracestats computes the descriptive statistics of contact
+// traces that Chaintreau et al. [12] use to characterize the Haggle
+// datasets: contact durations, pairwise inter-contact gaps (with a
+// log-log tail profile exposing the power-law behaviour), contact-rate
+// and degree timelines, and per-node activity. The figures harness and
+// the traceinfo tool both report through this package.
+package tracestats
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+
+	"repro/internal/haggle"
+	"repro/internal/stats"
+)
+
+// Report aggregates the statistics of one trace.
+type Report struct {
+	N            int
+	Horizon      float64
+	NumContacts  int
+	Durations    stats.Summary
+	InterContact stats.Summary
+	// DurationP50/P90 and GapP50/P90 are median and 90th-percentile
+	// contact durations and inter-contact gaps.
+	DurationP50, DurationP90 float64
+	GapP50, GapP90           float64
+	// TailExponent is the fitted slope of the inter-contact CCDF on
+	// log-log axes (a power law shows up as a straight line; Haggle
+	// traces exhibit exponents around -0.3..-0.6 over the body).
+	TailExponent float64
+	// DegreeTimeline samples the mean instantaneous degree at uniform
+	// times across the horizon.
+	DegreeTimes  []float64
+	DegreeValues []float64
+	// PerNodeContacts counts contacts touching each node.
+	PerNodeContacts []int
+}
+
+// Analyze computes a Report. degreeSamples controls the timeline
+// resolution (default 32 when <= 0).
+func Analyze(t *haggle.Trace, degreeSamples int) Report {
+	if degreeSamples <= 0 {
+		degreeSamples = 32
+	}
+	r := Report{
+		N:               t.N,
+		Horizon:         t.Horizon,
+		NumContacts:     len(t.Contacts),
+		PerNodeContacts: make([]int, t.N),
+	}
+	var durations []float64
+	byPair := make(map[[2]int][]float64) // contact start times per pair
+	for _, c := range t.Contacts {
+		durations = append(durations, c.End-c.Start)
+		r.PerNodeContacts[c.I]++
+		r.PerNodeContacts[c.J]++
+		key := [2]int{c.I, c.J}
+		byPair[key] = append(byPair[key], c.Start)
+	}
+	r.Durations = stats.Summarize(durations)
+	r.DurationP50 = stats.Percentile(durations, 0.5)
+	r.DurationP90 = stats.Percentile(durations, 0.9)
+
+	var gaps []float64
+	for _, starts := range byPair {
+		sort.Float64s(starts)
+		for i := 1; i < len(starts); i++ {
+			gaps = append(gaps, starts[i]-starts[i-1])
+		}
+	}
+	r.InterContact = stats.Summarize(gaps)
+	r.GapP50 = stats.Percentile(gaps, 0.5)
+	r.GapP90 = stats.Percentile(gaps, 0.9)
+	r.TailExponent = tailExponent(gaps)
+
+	for k := 0; k < degreeSamples; k++ {
+		ts := t.Horizon * (float64(k) + 0.5) / float64(degreeSamples)
+		r.DegreeTimes = append(r.DegreeTimes, ts)
+		r.DegreeValues = append(r.DegreeValues, degreeAt(t, ts))
+	}
+	return r
+}
+
+// degreeAt returns the mean instantaneous degree at time ts.
+func degreeAt(t *haggle.Trace, ts float64) float64 {
+	active := 0
+	for _, c := range t.Contacts {
+		if c.Start <= ts && ts < c.End {
+			active++
+		}
+	}
+	return 2 * float64(active) / float64(t.N)
+}
+
+// tailExponent fits a straight line to the log-log CCDF of the gaps over
+// the central quantile range [0.1, 0.9]; a heavy tail yields a shallow
+// negative slope. Returns NaN with fewer than 10 samples.
+func tailExponent(gaps []float64) float64 {
+	if len(gaps) < 10 {
+		return math.NaN()
+	}
+	sorted := append([]float64(nil), gaps...)
+	sort.Float64s(sorted)
+	var xs, ys []float64
+	n := len(sorted)
+	for i := n / 10; i < n*9/10; i++ {
+		x := sorted[i]
+		if x <= 0 {
+			continue
+		}
+		ccdf := float64(n-i) / float64(n)
+		xs = append(xs, math.Log(x))
+		ys = append(ys, math.Log(ccdf))
+	}
+	if len(xs) < 2 {
+		return math.NaN()
+	}
+	// least-squares slope
+	mx, my := stats.Mean(xs), stats.Mean(ys)
+	var num, den float64
+	for i := range xs {
+		num += (xs[i] - mx) * (ys[i] - my)
+		den += (xs[i] - mx) * (xs[i] - mx)
+	}
+	if den == 0 {
+		return math.NaN()
+	}
+	return num / den
+}
+
+// String renders the report as a human-readable block.
+func (r Report) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "trace: %d nodes, %d contacts, horizon %.0f s\n", r.N, r.NumContacts, r.Horizon)
+	fmt.Fprintf(&b, "contact duration:   %v  p50=%.3g p90=%.3g\n", r.Durations, r.DurationP50, r.DurationP90)
+	fmt.Fprintf(&b, "inter-contact gap:  %v  p50=%.3g p90=%.3g\n", r.InterContact, r.GapP50, r.GapP90)
+	if !math.IsNaN(r.TailExponent) {
+		fmt.Fprintf(&b, "inter-contact tail: log-log slope %.2f\n", r.TailExponent)
+	}
+	fmt.Fprintf(&b, "degree timeline:\n")
+	for i := range r.DegreeTimes {
+		bars := int(r.DegreeValues[i]*20 + 0.5)
+		fmt.Fprintf(&b, "  t=%-8.0f %5.2f %s\n", r.DegreeTimes[i], r.DegreeValues[i],
+			strings.Repeat("#", bars))
+	}
+	busiest, most := 0, -1
+	for i, c := range r.PerNodeContacts {
+		if c > most {
+			busiest, most = i, c
+		}
+	}
+	fmt.Fprintf(&b, "busiest node: %d (%d contacts)\n", busiest, most)
+	return b.String()
+}

@@ -1,0 +1,113 @@
+package tracestats
+
+import (
+	"math"
+	"math/rand"
+	"strings"
+	"testing"
+
+	"repro/internal/haggle"
+)
+
+func tinyTrace() *haggle.Trace {
+	return &haggle.Trace{N: 3, Horizon: 100, Contacts: []haggle.Contact{
+		{I: 0, J: 1, Start: 10, End: 20, Dist: 5},
+		{I: 0, J: 1, Start: 40, End: 45, Dist: 5},
+		{I: 1, J: 2, Start: 50, End: 70, Dist: 5},
+	}}
+}
+
+func TestAnalyzeCounts(t *testing.T) {
+	r := Analyze(tinyTrace(), 4)
+	if r.N != 3 || r.NumContacts != 3 {
+		t.Errorf("report = %+v", r)
+	}
+	// durations: 10, 5, 20
+	if r.Durations.N != 3 || r.Durations.Min != 5 || r.Durations.Max != 20 {
+		t.Errorf("durations = %+v", r.Durations)
+	}
+	// one repeated pair → one gap of 30
+	if r.InterContact.N != 1 || r.InterContact.Mean != 30 {
+		t.Errorf("inter-contact = %+v", r.InterContact)
+	}
+	if r.PerNodeContacts[1] != 3 {
+		t.Errorf("node 1 contacts = %d, want 3", r.PerNodeContacts[1])
+	}
+}
+
+func TestDegreeAt(t *testing.T) {
+	tr := tinyTrace()
+	// at t=15 one contact is active: degree = 2/3
+	if got := degreeAt(tr, 15); math.Abs(got-2.0/3) > 1e-12 {
+		t.Errorf("degreeAt(15) = %g, want 2/3", got)
+	}
+	if got := degreeAt(tr, 30); got != 0 {
+		t.Errorf("degreeAt(30) = %g, want 0", got)
+	}
+	// contact end is exclusive
+	if got := degreeAt(tr, 20); got != 0 {
+		t.Errorf("degreeAt(20) = %g, want 0 (End exclusive)", got)
+	}
+}
+
+func TestTailExponentOnPareto(t *testing.T) {
+	// Pareto(α) has CCDF slope exactly -α on log-log axes.
+	r := rand.New(rand.NewSource(1))
+	const alpha = 1.5
+	gaps := make([]float64, 20000)
+	for i := range gaps {
+		gaps[i] = 1 / math.Pow(1-r.Float64(), 1/alpha)
+	}
+	got := tailExponent(gaps)
+	if math.Abs(got-(-alpha)) > 0.15 {
+		t.Errorf("tail exponent = %g, want ≈ %g", got, -alpha)
+	}
+}
+
+func TestTailExponentOnExponentialIsSteeper(t *testing.T) {
+	r := rand.New(rand.NewSource(2))
+	gaps := make([]float64, 20000)
+	for i := range gaps {
+		gaps[i] = r.ExpFloat64() + 1 // shift away from 0 for the log
+	}
+	got := tailExponent(gaps)
+	pareto := -1.5
+	if got >= pareto {
+		t.Errorf("exponential slope %g should be steeper (more negative) than Pareto %g", got, pareto)
+	}
+}
+
+func TestTailExponentTooFewSamples(t *testing.T) {
+	if !math.IsNaN(tailExponent([]float64{1, 2, 3})) {
+		t.Error("want NaN for tiny samples")
+	}
+}
+
+func TestGeneratedTraceIsHeavyTailed(t *testing.T) {
+	tr := haggle.Generate(haggle.GenOptions{}, rand.New(rand.NewSource(5)))
+	r := Analyze(tr, 8)
+	if math.IsNaN(r.TailExponent) {
+		t.Fatal("no tail exponent on a full trace")
+	}
+	// truncated Pareto with α=1.5: fitted slope should be shallow
+	// (heavier than exponential); accept a broad band
+	if r.TailExponent < -3 || r.TailExponent > -0.2 {
+		t.Errorf("tail exponent %g outside heavy-tail band", r.TailExponent)
+	}
+}
+
+func TestReportString(t *testing.T) {
+	out := Analyze(tinyTrace(), 4).String()
+	for _, want := range []string{"3 nodes", "contact duration", "degree timeline", "busiest node"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("report missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestAnalyzeDefaultSamples(t *testing.T) {
+	r := Analyze(tinyTrace(), 0)
+	if len(r.DegreeTimes) != 32 {
+		t.Errorf("default samples = %d, want 32", len(r.DegreeTimes))
+	}
+}

@@ -1,0 +1,99 @@
+package tvg
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// hubGraph: node 1 is connected to everyone early; node 3 gets an extra
+// late contact. τ = 1 so relaying through the hub costs real time.
+func hubGraph() *Graph {
+	g := New(4, iv(0, 100), 1)
+	g.AddContact(1, 0, iv(5, 20))
+	g.AddContact(1, 2, iv(5, 20))
+	g.AddContact(1, 3, iv(5, 20))
+	g.AddContact(3, 0, iv(80, 90))
+	return g
+}
+
+func TestTemporalClosenessHubWins(t *testing.T) {
+	g := hubGraph()
+	c := g.TemporalCloseness(0, 100)
+	for i := 0; i < 4; i++ {
+		if i == 1 {
+			continue
+		}
+		if c[1] <= c[i] {
+			t.Errorf("hub closeness %g not above node %d's %g", c[1], i, c[i])
+		}
+	}
+}
+
+func TestTemporalEccentricityAndCenter(t *testing.T) {
+	g := hubGraph()
+	ecc := g.TemporalEccentricity(0)
+	// hub transmits at 5, everyone receives at 6: eccentricity 6
+	if ecc[1] != 6 {
+		t.Errorf("hub eccentricity = %g, want 6", ecc[1])
+	}
+	// spokes need two hops: arrive 6 at the hub, 7 at the others
+	if ecc[0] != 7 {
+		t.Errorf("spoke eccentricity = %g, want 7", ecc[0])
+	}
+	center, e := g.TemporalCenter(0)
+	if center != 1 || e != 6 {
+		t.Errorf("center = %d (ecc %g), want hub 1 (ecc 6)", center, e)
+	}
+}
+
+func TestTemporalEccentricityUnreachable(t *testing.T) {
+	g := New(3, iv(0, 10), 0)
+	g.AddContact(0, 1, iv(0, 10))
+	ecc := g.TemporalEccentricity(0)
+	if !math.IsInf(ecc[0], 1) {
+		t.Errorf("node 0 eccentricity = %g, want +Inf (node 2 isolated)", ecc[0])
+	}
+}
+
+func TestTemporalClosenessSingleNode(t *testing.T) {
+	g := New(1, iv(0, 10), 0)
+	if c := g.TemporalCloseness(0, 10); c[0] != 0 {
+		t.Errorf("singleton closeness = %g, want 0", c[0])
+	}
+}
+
+func TestQuickClosenessBounds(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		g := randomGraph(r, 6, 1)
+		for _, c := range g.TemporalCloseness(0, 1000) {
+			if c < 0 || math.IsNaN(c) || math.IsInf(c, 0) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickCenterMinimizesEccentricity(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		g := randomGraph(r, 6, 1)
+		center, e := g.TemporalCenter(0)
+		for _, x := range g.TemporalEccentricity(0) {
+			if x < e {
+				return false
+			}
+		}
+		_ = center
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,340 @@
+// Package tvg implements deterministic time-varying graphs (§III-A):
+// G = (V, E, T, ρ, ζ) with a finite node set, edges whose presence
+// function ρ: E×T → {0,1} is a set of half-open intervals, and a constant
+// latency function ζ(e, t) = τ. It provides the ρ_τ connectivity test of
+// §IV, journeys (Definition 3.1) with foremost-arrival search, and the
+// per-node adjacent partitions P_i^ad of §V (Eq. 9).
+package tvg
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"repro/internal/interval"
+	"repro/internal/partition"
+)
+
+// NodeID identifies a node; nodes are numbered 0..N-1.
+type NodeID int
+
+// EdgeKey identifies an undirected edge; the canonical form has A < B.
+type EdgeKey struct {
+	A, B NodeID
+}
+
+// MakeEdgeKey returns the canonical key for the pair (i, j).
+func MakeEdgeKey(i, j NodeID) EdgeKey {
+	if i > j {
+		i, j = j, i
+	}
+	return EdgeKey{i, j}
+}
+
+// Graph is a deterministic continuous-time TVG. Edges are undirected:
+// wireless contacts are symmetric. The zero value is not usable; create
+// graphs with New.
+type Graph struct {
+	n        int
+	span     interval.Interval
+	tau      float64
+	presence map[EdgeKey]interval.Set
+	// neighbors[i] lists the nodes that share at least one presence
+	// interval with i, kept sorted for determinism.
+	neighbors [][]NodeID
+}
+
+// New creates a TVG with n nodes over the time span, with uniform edge
+// traversal time tau >= 0.
+func New(n int, span interval.Interval, tau float64) *Graph {
+	if n <= 0 {
+		panic(fmt.Sprintf("tvg: non-positive node count %d", n))
+	}
+	if tau < 0 {
+		panic(fmt.Sprintf("tvg: negative traversal time %g", tau))
+	}
+	return &Graph{
+		n:         n,
+		span:      span,
+		tau:       tau,
+		presence:  make(map[EdgeKey]interval.Set),
+		neighbors: make([][]NodeID, n),
+	}
+}
+
+// N returns the number of nodes.
+func (g *Graph) N() int { return g.n }
+
+// Span returns the time span T of the graph.
+func (g *Graph) Span() interval.Interval { return g.span }
+
+// Tau returns the uniform edge traversal time τ.
+func (g *Graph) Tau() float64 { return g.tau }
+
+// AddContact records that the edge (i, j) is present during iv, unioning
+// with any previously recorded presence.
+func (g *Graph) AddContact(i, j NodeID, iv interval.Interval) {
+	if i == j {
+		panic("tvg: self-loop contact")
+	}
+	g.checkNode(i)
+	g.checkNode(j)
+	if iv.Empty() {
+		return
+	}
+	k := MakeEdgeKey(i, j)
+	old, existed := g.presence[k]
+	g.presence[k] = old.Add(iv)
+	if !existed {
+		g.neighbors[i] = insertSorted(g.neighbors[i], j)
+		g.neighbors[j] = insertSorted(g.neighbors[j], i)
+	}
+}
+
+func insertSorted(s []NodeID, v NodeID) []NodeID {
+	i := sort.Search(len(s), func(i int) bool { return s[i] >= v })
+	if i < len(s) && s[i] == v {
+		return s
+	}
+	s = append(s, 0)
+	copy(s[i+1:], s[i:])
+	s[i] = v
+	return s
+}
+
+func (g *Graph) checkNode(i NodeID) {
+	if i < 0 || int(i) >= g.n {
+		panic(fmt.Sprintf("tvg: node %d out of range [0,%d)", i, g.n))
+	}
+}
+
+// Presence returns the presence set of the edge (i, j): the times at
+// which ρ(e_{i,j}, ·) = 1.
+func (g *Graph) Presence(i, j NodeID) interval.Set {
+	return g.presence[MakeEdgeKey(i, j)]
+}
+
+// Rho evaluates the presence function ρ(e_{i,j}, t).
+func (g *Graph) Rho(i, j NodeID, t float64) bool {
+	return g.presence[MakeEdgeKey(i, j)].Contains(t)
+}
+
+// RhoTau evaluates ρ_τ(e_{i,j}, t): whether i and j stay connected during
+// the whole closed window [t, t+τ], the condition for completing one
+// transmission started at t (§IV).
+func (g *Graph) RhoTau(i, j NodeID, t float64) bool {
+	return g.presence[MakeEdgeKey(i, j)].ContainsWindow(t, g.tau)
+}
+
+// EverNeighbors returns the nodes that are ever connected to i, sorted.
+// The returned slice must not be modified.
+func (g *Graph) EverNeighbors(i NodeID) []NodeID {
+	g.checkNode(i)
+	return g.neighbors[i]
+}
+
+// NeighborsAt appends to dst the nodes adjacent to i at time t (in the
+// ρ_τ sense) and returns the extended slice, sorted.
+func (g *Graph) NeighborsAt(i NodeID, t float64, dst []NodeID) []NodeID {
+	g.checkNode(i)
+	for _, j := range g.neighbors[i] {
+		if g.RhoTau(i, j, t) {
+			dst = append(dst, j)
+		}
+	}
+	return dst
+}
+
+// DegreeAt returns the number of nodes adjacent to i at time t.
+func (g *Graph) DegreeAt(i NodeID, t float64) int {
+	g.checkNode(i)
+	d := 0
+	for _, j := range g.neighbors[i] {
+		if g.RhoTau(i, j, t) {
+			d++
+		}
+	}
+	return d
+}
+
+// AverageDegreeAt returns the mean node degree at time t (Fig. 7 metric).
+func (g *Graph) AverageDegreeAt(t float64) float64 {
+	total := 0
+	for i := 0; i < g.n; i++ {
+		total += g.DegreeAt(NodeID(i), t)
+	}
+	return float64(total) / float64(g.n)
+}
+
+// AverageDegreeOver returns the mean node degree over the window
+// [start, end), sampled at `samples` evenly spaced times (the Fig. 7
+// "average degree every 500 s" metric).
+func (g *Graph) AverageDegreeOver(start, end float64, samples int) float64 {
+	if samples < 1 {
+		samples = 1
+	}
+	total := 0.0
+	for k := 0; k < samples; k++ {
+		t := start + (end-start)*(float64(k)+0.5)/float64(samples)
+		total += g.AverageDegreeAt(t)
+	}
+	return total / float64(samples)
+}
+
+// PairAdjacentPartition returns P_{i,j}^ad: the partition of the span
+// into adjacent and non-adjacent intervals of the pair (i, j), in the
+// ρ_τ sense.
+func (g *Graph) PairAdjacentPartition(i, j NodeID) partition.Partition {
+	eroded := g.presence[MakeEdgeKey(i, j)].Erode(g.tau)
+	pts := eroded.Breakpoints(g.span, nil)
+	return partition.New(g.span.Start, g.span.End, pts...)
+}
+
+// AdjacentPartition returns P_i^ad (Eq. 9): the combination of
+// P_{i,j}^ad over all other nodes j. Within each interval of the result,
+// the set of nodes adjacent to i is unchanged.
+func (g *Graph) AdjacentPartition(i NodeID) partition.Partition {
+	g.checkNode(i)
+	var pts []float64
+	for _, j := range g.neighbors[i] {
+		eroded := g.presence[MakeEdgeKey(i, j)].Erode(g.tau)
+		pts = eroded.Breakpoints(g.span, pts)
+	}
+	return partition.New(g.span.Start, g.span.End, pts...)
+}
+
+// AdjacentPartitions returns P_V^ad = {P_1^ad, ..., P_N^ad}.
+func (g *Graph) AdjacentPartitions() []partition.Partition {
+	out := make([]partition.Partition, g.n)
+	for i := 0; i < g.n; i++ {
+		out[i] = g.AdjacentPartition(NodeID(i))
+	}
+	return out
+}
+
+// earliestTransmissionAfter returns the earliest time t >= t0 at which a
+// transmission from i to j can start (ρ_τ(e, t) = 1), or ok = false if no
+// such time exists within the span.
+func (g *Graph) earliestTransmissionAfter(i, j NodeID, t0 float64) (float64, bool) {
+	eroded := g.presence[MakeEdgeKey(i, j)].Erode(g.tau)
+	for _, iv := range eroded.Intervals() {
+		cand := math.Max(t0, iv.Start)
+		// Eroded intervals are half-open: cand must lie strictly before
+		// the interval end, and the transmission must finish within the
+		// span.
+		if cand < iv.End && cand+g.tau <= g.span.End {
+			return cand, true
+		}
+	}
+	return 0, false
+}
+
+// EarliestArrivals computes, for every node, the foremost journey arrival
+// time from src when the packet originates at src at time t0. Nodes that
+// are unreachable get +Inf. This is the temporal analogue of Dijkstra:
+// nodes are settled in order of earliest arrival, and each settled node
+// relaxes its neighbors through the earliest feasible transmission.
+func (g *Graph) EarliestArrivals(src NodeID, t0 float64) []float64 {
+	g.checkNode(src)
+	const inf = 1e308
+	arr := make([]float64, g.n)
+	done := make([]bool, g.n)
+	for i := range arr {
+		arr[i] = inf
+	}
+	arr[src] = t0
+	for {
+		// pick unsettled node with minimum arrival
+		best := -1
+		for i := 0; i < g.n; i++ {
+			if !done[i] && arr[i] < inf && (best == -1 || arr[i] < arr[best]) {
+				best = i
+			}
+		}
+		if best == -1 {
+			break
+		}
+		done[best] = true
+		for _, j := range g.neighbors[best] {
+			if done[j] {
+				continue
+			}
+			t, ok := g.earliestTransmissionAfter(NodeID(best), j, arr[best])
+			if ok && t+g.tau < arr[j] {
+				arr[j] = t + g.tau
+			}
+		}
+	}
+	return arr
+}
+
+// Hop is one couple (e, t) of a journey: a traversal of the edge from
+// From to To starting at time T.
+type Hop struct {
+	From, To NodeID
+	T        float64
+}
+
+// Journey is a sequence of hops (Definition 3.1).
+type Journey []Hop
+
+// Departure returns the starting time t_1 of the journey.
+func (j Journey) Departure() float64 {
+	if len(j) == 0 {
+		return 0
+	}
+	return j[0].T
+}
+
+// Arrival returns the ending time t_k + τ of the journey in g.
+func (j Journey) Arrival(g *Graph) float64 {
+	if len(j) == 0 {
+		return 0
+	}
+	return j[len(j)-1].T + g.tau
+}
+
+// Validate checks Definition 3.1: consecutive hops chain head-to-tail,
+// every hop's edge is present during its whole traversal window, hops are
+// properly ordered (t_{l+1} >= t_l + τ), and no node repeats (the paper
+// considers only journeys without circles).
+func (j Journey) Validate(g *Graph) error {
+	seen := make(map[NodeID]bool, len(j)+1)
+	for l, h := range j {
+		if h.From == h.To {
+			return fmt.Errorf("tvg: hop %d is a self loop", l)
+		}
+		if !g.RhoTau(h.From, h.To, h.T) {
+			return fmt.Errorf("tvg: hop %d edge (%d,%d) not present during [%g,%g]",
+				l, h.From, h.To, h.T, h.T+g.tau)
+		}
+		if l > 0 {
+			if j[l-1].To != h.From {
+				return fmt.Errorf("tvg: hop %d does not chain from hop %d", l, l-1)
+			}
+			if h.T < j[l-1].T+g.tau {
+				return fmt.Errorf("tvg: hop %d departs at %g before previous arrival %g",
+					l, h.T, j[l-1].T+g.tau)
+			}
+		}
+		if seen[h.From] {
+			return fmt.Errorf("tvg: node %d repeated (journey has a circle)", h.From)
+		}
+		seen[h.From] = true
+	}
+	if len(j) > 0 && seen[j[len(j)-1].To] {
+		return fmt.Errorf("tvg: terminal node %d repeated", j[len(j)-1].To)
+	}
+	return nil
+}
+
+// NonStop reports whether the journey is a non-stop journey:
+// t_{l+1} = t_l + τ for every consecutive pair.
+func (j Journey) NonStop(g *Graph) bool {
+	for l := 1; l < len(j); l++ {
+		if j[l].T != j[l-1].T+g.tau {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,86 @@
+package tmedb
+
+import (
+	"bytes"
+	"math"
+	"testing"
+)
+
+func testGraph(model Model) *Graph {
+	g := NewGraph(3, Interval{Start: 0, End: 100}, 0, DefaultParams(), model)
+	g.AddContact(0, 1, Interval{Start: 10, End: 30}, 5)
+	g.AddContact(1, 2, Interval{Start: 20, End: 50}, 8)
+	return g
+}
+
+func TestFacadeEndToEndStatic(t *testing.T) {
+	g := testGraph(Static)
+	s, err := (EEDCB{}).Schedule(g, 0, 0, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := CheckFeasible(g, s, 0, 100, math.Inf(1)); err != nil {
+		t.Fatal(err)
+	}
+	res := Evaluate(g, s, 0, 3, 1)
+	if res.MeanDelivery != 1 {
+		t.Errorf("delivery = %g, want 1", res.MeanDelivery)
+	}
+}
+
+func TestFacadeEndToEndFading(t *testing.T) {
+	g := testGraph(Rayleigh)
+	s, err := (FREEDCB{}).Schedule(g, 0, 0, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := CheckFeasible(g, s, 0, 100, math.Inf(1)); err != nil {
+		t.Fatal(err)
+	}
+	res := Evaluate(g, s, 0, 2000, 1)
+	if res.MeanDelivery < 0.97 {
+		t.Errorf("FR delivery = %g, want near 1", res.MeanDelivery)
+	}
+}
+
+func TestFacadeTraceRoundTrip(t *testing.T) {
+	tr := GenerateTrace(TraceOptions{N: 5, Horizon: 2000}, 3)
+	var buf bytes.Buffer
+	if err := tr.Write(&buf); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadTrace(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.N != tr.N || len(back.Contacts) != len(tr.Contacts) {
+		t.Errorf("round trip mismatch: %d/%d vs %d/%d",
+			back.N, len(back.Contacts), tr.N, len(tr.Contacts))
+	}
+}
+
+func TestFacadeUninformedProb(t *testing.T) {
+	g := testGraph(Static)
+	w := g.MinCost(0, 1, 15)
+	s := Schedule{{Relay: 0, T: 15, W: w}}
+	if p := UninformedProb(g, s, 0, 1, 20); p != 0 {
+		t.Errorf("p = %g, want 0", p)
+	}
+	if p := UninformedProb(g, s, 0, 2, 20); p != 1 {
+		t.Errorf("p = %g, want 1", p)
+	}
+}
+
+func TestFacadeSummarize(t *testing.T) {
+	s := Summarize([]float64{1, 2, 3})
+	if s.N != 3 || s.Mean != 2 {
+		t.Errorf("Summary = %+v", s)
+	}
+}
+
+func TestFacadeModelsDistinct(t *testing.T) {
+	seen := map[Model]bool{Static: false, Rayleigh: false, Rician: false, Nakagami: false}
+	if len(seen) != 4 {
+		t.Error("channel model constants must be distinct")
+	}
+}
