@@ -15,6 +15,7 @@ import (
 	"errors"
 	"fmt"
 	"math"
+	"runtime"
 	"testing"
 
 	"repro/internal/auxgraph"
@@ -56,18 +57,40 @@ func BenchmarkFig4bFREEDCBDelaySweep(b *testing.B) {
 	}
 }
 
+// Fig. 5 is the headline solver benchmark, so it doubles as the
+// parallel-speedup regression check: the serial pools against a
+// GOMAXPROCS-wide pool on the identical sweep (the output tables are
+// byte-identical by the determinism contract; only the wall clock moves).
 func BenchmarkFig5aStaticAlgorithms(b *testing.B) {
 	cfg := benchConfig()
-	for i := 0; i < b.N; i++ {
-		logOnce(b, i, Fig5(cfg, Static))
+	for _, workers := range fig5WorkerGrid() {
+		cfg.Workers = workers
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				logOnce(b, i, Fig5(cfg, Static))
+			}
+		})
 	}
 }
 
 func BenchmarkFig5bFadingAlgorithms(b *testing.B) {
 	cfg := benchConfig()
-	for i := 0; i < b.N; i++ {
-		logOnce(b, i, Fig5(cfg, Rayleigh))
+	for _, workers := range fig5WorkerGrid() {
+		cfg.Workers = workers
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				logOnce(b, i, Fig5(cfg, Rayleigh))
+			}
+		})
 	}
+}
+
+// fig5WorkerGrid is {1, GOMAXPROCS}, collapsed on single-CPU machines.
+func fig5WorkerGrid() []int {
+	if p := runtime.GOMAXPROCS(0); p > 1 {
+		return []int{1, p}
+	}
+	return []int{1}
 }
 
 func BenchmarkFig6aEnergyVsN(b *testing.B) {

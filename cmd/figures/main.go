@@ -21,14 +21,16 @@ import (
 
 func main() {
 	var (
-		panel = flag.String("panel", "all", "panel to regenerate: all|4a|4b|5a|5b|6|7a|7b|complexity|gap")
-		quick = flag.Bool("quick", false, "single source, fewer Monte Carlo trials")
-		seed  = flag.Int64("seed", 1, "trace seed")
+		panel   = flag.String("panel", "all", "panel to regenerate: all|4a|4b|5a|5b|6|7a|7b|complexity|gap")
+		quick   = flag.Bool("quick", false, "single source, fewer Monte Carlo trials")
+		seed    = flag.Int64("seed", 1, "trace seed")
+		workers = flag.Int("workers", 0, "worker pool size for the sweep and the solver cores (0: GOMAXPROCS); tables are identical for every value")
 	)
 	flag.Parse()
 
 	cfg := tmedb.DefaultConfig()
 	cfg.TraceSeed = seed2(*seed)
+	cfg.Workers = *workers
 	if *quick {
 		cfg.Sources = []tmedb.NodeID{0}
 		cfg.Trials = 200

@@ -33,6 +33,7 @@ func main() {
 		t0        = flag.Float64("t0", 9000, "broadcast release time (s)")
 		delay     = flag.Float64("delay", 2000, "delay constraint (s)")
 		trials    = flag.Int("trials", 1000, "Monte Carlo trials")
+		workers   = flag.Int("workers", 1, "worker pool size for the solver and the Monte Carlo evaluation (0: GOMAXPROCS). Schedules are identical for every value; evaluation statistics depend on (seed, workers)")
 		level     = flag.Int("level", 2, "recursive-greedy Steiner level for (FR-)EEDCB")
 		outJSON   = flag.String("o", "", "write the planned schedule as JSON to this file")
 		targets   = flag.String("targets", "", "comma-separated multicast targets (empty: broadcast); only (fr-)eedcb")
@@ -44,7 +45,7 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
-	alg, err := parseAlg(*algName, *level, *seed)
+	alg, err := parseAlg(*algName, *level, *seed, *workers)
 	if err != nil {
 		fatal(err)
 	}
@@ -127,7 +128,7 @@ func main() {
 		fmt.Printf("feasibility      ok (all four §IV conditions)\n")
 	}
 
-	res := tmedb.Evaluate(g, sched, tmedb.NodeID(*src), *trials, *seed)
+	res := tmedb.EvaluateParallel(g, sched, tmedb.NodeID(*src), *trials, *seed, *workers)
 	fmt.Printf("evaluation       %v\n", res)
 
 	if *outJSON != "" {
@@ -157,20 +158,20 @@ func parseModel(s string) (tmedb.Model, error) {
 	return 0, fmt.Errorf("unknown model %q", s)
 }
 
-func parseAlg(s string, level int, seed int64) (tmedb.Scheduler, error) {
+func parseAlg(s string, level int, seed int64, workers int) (tmedb.Scheduler, error) {
 	switch strings.ToLower(s) {
 	case "eedcb":
-		return tmedb.EEDCB{Level: level}, nil
+		return tmedb.EEDCB{Level: level, Workers: workers}, nil
 	case "greed":
 		return tmedb.Greedy{}, nil
 	case "rand":
 		return tmedb.Random{Seed: seed}, nil
 	case "fr-eedcb":
-		return tmedb.FREEDCB{Level: level}, nil
+		return tmedb.FREEDCB{Level: level, Workers: workers}, nil
 	case "fr-greed":
-		return tmedb.FRGreedy{}, nil
+		return tmedb.FRGreedy{Workers: workers}, nil
 	case "fr-rand":
-		return tmedb.FRRandom{Seed: seed}, nil
+		return tmedb.FRRandom{Seed: seed, Workers: workers}, nil
 	}
 	return nil, fmt.Errorf("unknown algorithm %q", s)
 }

@@ -1,0 +1,138 @@
+package tmedb
+
+import (
+	"math"
+	"reflect"
+	"testing"
+)
+
+// These tests pin the ISSUE's parallel-determinism contract at the
+// public API level: for a seeded Haggle-like trace, the solver cores
+// must emit byte-identical schedules for every Workers value, and the
+// Monte Carlo evaluator must report the worker pool it actually used.
+
+func determinismGraph(model Model) *Graph {
+	tr := GenerateTrace(TraceOptions{N: 20}, 1)
+	return tr.ToTVEG(0, DefaultParams(), model)
+}
+
+func TestEEDCBScheduleIdenticalAcrossWorkers(t *testing.T) {
+	g := determinismGraph(Static)
+	base, err := (EEDCB{Workers: 1}).Schedule(g, 0, 9000, 11000)
+	if onlyRealErr(err) != nil {
+		t.Fatal(err)
+	}
+	for _, w := range []int{0, 2, 8} {
+		s, err := (EEDCB{Workers: w}).Schedule(g, 0, 9000, 11000)
+		if onlyRealErr(err) != nil {
+			t.Fatalf("workers=%d: %v", w, err)
+		}
+		if !reflect.DeepEqual(base, s) {
+			t.Fatalf("workers=%d: schedule differs from serial:\nserial   %v\nparallel %v", w, base, s)
+		}
+	}
+}
+
+func TestFREEDCBScheduleIdenticalAcrossWorkers(t *testing.T) {
+	g := determinismGraph(Rayleigh)
+	base, err := (FREEDCB{Workers: 1}).Schedule(g, 0, 9000, 11000)
+	if onlyRealErr(err) != nil {
+		t.Fatal(err)
+	}
+	for _, w := range []int{0, 2, 8} {
+		s, err := (FREEDCB{Workers: w}).Schedule(g, 0, 9000, 11000)
+		if onlyRealErr(err) != nil {
+			t.Fatalf("workers=%d: %v", w, err)
+		}
+		if !reflect.DeepEqual(base, s) {
+			t.Fatalf("workers=%d: schedule differs from serial:\nserial   %v\nparallel %v", w, base, s)
+		}
+	}
+}
+
+func TestMulticastIdenticalAcrossWorkers(t *testing.T) {
+	g := determinismGraph(Static)
+	targets := []NodeID{3, 9, 15}
+	base, err := (EEDCB{Workers: 1}).Multicast(g, 0, targets, 9000, 11000)
+	if onlyRealErr(err) != nil {
+		t.Fatal(err)
+	}
+	s, err := (EEDCB{Workers: 8}).Multicast(g, 0, targets, 9000, 11000)
+	if onlyRealErr(err) != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(base, s) {
+		t.Fatalf("multicast schedule differs:\nserial   %v\nparallel %v", base, s)
+	}
+}
+
+// TestFig5TableIdenticalAcrossWorkers pins the whole harness: the Fig. 5
+// sweep (trace → DTS → auxgraph → Steiner → schedule → table) must print
+// the same rows whether the pools run serial or 8-wide.
+func TestFig5TableIdenticalAcrossWorkers(t *testing.T) {
+	cfg := smallConfig()
+	cfg.Workers = 1
+	serial := Fig5(cfg, Static).String()
+	cfg.Workers = 8
+	parallel := Fig5(cfg, Static).String()
+	if serial != parallel {
+		t.Fatalf("Fig5 tables differ:\nworkers=1:\n%s\nworkers=8:\n%s", serial, parallel)
+	}
+}
+
+// TestEvaluateParallelIdenticalOnStaticChannel: on a static channel the
+// execution is deterministic (no RNG draw ever happens), so every
+// statistic except the reported pool size must agree between workers=1
+// and workers=8 — up to the float summation-order slack of the merge
+// (per-worker partial sums vs one running sum).
+func TestEvaluateParallelIdenticalOnStaticChannel(t *testing.T) {
+	g := determinismGraph(Static)
+	s, err := (EEDCB{}).Schedule(g, 0, 9000, 11000)
+	if onlyRealErr(err) != nil {
+		t.Fatal(err)
+	}
+	r1 := EvaluateParallel(g, s, 0, 64, 5, 1)
+	r8 := EvaluateParallel(g, s, 0, 64, 5, 8)
+	if r1.Workers != 1 || r8.Workers != 8 {
+		t.Fatalf("reported workers = %d and %d, want 1 and 8", r1.Workers, r8.Workers)
+	}
+	if r1.Trials != r8.Trials || r1.PlannedEnergy != r8.PlannedEnergy {
+		t.Fatalf("trials/planned energy differ: %v vs %v", r1, r8)
+	}
+	close := func(a, b float64) bool { return math.Abs(a-b) <= 1e-12*(1+math.Abs(a)) }
+	if !close(r1.MeanEnergy, r8.MeanEnergy) || !close(r1.MeanDelivery, r8.MeanDelivery) || !close(r1.StdDelivery, r8.StdDelivery) {
+		t.Fatalf("static-channel evaluation differs across workers:\nworkers=1: %v\nworkers=8: %v", r1, r8)
+	}
+}
+
+// TestEvaluateParallelReportsEffectiveWorkers is the ISSUE bugfix test:
+// a pool request larger than the trial count clamps, and the Result
+// records the clamped size — the silent degradation to the serial path
+// is now visible as Workers == 1.
+func TestEvaluateParallelReportsEffectiveWorkers(t *testing.T) {
+	g := determinismGraph(Rayleigh)
+	s, err := (FREEDCB{}).Schedule(g, 0, 9000, 11000)
+	if onlyRealErr(err) != nil {
+		t.Fatal(err)
+	}
+	cases := []struct {
+		trials, workers, want int
+	}{
+		{100, 1, 1}, // explicit serial
+		{100, 4, 4}, // normal pool
+		{3, 16, 3},  // clamped to trials
+		{1, 16, 1},  // degrades to serial — the bug this pins
+	}
+	for _, c := range cases {
+		r := EvaluateParallel(g, s, 0, c.trials, 1, c.workers)
+		if r.Workers != c.want {
+			t.Errorf("trials=%d workers=%d: reported %d workers, want %d", c.trials, c.workers, r.Workers, c.want)
+		}
+		if r.Trials != c.trials {
+			t.Errorf("trials=%d workers=%d: reported %d trials", c.trials, c.workers, r.Trials)
+		}
+	}
+	if r := Evaluate(g, s, 0, 10, 1); r.Workers != 1 {
+		t.Errorf("Evaluate reported %d workers, want 1", r.Workers)
+	}
+}

@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"math"
 
+	"repro/internal/parallel"
 	"repro/internal/stats"
 )
 
@@ -34,6 +35,12 @@ type ExperimentConfig struct {
 	Ns []int
 	// Trials is the Monte Carlo trial count for delivery ratios.
 	Trials int
+	// Workers bounds the worker pools at every level of the harness: the
+	// per-data-point fan-out of the figure generators and the Workers
+	// knob handed to the EEDCB/FR-EEDCB solver cores. 0 (the zero value)
+	// selects GOMAXPROCS; 1 forces the fully serial paths. Schedules and
+	// figure data are byte-identical for every value.
+	Workers int
 	// EvalSeed seeds the Monte Carlo evaluation.
 	EvalSeed int64
 	// SteinerLevel is the recursive-greedy level for EEDCB/FR-EEDCB.
@@ -83,17 +90,21 @@ func (f FigureResult) String() string {
 	return stats.Table(f.Title, f.XLabel, f.Series...)
 }
 
+// workers resolves the harness worker knob to a concrete pool size.
+func (cfg ExperimentConfig) workers() int { return parallel.Resolve(cfg.Workers) }
+
 // schedulersFor returns the algorithm set of one §VII comparison family.
 func (cfg ExperimentConfig) schedulersFor(fading bool) []Scheduler {
+	w := cfg.workers()
 	if fading {
 		return []Scheduler{
-			FREEDCB{Level: cfg.SteinerLevel},
-			FRGreedy{},
-			FRRandom{Seed: cfg.TraceSeed},
+			FREEDCB{Level: cfg.SteinerLevel, Workers: w},
+			FRGreedy{Workers: w},
+			FRRandom{Seed: cfg.TraceSeed, Workers: w},
 		}
 	}
 	return []Scheduler{
-		EEDCB{Level: cfg.SteinerLevel},
+		EEDCB{Level: cfg.SteinerLevel, Workers: w},
 		Greedy{},
 		Random{Seed: cfg.TraceSeed},
 	}
@@ -147,10 +158,10 @@ func (cfg ExperimentConfig) meanPlannedEnergy(alg Scheduler, g *Graph, t0, deadl
 // constraint, one series per network size N ∈ Ns (clipped to the three
 // smallest, as in the paper).
 func Fig4(cfg ExperimentConfig, model Model) FigureResult {
-	alg := Scheduler(EEDCB{Level: cfg.SteinerLevel})
+	alg := Scheduler(EEDCB{Level: cfg.SteinerLevel, Workers: cfg.workers()})
 	name := "EEDCB"
 	if model.Fading() {
-		alg = FREEDCB{Level: cfg.SteinerLevel}
+		alg = FREEDCB{Level: cfg.SteinerLevel, Workers: cfg.workers()}
 		name = "FR-EEDCB"
 	}
 	ns := cfg.Ns
@@ -165,7 +176,7 @@ func Fig4(cfg ExperimentConfig, model Model) FigureResult {
 		g := cfg.graphFor(n, model)
 		s := &Series{Label: fmt.Sprintf("N=%d", n)}
 		ys := make([]float64, len(cfg.Delays))
-		runParallel(len(cfg.Delays), func(i int) {
+		runParallel(cfg.workers(), len(cfg.Delays), func(i int) {
 			if e, ok := cfg.meanPlannedEnergy(alg, g, cfg.T0, cfg.T0+cfg.Delays[i]); ok {
 				ys[i] = e
 			} else {
@@ -194,7 +205,7 @@ func Fig5(cfg ExperimentConfig, model Model) FigureResult {
 		alg := alg
 		s := &Series{Label: alg.Name()}
 		ys := make([]float64, len(cfg.Delays))
-		runParallel(len(cfg.Delays), func(i int) {
+		runParallel(cfg.workers(), len(cfg.Delays), func(i int) {
 			if e, ok := cfg.meanPlannedEnergy(alg, g, cfg.T0, cfg.T0+cfg.Delays[i]); ok {
 				ys[i] = e
 			} else {
@@ -226,7 +237,7 @@ func Fig6(cfg ExperimentConfig) (energy, delivery FigureResult) {
 	}
 	type cell struct{ energy, delivery float64 }
 	grid := make([][]cell, len(cfg.Ns))
-	runParallel(len(cfg.Ns), func(ni int) {
+	runParallel(cfg.workers(), len(cfg.Ns), func(ni int) {
 		g := cfg.graphFor(cfg.Ns[ni], Rayleigh)
 		row := make([]cell, len(algs))
 		for i, alg := range algs {
@@ -276,7 +287,7 @@ func Fig7(cfg ExperimentConfig, model Model) FigureResult {
 		alg := alg
 		s := &Series{Label: alg.Name()}
 		ys := make([]float64, len(cfg.Fig7Times))
-		runParallel(len(cfg.Fig7Times), func(i int) {
+		runParallel(cfg.workers(), len(cfg.Fig7Times), func(i int) {
 			if e, ok := cfg.meanPlannedEnergy(alg, g, cfg.Fig7Times[i], cfg.Fig7Times[i]+cfg.Fig7Delay); ok {
 				ys[i] = e
 			} else {

@@ -4,11 +4,10 @@ import (
 	"errors"
 	"fmt"
 	"math"
-	"runtime"
-	"sync"
 
 	"repro/internal/auxgraph"
 	"repro/internal/dts"
+	"repro/internal/parallel"
 	"repro/internal/stats"
 )
 
@@ -17,36 +16,12 @@ import (
 // network grows) and per-instance approximation-gap certificates from
 // the auxiliary-graph lower bound.
 
-// runParallel executes f(0..n-1) across a worker pool and waits. Each
-// index writes only its own result slot, so output order is
-// deterministic regardless of scheduling.
-func runParallel(n int, f func(i int)) {
-	workers := runtime.GOMAXPROCS(0)
-	if workers > n {
-		workers = n
-	}
-	if workers <= 1 {
-		for i := 0; i < n; i++ {
-			f(i)
-		}
-		return
-	}
-	var wg sync.WaitGroup
-	next := make(chan int)
-	for w := 0; w < workers; w++ {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			for i := range next {
-				f(i)
-			}
-		}()
-	}
-	for i := 0; i < n; i++ {
-		next <- i
-	}
-	close(next)
-	wg.Wait()
+// runParallel executes f(0..n-1) across a worker pool of the given size
+// (<= 0 selects GOMAXPROCS) and waits. Each index writes only its own
+// result slot, so output order is deterministic regardless of
+// scheduling.
+func runParallel(workers, n int, f func(i int)) {
+	parallel.ForEach(parallel.Resolve(workers), n, f)
 }
 
 // ComplexityTable validates the §V size claims empirically: for each
@@ -65,7 +40,7 @@ func ComplexityTable(cfg ExperimentConfig) FigureResult {
 	deadline := cfg.T0 + cfg.Delays[0]
 	type row struct{ p, f, v, e float64 }
 	rows := make([]row, len(cfg.Ns))
-	runParallel(len(cfg.Ns), func(i int) {
+	runParallel(cfg.workers(), len(cfg.Ns), func(i int) {
 		g := cfg.graphFor(cfg.Ns[i], Static)
 		dp := dts.Build(g.Graph, cfg.T0, deadline, dts.Options{})
 		df := dts.Build(g.Graph, cfg.T0, deadline, dts.Options{NoPrune: true})
@@ -99,7 +74,7 @@ func GapTable(cfg ExperimentConfig) FigureResult {
 	deadline := cfg.T0 + cfg.Delays[0]
 	type row struct{ c, b float64 }
 	rows := make([]row, len(cfg.Ns))
-	runParallel(len(cfg.Ns), func(i int) {
+	runParallel(cfg.workers(), len(cfg.Ns), func(i int) {
 		g := cfg.graphFor(cfg.Ns[i], Static)
 		var cs, bs []float64
 		for _, src := range cfg.Sources {

@@ -54,19 +54,21 @@ func TestGapTableCertifiesSmallGaps(t *testing.T) {
 }
 
 func TestRunParallelCoversAllIndices(t *testing.T) {
-	hits := make([]int, 100)
-	runParallel(len(hits), func(i int) { hits[i]++ })
-	for i, h := range hits {
-		if h != 1 {
-			t.Fatalf("index %d ran %d times", i, h)
+	for _, workers := range []int{0, 1, 8} {
+		hits := make([]int, 100)
+		runParallel(workers, len(hits), func(i int) { hits[i]++ })
+		for i, h := range hits {
+			if h != 1 {
+				t.Fatalf("workers=%d: index %d ran %d times", workers, i, h)
+			}
 		}
 	}
 	// n smaller than worker count
 	small := make([]int, 2)
-	runParallel(2, func(i int) { small[i]++ })
+	runParallel(8, 2, func(i int) { small[i]++ })
 	if small[0] != 1 || small[1] != 1 {
 		t.Errorf("small run = %v", small)
 	}
 	// n == 0 must not hang
-	runParallel(0, func(int) { t.Error("should not run") })
+	runParallel(8, 0, func(int) { t.Error("should not run") })
 }

@@ -19,6 +19,7 @@ import (
 
 	"repro/internal/dts"
 	"repro/internal/graph"
+	"repro/internal/parallel"
 	"repro/internal/schedule"
 	"repro/internal/steiner"
 	"repro/internal/tveg"
@@ -31,6 +32,11 @@ type Options struct {
 	// independent unicast edges (each receiver paid for separately).
 	// Used by the ablation benchmarks.
 	NoBroadcastAdvantage bool
+	// Workers bounds the worker pool computing the per-(node, DTS-point)
+	// discrete cost sets — the ψ-heavy part of the construction. Every
+	// (node, point) weight is independent, so the built graph is
+	// identical for every value; <= 1 runs serially.
+	Workers int
 }
 
 // TxMeta describes the transmission a paying auxiliary edge stands for.
@@ -51,6 +57,7 @@ type Aux struct {
 	base      []int // base[i] = vertex id of u_{i,0}
 	meta      map[edgeID]TxMeta
 	advantage bool
+	workers   int
 }
 
 // Build constructs the auxiliary graph for the TVEG g over the DTS d.
@@ -68,27 +75,37 @@ func Build(g *tveg.Graph, d *dts.DTS, opts Options) *Aux {
 		base:      base,
 		meta:      make(map[edgeID]TxMeta),
 		advantage: !opts.NoBroadcastAdvantage,
+		workers:   opts.Workers,
 	}
 
 	// Count power vertices first so the digraph can be sized once.
+	// Enumerate the candidate (node, point) slots serially — cheap — and
+	// fan the DCS evaluations (each an independent ψ query batch) across
+	// the worker pool; slots keep their enumeration order, so the built
+	// graph is byte-identical for every worker count.
 	type tx struct {
 		i      tvg.NodeID
 		l      int
 		t      float64
 		levels []tveg.CostLevel
 	}
-	var txs []tx
+	var cands []tx
 	tau := g.Tau()
 	for i := 0; i < n; i++ {
 		for l, t := range d.Points[i] {
 			if t+tau > d.Deadline {
 				continue // transmission would overrun the delay constraint
 			}
-			levels := g.DCS(tvg.NodeID(i), t)
-			if len(levels) == 0 {
-				continue
-			}
-			txs = append(txs, tx{tvg.NodeID(i), l, t, levels})
+			cands = append(cands, tx{i: tvg.NodeID(i), l: l, t: t})
+		}
+	}
+	parallel.ForEach(opts.Workers, len(cands), func(k int) {
+		cands[k].levels = g.DCS(cands[k].i, cands[k].t)
+	})
+	txs := cands[:0]
+	for _, x := range cands {
+		if len(x.levels) > 0 {
+			txs = append(txs, x)
 		}
 	}
 	powerVerts := 0
@@ -238,7 +255,7 @@ func (s Stats) String() string {
 // auxiliary graph for a broadcast from src and maps the result back to a
 // schedule. level <= 1 selects the shortest-path-tree heuristic.
 func (a *Aux) Solve(src tvg.NodeID, level int) (schedule.Schedule, error) {
-	solver := steiner.NewSolver(a.G)
+	solver := steiner.NewSolver(a.G).SetWorkers(a.workers)
 	root := a.SourceVertex(src)
 	terms := a.Terminals()
 	var (

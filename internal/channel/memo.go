@@ -1,0 +1,62 @@
+package channel
+
+import (
+	"reflect"
+	"sync"
+)
+
+// Memo is a concurrency-safe memoization table for MinCost inversions.
+// MinCost is a pure function of the ED-function value and eps, but for
+// the Rician and Nakagami models it costs an exponential search plus up
+// to 200 bisection steps over special functions — and the auxiliary-graph
+// construction, the greedy backbones, and the Steiner search re-query the
+// same ψ costs at the same DTS points over and over. The memo turns every
+// repeat into one map lookup without changing a single returned bit.
+//
+// The zero value is ready to use and safe for concurrent use by multiple
+// goroutines. Entries are only ever computed from their key, so a racing
+// double-compute stores the same value twice — determinism is unaffected
+// by scheduling.
+type Memo struct {
+	m sync.Map // memoKey -> float64
+}
+
+type memoKey struct {
+	f   EDFunction
+	eps float64
+}
+
+// MinCost returns f.MinCost(eps), memoized when the concrete ED-function
+// type is comparable (all models in this package are value structs, so
+// they are). Non-comparable implementations fall through to a direct
+// computation rather than panicking on the map key.
+func (c *Memo) MinCost(f EDFunction, eps float64) float64 {
+	if f == nil || !reflect.TypeOf(f).Comparable() {
+		return f.MinCost(eps)
+	}
+	k := memoKey{f, eps}
+	if v, ok := c.m.Load(k); ok {
+		return v.(float64)
+	}
+	v := f.MinCost(eps)
+	c.m.Store(k, v)
+	return v
+}
+
+// Reset empties the memo. Callers invalidate whenever the mapping behind
+// an ED-function value could have changed — in this package it cannot
+// (the key embeds every parameter), so Reset exists for the higher-level
+// caches that key by graph coordinates instead.
+func (c *Memo) Reset() {
+	c.m.Range(func(k, _ any) bool {
+		c.m.Delete(k)
+		return true
+	})
+}
+
+// Len reports the number of memoized entries (for tests and stats).
+func (c *Memo) Len() int {
+	n := 0
+	c.m.Range(func(_, _ any) bool { n++; return true })
+	return n
+}

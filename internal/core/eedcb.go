@@ -21,6 +21,11 @@ type EEDCB struct {
 	// default trade-off; level 1 degrades to the shortest-path-tree
 	// heuristic.
 	Level int
+	// Workers bounds the solver-internal worker pools (DTS filtering,
+	// auxiliary-graph weight construction, Steiner candidate scan).
+	// Schedules are byte-identical for every value; <= 1 (the zero
+	// value) runs the fully serial paths.
+	Workers int
 	// DTSOpts and AuxOpts tune the reduction (ablation hooks).
 	DTSOpts dts.Options
 	AuxOpts auxgraph.Options
@@ -39,7 +44,7 @@ func (e EEDCB) level() int {
 // Schedule implements Scheduler.
 func (e EEDCB) Schedule(g *tveg.Graph, src tvg.NodeID, t0, deadline float64) (schedule.Schedule, error) {
 	view := plannerView(g, false)
-	return solveViaAux(view, src, nil, t0, deadline, e.level(), e.DTSOpts, e.AuxOpts)
+	return solveViaAux(view, src, nil, t0, deadline, e.level(), e.Workers, e.DTSOpts, e.AuxOpts)
 }
 
 // Multicast plans a minimum-energy delay-constrained multicast: only the
@@ -48,13 +53,21 @@ func (e EEDCB) Schedule(g *tveg.Graph, src tvg.NodeID, t0, deadline float64) (sc
 // identical with a restricted terminal set.
 func (e EEDCB) Multicast(g *tveg.Graph, src tvg.NodeID, targets []tvg.NodeID, t0, deadline float64) (schedule.Schedule, error) {
 	view := plannerView(g, false)
-	return solveViaAux(view, src, targets, t0, deadline, e.level(), e.DTSOpts, e.AuxOpts)
+	return solveViaAux(view, src, targets, t0, deadline, e.level(), e.Workers, e.DTSOpts, e.AuxOpts)
 }
 
 // solveViaAux runs the §VI-A pipeline on the given planner view for the
 // target set (nil = broadcast to every node). It covers as many targets
-// as are reachable, reporting the rest through *IncompleteError.
-func solveViaAux(view *tveg.Graph, src tvg.NodeID, targets []tvg.NodeID, t0, deadline float64, level int, dOpts dts.Options, aOpts auxgraph.Options) (schedule.Schedule, error) {
+// as are reachable, reporting the rest through *IncompleteError. workers
+// bounds every stage's internal pool; explicit per-stage Workers in the
+// option structs win over the scheduler-level knob.
+func solveViaAux(view *tveg.Graph, src tvg.NodeID, targets []tvg.NodeID, t0, deadline float64, level, workers int, dOpts dts.Options, aOpts auxgraph.Options) (schedule.Schedule, error) {
+	if dOpts.Workers == 0 {
+		dOpts.Workers = workers
+	}
+	if aOpts.Workers == 0 {
+		aOpts.Workers = workers
+	}
 	d := dts.Build(view.Graph, t0, deadline, dOpts)
 	a := auxgraph.Build(view, d, aOpts)
 	if targets == nil {
@@ -77,7 +90,7 @@ func solveViaAux(view *tveg.Graph, src tvg.NodeID, targets []tvg.NodeID, t0, dea
 	if len(terms) == 0 {
 		return nil, &IncompleteError{Uncovered: unreachable}
 	}
-	solver := steiner.NewSolver(a.G)
+	solver := steiner.NewSolver(a.G).SetWorkers(workers)
 	var (
 		sol steiner.Solution
 		err error

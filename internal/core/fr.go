@@ -7,6 +7,7 @@ import (
 	"repro/internal/auxgraph"
 	"repro/internal/dts"
 	"repro/internal/nlp"
+	"repro/internal/parallel"
 	"repro/internal/schedule"
 	"repro/internal/tveg"
 	"repro/internal/tvg"
@@ -46,7 +47,11 @@ func (a Allocator) String() string {
 
 // FREEDCB is FR-EEDCB: EEDCB backbone on the fading view + NLP.
 type FREEDCB struct {
-	Level   int
+	Level int
+	// Workers bounds the solver-internal worker pools (backbone
+	// construction and per-node NLP constraint assembly). Schedules are
+	// byte-identical for every value; <= 1 (the zero value) is serial.
+	Workers int
 	DTSOpts dts.Options
 	AuxOpts auxgraph.Options
 	// Allocator selects the NLP solver (ablation hook).
@@ -75,11 +80,11 @@ func (f FREEDCB) level() int {
 // Schedule implements Scheduler.
 func (f FREEDCB) Schedule(g *tveg.Graph, src tvg.NodeID, t0, deadline float64) (schedule.Schedule, error) {
 	view := plannerView(g, true)
-	backbone, incErr := solveViaAux(view, src, nil, t0, deadline, f.level(), f.DTSOpts, f.AuxOpts)
+	backbone, incErr := solveViaAux(view, src, nil, t0, deadline, f.level(), f.Workers, f.DTSOpts, f.AuxOpts)
 	if bad := onlyIncomplete(incErr); bad != nil {
 		return nil, bad
 	}
-	return allocateEnergy(g, backbone, src, nil, incErr, f.allocator())
+	return allocateEnergy(g, backbone, src, nil, incErr, f.allocator(), f.Workers)
 }
 
 // Multicast plans a fading-resistant multicast to the target subset:
@@ -87,16 +92,19 @@ func (f FREEDCB) Schedule(g *tveg.Graph, src tvg.NodeID, t0, deadline float64) (
 // residual-failure constraints only for targets and backbone relays.
 func (f FREEDCB) Multicast(g *tveg.Graph, src tvg.NodeID, targets []tvg.NodeID, t0, deadline float64) (schedule.Schedule, error) {
 	view := plannerView(g, true)
-	backbone, incErr := solveViaAux(view, src, targets, t0, deadline, f.level(), f.DTSOpts, f.AuxOpts)
+	backbone, incErr := solveViaAux(view, src, targets, t0, deadline, f.level(), f.Workers, f.DTSOpts, f.AuxOpts)
 	if bad := onlyIncomplete(incErr); bad != nil {
 		return nil, bad
 	}
-	return allocateEnergy(g, backbone, src, targets, incErr, f.allocator())
+	return allocateEnergy(g, backbone, src, targets, incErr, f.allocator(), f.Workers)
 }
 
 // FRGreedy is FR-GREED: the coverage-greedy backbone on the fading view
 // + NLP energy allocation.
 type FRGreedy struct {
+	// Workers bounds the NLP constraint-assembly worker pool (<= 1
+	// serial; results identical for every value).
+	Workers int
 	DTSOpts dts.Options
 	// Allocator selects the NLP solver (ablation hook).
 	Allocator Allocator
@@ -121,13 +129,16 @@ func (f FRGreedy) Schedule(g *tveg.Graph, src tvg.NodeID, t0, deadline float64) 
 	if bad := onlyIncomplete(incErr); bad != nil {
 		return nil, bad
 	}
-	return allocateEnergy(g, backbone, src, nil, incErr, f.allocator())
+	return allocateEnergy(g, backbone, src, nil, incErr, f.allocator(), f.Workers)
 }
 
 // FRRandom is FR-RAND: the random-relay backbone on the fading view +
 // NLP energy allocation.
 type FRRandom struct {
-	Seed    int64
+	Seed int64
+	// Workers bounds the NLP constraint-assembly worker pool (<= 1
+	// serial; results identical for every value).
+	Workers int
 	DTSOpts dts.Options
 	// Allocator selects the NLP solver (ablation hook).
 	Allocator Allocator
@@ -152,7 +163,7 @@ func (f FRRandom) Schedule(g *tveg.Graph, src tvg.NodeID, t0, deadline float64) 
 	if bad := onlyIncomplete(incErr); bad != nil {
 		return nil, bad
 	}
-	return allocateEnergy(g, backbone, src, nil, incErr, f.allocator())
+	return allocateEnergy(g, backbone, src, nil, incErr, f.allocator(), f.Workers)
 }
 
 // onlyIncomplete passes through nil and *IncompleteError, returning any
@@ -175,7 +186,12 @@ func onlyIncomplete(err error) error {
 // constraints (Eq. 16) always apply to every backbone relay. The
 // incoming incomplete error (uncovered nodes, if any) is propagated:
 // uncovered nodes get no coverage constraint.
-func allocateEnergy(g *tveg.Graph, backbone schedule.Schedule, src tvg.NodeID, targets []tvg.NodeID, incErr error, alloc Allocator) (schedule.Schedule, error) {
+//
+// Per-node constraint assembly — the ψ-heavy part, one ED query per
+// (backbone entry, node) pair — fans out across the worker pool; terms
+// are then added to the problem in the original node order, so the NLP
+// instance is identical for every worker count.
+func allocateEnergy(g *tveg.Graph, backbone schedule.Schedule, src tvg.NodeID, targets []tvg.NodeID, incErr error, alloc Allocator, workers int) (schedule.Schedule, error) {
 	if len(backbone) == 0 {
 		return backbone, incErr
 	}
@@ -199,10 +215,15 @@ func allocateEnergy(g *tveg.Graph, backbone schedule.Schedule, src tvg.NodeID, t
 			targets[i] = tvg.NodeID(i)
 		}
 	}
-	// Eq. 15: every covered target must end up informed.
-	for _, nj := range targets {
+	// Eq. 15: every covered target must end up informed. The per-target
+	// term lists depend only on the backbone and the graph, never on
+	// each other, so they build in parallel; skip/degrade decisions
+	// happen in the serial ordering pass below.
+	coverTerms := make([][]nlp.Term, len(targets))
+	parallel.ForEach(workers, len(targets), func(ti int) {
+		nj := targets[ti]
 		if nj == src || uncov[nj] {
-			continue
+			return
 		}
 		var terms []nlp.Term
 		for k, x := range backbone {
@@ -211,20 +232,28 @@ func allocateEnergy(g *tveg.Graph, backbone schedule.Schedule, src tvg.NodeID, t
 			}
 			terms = append(terms, nlp.Term{Var: k, ED: g.EDAt(x.Relay, nj, x.T)})
 		}
-		if len(terms) == 0 {
+		coverTerms[ti] = terms
+	})
+	for ti, nj := range targets {
+		if nj == src || uncov[nj] {
+			continue
+		}
+		if len(coverTerms[ti]) == 0 {
 			// The backbone never reaches this node: degrade to
 			// incomplete coverage rather than failing the whole NLP.
 			uncov[nj] = true
 			continue
 		}
-		p.AddConstraint(eps, terms...)
+		p.AddConstraint(eps, coverTerms[ti]...)
 	}
 
 	// Eq. 16: every relay must be informed before (or exactly when, for
 	// τ = 0 non-stop chains) it transmits. Schedule order breaks ties.
-	for j, xj := range backbone {
+	relayTerms := make([][]nlp.Term, len(backbone))
+	parallel.ForEach(workers, len(backbone), func(j int) {
+		xj := backbone[j]
 		if xj.Relay == src {
-			continue
+			return
 		}
 		var terms []nlp.Term
 		for k, xk := range backbone {
@@ -239,10 +268,16 @@ func allocateEnergy(g *tveg.Graph, backbone schedule.Schedule, src tvg.NodeID, t
 			}
 			terms = append(terms, nlp.Term{Var: k, ED: g.EDAt(xk.Relay, xj.Relay, xk.T)})
 		}
-		if len(terms) == 0 {
+		relayTerms[j] = terms
+	})
+	for j, xj := range backbone {
+		if xj.Relay == src {
+			continue
+		}
+		if len(relayTerms[j]) == 0 {
 			return nil, fmt.Errorf("core: backbone relay v%d transmits at %g without any informing transmission", xj.Relay, xj.T)
 		}
-		p.AddConstraint(eps, terms...)
+		p.AddConstraint(eps, relayTerms[j]...)
 	}
 
 	var (

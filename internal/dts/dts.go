@@ -24,6 +24,7 @@ import (
 	"math"
 	"sort"
 
+	"repro/internal/parallel"
 	"repro/internal/tvg"
 )
 
@@ -36,6 +37,11 @@ type Options struct {
 	// ablation benchmarks; the pruned and unpruned DTS admit the same
 	// optimal schedules).
 	NoPrune bool
+	// Workers bounds the worker pool for the per-node partition
+	// filtering (the O(N·|global|) presence-query sweep). Each node's
+	// partition is computed independently, so the result is identical
+	// for every value; <= 1 runs serially.
+	Workers int
 }
 
 // DTS is a discrete time set D_V: one discrete time partition P_i^di per
@@ -103,9 +109,11 @@ func Build(g *tvg.Graph, t0, deadline float64, opts Options) *DTS {
 	}
 
 	// 3. Per-node partitions: keep points where the node can act, plus
-	// the window endpoints.
+	// the window endpoints. Each node's filter only reads the graph and
+	// writes its own slot, so the sweep parallelizes without changing
+	// the result.
 	pts := make([][]float64, n)
-	for i := 0; i < n; i++ {
+	parallel.ForEach(opts.Workers, n, func(i int) {
 		var mine []float64
 		for _, p := range global {
 			if opts.NoPrune || g.DegreeAt(tvg.NodeID(i), p) > 0 {
@@ -114,7 +122,7 @@ func Build(g *tvg.Graph, t0, deadline float64, opts Options) *DTS {
 		}
 		mine = append(mine, t0, deadline)
 		pts[i] = dedupSorted(mine)
-	}
+	})
 	return &DTS{T0: t0, Deadline: deadline, Points: pts}
 }
 

@@ -1,0 +1,146 @@
+// Package parallel is the shared concurrency layer of the solver core:
+// a bounded worker pool with deterministic work splitting and a
+// deterministic per-worker seed derivation, generalizing the idiom
+// sim.EvaluateParallel introduced.
+//
+// Every helper obeys two contracts the solvers rely on:
+//
+//  1. Serial fallback — workers <= 1 runs the work inline on the calling
+//     goroutine, byte-for-byte reproducing the pre-parallel code path.
+//  2. Determinism — results depend only on the inputs (and, where
+//     randomness is involved, on the (seed, workers) pair), never on
+//     goroutine interleaving. ForEach achieves this by having every
+//     index own its output slot; ChunkRanges by splitting the index
+//     space into contiguous, order-mergeable blocks.
+package parallel
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// SeedStride is the golden-ratio constant of the seed-splitting contract:
+// worker w of a pool seeded with base seed s owns the RNG stream seeded
+// SplitSeed(s, w) = s + w*SeedStride. The stride keeps the per-worker
+// streams far apart in seed space while remaining a pure function of
+// (seed, worker index).
+const SeedStride = 0x9e3779b9
+
+// SplitSeed derives the deterministic seed of worker w from a base seed.
+func SplitSeed(seed int64, w int) int64 {
+	return seed + int64(w)*SeedStride
+}
+
+// Resolve maps a user-facing worker-count knob to a concrete pool size:
+// values <= 0 select GOMAXPROCS, everything else passes through.
+func Resolve(workers int) int {
+	if workers <= 0 {
+		return runtime.GOMAXPROCS(0)
+	}
+	return workers
+}
+
+// Clamp bounds a resolved worker count by the number of available tasks
+// (never returning less than 1), so pools do not spawn idle goroutines.
+func Clamp(workers, tasks int) int {
+	if workers > tasks {
+		workers = tasks
+	}
+	if workers < 1 {
+		return 1
+	}
+	return workers
+}
+
+// ForEach runs fn(i) for every i in [0, n) across at most workers
+// goroutines and waits for completion. Indices are handed out through an
+// atomic counter; fn must confine its writes to state owned by index i
+// (e.g. out[i]) so the result is independent of scheduling. workers <= 1
+// (after clamping to n) runs serially on the calling goroutine.
+func ForEach(workers, n int, fn func(i int)) {
+	workers = Clamp(workers, n)
+	if workers <= 1 {
+		for i := 0; i < n; i++ {
+			fn(i)
+		}
+		return
+	}
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= n {
+					return
+				}
+				fn(i)
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+// Range is a contiguous index block [Lo, Hi).
+type Range struct{ Lo, Hi int }
+
+// ChunkRanges splits [0, n) into at most workers contiguous ranges of
+// near-equal size (the first n%workers ranges are one longer). The split
+// is a pure function of (n, workers): solvers that reduce a per-chunk
+// "local best" in ascending chunk order therefore reproduce the serial
+// scan exactly.
+func ChunkRanges(workers, n int) []Range {
+	workers = Clamp(workers, n)
+	per, extra := n/workers, n%workers
+	out := make([]Range, 0, workers)
+	lo := 0
+	for w := 0; w < workers; w++ {
+		size := per
+		if w < extra {
+			size++
+		}
+		out = append(out, Range{lo, lo + size})
+		lo += size
+	}
+	return out
+}
+
+// ForEachRange runs fn over each chunk of [0, n) concurrently. fn
+// receives the chunk index and its range; writes must be confined to
+// per-chunk state. Serial when the clamped pool size is 1.
+func ForEachRange(workers, n int, fn func(chunk int, r Range)) {
+	ranges := ChunkRanges(workers, n)
+	if len(ranges) == 1 {
+		fn(0, ranges[0])
+		return
+	}
+	var wg sync.WaitGroup
+	for c, r := range ranges {
+		wg.Add(1)
+		go func(c int, r Range) {
+			defer wg.Done()
+			fn(c, r)
+		}(c, r)
+	}
+	wg.Wait()
+}
+
+// SplitCounts divides total work items across workers the way the worker
+// pools do: near-equal shares, the first total%workers workers taking one
+// extra. Exposed so reports can attribute per-worker shares (e.g. Monte
+// Carlo trials per evaluation worker) without re-deriving the split.
+func SplitCounts(total, workers int) []int {
+	workers = Clamp(workers, total)
+	per, extra := total/workers, total%workers
+	out := make([]int, workers)
+	for w := range out {
+		out[w] = per
+		if w < extra {
+			out[w]++
+		}
+	}
+	return out
+}

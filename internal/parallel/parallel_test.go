@@ -1,0 +1,110 @@
+package parallel
+
+import (
+	"runtime"
+	"testing"
+)
+
+func TestSplitSeedContract(t *testing.T) {
+	if SplitSeed(5, 0) != 5 {
+		t.Errorf("worker 0 must own the base seed, got %d", SplitSeed(5, 0))
+	}
+	if got, want := SplitSeed(7, 3), int64(7+3*0x9e3779b9); got != want {
+		t.Errorf("SplitSeed(7,3) = %d, want %d", got, want)
+	}
+}
+
+func TestResolve(t *testing.T) {
+	if got := Resolve(0); got != runtime.GOMAXPROCS(0) {
+		t.Errorf("Resolve(0) = %d, want GOMAXPROCS", got)
+	}
+	if got := Resolve(-3); got != runtime.GOMAXPROCS(0) {
+		t.Errorf("Resolve(-3) = %d, want GOMAXPROCS", got)
+	}
+	if got := Resolve(5); got != 5 {
+		t.Errorf("Resolve(5) = %d", got)
+	}
+}
+
+func TestForEachCoversEveryIndexOnce(t *testing.T) {
+	for _, workers := range []int{1, 2, 8, 100} {
+		n := 137
+		hits := make([]int, n)
+		ForEach(workers, n, func(i int) { hits[i]++ })
+		for i, h := range hits {
+			if h != 1 {
+				t.Fatalf("workers=%d: index %d hit %d times", workers, i, h)
+			}
+		}
+	}
+}
+
+func TestForEachZeroAndNegativeN(t *testing.T) {
+	called := false
+	ForEach(4, 0, func(int) { called = true })
+	if called {
+		t.Error("ForEach called fn for n=0")
+	}
+}
+
+func TestChunkRangesPartition(t *testing.T) {
+	for _, tc := range []struct{ workers, n int }{
+		{1, 10}, {3, 10}, {4, 4}, {8, 3}, {5, 0}, {16, 1000},
+	} {
+		ranges := ChunkRanges(tc.workers, tc.n)
+		next := 0
+		for _, r := range ranges {
+			if r.Lo != next {
+				t.Fatalf("workers=%d n=%d: gap at %d (range %+v)", tc.workers, tc.n, next, r)
+			}
+			if r.Hi < r.Lo {
+				t.Fatalf("workers=%d n=%d: inverted range %+v", tc.workers, tc.n, r)
+			}
+			next = r.Hi
+		}
+		if tc.n > 0 && next != tc.n {
+			t.Fatalf("workers=%d n=%d: ranges end at %d", tc.workers, tc.n, next)
+		}
+		if len(ranges) > tc.workers && tc.workers >= 1 {
+			t.Fatalf("workers=%d n=%d: %d ranges", tc.workers, tc.n, len(ranges))
+		}
+	}
+}
+
+func TestForEachRangeMatchesForEach(t *testing.T) {
+	n := 53
+	want := make([]int, n)
+	ForEach(1, n, func(i int) { want[i] = i * i })
+	got := make([]int, n)
+	ForEachRange(7, n, func(_ int, r Range) {
+		for i := r.Lo; i < r.Hi; i++ {
+			got[i] = i * i
+		}
+	})
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("slot %d: %d != %d", i, got[i], want[i])
+		}
+	}
+}
+
+func TestSplitCounts(t *testing.T) {
+	counts := SplitCounts(10, 4)
+	if len(counts) != 4 {
+		t.Fatalf("len = %d", len(counts))
+	}
+	total := 0
+	for w, c := range counts {
+		total += c
+		if w > 0 && counts[w-1] < c {
+			t.Errorf("counts not front-loaded: %v", counts)
+		}
+	}
+	if total != 10 {
+		t.Errorf("counts sum to %d, want 10", total)
+	}
+	// more workers than items clamps
+	if got := SplitCounts(3, 16); len(got) != 3 {
+		t.Errorf("SplitCounts(3,16) = %v", got)
+	}
+}

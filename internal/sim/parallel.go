@@ -3,9 +3,9 @@ package sim
 import (
 	"math"
 	"math/rand"
-	"runtime"
 	"sync"
 
+	"repro/internal/parallel"
 	"repro/internal/schedule"
 	"repro/internal/tveg"
 	"repro/internal/tvg"
@@ -13,34 +13,27 @@ import (
 
 // EvaluateParallel runs Evaluate's Monte Carlo trials across a worker
 // pool and merges the results. Each worker owns a private RNG seeded
-// from the base seed and its worker index, so the aggregate is
-// deterministic for a given (seed, workers) pair regardless of
-// interleaving. workers <= 0 selects GOMAXPROCS.
+// with parallel.SplitSeed(seed, w), so the aggregate is deterministic
+// for a given (seed, workers) pair regardless of interleaving.
+// workers <= 0 selects GOMAXPROCS; the pool is clamped to the trial
+// count, and the returned Result records the effective pool size in
+// Workers — a requested pool that degraded to the serial path is
+// visible as Workers == 1.
 func EvaluateParallel(g *tveg.Graph, s schedule.Schedule, src tvg.NodeID, trials int, seed int64, workers int) Result {
-	if workers <= 0 {
-		workers = runtime.GOMAXPROCS(0)
-	}
-	if workers > trials {
-		workers = trials
-	}
+	workers = parallel.Clamp(parallel.Resolve(workers), trials)
 	if workers <= 1 {
 		return Evaluate(g, s, src, trials, rand.New(rand.NewSource(seed)))
 	}
-	per := trials / workers
-	extra := trials % workers
+	counts := parallel.SplitCounts(trials, workers)
 
 	results := make([]Result, workers)
 	var wg sync.WaitGroup
 	for w := 0; w < workers; w++ {
-		n := per
-		if w < extra {
-			n++
-		}
 		wg.Add(1)
 		go func(w, n int) {
 			defer wg.Done()
-			results[w] = Evaluate(g, s, src, n, rand.New(rand.NewSource(seed+int64(w)*0x9e3779b9)))
-		}(w, n)
+			results[w] = Evaluate(g, s, src, n, rand.New(rand.NewSource(parallel.SplitSeed(seed, w))))
+		}(w, counts[w])
 	}
 	wg.Wait()
 	return mergeResults(results)
@@ -48,7 +41,8 @@ func EvaluateParallel(g *tveg.Graph, s schedule.Schedule, src tvg.NodeID, trials
 
 // mergeResults pools per-worker Monte Carlo aggregates into one Result.
 // The pooled delivery standard deviation uses the standard combined
-// sum-of-squares formula.
+// sum-of-squares formula. Workers records the pool size (one input
+// Result per worker).
 func mergeResults(rs []Result) Result {
 	var total int
 	var sumDel, sumEnergy, sumSq float64
@@ -61,7 +55,7 @@ func mergeResults(rs []Result) Result {
 		variance := r.StdDelivery * r.StdDelivery
 		sumSq += variance*(n-1) + r.MeanDelivery*r.MeanDelivery*n
 	}
-	out := Result{Trials: total}
+	out := Result{Trials: total, Workers: len(rs)}
 	if total == 0 {
 		return out
 	}

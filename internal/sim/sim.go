@@ -13,6 +13,7 @@ import (
 	"math/rand"
 	"sort"
 
+	"repro/internal/parallel"
 	"repro/internal/schedule"
 	"repro/internal/tveg"
 	"repro/internal/tvg"
@@ -35,11 +36,25 @@ type Result struct {
 	StdDelivery float64
 	// Trials is the number of Monte Carlo runs aggregated.
 	Trials int
+	// Workers is the number of worker goroutines that actually ran the
+	// trials: 1 for Evaluate, and for EvaluateParallel the effective
+	// pool size after clamping (so a requested workers > trials that
+	// degraded to the serial path reports 1, not the request). The
+	// per-worker trial split is WorkerTrials(Trials, Workers).
+	Workers int
 }
 
 func (r Result) String() string {
-	return fmt.Sprintf("energy=%.4g delivery=%.3f±%.3f (planned %.4g, %d trials)",
-		r.MeanEnergy, r.MeanDelivery, r.StdDelivery, r.PlannedEnergy, r.Trials)
+	return fmt.Sprintf("energy=%.4g delivery=%.3f±%.3f (planned %.4g, %d trials, %d workers)",
+		r.MeanEnergy, r.MeanDelivery, r.StdDelivery, r.PlannedEnergy, r.Trials, r.Workers)
+}
+
+// WorkerTrials returns the per-worker trial counts EvaluateParallel uses
+// for the given (trials, workers) pair — the deterministic near-equal
+// split with the first trials%workers workers taking one extra. Exposed
+// so benchmark reports can attribute speedups to the actual split.
+func WorkerTrials(trials, workers int) []int {
+	return parallel.SplitCounts(trials, workers)
 }
 
 // Evaluate runs the schedule trials times from the given source and
@@ -55,7 +70,7 @@ func Evaluate(g *tveg.Graph, s schedule.Schedule, src tvg.NodeID, trials int, rn
 	ordered.SortByTime()
 
 	gamma := g.Params.GammaTh
-	res := Result{PlannedEnergy: ordered.NormalizedCost(gamma), Trials: trials}
+	res := Result{PlannedEnergy: ordered.NormalizedCost(gamma), Trials: trials, Workers: 1}
 	var sumDelivery, sumSqDelivery, sumEnergy float64
 	informed := make([]bool, g.N())
 	for trial := 0; trial < trials; trial++ {

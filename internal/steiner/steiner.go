@@ -27,6 +27,7 @@ import (
 	"sort"
 
 	"repro/internal/graph"
+	"repro/internal/parallel"
 )
 
 // maxLevel3Vertices bounds the graph size accepted by levels >= 3, whose
@@ -203,6 +204,11 @@ type Solver struct {
 	rev *graph.Digraph
 	fwd map[int]*sp // forward Dijkstra per source
 	bwd map[int]*sp // reverse-graph Dijkstra per terminal (distances TO it)
+	// workers bounds the pool used by the level-2 candidate scan and the
+	// reverse-Dijkstra prefill. The scan merges per-chunk winners in
+	// ascending vertex order, so solutions are byte-identical for every
+	// value; <= 1 runs the original serial code.
+	workers int
 }
 
 // NewSolver builds a solver for g.
@@ -213,7 +219,14 @@ func NewSolver(g *graph.Digraph) *Solver {
 			rev.AddEdge(e.To, u, e.W)
 		}
 	}
-	return &Solver{g: g, rev: rev, fwd: make(map[int]*sp), bwd: make(map[int]*sp)}
+	return &Solver{g: g, rev: rev, fwd: make(map[int]*sp), bwd: make(map[int]*sp), workers: 1}
+}
+
+// SetWorkers bounds the solver's internal worker pool (<= 1 serial) and
+// returns the solver for chaining. Any value yields identical solutions.
+func (s *Solver) SetWorkers(workers int) *Solver {
+	s.workers = workers
+	return s
 }
 
 func (s *Solver) from(u int) *sp {
@@ -235,6 +248,35 @@ func (s *Solver) distTo(x int) []float64 {
 	d, p := s.rev.ShortestPaths(x)
 	s.bwd[x] = &sp{d, p}
 	return d
+}
+
+// distToAll returns dTo[xi] = dist(·, rem[xi]) for every terminal,
+// running the cache-missing reverse Dijkstras across the worker pool.
+// Workers only read the immutable reverse graph and write their own
+// result slot; the cache map itself is filled serially afterwards.
+func (s *Solver) distToAll(rem []int) [][]float64 {
+	dTo := make([][]float64, len(rem))
+	var missing []int // indices into rem with no cached run
+	for xi, x := range rem {
+		if c, ok := s.bwd[x]; ok {
+			dTo[xi] = c.dist
+		} else {
+			missing = append(missing, xi)
+		}
+	}
+	if len(missing) == 0 {
+		return dTo
+	}
+	computed := make([]*sp, len(missing))
+	parallel.ForEach(s.workers, len(missing), func(mi int) {
+		d, p := s.rev.ShortestPaths(rem[missing[mi]])
+		computed[mi] = &sp{d, p}
+	})
+	for mi, xi := range missing {
+		s.bwd[rem[xi]] = computed[mi]
+		dTo[xi] = computed[mi].dist
+	}
+	return dTo
 }
 
 // Dist returns the shortest-path distance u→v.
@@ -348,21 +390,50 @@ func (s *Solver) rg(level, k, r int, X []int) (Solution, []int, float64) {
 // density (d(r,v) + Σ_{k' nearest} d(v,x)) / k', using reverse-graph
 // distances to the remaining terminals. It returns (-1, nil, 0) when no
 // vertex can reach any terminal.
+//
+// The vertex scan is embarrassingly parallel: the space is split into
+// contiguous chunks, each chunk runs the serial scan code, and the
+// per-chunk winners merge in ascending chunk order with a strictly-less
+// density comparison — exactly reproducing the serial "first vertex
+// achieving the global minimum wins" tie-break for every worker count.
 func (s *Solver) scanLevel2(k int, distR []float64, rem []int) (int, []int, float64) {
-	// dTo[xi][v] = dist(v, rem[xi])
-	dTo := make([][]float64, len(rem))
-	for xi, x := range rem {
-		dTo[xi] = s.distTo(x)
+	dTo := s.distToAll(rem) // dTo[xi][v] = dist(v, rem[xi])
+	ranges := parallel.ChunkRanges(s.workers, s.g.N())
+	if len(ranges) == 1 {
+		best := s.scanLevel2Range(k, distR, rem, dTo, ranges[0])
+		return best.v, best.cov, best.cost
 	}
+	locals := make([]level2Best, len(ranges))
+	parallel.ForEachRange(s.workers, s.g.N(), func(chunk int, r parallel.Range) {
+		locals[chunk] = s.scanLevel2Range(k, distR, rem, dTo, r)
+	})
+	best := level2Best{v: -1, density: math.Inf(1)}
+	for _, l := range locals {
+		if l.v != -1 && l.density < best.density {
+			best = l
+		}
+	}
+	return best.v, best.cov, best.cost
+}
+
+// level2Best is one (local) winner of the level-2 density scan.
+type level2Best struct {
+	v       int
+	cov     []int
+	cost    float64
+	density float64
+}
+
+// scanLevel2Range runs the serial density scan over vertices [r.Lo, r.Hi).
+func (s *Solver) scanLevel2Range(k int, distR []float64, rem []int, dTo [][]float64, r parallel.Range) level2Best {
 	type td struct {
 		xi int
 		d  float64
 	}
-	bestV, bestDensity := -1, math.Inf(1)
+	best := level2Best{v: -1, density: math.Inf(1)}
 	var bestCov []int
-	var bestCost float64
 	cands := make([]td, 0, len(rem))
-	for v := 0; v < s.g.N(); v++ {
+	for v := r.Lo; v < r.Hi; v++ {
 		if math.IsInf(distR[v], 1) {
 			continue
 		}
@@ -383,10 +454,10 @@ func (s *Solver) scanLevel2(k int, distR []float64, rem []int) (int, []int, floa
 		prefix := 0.0
 		for kp := 1; kp <= kv; kp++ {
 			prefix += cands[kp-1].d
-			if dens := (distR[v] + prefix) / float64(kp); dens < bestDensity {
-				bestDensity = dens
-				bestV = v
-				bestCost = prefix
+			if dens := (distR[v] + prefix) / float64(kp); dens < best.density {
+				best.density = dens
+				best.v = v
+				best.cost = prefix
 				bestCov = bestCov[:0]
 				for _, c := range cands[:kp] {
 					bestCov = append(bestCov, rem[c.xi])
@@ -394,10 +465,11 @@ func (s *Solver) scanLevel2(k int, distR []float64, rem []int) (int, []int, floa
 			}
 		}
 	}
-	if bestV == -1 {
-		return -1, nil, 0
+	if best.v == -1 {
+		return best
 	}
-	return bestV, append([]int(nil), bestCov...), bestCost
+	best.cov = append([]int(nil), bestCov...)
+	return best
 }
 
 // scanRecursive evaluates A_{level-1}(k', v, X) for every vertex and

@@ -1,0 +1,72 @@
+package tveg
+
+import (
+	"sync"
+
+	"repro/internal/channel"
+	"repro/internal/tvg"
+)
+
+// costCache memoizes the ψ cost queries the planners issue repeatedly at
+// identical coordinates: MinCost per (edge, time, model, ε) and the full
+// discrete cost set per (node, time, model, ε). Both are pure functions
+// of the graph's contacts and parameters, so the cache is invisible to
+// results; it exists because the auxiliary-graph construction, the greedy
+// backbones, and the candidate evaluation all re-query the same DTS
+// points, and under Rician/Nakagami models each miss pays a bisection
+// over special functions.
+//
+// Invalidation rules (documented in DESIGN.md):
+//   - AddContact purges everything — contacts change ρ_τ and the
+//     segments behind every key.
+//   - WithModel views share the cache; the model is part of every key.
+//   - Params are assumed frozen once planning starts. Mutating
+//     Params.Eps is still safe (ε is part of every key); mutating the
+//     physical constants mid-flight requires InvalidateCostCache.
+type costCache struct {
+	minCost sync.Map // minCostKey -> float64
+	dcs     sync.Map // dcsKey -> []CostLevel (treat as read-only)
+	edMemo  channel.Memo
+}
+
+type minCostKey struct {
+	i, j  tvg.NodeID
+	t     float64
+	model Model
+	eps   float64
+}
+
+type dcsKey struct {
+	i     tvg.NodeID
+	t     float64
+	model Model
+	eps   float64
+}
+
+func (c *costCache) reset() {
+	c.minCost.Range(func(k, _ any) bool { c.minCost.Delete(k); return true })
+	c.dcs.Range(func(k, _ any) bool { c.dcs.Delete(k); return true })
+	c.edMemo.Reset()
+}
+
+// EnableCostCache attaches a memo cache for MinCost/DCS queries to the
+// graph and returns the graph for chaining. Views created by WithModel
+// before or after share the same cache (the model is part of every key).
+// Safe for concurrent readers; idempotent.
+func (g *Graph) EnableCostCache() *Graph {
+	if g.cache == nil {
+		g.cache = &costCache{}
+	}
+	return g
+}
+
+// CostCacheEnabled reports whether the graph memoizes cost queries.
+func (g *Graph) CostCacheEnabled() bool { return g.cache != nil }
+
+// InvalidateCostCache empties the cache (for callers that mutate Params
+// after planning started; AddContact invalidates automatically).
+func (g *Graph) InvalidateCostCache() {
+	if g.cache != nil {
+		g.cache.reset()
+	}
+}

@@ -102,6 +102,9 @@ type Graph struct {
 	Params Params
 	Model  Model
 	segs   map[tvg.EdgeKey][]Segment
+	// cache memoizes pure cost queries; nil = disabled. Shared (by
+	// pointer) with every WithModel view. See EnableCostCache.
+	cache *costCache
 }
 
 // New creates an empty TVEG over the span with traversal time tau.
@@ -138,6 +141,9 @@ func (g *Graph) AddContact(i, j tvg.NodeID, iv interval.Interval, dist float64) 
 	k := tvg.MakeEdgeKey(i, j)
 	g.segs[k] = append(g.segs[k], Segment{iv, dist})
 	sort.Slice(g.segs[k], func(a, b int) bool { return g.segs[k][a].Iv.Start < g.segs[k][b].Iv.Start })
+	if g.cache != nil {
+		g.cache.reset() // new contacts change ρ_τ and segments behind every cached key
+	}
 }
 
 // SegmentAt returns the channel segment of edge (i, j) covering time t.
@@ -190,11 +196,29 @@ func (g *Graph) EDAt(i, j tvg.NodeID, t float64) channel.EDFunction {
 // channels, or the w0 of §VI-B (φ(w0) = ε) for fading channels. +Inf
 // when the edge is absent.
 func (g *Graph) MinCost(i, j tvg.NodeID, t float64) float64 {
+	if g.cache != nil {
+		k := minCostKey{i, j, t, g.Model, g.Params.Eps}
+		if v, ok := g.cache.minCost.Load(k); ok {
+			return v.(float64)
+		}
+		w := g.minCostUncached(i, j, t)
+		g.cache.minCost.Store(k, w)
+		return w
+	}
+	return g.minCostUncached(i, j, t)
+}
+
+func (g *Graph) minCostUncached(i, j tvg.NodeID, t float64) float64 {
 	ed := g.EDAt(i, j, t)
 	if _, absent := ed.(channel.Absent); absent {
 		return math.Inf(1)
 	}
-	w := ed.MinCost(g.Params.Eps)
+	var w float64
+	if g.cache != nil {
+		w = g.cache.edMemo.MinCost(ed, g.Params.Eps)
+	} else {
+		w = ed.MinCost(g.Params.Eps)
+	}
 	if w < g.Params.WMin {
 		w = g.Params.WMin
 	}
@@ -215,7 +239,22 @@ type CostLevel struct {
 // DCS returns the discrete cost set W_{i,t}^di of §VI-A: the minimum
 // costs to each node adjacent to i at time t, sorted ascending.
 // Transmitting at level k's cost informs the nodes of levels 1..k.
+// When the cost cache is enabled the returned slice may be shared with
+// other callers and must not be modified.
 func (g *Graph) DCS(i tvg.NodeID, t float64) []CostLevel {
+	if g.cache != nil {
+		k := dcsKey{i, t, g.Model, g.Params.Eps}
+		if v, ok := g.cache.dcs.Load(k); ok {
+			return v.([]CostLevel)
+		}
+		out := g.dcsUncached(i, t)
+		g.cache.dcs.Store(k, out)
+		return out
+	}
+	return g.dcsUncached(i, t)
+}
+
+func (g *Graph) dcsUncached(i tvg.NodeID, t float64) []CostLevel {
 	var out []CostLevel
 	for _, j := range g.EverNeighbors(i) {
 		w := g.MinCost(i, j, t)
