@@ -25,12 +25,14 @@ func main() {
 		quick   = flag.Bool("quick", false, "single source, fewer Monte Carlo trials")
 		seed    = flag.Int64("seed", 1, "trace seed")
 		workers = flag.Int("workers", 0, "worker pool size for the sweep and the solver cores (0: GOMAXPROCS); tables are identical for every value")
+		doAudit = flag.Bool("audit", false, "cross-check every planned schedule through all execution semantics; aborts on any disagreement")
 	)
 	flag.Parse()
 
 	cfg := tmedb.DefaultConfig()
 	cfg.TraceSeed = seed2(*seed)
 	cfg.Workers = *workers
+	cfg.Audit = *doAudit
 	if *quick {
 		cfg.Sources = []tmedb.NodeID{0}
 		cfg.Trials = 200

@@ -38,8 +38,19 @@ func main() {
 		outJSON   = flag.String("o", "", "write the planned schedule as JSON to this file")
 		targets   = flag.String("targets", "", "comma-separated multicast targets (empty: broadcast); only (fr-)eedcb")
 		verbose   = flag.Bool("v", false, "print every transmission")
+		auditRun  = flag.Bool("audit", false, "run the differential execution-semantics audit over randomized cases (seeded by -seed) and exit; non-zero on any disagreement")
+		auditN    = flag.Int("audit-cases", 250, "randomized cases for -audit")
 	)
 	flag.Parse()
+
+	if *auditRun {
+		rep := tmedb.RunAudit(*auditN, *seed)
+		fmt.Print(rep)
+		if !rep.Ok() {
+			os.Exit(1)
+		}
+		return
+	}
 
 	model, err := parseModel(*modelName)
 	if err != nil {
@@ -126,6 +137,15 @@ func main() {
 		fmt.Printf("feasibility      VIOLATED: %v\n", err)
 	} else {
 		fmt.Printf("feasibility      ok (all four §IV conditions)\n")
+	}
+
+	if diffs := tmedb.AuditSchedule(g, sched, tmedb.NodeID(*src), *t0, deadline, math.Inf(1)); len(diffs) == 0 {
+		fmt.Printf("audit            ok (all execution semantics agree)\n")
+	} else {
+		for _, d := range diffs {
+			fmt.Printf("audit            MISMATCH: %s\n", d)
+		}
+		fatal(fmt.Errorf("execution semantics disagree on the planned schedule"))
 	}
 
 	res := tmedb.EvaluateParallel(g, sched, tmedb.NodeID(*src), *trials, *seed, *workers)

@@ -4,7 +4,9 @@ import (
 	"errors"
 	"fmt"
 	"math"
+	"strings"
 
+	"repro/internal/audit"
 	"repro/internal/parallel"
 	"repro/internal/stats"
 )
@@ -49,6 +51,12 @@ type ExperimentConfig struct {
 	// 500 s from 5000 to 15000) and Fig7Delay the per-window deadline.
 	Fig7Times []float64
 	Fig7Delay float64
+	// Audit cross-checks every planned schedule through all execution
+	// semantics (reference executor, sim, DES, both feasibility checks)
+	// before its numbers enter a figure, and panics with the reference
+	// event trace on any disagreement. Off by default: it roughly
+	// doubles per-schedule cost.
+	Audit bool
 }
 
 // DefaultConfig returns the paper's §VII experiment setting: N = 20
@@ -128,6 +136,24 @@ func (cfg ExperimentConfig) graphFor(n int, model Model) *Graph {
 	return tr.Restrict(n).ToTVEG(cfg.Tau, cfg.Params, model)
 }
 
+// auditSchedule cross-checks a freshly planned schedule through every
+// execution semantics when cfg.Audit is on. A disagreement means the
+// harness is about to aggregate numbers whose meaning depends on which
+// executor you ask, so it fails loudly with the reference event trace
+// rather than returning.
+func (cfg ExperimentConfig) auditSchedule(alg Scheduler, g *Graph, s Schedule, src NodeID, t0, deadline float64) {
+	if !cfg.Audit {
+		return
+	}
+	diffs := audit.CompareSchedule(g, s, src, t0, deadline, math.Inf(1))
+	if len(diffs) == 0 {
+		return
+	}
+	tr := audit.Execute(g, s, src, audit.Options{T0: t0, Events: true})
+	panic(fmt.Sprintf("tmedb: execution-semantics audit failed for %s (src=%d, window=[%g,%g]):\n  %s\nreference trace:\n%s",
+		alg.Name(), src, t0, deadline, strings.Join(diffs, "\n  "), audit.FormatEvents(tr.Events)))
+}
+
 // meanPlannedEnergy runs alg for every configured source and returns the
 // mean normalized planned energy over the sources whose broadcast the
 // planner completed. ok is false when no source completed.
@@ -145,6 +171,7 @@ func (cfg ExperimentConfig) meanPlannedEnergy(alg Scheduler, g *Graph, t0, deadl
 			}
 			continue
 		}
+		cfg.auditSchedule(alg, g, s, src, t0, deadline)
 		energies = append(energies, s.NormalizedCost(g.Params.GammaTh))
 	}
 	if len(energies) == 0 {
@@ -253,6 +280,7 @@ func Fig6(cfg ExperimentConfig) (energy, delivery FigureResult) {
 						continue
 					}
 				}
+				cfg.auditSchedule(alg, g, s, src, cfg.T0, deadline)
 				res := Evaluate(g, s, src, cfg.Trials, cfg.EvalSeed)
 				energies = append(energies, s.NormalizedCost(g.Params.GammaTh))
 				deliveries = append(deliveries, res.MeanDelivery)

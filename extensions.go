@@ -8,6 +8,7 @@ import (
 	"io"
 	"math/rand"
 
+	"repro/internal/audit"
 	"repro/internal/auxgraph"
 	"repro/internal/core"
 	"repro/internal/des"
@@ -160,4 +161,44 @@ type ExecResult = des.ExecResult
 // transmitters collide at shared receivers. Deterministic per seed.
 func ExecuteDES(g *Graph, s Schedule, src NodeID, start float64, opts ExecOptions, seed int64) (ExecResult, error) {
 	return des.Execute(g, s, src, start, opts, rand.New(rand.NewSource(seed)))
+}
+
+// --- Differential schedule audit ------------------------------------------
+
+// AuditReport summarizes a differential schedule-audit run: randomized
+// (graph, schedule, τ) cases executed through every execution semantics
+// in the repo, with one Mismatch (including the reference executor's
+// event trace) per disagreement.
+type AuditReport = audit.Report
+
+// AuditMismatch is one failed audit case.
+type AuditMismatch = audit.Mismatch
+
+// AuditTrace is the reference executor's result: per-node reception
+// times, fired transmissions, consumed energy, and an ordered
+// Tx/Recv/Drop event trace with causes.
+type AuditTrace = audit.Trace
+
+// RunAudit generates `cases` seeded differential cases (static and
+// Rayleigh channels, τ ∈ {0, small, large}, random and planner-produced
+// schedules) and cross-checks sim.Evaluate, sim.InformedTimes,
+// CheckFeasible, the discrete-event executor, and an independent
+// feasibility recoding against the reference executor. Deterministic
+// per seed.
+func RunAudit(cases int, seed int64) AuditReport {
+	return audit.RunDifferential(cases, seed)
+}
+
+// AuditSchedule cross-checks one concrete schedule through every
+// execution semantics and returns one line per disagreement (nil when
+// all agree).
+func AuditSchedule(g *Graph, s Schedule, src NodeID, t0, deadline, costBound float64) []string {
+	return audit.CompareSchedule(g, s, src, t0, deadline, costBound)
+}
+
+// ReferenceExecute runs the latency-aware reference executor once. With
+// events on, the trace records every transmission, reception (stamped
+// at arrival t+τ), and drop with its cause.
+func ReferenceExecute(g *Graph, s Schedule, src NodeID, t0 float64, events bool) *AuditTrace {
+	return audit.Execute(g, s, src, audit.Options{T0: t0, Events: events})
 }

@@ -1,0 +1,172 @@
+package audit
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"repro/internal/interval"
+	"repro/internal/schedule"
+	"repro/internal/tveg"
+	"repro/internal/tvg"
+)
+
+// lineGraph builds the chain 0-1-...-(n-1) with every contact alive over
+// [0, 100) at distance 10.
+func lineGraph(n int, tau float64, model tveg.Model) *tveg.Graph {
+	g := tveg.New(n, interval.Interval{Start: 0, End: 100}, tau, tveg.DefaultParams(), model)
+	for i := 0; i+1 < n; i++ {
+		g.AddContact(tvg.NodeID(i), tvg.NodeID(i+1), interval.Interval{Start: 0, End: 100}, 10)
+	}
+	return g
+}
+
+func TestForceSuccessDraw(t *testing.T) {
+	rng := ForceSuccess()
+	for i := 0; i < 4; i++ {
+		if d := rng.Float64(); d != MaxDraw {
+			t.Fatalf("draw %d: got %g, want MaxDraw=%g", i, d, MaxDraw)
+		}
+	}
+	if !Possible(MaxDraw) {
+		t.Fatal("Possible(MaxDraw) must hold")
+	}
+	if Possible(1) {
+		t.Fatal("Possible(1) must not hold: φ=1 receptions always fail")
+	}
+}
+
+func TestReferenceExecutorNonStopChain(t *testing.T) {
+	const tau = 5.0
+	g := lineGraph(3, tau, tveg.Static)
+	w01 := g.MinCost(0, 1, 10)
+	w12 := g.MinCost(1, 2, 15)
+	s := schedule.Schedule{
+		{Relay: 0, T: 10, W: w01},
+		{Relay: 1, T: 15, W: w12}, // departs exactly at arrival: legal non-stop hop
+	}
+	tr := Execute(g, s, 0, Options{})
+	if tr.Delivered != 3 {
+		t.Fatalf("non-stop chain delivered %d, want 3", tr.Delivered)
+	}
+	if got := tr.RecvAt[2]; got != 20 {
+		t.Fatalf("v2 informed at %g, want 20", got)
+	}
+	if !tr.Fired[0] || !tr.Fired[1] {
+		t.Fatalf("both transmissions must fire, got %v", tr.Fired)
+	}
+}
+
+func TestReferenceExecutorPrematureRelayDropped(t *testing.T) {
+	const tau = 5.0
+	g := lineGraph(3, tau, tveg.Static)
+	s := schedule.Schedule{
+		{Relay: 0, T: 10, W: g.MinCost(0, 1, 10)},
+		{Relay: 1, T: 12, W: g.MinCost(1, 2, 12)}, // inside [10, 15): packet still in flight
+	}
+	tr := Execute(g, s, 0, Options{Events: true})
+	if tr.Delivered != 2 {
+		t.Fatalf("premature chain delivered %d, want 2 (v2 must stay uninformed)", tr.Delivered)
+	}
+	if tr.Fired[1] {
+		t.Fatal("transmission by a relay whose packet is in flight must not fire")
+	}
+	if !math.IsInf(tr.RecvAt[2], 1) {
+		t.Fatalf("v2 informed at %g, want never", tr.RecvAt[2])
+	}
+	trace := FormatEvents(tr.Events)
+	if !strings.Contains(trace, "still in flight (arrives at 15)") {
+		t.Fatalf("drop cause missing from trace:\n%s", trace)
+	}
+}
+
+func TestReferenceExecutorTauZeroCascade(t *testing.T) {
+	g := lineGraph(4, 0, tveg.Static)
+	// Whole chain on one timestamp: the τ = 0 non-stop cascade resolves
+	// in schedule order.
+	s := schedule.Schedule{
+		{Relay: 0, T: 10, W: g.MinCost(0, 1, 10)},
+		{Relay: 1, T: 10, W: g.MinCost(1, 2, 10)},
+		{Relay: 2, T: 10, W: g.MinCost(2, 3, 10)},
+	}
+	tr := Execute(g, s, 0, Options{})
+	if tr.Delivered != 4 {
+		t.Fatalf("τ=0 cascade delivered %d, want 4", tr.Delivered)
+	}
+	for i := 1; i < 4; i++ {
+		if tr.RecvAt[i] != 10 {
+			t.Fatalf("v%d informed at %g, want 10", i, tr.RecvAt[i])
+		}
+	}
+	// The reverse row order must NOT cascade: with τ = 0 the tie-break
+	// is schedule order, the documented semantics every executor shares.
+	rev := schedule.Schedule{s[2], s[1], s[0]}
+	tr = Execute(g, rev, 0, Options{})
+	if tr.Delivered != 2 {
+		t.Fatalf("reversed τ=0 cascade delivered %d, want 2", tr.Delivered)
+	}
+}
+
+func TestEventTraceShapes(t *testing.T) {
+	g := lineGraph(3, 0, tveg.Static)
+	s := schedule.Schedule{
+		{Relay: 0, T: 10, W: g.MinCost(0, 1, 10)},
+		{Relay: 1, T: 20, W: 0}, // fires, but φ(0)=1: reception drop
+	}
+	tr := Execute(g, s, 0, Options{Events: true})
+	var kinds []EventKind
+	for _, e := range tr.Events {
+		kinds = append(kinds, e.Kind)
+	}
+	want := []EventKind{EventTx, EventRecv, EventTx, EventDrop}
+	if len(kinds) != len(want) {
+		t.Fatalf("got %d events (%v), want %v:\n%s", len(kinds), kinds, want, FormatEvents(tr.Events))
+	}
+	for i := range want {
+		if kinds[i] != want[i] {
+			t.Fatalf("event %d is %v, want %v:\n%s", i, kinds[i], want[i], FormatEvents(tr.Events))
+		}
+	}
+	if !strings.Contains(tr.Events[3].Cause, "channel failure") {
+		t.Fatalf("reception drop cause = %q", tr.Events[3].Cause)
+	}
+}
+
+// TestFeasibilityAgreesOnFixtures pins the independent feasibility
+// check against CheckFeasible on handcrafted single-condition
+// violations (the differential test covers the randomized space).
+func TestFeasibilityAgreesOnFixtures(t *testing.T) {
+	const tau = 5.0
+	g := lineGraph(3, tau, tveg.Static)
+	w01 := g.MinCost(0, 1, 10)
+	w12 := g.MinCost(1, 2, 15)
+	ok := schedule.Schedule{{Relay: 0, T: 10, W: w01}, {Relay: 1, T: 15, W: w12}}
+	cases := []struct {
+		name      string
+		s         schedule.Schedule
+		deadline  float64
+		costBound float64
+		want      int
+	}{
+		{"feasible", ok, 30, math.Inf(1), 0},
+		{"premature relay", schedule.Schedule{{Relay: 0, T: 10, W: w01}, {Relay: 1, T: 12, W: w12}}, 30, math.Inf(1), 1},
+		{"node missed", schedule.Schedule{{Relay: 0, T: 10, W: w01}}, 30, math.Inf(1), 2},
+		{"late", ok, 18, math.Inf(1), 3},
+		{"over budget", ok, 30, w01, 4},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			got, detail := Feasibility(g, tc.s, 0, tc.deadline, tc.costBound)
+			if got != tc.want {
+				t.Fatalf("Feasibility = %d (%s), want %d", got, detail, tc.want)
+			}
+			cf := 0
+			if err := schedule.CheckFeasible(g, tc.s, 0, tc.deadline, tc.costBound); err != nil {
+				cf = err.(*schedule.Violation).Condition
+			}
+			if cf != got {
+				t.Fatalf("CheckFeasible verdict %d, independent check %d", cf, got)
+			}
+		})
+	}
+}

@@ -1,0 +1,102 @@
+package audit
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/schedule"
+	"repro/internal/tveg"
+	"repro/internal/tvg"
+)
+
+// Feasibility re-derives the four TMEDB feasibility conditions of §IV
+// from the paper's statement, independently of schedule.CheckFeasible's
+// code, and returns the 1-based number of the first violated condition
+// (0 when feasible) plus a human-readable detail. The oracle compares
+// its verdict against CheckFeasible's.
+//
+// Two deliberate points of agreement with CheckFeasible — part of the
+// spec, not shared code:
+//
+//   - conditions are evaluated in the same order (i, iii, ii, iv), so
+//     a schedule violating several reports the same number;
+//   - each Eq. 6 product multiplies failure factors in ascending
+//     schedule order, so verdicts sitting exactly on ε cannot flip on
+//     floating-point association differences.
+func Feasibility(g *tveg.Graph, s schedule.Schedule, src tvg.NodeID, deadline, costBound float64) (int, string) {
+	eps := g.Params.Eps * (1 + 1e-9)
+	tau := g.Tau()
+
+	// (i) every relay holds the packet when it transmits. A transmission
+	// at t_k can only have contributed if its packet has arrived:
+	// t_k + τ <= t_j (within TimeTol), or — same instant, τ = 0 only —
+	// it precedes row j in schedule order.
+	for j, x := range s {
+		if x.Relay == src {
+			continue
+		}
+		p := 1.0
+		for k, y := range s {
+			if y.Relay == x.Relay {
+				continue // a node's own transmissions never inform it
+			}
+			arrived := y.T < x.T && y.T+tau <= x.T+schedule.TimeTol
+			sameInstant := y.T == x.T && tau <= schedule.TimeTol && k < j
+			if !arrived && !sameInstant {
+				continue
+			}
+			if !g.RhoTau(y.Relay, x.Relay, y.T) {
+				continue
+			}
+			p *= g.EDAt(y.Relay, x.Relay, y.T).FailureProb(y.W)
+		}
+		if p > eps {
+			return 1, fmt.Sprintf("relay v%d uninformed at %g (p=%.4g)", x.Relay, x.T, p)
+		}
+	}
+
+	// (iii) broadcast latency max(t_k) + τ <= T.
+	latency := 0.0
+	for _, x := range s {
+		if x.T+tau > latency {
+			latency = x.T + tau
+		}
+	}
+	if latency > deadline {
+		return 3, fmt.Sprintf("latency %g > T=%g", latency, deadline)
+	}
+
+	// (ii) every node informed by T-τ: departures by T-τ count (their
+	// arrival lands by T).
+	for i := 0; i < g.N(); i++ {
+		node := tvg.NodeID(i)
+		if node == src {
+			continue
+		}
+		p := 1.0
+		for _, y := range s {
+			if y.Relay == node || y.T > deadline-tau {
+				continue
+			}
+			if !g.RhoTau(y.Relay, node, y.T) {
+				continue
+			}
+			p *= g.EDAt(y.Relay, node, y.T).FailureProb(y.W)
+		}
+		if p > eps {
+			return 2, fmt.Sprintf("node v%d uninformed by %g (p=%.4g)", i, deadline-tau, p)
+		}
+	}
+
+	// (iv) total cost within the energy budget.
+	if !math.IsInf(costBound, 1) {
+		cost := 0.0
+		for _, x := range s {
+			cost += x.W
+		}
+		if cost > costBound {
+			return 4, fmt.Sprintf("cost %g > C=%g", cost, costBound)
+		}
+	}
+	return 0, ""
+}

@@ -1,0 +1,20 @@
+package audit
+
+import "testing"
+
+// FuzzDifferential drives the differential oracle from fuzzed seeds:
+// every executor must agree on every case the generator can produce.
+// The generator owns all structure (graph, schedule, τ, window), so a
+// seed is the complete reproducer for any failure.
+func FuzzDifferential(f *testing.F) {
+	for seed := int64(0); seed < 8; seed++ {
+		f.Add(seed)
+	}
+	f.Fuzz(func(t *testing.T, seed int64) {
+		c := GenerateCase(seed)
+		if diffs := CompareCase(c); len(diffs) > 0 {
+			tr := Execute(c.Graph, c.Schedule, c.Src, Options{T0: c.T0, Events: true})
+			t.Fatalf("%s", Mismatch{Case: c, Diffs: diffs, Trace: FormatEvents(tr.Events)})
+		}
+	})
+}

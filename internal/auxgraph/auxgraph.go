@@ -270,7 +270,11 @@ func (a *Aux) Solve(src tvg.NodeID, level int) (schedule.Schedule, error) {
 	if err != nil {
 		return nil, fmt.Errorf("auxgraph: %w", err)
 	}
-	return a.ScheduleFromSolution(sol), nil
+	// ScheduleFromSolution's advantage-mode merge iterates a map, so
+	// equal-time transmissions come back in arbitrary order; establish
+	// the deterministic causal order every executor and feasibility
+	// check expects (τ = 0 non-stop chains share one timestamp).
+	return schedule.CausalSort(a.TV, a.ScheduleFromSolution(sol), src, a.D.T0), nil
 }
 
 // FeasibleInstance reports whether every node can possibly be informed

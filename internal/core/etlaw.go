@@ -2,7 +2,6 @@ package core
 
 import (
 	"math"
-	"sort"
 
 	"repro/internal/dts"
 	"repro/internal/schedule"
@@ -69,66 +68,10 @@ func normalizeET(view *tveg.Graph, s schedule.Schedule, src tvg.NodeID, t0 float
 	return causalSort(view, merged, src, t0)
 }
 
-// causalSort orders a schedule chronologically and, within groups of
-// equal-time transmissions, causally: a transmission whose relay is
-// already informed (deterministically, on the planner view) fires before
-// one whose relay still needs a same-instant reception. With τ = 0,
-// non-stop journeys place whole relay chains on one timestamp, so the
-// within-group order IS the causal order — Eq. 16's tie-break and the
-// Monte Carlo executor both depend on it. Ties beyond causality break
-// deterministically by (relay, cost).
+// causalSort delegates to schedule.CausalSort, the shared producer-side
+// ordering rule (chronological; equal-time groups in causal order).
 func causalSort(view *tveg.Graph, s schedule.Schedule, src tvg.NodeID, t0 float64) schedule.Schedule {
-	out := make(schedule.Schedule, len(s))
-	copy(out, s)
-	sort.SliceStable(out, func(i, j int) bool {
-		if out[i].T != out[j].T {
-			return out[i].T < out[j].T
-		}
-		if out[i].Relay != out[j].Relay {
-			return out[i].Relay < out[j].Relay
-		}
-		return out[i].W < out[j].W
-	})
-	informedAt := make([]float64, view.N())
-	for i := range informedAt {
-		informedAt[i] = math.Inf(1)
-	}
-	informedAt[src] = t0
-	tau := view.Tau()
-	result := out[:0]
-	i := 0
-	for i < len(out) {
-		j := i
-		for j < len(out) && out[j].T == out[i].T {
-			j++
-		}
-		pending := append(schedule.Schedule(nil), out[i:j]...)
-		for len(pending) > 0 {
-			picked := -1
-			for k, x := range pending {
-				if informedAt[x.Relay] <= x.T {
-					picked = k
-					break
-				}
-			}
-			fires := picked != -1
-			if !fires {
-				picked = 0 // uninformed leftovers keep deterministic order
-			}
-			x := pending[picked]
-			pending = append(pending[:picked], pending[picked+1:]...)
-			result = append(result, x)
-			if fires {
-				for _, nb := range view.CoveredBy(x.Relay, x.T, x.W*(1+1e-12)) {
-					if t := x.T + tau; t < informedAt[nb] {
-						informedAt[nb] = t
-					}
-				}
-			}
-		}
-		i = j
-	}
-	return result
+	return schedule.CausalSort(view, s, src, t0)
 }
 
 // deterministicInformedTimes propagates informed status through the

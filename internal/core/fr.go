@@ -248,7 +248,12 @@ func allocateEnergy(g *tveg.Graph, backbone schedule.Schedule, src tvg.NodeID, t
 	}
 
 	// Eq. 16: every relay must be informed before (or exactly when, for
-	// τ = 0 non-stop chains) it transmits. Schedule order breaks ties.
+	// τ = 0 non-stop chains) it transmits. Informing transmissions are
+	// those whose packet has arrived by the relay's departure
+	// (schedule.Informs: t_k + τ <= t_j, same-instant ones in schedule
+	// order) — a transmission still in flight cannot have informed the
+	// relay, so it must not appear in the constraint.
+	tau := g.Tau()
 	relayTerms := make([][]nlp.Term, len(backbone))
 	parallel.ForEach(workers, len(backbone), func(j int) {
 		xj := backbone[j]
@@ -260,7 +265,7 @@ func allocateEnergy(g *tveg.Graph, backbone schedule.Schedule, src tvg.NodeID, t
 			if k == j || xk.Relay == xj.Relay {
 				continue
 			}
-			if xk.T > xj.T || (xk.T == xj.T && k > j) {
+			if !schedule.Informs(xk.T, tau, xj.T, k, j) {
 				continue
 			}
 			if !g.RhoTau(xk.Relay, xj.Relay, xk.T) {

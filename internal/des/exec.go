@@ -13,10 +13,12 @@ import (
 // channel for a configurable airtime, receivers track the set of
 // concurrently audible transmitters, and a packet decodes only if its
 // transmitter was the sole audible one for the whole airtime (protocol
-// interference model) — or unconditionally-with-φ when interference
+// interference model) — or independently-with-φ when interference
 // modelling is disabled. Compared to the closed-form executor in
 // internal/sim, this one yields per-node reception timestamps and honors
-// τ > 0 naturally.
+// τ > 0 naturally. Relay gating follows the unified τ-propagation rule
+// (schedule.Informs / DESIGN.md "Execution semantics"): a node may
+// forward only once its own reception has completed.
 
 // ExecOptions tunes one execution.
 type ExecOptions struct {
@@ -82,17 +84,39 @@ func Execute(g *tveg.Graph, s schedule.Schedule, src tvg.NodeID, start float64, 
 	for _, x := range ordered {
 		x := x
 		sim.AtClass(x.T, 1, func(now float64) {
-			if res.InformedAt[x.Relay] > now {
-				return // relay lacks the packet: transmission skipped
+			if res.InformedAt[x.Relay] > now+schedule.TimeTol {
+				return // relay's own reception incomplete: transmission skipped
 			}
 			res.ConsumedEnergy += x.W
+			if !opts.Interference {
+				// Without the collision model, receptions are independent:
+				// each in-range node that lacks the packet when this
+				// airtime ends gets its own φ draw. A concurrent
+				// transmission must not mask this one — radios here have
+				// no capture slot to fight over.
+				sim.After(airtime, func(end float64) {
+					for _, j := range g.EverNeighbors(x.Relay) {
+						if !g.RhoTau(x.Relay, j, x.T) {
+							continue
+						}
+						if res.InformedAt[j] <= end {
+							continue
+						}
+						failure := g.EDAt(x.Relay, j, x.T).FailureProb(x.W)
+						if failure <= 0 || rng.Float64() >= failure {
+							res.InformedAt[j] = end
+						}
+					}
+				})
+				return
+			}
 			// mark the channel busy at every in-range node
 			for _, j := range g.EverNeighbors(x.Relay) {
 				if !g.RhoTau(x.Relay, j, x.T) {
 					continue
 				}
 				audible[j]++
-				if opts.Interference && audible[j] > 1 {
+				if audible[j] > 1 {
 					// collision: corrupt any ongoing reception too
 					if cur := current[j]; cur != nil && !cur.corrupted {
 						cur.corrupted = true
@@ -104,7 +128,7 @@ func Execute(g *tveg.Graph, s schedule.Schedule, src tvg.NodeID, start float64, 
 				}
 				if current[j] == nil {
 					rec := &reception{from: x.Relay, w: x.W, t: x.T}
-					if opts.Interference && audible[j] > 1 {
+					if audible[j] > 1 {
 						rec.corrupted = true
 						res.Collisions++
 					}

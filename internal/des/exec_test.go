@@ -194,3 +194,44 @@ func TestExecuteEEDCBScheduleEndToEnd(t *testing.T) {
 		t.Errorf("serialized EEDCB schedule delivered %d/3 under DES execution", res.Delivered)
 	}
 }
+
+// TestExecuteIndependentReceptionsNoInterference: with the collision
+// model off, concurrently audible transmissions must not fight over a
+// capture slot — each reception gets its own φ draw. v1 is informed
+// early, then v0 (cost 0, φ = 1: guaranteed failure) and v1 (sufficient
+// cost) transmit with overlapping airtimes; v2 must still decode v1's
+// packet. The pre-fix engine let v0's doomed reception occupy v2's
+// capture slot and dropped v1's.
+func TestExecuteIndependentReceptionsNoInterference(t *testing.T) {
+	g := tveg.New(3, iv(0, 100), 0, tveg.DefaultParams(), tveg.Static)
+	g.AddContact(0, 1, iv(0, 100), 5)
+	g.AddContact(0, 2, iv(0, 100), 8)
+	g.AddContact(1, 2, iv(0, 100), 8)
+	s := schedule.Schedule{
+		{Relay: 0, T: 2, W: sufficient(g, 5)},    // informs v1 at 3
+		{Relay: 0, T: 10, W: 0},                  // fires; φ=1 at both receivers
+		{Relay: 1, T: 10.5, W: sufficient(g, 8)}, // overlaps v0's airtime
+	}
+	res, err := Execute(g, s, 0, 0, ExecOptions{Airtime: 1}, rand.New(rand.NewSource(1)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Delivered != 3 {
+		t.Fatalf("delivered %d, want 3 (receptions are independent without interference)", res.Delivered)
+	}
+	if res.InformedAt[2] != 11.5 {
+		t.Errorf("v2 informed at %g, want 11.5 (end of v1's airtime)", res.InformedAt[2])
+	}
+	// The same overlap WITH the collision model is a genuine collision:
+	// that difference is the feature the interference option models.
+	res, err = Execute(g, s, 0, 0, ExecOptions{Airtime: 1, Interference: true}, rand.New(rand.NewSource(1)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Delivered != 2 {
+		t.Errorf("with interference: delivered %d, want 2 (v2 lost to the collision)", res.Delivered)
+	}
+	if res.Collisions == 0 {
+		t.Error("with interference: expected at least one collision")
+	}
+}

@@ -1,0 +1,74 @@
+package schedule
+
+import (
+	"math"
+	"sort"
+
+	"repro/internal/tveg"
+	"repro/internal/tvg"
+)
+
+// CausalSort orders a schedule chronologically and, within groups of
+// equal-time transmissions, causally: a transmission whose relay is
+// already informed (deterministically, on the given planner view) fires
+// before one whose relay still needs a same-instant reception. With
+// τ = 0, non-stop journeys place whole relay chains on one timestamp, so
+// the within-group order IS the causal order — the Informs tie-break,
+// condition (i) of CheckFeasible, Eq. 16's constraint assembly, and
+// every executor depend on it. Ties beyond causality break
+// deterministically by (relay, cost). Every schedule producer must emit
+// causally ordered schedules; this is the one routine that establishes
+// the order.
+func CausalSort(view *tveg.Graph, s Schedule, src tvg.NodeID, t0 float64) Schedule {
+	out := make(Schedule, len(s))
+	copy(out, s)
+	sort.SliceStable(out, func(i, j int) bool {
+		if out[i].T != out[j].T {
+			return out[i].T < out[j].T
+		}
+		if out[i].Relay != out[j].Relay {
+			return out[i].Relay < out[j].Relay
+		}
+		return out[i].W < out[j].W
+	})
+	informedAt := make([]float64, view.N())
+	for i := range informedAt {
+		informedAt[i] = math.Inf(1)
+	}
+	informedAt[src] = t0
+	tau := view.Tau()
+	result := out[:0]
+	i := 0
+	for i < len(out) {
+		j := i
+		for j < len(out) && out[j].T == out[i].T {
+			j++
+		}
+		pending := append(Schedule(nil), out[i:j]...)
+		for len(pending) > 0 {
+			picked := -1
+			for k, x := range pending {
+				if informedAt[x.Relay] <= x.T+TimeTol {
+					picked = k
+					break
+				}
+			}
+			fires := picked != -1
+			if !fires {
+				picked = 0 // uninformed leftovers keep deterministic order
+			}
+			x := pending[picked]
+			pending = append(pending[:picked], pending[picked+1:]...)
+			result = append(result, x)
+			if fires {
+				for _, nb := range view.CoveredBy(x.Relay, x.T, x.W*(1+1e-12)) {
+					if t := x.T + tau; t < informedAt[nb] {
+						informedAt[nb] = t
+					}
+				}
+			}
+		}
+		i = j
+	}
+	return result
+}

@@ -91,10 +91,48 @@ func (s Schedule) Costs() []float64 {
 	return out
 }
 
+// TimeTol is the absolute slack (seconds) used when comparing
+// transmission times against packet arrival times. The planners schedule
+// a relay's next hop up to 1e-9 s before the packet's nominal arrival
+// (their DTS point filter uses the same slack), so every consumer of the
+// τ-propagation rule must tolerate that much skew or it would reject
+// schedules the planners legitimately emit.
+const TimeTol = 1e-9
+
+// Informs is the single τ-propagation rule every executor in this repo
+// implements (Def. 3.1: a hop's packet arrives at t_k + τ, and the next
+// hop cannot depart before that arrival):
+//
+//	a transmission departing at tk can have informed the relay of a
+//	transmission departing at tj  iff  tk + τ <= tj (within TimeTol);
+//	at the same instant (tk == tj, only causally possible when τ = 0)
+//	the earlier schedule row informs the later one — the documented
+//	τ = 0 non-stop cascade tie-break.
+//
+// k and j are the two transmissions' schedule indices, used only for
+// that same-instant tie-break.
+func Informs(tk, tau, tj float64, k, j int) bool {
+	if tk > tj {
+		return false // packets do not travel backward in time
+	}
+	if tk == tj {
+		// Same-instant cascade: only a zero (or sub-tolerance) τ allows
+		// it, and only in schedule order.
+		return tau <= TimeTol && k < j
+	}
+	return tk+tau <= tj+TimeTol
+}
+
 // UninformedProb evaluates Eq. 6: the probability p_{i,t} that node i has
 // not successfully received the packet by time t, given that src is the
 // broadcast source (informed from the start). Only transmissions with
 // t_k <= t whose link to i satisfies ρ_τ at t_k contribute.
+//
+// Note the departure-time semantics: a transmission counts as soon as it
+// departs by t. That is the right reading for condition (ii), where the
+// bound T-τ already accounts for the last hop's flight time; for
+// condition (i) — is a relay informed when it transmits? — use
+// RelayUninformedProb, which counts arrivals instead.
 func UninformedProb(g *tveg.Graph, s Schedule, src, node tvg.NodeID, t float64) float64 {
 	if node == src {
 		return 0
@@ -108,6 +146,35 @@ func UninformedProb(g *tveg.Graph, s Schedule, src, node tvg.NodeID, t float64) 
 			continue
 		}
 		p *= g.EDAt(x.Relay, node, x.T).FailureProb(x.W)
+		if p == 0 {
+			return 0
+		}
+	}
+	return p
+}
+
+// RelayUninformedProb evaluates the probability that the relay of
+// transmission s[j] has not received the packet by the instant it
+// departs. Unlike UninformedProb's departure-time rule, only
+// transmissions whose packet has *arrived* by t_j contribute
+// (Informs: t_k + τ <= t_j, same-instant ones only when they precede
+// s[j] in schedule order), and the relay's own transmissions never
+// inform it. The source is informed from the start.
+func RelayUninformedProb(g *tveg.Graph, s Schedule, src tvg.NodeID, j int) float64 {
+	x := s[j]
+	if x.Relay == src {
+		return 0
+	}
+	tau := g.Tau()
+	p := 1.0
+	for k, y := range s {
+		if y.Relay == x.Relay || !Informs(y.T, tau, x.T, k, j) {
+			continue
+		}
+		if !g.RhoTau(y.Relay, x.Relay, y.T) {
+			continue
+		}
+		p *= g.EDAt(y.Relay, x.Relay, y.T).FailureProb(y.W)
 		if p == 0 {
 			return 0
 		}
@@ -163,11 +230,12 @@ func CheckFeasible(g *tveg.Graph, s Schedule, src tvg.NodeID, deadline, costBoun
 	// ε up to floating point.
 	eps := g.Params.Eps * (1 + 1e-9)
 	tau := g.Tau()
-	// (i) relays informed by their transmission times. Relays strictly
-	// need p_{r,t} <= ε using transmissions before t; Eq. 6 already
-	// restricts to t_k <= t, and a relay's own transmissions never count.
-	for _, x := range s {
-		if p := UninformedProb(g, s, src, x.Relay, x.T); p > eps {
+	// (i) relays informed by their transmission times. Only transmissions
+	// whose packet has arrived (t_k + τ <= t, the Informs rule) count: a
+	// transmission still in flight during [t_k, t_k+τ) cannot have
+	// informed anyone yet.
+	for j, x := range s {
+		if p := RelayUninformedProb(g, s, src, j); p > eps {
 			return &Violation{1, fmt.Sprintf("relay v%d uninformed at %g (p=%.4g > ε=%g)", x.Relay, x.T, p, eps)}
 		}
 	}

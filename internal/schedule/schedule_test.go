@@ -195,3 +195,90 @@ func TestViolationError(t *testing.T) {
 		t.Errorf("Error() = %q", got)
 	}
 }
+
+func TestInforms(t *testing.T) {
+	cases := []struct {
+		name        string
+		tk, tau, tj float64
+		k, j        int
+		want        bool
+	}{
+		{"arrival exactly at departure", 5, 1, 6, 0, 1, true},
+		{"arrival within tolerance", 5, 1, 6 - 0.5e-9, 0, 1, true},
+		{"packet still in flight", 5, 1, 5.5, 0, 1, false},
+		{"future transmission", 6, 1, 5, 0, 1, false},
+		{"same instant τ=0 in order", 5, 0, 5, 0, 1, true},
+		{"same instant τ=0 out of order", 5, 0, 5, 1, 0, false},
+		{"same instant τ>0 never", 5, 1, 5, 0, 1, false},
+		{"τ=0 strictly earlier", 4, 0, 5, 3, 1, true},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			if got := Informs(tc.tk, tc.tau, tc.tj, tc.k, tc.j); got != tc.want {
+				t.Errorf("Informs(%g, τ=%g, %g, k=%d, j=%d) = %v, want %v",
+					tc.tk, tc.tau, tc.tj, tc.k, tc.j, got, tc.want)
+			}
+		})
+	}
+}
+
+// TestCheckFeasiblePrematureTauChain pins the arrival-time fix of
+// condition (i): chainGraph has τ = 1, so a packet departing v0 at t = 5
+// arrives at v1 at t = 6, and v1 relaying at t = 5.5 — inside the
+// flight window [5, 6) — can never happen in any execution. The old
+// departure-time rule (t_k <= t) accepted exactly this chain.
+func TestCheckFeasiblePrematureTauChain(t *testing.T) {
+	g := chainGraph(tveg.Static)
+	w01 := g.MinCost(0, 1, 5)
+	premature := Schedule{{0, 5, w01}, {1, 5.5, g.MinCost(1, 2, 5.5)}}
+	err := CheckFeasible(g, premature, 0, 100, math.Inf(1))
+	var v *Violation
+	if !errors.As(err, &v) || v.Condition != 1 {
+		t.Fatalf("want condition (i) violation for a relay inside the flight window, got %v", err)
+	}
+	// Demonstrate the pre-fix acceptance: the departure-time probability
+	// (UninformedProb, still the right rule for condition (ii)) calls v1
+	// informed at 5.5, which is what condition (i) used to check.
+	if p := UninformedProb(g, premature, 0, 1, 5.5); p > g.Params.Eps {
+		t.Fatalf("departure-rule p = %g — the fixture no longer demonstrates the old acceptance", p)
+	}
+	// Moving the hop to the arrival instant makes the chain legal.
+	legal := Schedule{{0, 5, w01}, {1, 6, g.MinCost(1, 2, 6)}}
+	if err := CheckFeasible(g, legal, 0, 100, math.Inf(1)); err != nil {
+		t.Fatalf("non-stop chain departing exactly at t+τ rejected: %v", err)
+	}
+}
+
+func TestRelayUninformedProb(t *testing.T) {
+	g := chainGraph(tveg.Static)
+	w01 := g.MinCost(0, 1, 5)
+	s := Schedule{{0, 5, w01}, {1, 6, g.MinCost(1, 2, 6)}, {1, 5.5, 0}}
+	if p := RelayUninformedProb(g, s, 0, 0); p != 0 {
+		t.Errorf("source relay: p = %g, want 0", p)
+	}
+	if p := RelayUninformedProb(g, s, 0, 1); p != 0 {
+		t.Errorf("relay informed by arrival: p = %g, want 0", p)
+	}
+	if p := RelayUninformedProb(g, s, 0, 2); p != 1 {
+		t.Errorf("relay inside flight window: p = %g, want 1", p)
+	}
+}
+
+// TestCausalSortEqualTimeGroup: with τ = 0 a whole relay chain can sit
+// on one timestamp; CausalSort must order the group so informed relays
+// fire first, whatever order the producer emitted.
+func TestCausalSortEqualTimeGroup(t *testing.T) {
+	g := tveg.New(3, iv(0, 100), 0, tveg.DefaultParams(), tveg.Static)
+	g.AddContact(0, 1, iv(0, 100), 5)
+	g.AddContact(1, 2, iv(0, 100), 10)
+	w01 := g.MinCost(0, 1, 10)
+	w12 := g.MinCost(1, 2, 10)
+	scrambled := Schedule{{1, 10, w12}, {0, 10, w01}}
+	sorted := CausalSort(g, scrambled, 0, 0)
+	if sorted[0].Relay != 0 || sorted[1].Relay != 1 {
+		t.Fatalf("CausalSort = %v, want v0's transmission first", sorted)
+	}
+	if err := CheckFeasible(g, sorted, 0, 100, math.Inf(1)); err != nil {
+		t.Fatalf("causally sorted τ=0 cascade rejected: %v", err)
+	}
+}

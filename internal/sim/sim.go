@@ -61,6 +61,12 @@ func WorkerTrials(trials, workers int) []int {
 // aggregates the metrics. The run is deterministic per rng. On a static
 // graph one trial suffices (the dynamics are deterministic); callers may
 // still pass more.
+//
+// Propagation follows the unified τ rule (see schedule.Informs and
+// DESIGN.md "Execution semantics"): a reception from a transmission at
+// t_k completes at t_k + τ, and the receiver cannot relay a transmission
+// scheduled before that arrival. With τ = 0 same-time cascades resolve
+// in schedule order exactly as before.
 func Evaluate(g *tveg.Graph, s schedule.Schedule, src tvg.NodeID, trials int, rng *rand.Rand) Result {
 	if trials <= 0 {
 		panic(fmt.Sprintf("sim: non-positive trials %d", trials))
@@ -70,33 +76,42 @@ func Evaluate(g *tveg.Graph, s schedule.Schedule, src tvg.NodeID, trials int, rn
 	ordered.SortByTime()
 
 	gamma := g.Params.GammaTh
+	tau := g.Tau()
 	res := Result{PlannedEnergy: ordered.NormalizedCost(gamma), Trials: trials, Workers: 1}
 	var sumDelivery, sumSqDelivery, sumEnergy float64
-	informed := make([]bool, g.N())
+	recvAt := make([]float64, g.N())
 	for trial := 0; trial < trials; trial++ {
-		for i := range informed {
-			informed[i] = false
+		for i := range recvAt {
+			recvAt[i] = math.Inf(1)
 		}
-		informed[src] = true
+		recvAt[src] = math.Inf(-1)
 		var energy float64
 		for _, x := range ordered {
-			if !informed[x.Relay] {
-				continue // a relay without the packet cannot forward it
+			if recvAt[x.Relay] > x.T+schedule.TimeTol {
+				// A relay whose packet has not arrived (t_recv = t_k + τ
+				// of some earlier reception) cannot forward it: a node
+				// informed at t is mute during [t-τ, t). With τ = 0 the
+				// reception times of this trial all lie at or before x.T,
+				// so the check degenerates to the boolean informed test
+				// and the same-time cascade in schedule order survives.
+				continue
 			}
 			energy += x.W
 			for _, j := range g.EverNeighbors(x.Relay) {
-				if informed[j] || !g.RhoTau(x.Relay, j, x.T) {
-					continue
+				if recvAt[j] <= x.T || !g.RhoTau(x.Relay, j, x.T) {
+					continue // holds the packet already, or out of range
 				}
 				failure := g.EDAt(x.Relay, j, x.T).FailureProb(x.W)
 				if failure <= 0 || rng.Float64() >= failure {
-					informed[j] = true
+					if t := x.T + tau; t < recvAt[j] {
+						recvAt[j] = t
+					}
 				}
 			}
 		}
 		delivered := 0
-		for _, ok := range informed {
-			if ok {
+		for _, t := range recvAt {
+			if !math.IsInf(t, 1) {
 				delivered++
 			}
 		}
@@ -134,8 +149,8 @@ func InformedTimes(g *tveg.Graph, s schedule.Schedule, src tvg.NodeID) []float64
 	times[src] = 0
 	tau := g.Tau()
 	for _, x := range ordered {
-		if times[x.Relay] > x.T {
-			continue
+		if times[x.Relay] > x.T+schedule.TimeTol {
+			continue // packet not yet arrived at the relay (unified τ rule)
 		}
 		for _, j := range g.EverNeighbors(x.Relay) {
 			if !g.RhoTau(x.Relay, j, x.T) {

@@ -184,3 +184,119 @@ func TestSortedCopyDoesNotMutate(t *testing.T) {
 		t.Errorf("SortedCopy wrong: c=%v s=%v", c, s)
 	}
 }
+
+// tauChain builds 0—1—2 with always-alive contacts and the given τ.
+func tauChain(m tveg.Model, tau float64) *tveg.Graph {
+	g := tveg.New(3, iv(0, 100), tau, tveg.DefaultParams(), m)
+	g.AddContact(0, 1, iv(0, 100), 5)
+	g.AddContact(1, 2, iv(0, 100), 8)
+	return g
+}
+
+// TestEvaluatePrematureRelayTauPositive pins the per-node reception-time
+// fix: with τ = 5 the packet departing v0 at t = 10 reaches v1 at 15,
+// so v1 relaying at t = 12 must be skipped — the old boolean informed
+// set relayed it and over-counted delivery.
+func TestEvaluatePrematureRelayTauPositive(t *testing.T) {
+	g := tauChain(tveg.Static, 5)
+	premature := schedule.Schedule{
+		{Relay: 0, T: 10, W: g.MinCost(0, 1, 10)},
+		{Relay: 1, T: 12, W: g.MinCost(1, 2, 12)},
+	}
+	res := Evaluate(g, premature, 0, 1, rand.New(rand.NewSource(1)))
+	if want := 2.0 / 3; res.MeanDelivery != want {
+		t.Errorf("premature relay: delivery %g, want %g", res.MeanDelivery, want)
+	}
+	if want := g.MinCost(0, 1, 10) / g.Params.GammaTh; res.MeanEnergy != want {
+		t.Errorf("premature relay must not consume energy: %g, want %g", res.MeanEnergy, want)
+	}
+	legal := schedule.Schedule{
+		{Relay: 0, T: 10, W: g.MinCost(0, 1, 10)},
+		{Relay: 1, T: 15, W: g.MinCost(1, 2, 15)}, // departs exactly at arrival
+	}
+	if res := Evaluate(g, legal, 0, 1, rand.New(rand.NewSource(1))); res.MeanDelivery != 1 {
+		t.Errorf("non-stop chain: delivery %g, want 1", res.MeanDelivery)
+	}
+}
+
+// TestInformedTimesTauArrivalGate: same fixture, deterministic executor.
+func TestInformedTimesTauArrivalGate(t *testing.T) {
+	g := tauChain(tveg.Static, 5)
+	premature := schedule.Schedule{
+		{Relay: 0, T: 10, W: g.MinCost(0, 1, 10)},
+		{Relay: 1, T: 12, W: g.MinCost(1, 2, 12)},
+	}
+	times := InformedTimes(g, premature, 0)
+	if times[1] != 15 {
+		t.Errorf("v1 informed at %g, want 15", times[1])
+	}
+	if !math.IsInf(times[2], 1) {
+		t.Errorf("v2 informed at %g, want never (relay mute during flight)", times[2])
+	}
+	legal := schedule.Schedule{premature[0], {Relay: 1, T: 15, W: g.MinCost(1, 2, 15)}}
+	if times := InformedTimes(g, legal, 0); times[2] != 20 {
+		t.Errorf("v2 informed at %g, want 20", times[2])
+	}
+}
+
+// legacyTrialDelivered is sim.Evaluate's pre-fix inner loop: a boolean
+// informed set consuming the rng in schedule × neighbor order.
+func legacyTrialDelivered(g *tveg.Graph, ordered schedule.Schedule, src tvg.NodeID, rng *rand.Rand) (int, float64) {
+	informed := make([]bool, g.N())
+	informed[src] = true
+	var energy float64
+	for _, x := range ordered {
+		if !informed[x.Relay] {
+			continue
+		}
+		energy += x.W
+		for _, j := range g.EverNeighbors(x.Relay) {
+			if informed[j] || !g.RhoTau(x.Relay, j, x.T) {
+				continue
+			}
+			failure := g.EDAt(x.Relay, j, x.T).FailureProb(x.W)
+			if failure <= 0 || rng.Float64() >= failure {
+				informed[j] = true
+			}
+		}
+	}
+	delivered := 0
+	for _, ok := range informed {
+		if ok {
+			delivered++
+		}
+	}
+	return delivered, energy
+}
+
+// TestEvaluateTauZeroMatchesLegacyStream: at τ = 0 the reception-time
+// rewrite must be byte-identical to the old boolean executor — same
+// delivery, same energy, and the same rng consumption pattern across
+// many fading trials (a skipped or extra draw anywhere would decouple
+// the streams and show up within a trial or two).
+func TestEvaluateTauZeroMatchesLegacyStream(t *testing.T) {
+	g := tauChain(tveg.RayleighFading, 0)
+	eps := g.Params.Eps
+	s := schedule.Schedule{
+		{Relay: 0, T: 10, W: 0.8 * g.EDAt(0, 1, 10).MinCost(eps)},
+		{Relay: 1, T: 10, W: 0.7 * g.EDAt(1, 2, 10).MinCost(eps)}, // τ=0 same-instant cascade
+		{Relay: 1, T: 30, W: 0.9 * g.EDAt(1, 2, 30).MinCost(eps)},
+	}
+	const trials = 64
+	for seed := int64(0); seed < 5; seed++ {
+		res := Evaluate(g, s, 0, trials, rand.New(rand.NewSource(seed)))
+		legacyRng := rand.New(rand.NewSource(seed))
+		var sumDelivery, sumEnergy float64
+		for trial := 0; trial < trials; trial++ {
+			delivered, energy := legacyTrialDelivered(g, s, 0, legacyRng)
+			sumDelivery += float64(delivered) / float64(g.N())
+			sumEnergy += energy / g.Params.GammaTh
+		}
+		if got, want := res.MeanDelivery, sumDelivery/trials; got != want {
+			t.Fatalf("seed %d: delivery %v, legacy %v", seed, got, want)
+		}
+		if got, want := res.MeanEnergy, sumEnergy/trials; got != want {
+			t.Fatalf("seed %d: energy %v, legacy %v", seed, got, want)
+		}
+	}
+}

@@ -139,14 +139,20 @@ func Table(title string, xLabel string, series ...*Series) string {
 }
 
 // Monotone reports whether ys is non-increasing (dir < 0) or
-// non-decreasing (dir > 0) within a relative tolerance — the shape checks
-// EXPERIMENTS.md records.
+// non-decreasing (dir > 0) within a tolerance — the shape checks
+// EXPERIMENTS.md records. The allowed slack for each adjacent pair is
+// tol·max(|ys[i-1]|, |ys[i]|, 1): relative to the pair's magnitude so
+// large series keep their proportional allowance, with an absolute floor
+// of tol so zero crossings and near-zero values do not collapse the
+// slack to nothing. (A bare ys[i-1]*(1±tol) bound flips direction for
+// negative values and shuts off entirely at zero.)
 func Monotone(ys []float64, dir int, tol float64) bool {
 	for i := 1; i < len(ys); i++ {
+		slack := tol * math.Max(1, math.Max(math.Abs(ys[i-1]), math.Abs(ys[i])))
 		switch {
-		case dir < 0 && ys[i] > ys[i-1]*(1+tol):
+		case dir < 0 && ys[i] > ys[i-1]+slack:
 			return false
-		case dir > 0 && ys[i] < ys[i-1]*(1-tol):
+		case dir > 0 && ys[i] < ys[i-1]-slack:
 			return false
 		}
 	}

@@ -136,3 +136,35 @@ func TestPercentile(t *testing.T) {
 	}()
 	Percentile(xs, 1.5)
 }
+
+// TestMonotoneTolerance pins the combined absolute/relative slack: the
+// old ys[i-1]*(1±tol) bound flipped direction for negative values and
+// collapsed to zero slack at zero crossings.
+func TestMonotoneTolerance(t *testing.T) {
+	cases := []struct {
+		name string
+		ys   []float64
+		dir  int
+		tol  float64
+		want bool
+	}{
+		{"negative non-increasing", []float64{-1, -2, -3}, -1, 0.01, true},
+		{"negative bump within relative slack", []float64{-100, -99.5}, -1, 0.01, true},
+		{"negative bump beyond relative slack", []float64{-100, -90}, -1, 0.01, false},
+		{"negative non-decreasing", []float64{-3, -2, -1}, +1, 0.01, true},
+		{"negative drop beyond slack (dir=+1)", []float64{-1, -2}, +1, 0.01, false},
+		{"zero crossing within absolute floor", []float64{0.004, -0.004, 0}, -1, 0.01, true},
+		{"jump from zero beyond floor", []float64{0, 0.5}, -1, 0.01, false},
+		{"zero tolerance strict", []float64{1, 1, 0.5}, -1, 0, true},
+		{"zero tolerance strict violation", []float64{1, 1.0000001}, -1, 0, false},
+		{"large values keep relative slack", []float64{1e6, 1.005e6}, -1, 0.01, true},
+		{"empty", nil, -1, 0.01, true},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			if got := Monotone(tc.ys, tc.dir, tc.tol); got != tc.want {
+				t.Errorf("Monotone(%v, %d, %g) = %v, want %v", tc.ys, tc.dir, tc.tol, got, tc.want)
+			}
+		})
+	}
+}
