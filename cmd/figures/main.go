@@ -26,6 +26,7 @@ func main() {
 		seed    = flag.Int64("seed", 1, "trace seed")
 		workers = flag.Int("workers", 0, "worker pool size for the sweep and the solver cores (0: GOMAXPROCS); tables are identical for every value")
 		doAudit = flag.Bool("audit", false, "cross-check every planned schedule through all execution semantics; aborts on any disagreement")
+		metrics = flag.String("metrics", "", "write the aggregated JSON run report for the whole sweep to this file")
 	)
 	flag.Parse()
 
@@ -36,6 +37,9 @@ func main() {
 	if *quick {
 		cfg.Sources = []tmedb.NodeID{0}
 		cfg.Trials = 200
+	}
+	if *metrics != "" {
+		cfg.Obs = tmedb.NewRecorder()
 	}
 
 	want := func(p string) bool { return *panel == "all" || *panel == p }
@@ -83,6 +87,27 @@ func main() {
 	if !ran {
 		fmt.Fprintf(os.Stderr, "figures: unknown panel %q\n", *panel)
 		os.Exit(1)
+	}
+	if *metrics != "" {
+		rep := cfg.Obs.Snapshot(map[string]string{
+			"command": "figures",
+			"panel":   *panel,
+			"seed":    fmt.Sprint(cfg.TraceSeed),
+			"workers": fmt.Sprint(cfg.Workers),
+			"quick":   fmt.Sprint(*quick),
+		})
+		f, err := os.Create(*metrics)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "figures: %v\n", err)
+			os.Exit(1)
+		}
+		if err := rep.WriteJSON(f); err != nil {
+			f.Close()
+			fmt.Fprintf(os.Stderr, "figures: %v\n", err)
+			os.Exit(1)
+		}
+		f.Close()
+		fmt.Fprintf(os.Stderr, "figures: run report written to %s\n", *metrics)
 	}
 	fmt.Fprintf(os.Stderr, "figures: done in %v\n", time.Since(start).Round(time.Millisecond))
 }

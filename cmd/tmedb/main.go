@@ -9,6 +9,10 @@
 //	      [-t0 9000] [-delay 2000] [-trials 1000]
 //
 // Without -trace a synthetic Haggle-like trace is generated (-seed, -n).
+//
+// Observability: -metrics writes the machine-readable run report,
+// -phases prints the phase tree with wall times and cache hit rates, and
+// -pprof serves net/http/pprof plus the live report on /debug/vars.
 package main
 
 import (
@@ -16,6 +20,9 @@ import (
 	"flag"
 	"fmt"
 	"math"
+	"net"
+	"net/http"
+	_ "net/http/pprof"
 	"os"
 	"strings"
 
@@ -40,8 +47,25 @@ func main() {
 		verbose   = flag.Bool("v", false, "print every transmission")
 		auditRun  = flag.Bool("audit", false, "run the differential execution-semantics audit over randomized cases (seeded by -seed) and exit; non-zero on any disagreement")
 		auditN    = flag.Int("audit-cases", 250, "randomized cases for -audit")
+		metrics   = flag.String("metrics", "", "write the JSON run report (phase tree, counters, cache hit rates, pool utilization) to this file")
+		phases    = flag.Bool("phases", false, "print the phase tree and metrics summary after the run")
+		pprofAddr = flag.String("pprof", "", "serve net/http/pprof and the live run report (expvar \"tmedb\" on /debug/vars) on this address, e.g. localhost:6060")
 	)
 	flag.Parse()
+
+	var rec *tmedb.Recorder
+	if *metrics != "" || *phases || *pprofAddr != "" {
+		rec = tmedb.NewRecorder()
+	}
+	if *pprofAddr != "" {
+		rec.PublishExpvar("tmedb")
+		ln, err := net.Listen("tcp", *pprofAddr)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Fprintf(os.Stderr, "tmedb: pprof/expvar on http://%s/debug/pprof\n", ln.Addr())
+		go http.Serve(ln, nil)
+	}
 
 	if *auditRun {
 		rep := tmedb.RunAudit(*auditN, *seed)
@@ -56,12 +80,13 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
-	alg, err := parseAlg(*algName, *level, *seed, *workers)
+	alg, err := parseAlg(*algName, *level, *seed, *workers, rec)
 	if err != nil {
 		fatal(err)
 	}
 
 	var trace *tmedb.Trace
+	traceName := *tracePath
 	if *tracePath != "" {
 		f, err := os.Open(*tracePath)
 		if err != nil {
@@ -74,6 +99,7 @@ func main() {
 		}
 	} else {
 		trace = tmedb.GenerateTrace(tmedb.TraceOptions{N: *n}, *seed)
+		traceName = fmt.Sprintf("synthetic(n=%d,seed=%d)", *n, *seed)
 	}
 	g := trace.ToTVEG(0, tmedb.DefaultParams(), model)
 	if *src < 0 || *src >= g.N() {
@@ -148,19 +174,58 @@ func main() {
 		fatal(fmt.Errorf("execution semantics disagree on the planned schedule"))
 	}
 
-	res := tmedb.EvaluateParallel(g, sched, tmedb.NodeID(*src), *trials, *seed, *workers)
+	evalSpan := rec.StartPhase("evaluate")
+	evalSpan.SetInt("trials", *trials)
+	res := tmedb.EvaluateParallelObs(g, sched, tmedb.NodeID(*src), *trials, *seed, *workers, rec)
+	evalSpan.End()
 	fmt.Printf("evaluation       %v\n", res)
 
+	// Sample the graph's cost-cache counters once the full pipeline
+	// (planning, feasibility, audit, evaluation) has exercised them.
+	tmedb.RecordCacheStats(rec, g)
+	report := rec.Snapshot(map[string]string{
+		"algorithm": alg.Name(),
+		"model":     model.String(),
+		"trace":     traceName,
+	})
+
 	if *outJSON != "" {
+		meta := &tmedb.ScheduleMeta{
+			Algorithm: alg.Name(),
+			Model:     model.String(),
+			Seed:      *seed,
+			Workers:   *workers,
+			Trace:     traceName,
+			Src:       *src,
+			T0:        *t0,
+			Deadline:  deadline,
+		}
+		if rec != nil {
+			meta.PhaseMS = report.PhaseWallMS()
+		}
 		f, err := os.Create(*outJSON)
 		if err != nil {
 			fatal(err)
 		}
 		defer f.Close()
-		if err := tmedb.WriteScheduleJSON(f, sched); err != nil {
+		if err := tmedb.WriteScheduleJSONMeta(f, sched, meta); err != nil {
 			fatal(err)
 		}
 		fmt.Printf("schedule written to %s\n", *outJSON)
+	}
+	if *phases {
+		fmt.Print(report.String())
+	}
+	if *metrics != "" {
+		f, err := os.Create(*metrics)
+		if err != nil {
+			fatal(err)
+		}
+		defer f.Close()
+		if err := report.WriteJSON(f); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("run report written to %s\n", *metrics)
 	}
 }
 
@@ -178,20 +243,20 @@ func parseModel(s string) (tmedb.Model, error) {
 	return 0, fmt.Errorf("unknown model %q", s)
 }
 
-func parseAlg(s string, level int, seed int64, workers int) (tmedb.Scheduler, error) {
+func parseAlg(s string, level int, seed int64, workers int, rec *tmedb.Recorder) (tmedb.Scheduler, error) {
 	switch strings.ToLower(s) {
 	case "eedcb":
-		return tmedb.EEDCB{Level: level, Workers: workers}, nil
+		return tmedb.EEDCB{Level: level, Workers: workers, Obs: rec}, nil
 	case "greed":
-		return tmedb.Greedy{}, nil
+		return tmedb.Greedy{Obs: rec}, nil
 	case "rand":
-		return tmedb.Random{Seed: seed}, nil
+		return tmedb.Random{Seed: seed, Obs: rec}, nil
 	case "fr-eedcb":
-		return tmedb.FREEDCB{Level: level, Workers: workers}, nil
+		return tmedb.FREEDCB{Level: level, Workers: workers, Obs: rec}, nil
 	case "fr-greed":
-		return tmedb.FRGreedy{Workers: workers}, nil
+		return tmedb.FRGreedy{Workers: workers, Obs: rec}, nil
 	case "fr-rand":
-		return tmedb.FRRandom{Seed: seed, Workers: workers}, nil
+		return tmedb.FRRandom{Seed: seed, Workers: workers, Obs: rec}, nil
 	}
 	return nil, fmt.Errorf("unknown algorithm %q", s)
 }

@@ -4,10 +4,13 @@ import (
 	"errors"
 	"fmt"
 	"math"
+	"math/rand"
 	"strings"
 
 	"repro/internal/audit"
+	"repro/internal/obs"
 	"repro/internal/parallel"
+	"repro/internal/sim"
 	"repro/internal/stats"
 )
 
@@ -57,6 +60,14 @@ type ExperimentConfig struct {
 	// event trace on any disagreement. Off by default: it roughly
 	// doubles per-schedule cost.
 	Audit bool
+	// Obs aggregates metrics across every solver and evaluation run the
+	// harness launches (cache hit rates, Dijkstra counts, pool busy
+	// times, sim counters). Figure data is byte-identical with or
+	// without it. Note: with Workers > 1 the per-point runs interleave,
+	// so the recorder's phase *tree* reflects the interleaving — read
+	// the counters, gauges, and pools (which aggregate correctly), not
+	// the span nesting. Nil (the default) records nothing.
+	Obs *obs.Recorder
 }
 
 // DefaultConfig returns the paper's §VII experiment setting: N = 20
@@ -106,15 +117,15 @@ func (cfg ExperimentConfig) schedulersFor(fading bool) []Scheduler {
 	w := cfg.workers()
 	if fading {
 		return []Scheduler{
-			FREEDCB{Level: cfg.SteinerLevel, Workers: w},
-			FRGreedy{Workers: w},
-			FRRandom{Seed: cfg.TraceSeed, Workers: w},
+			FREEDCB{Level: cfg.SteinerLevel, Workers: w, Obs: cfg.Obs},
+			FRGreedy{Workers: w, Obs: cfg.Obs},
+			FRRandom{Seed: cfg.TraceSeed, Workers: w, Obs: cfg.Obs},
 		}
 	}
 	return []Scheduler{
-		EEDCB{Level: cfg.SteinerLevel, Workers: w},
-		Greedy{},
-		Random{Seed: cfg.TraceSeed},
+		EEDCB{Level: cfg.SteinerLevel, Workers: w, Obs: cfg.Obs},
+		Greedy{Obs: cfg.Obs},
+		Random{Seed: cfg.TraceSeed, Obs: cfg.Obs},
 	}
 }
 
@@ -185,10 +196,10 @@ func (cfg ExperimentConfig) meanPlannedEnergy(alg Scheduler, g *Graph, t0, deadl
 // constraint, one series per network size N ∈ Ns (clipped to the three
 // smallest, as in the paper).
 func Fig4(cfg ExperimentConfig, model Model) FigureResult {
-	alg := Scheduler(EEDCB{Level: cfg.SteinerLevel, Workers: cfg.workers()})
+	alg := Scheduler(EEDCB{Level: cfg.SteinerLevel, Workers: cfg.workers(), Obs: cfg.Obs})
 	name := "EEDCB"
 	if model.Fading() {
-		alg = FREEDCB{Level: cfg.SteinerLevel, Workers: cfg.workers()}
+		alg = FREEDCB{Level: cfg.SteinerLevel, Workers: cfg.workers(), Obs: cfg.Obs}
 		name = "FR-EEDCB"
 	}
 	ns := cfg.Ns
@@ -281,7 +292,7 @@ func Fig6(cfg ExperimentConfig) (energy, delivery FigureResult) {
 					}
 				}
 				cfg.auditSchedule(alg, g, s, src, cfg.T0, deadline)
-				res := Evaluate(g, s, src, cfg.Trials, cfg.EvalSeed)
+				res := sim.EvaluateObs(g, s, src, cfg.Trials, rand.New(rand.NewSource(cfg.EvalSeed)), cfg.Obs)
 				energies = append(energies, s.NormalizedCost(g.Params.GammaTh))
 				deliveries = append(deliveries, res.MeanDelivery)
 			}

@@ -16,10 +16,71 @@ import (
 	"repro/internal/exact"
 	"repro/internal/interference"
 	"repro/internal/ndtvg"
+	"repro/internal/obs"
 	"repro/internal/schedule"
 	"repro/internal/sim"
 	"repro/internal/tracestats"
+	"repro/internal/tveg"
 )
+
+// Observability: the solver-wide instrumentation layer of internal/obs.
+// A nil *Recorder is the disabled default — every instrumented code path
+// is a zero-allocation no-op without one, and schedules are byte-identical
+// with or without recording (see DESIGN.md "Observability").
+type (
+	// Recorder collects counters, gauges, histograms, phase spans, and
+	// worker-pool utilization for one run.
+	Recorder = obs.Recorder
+	// RunReport is a recorder snapshot: the stable-JSON run report.
+	RunReport = obs.Report
+	// ScheduleMeta is the optional provenance block of a schedule file.
+	ScheduleMeta = schedule.Meta
+)
+
+// NewRecorder returns an enabled metrics recorder.
+func NewRecorder() *Recorder { return obs.New() }
+
+// CacheStats is a point-in-time view of a graph's cost-cache counters
+// (MinCost and DCS memo tables plus the shared channel-inversion memo).
+type CacheStats = tveg.CacheStats
+
+// RecordCacheStats samples g's cost-cache counters into rec under the
+// cache.tveg.min_cost / cache.tveg.dcs / cache.channel.memo gauge
+// families (run reports derive a .hit_rate per family). No-op when rec
+// is nil or the graph's cache is disabled.
+func RecordCacheStats(rec *Recorder, g *Graph) {
+	st, ok := g.CostCacheStats()
+	if !ok || rec == nil {
+		return
+	}
+	rec.RecordCache("tveg.min_cost", st.MinCostHits, st.MinCostMisses, st.MinCostSize)
+	rec.RecordCache("tveg.dcs", st.DCSHits, st.DCSMisses, st.DCSSize)
+	rec.RecordCache("channel.memo", st.EDMemo.Hits, st.EDMemo.Misses, st.EDMemo.Size)
+}
+
+// EvaluateObs is Evaluate with sim transmission/reception counters
+// recorded into rec (nil records nothing; results are identical).
+func EvaluateObs(g *Graph, s Schedule, src NodeID, trials int, seed int64, rec *Recorder) Result {
+	return sim.EvaluateObs(g, s, src, trials, rand.New(rand.NewSource(seed)), rec)
+}
+
+// EvaluateParallelObs is EvaluateParallel with per-worker busy time
+// recorded into rec's "sim.evaluate" pool (nil records nothing).
+func EvaluateParallelObs(g *Graph, s Schedule, src NodeID, trials int, seed int64, workers int, rec *Recorder) Result {
+	return sim.EvaluateParallelObs(g, s, src, trials, seed, workers, rec)
+}
+
+// WriteScheduleJSONMeta writes a schedule with an embedded provenance
+// block (nil meta matches WriteScheduleJSON byte for byte).
+func WriteScheduleJSONMeta(w io.Writer, s Schedule, meta *ScheduleMeta) error {
+	return s.WriteJSONMeta(w, meta)
+}
+
+// ReadScheduleJSONMeta parses a schedule file along with its provenance
+// block (nil for meta-less files).
+func ReadScheduleJSONMeta(r io.Reader) (Schedule, *ScheduleMeta, error) {
+	return schedule.ReadJSONMeta(r)
+}
 
 // EvaluateParallel is Evaluate across a deterministic worker pool:
 // results depend only on (seed, workers), not on scheduling. workers <= 0

@@ -27,6 +27,7 @@ import (
 	"math"
 	"math/rand"
 
+	"repro/internal/obs"
 	"repro/internal/schedule"
 	"repro/internal/tveg"
 	"repro/internal/tvg"
@@ -149,6 +150,10 @@ type Options struct {
 	// uses Possible, the optimistic rule matching ForceSuccess-driven
 	// Monte Carlo execution.
 	Decide func(failure float64) bool
+	// Obs counts audit.tx / audit.recv / audit.drop across executions.
+	// Write-only; nil records nothing and traces are identical either
+	// way.
+	Obs *obs.Recorder
 }
 
 // Execute runs the schedule once from src under the unified
@@ -177,7 +182,18 @@ func Execute(g *tveg.Graph, s schedule.Schedule, src tvg.NodeID, opts Options) *
 	}
 	tr.RecvAt[src] = opts.T0
 
+	txCount := opts.Obs.Counter("audit.tx")
+	recvCount := opts.Obs.Counter("audit.recv")
+	dropCount := opts.Obs.Counter("audit.drop")
 	emit := func(e Event) {
+		switch e.Kind {
+		case EventTx:
+			txCount.Inc()
+		case EventRecv:
+			recvCount.Inc()
+		case EventDrop:
+			dropCount.Inc()
+		}
 		if opts.Events {
 			tr.Events = append(tr.Events, e)
 		}

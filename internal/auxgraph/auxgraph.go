@@ -19,6 +19,7 @@ import (
 
 	"repro/internal/dts"
 	"repro/internal/graph"
+	"repro/internal/obs"
 	"repro/internal/parallel"
 	"repro/internal/schedule"
 	"repro/internal/steiner"
@@ -37,6 +38,10 @@ type Options struct {
 	// (node, point) weight is independent, so the built graph is
 	// identical for every value; <= 1 runs serially.
 	Workers int
+	// Obs receives the "auxgraph" phase span (with a "dcs-construct"
+	// child around the ψ-heavy DCS sweep), size attributes, and the DCS
+	// pool stats. Nil (the default) records nothing.
+	Obs *obs.Recorder
 }
 
 // TxMeta describes the transmission a paying auxiliary edge stands for.
@@ -58,10 +63,13 @@ type Aux struct {
 	meta      map[edgeID]TxMeta
 	advantage bool
 	workers   int
+	obs       *obs.Recorder
 }
 
 // Build constructs the auxiliary graph for the TVEG g over the DTS d.
 func Build(g *tveg.Graph, d *dts.DTS, opts Options) *Aux {
+	sp := opts.Obs.StartPhase("auxgraph")
+	defer sp.End()
 	n := g.N()
 	base := make([]int, n)
 	total := 0
@@ -76,6 +84,7 @@ func Build(g *tveg.Graph, d *dts.DTS, opts Options) *Aux {
 		meta:      make(map[edgeID]TxMeta),
 		advantage: !opts.NoBroadcastAdvantage,
 		workers:   opts.Workers,
+		obs:       opts.Obs,
 	}
 
 	// Count power vertices first so the digraph can be sized once.
@@ -99,9 +108,12 @@ func Build(g *tveg.Graph, d *dts.DTS, opts Options) *Aux {
 			cands = append(cands, tx{i: tvg.NodeID(i), l: l, t: t})
 		}
 	}
-	parallel.ForEach(opts.Workers, len(cands), func(k int) {
+	dcsSpan := opts.Obs.StartPhase("dcs-construct")
+	parallel.ForEachPool(opts.Obs.Pool("auxgraph.dcs"), opts.Workers, len(cands), func(k int) {
 		cands[k].levels = g.DCS(cands[k].i, cands[k].t)
 	})
+	dcsSpan.SetInt("candidates", len(cands))
+	dcsSpan.End()
 	txs := cands[:0]
 	for _, x := range cands {
 		if len(x.levels) > 0 {
@@ -156,6 +168,10 @@ func Build(g *tveg.Graph, d *dts.DTS, opts Options) *Aux {
 			}
 		}
 	}
+	st := a.Stats()
+	sp.SetInt("vertices", st.Vertices)
+	sp.SetInt("edges", st.Edges)
+	sp.SetInt("power_vertices", st.PowerVertices)
 	return a
 }
 
@@ -255,7 +271,7 @@ func (s Stats) String() string {
 // auxiliary graph for a broadcast from src and maps the result back to a
 // schedule. level <= 1 selects the shortest-path-tree heuristic.
 func (a *Aux) Solve(src tvg.NodeID, level int) (schedule.Schedule, error) {
-	solver := steiner.NewSolver(a.G).SetWorkers(a.workers)
+	solver := steiner.NewSolver(a.G).SetWorkers(a.workers).SetObs(a.obs)
 	root := a.SourceVertex(src)
 	terms := a.Terminals()
 	var (

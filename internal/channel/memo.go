@@ -3,6 +3,7 @@ package channel
 import (
 	"reflect"
 	"sync"
+	"sync/atomic"
 )
 
 // Memo is a concurrency-safe memoization table for MinCost inversions.
@@ -19,6 +20,32 @@ import (
 // by scheduling.
 type Memo struct {
 	m sync.Map // memoKey -> float64
+	// hits/misses feed the observability layer's cache metrics. A
+	// non-memoizable (non-comparable or nil) ED-function counts as a
+	// miss: the caller paid the full inversion either way.
+	hits   atomic.Int64
+	misses atomic.Int64
+}
+
+// MemoStats is a point-in-time view of the memo's effectiveness.
+type MemoStats struct {
+	// Hits and Misses count MinCost calls answered from / absent from
+	// the table since construction or the last Reset.
+	Hits, Misses int64
+	// Size is the current number of memoized entries.
+	Size int64
+}
+
+// Stats returns the memo's hit/miss/size counters. Safe for concurrent
+// use with MinCost and Reset; the three numbers are individually atomic
+// but not mutually consistent under concurrent writes (good enough for
+// metrics, which is all this feeds).
+func (c *Memo) Stats() MemoStats {
+	return MemoStats{
+		Hits:   c.hits.Load(),
+		Misses: c.misses.Load(),
+		Size:   int64(c.Len()),
+	}
 }
 
 type memoKey struct {
@@ -32,26 +59,34 @@ type memoKey struct {
 // computation rather than panicking on the map key.
 func (c *Memo) MinCost(f EDFunction, eps float64) float64 {
 	if f == nil || !reflect.TypeOf(f).Comparable() {
+		c.misses.Add(1)
 		return f.MinCost(eps)
 	}
 	k := memoKey{f, eps}
 	if v, ok := c.m.Load(k); ok {
+		c.hits.Add(1)
 		return v.(float64)
 	}
+	c.misses.Add(1)
 	v := f.MinCost(eps)
 	c.m.Store(k, v)
 	return v
 }
 
-// Reset empties the memo. Callers invalidate whenever the mapping behind
-// an ED-function value could have changed — in this package it cannot
-// (the key embeds every parameter), so Reset exists for the higher-level
-// caches that key by graph coordinates instead.
+// Reset empties the memo and zeroes its hit/miss statistics — a reset
+// memo is indistinguishable from a fresh one, so stats from before an
+// invalidation cannot leak into the next run's cache-effectiveness
+// numbers. Callers invalidate whenever the mapping behind an ED-function
+// value could have changed — in this package it cannot (the key embeds
+// every parameter), so Reset exists for the higher-level caches that key
+// by graph coordinates instead.
 func (c *Memo) Reset() {
 	c.m.Range(func(k, _ any) bool {
 		c.m.Delete(k)
 		return true
 	})
+	c.hits.Store(0)
+	c.misses.Store(0)
 }
 
 // Len reports the number of memoized entries (for tests and stats).

@@ -5,6 +5,7 @@ import (
 
 	"repro/internal/auxgraph"
 	"repro/internal/dts"
+	"repro/internal/obs"
 	"repro/internal/schedule"
 	"repro/internal/steiner"
 	"repro/internal/tveg"
@@ -29,6 +30,10 @@ type EEDCB struct {
 	// DTSOpts and AuxOpts tune the reduction (ablation hooks).
 	DTSOpts dts.Options
 	AuxOpts auxgraph.Options
+	// Obs receives the phase tree (eedcb → dts/auxgraph/steiner) and the
+	// per-stage metrics. Recording is write-only — planned schedules are
+	// byte-identical with or without it. Nil records nothing.
+	Obs *obs.Recorder
 }
 
 // Name implements Scheduler.
@@ -43,8 +48,10 @@ func (e EEDCB) level() int {
 
 // Schedule implements Scheduler.
 func (e EEDCB) Schedule(g *tveg.Graph, src tvg.NodeID, t0, deadline float64) (schedule.Schedule, error) {
+	sp := e.Obs.StartPhase("eedcb")
+	defer sp.End()
 	view := plannerView(g, false)
-	return solveViaAux(view, src, nil, t0, deadline, e.level(), e.Workers, e.DTSOpts, e.AuxOpts)
+	return solveViaAux(view, src, nil, t0, deadline, e.level(), e.Workers, e.DTSOpts, e.AuxOpts, e.Obs)
 }
 
 // Multicast plans a minimum-energy delay-constrained multicast: only the
@@ -52,8 +59,10 @@ func (e EEDCB) Schedule(g *tveg.Graph, src tvg.NodeID, t0, deadline float64) (sc
 // literally the minimum-energy multicast tree problem, so the pipeline is
 // identical with a restricted terminal set.
 func (e EEDCB) Multicast(g *tveg.Graph, src tvg.NodeID, targets []tvg.NodeID, t0, deadline float64) (schedule.Schedule, error) {
+	sp := e.Obs.StartPhase("eedcb")
+	defer sp.End()
 	view := plannerView(g, false)
-	return solveViaAux(view, src, targets, t0, deadline, e.level(), e.Workers, e.DTSOpts, e.AuxOpts)
+	return solveViaAux(view, src, targets, t0, deadline, e.level(), e.Workers, e.DTSOpts, e.AuxOpts, e.Obs)
 }
 
 // solveViaAux runs the §VI-A pipeline on the given planner view for the
@@ -61,12 +70,18 @@ func (e EEDCB) Multicast(g *tveg.Graph, src tvg.NodeID, targets []tvg.NodeID, t0
 // as are reachable, reporting the rest through *IncompleteError. workers
 // bounds every stage's internal pool; explicit per-stage Workers in the
 // option structs win over the scheduler-level knob.
-func solveViaAux(view *tveg.Graph, src tvg.NodeID, targets []tvg.NodeID, t0, deadline float64, level, workers int, dOpts dts.Options, aOpts auxgraph.Options) (schedule.Schedule, error) {
+func solveViaAux(view *tveg.Graph, src tvg.NodeID, targets []tvg.NodeID, t0, deadline float64, level, workers int, dOpts dts.Options, aOpts auxgraph.Options, rec *obs.Recorder) (schedule.Schedule, error) {
 	if dOpts.Workers == 0 {
 		dOpts.Workers = workers
 	}
 	if aOpts.Workers == 0 {
 		aOpts.Workers = workers
+	}
+	if dOpts.Obs == nil {
+		dOpts.Obs = rec
+	}
+	if aOpts.Obs == nil {
+		aOpts.Obs = rec
 	}
 	d := dts.Build(view.Graph, t0, deadline, dOpts)
 	a := auxgraph.Build(view, d, aOpts)
@@ -90,7 +105,8 @@ func solveViaAux(view *tveg.Graph, src tvg.NodeID, targets []tvg.NodeID, t0, dea
 	if len(terms) == 0 {
 		return nil, &IncompleteError{Uncovered: unreachable}
 	}
-	solver := steiner.NewSolver(a.G).SetWorkers(workers)
+	stSpan := rec.StartPhase("steiner")
+	solver := steiner.NewSolver(a.G).SetWorkers(workers).SetObs(rec)
 	var (
 		sol steiner.Solution
 		err error
@@ -101,8 +117,13 @@ func solveViaAux(view *tveg.Graph, src tvg.NodeID, targets []tvg.NodeID, t0, dea
 		sol, err = solver.RecursiveGreedy(a.SourceVertex(src), terms, level)
 	}
 	if err != nil {
+		stSpan.End()
 		return nil, fmt.Errorf("core: EEDCB: %w", err)
 	}
+	stSpan.SetInt("terminals", len(terms))
+	stSpan.SetInt("solution_edges", sol.NumEdges())
+	stSpan.SetFloat("solution_cost", sol.Cost())
+	stSpan.End()
 	s := normalizeET(view, a.ScheduleFromSolution(sol), src, t0, !aOpts.NoBroadcastAdvantage)
 	if len(unreachable) > 0 {
 		sortNodeIDs(unreachable)

@@ -7,6 +7,7 @@ import (
 	"repro/internal/auxgraph"
 	"repro/internal/dts"
 	"repro/internal/nlp"
+	"repro/internal/obs"
 	"repro/internal/parallel"
 	"repro/internal/schedule"
 	"repro/internal/tveg"
@@ -58,6 +59,9 @@ type FREEDCB struct {
 	Allocator Allocator
 	// UsePenalty is a deprecated alias for Allocator = AllocPenalty.
 	UsePenalty bool
+	// Obs receives the phase tree (fr-eedcb → dts/auxgraph/steiner/
+	// nlp-alloc) and per-stage metrics. Write-only; nil records nothing.
+	Obs *obs.Recorder
 }
 
 func (f FREEDCB) allocator() Allocator {
@@ -79,24 +83,28 @@ func (f FREEDCB) level() int {
 
 // Schedule implements Scheduler.
 func (f FREEDCB) Schedule(g *tveg.Graph, src tvg.NodeID, t0, deadline float64) (schedule.Schedule, error) {
+	sp := f.Obs.StartPhase("fr-eedcb")
+	defer sp.End()
 	view := plannerView(g, true)
-	backbone, incErr := solveViaAux(view, src, nil, t0, deadline, f.level(), f.Workers, f.DTSOpts, f.AuxOpts)
+	backbone, incErr := solveViaAux(view, src, nil, t0, deadline, f.level(), f.Workers, f.DTSOpts, f.AuxOpts, f.Obs)
 	if bad := onlyIncomplete(incErr); bad != nil {
 		return nil, bad
 	}
-	return allocateEnergy(g, backbone, src, nil, incErr, f.allocator(), f.Workers)
+	return allocateEnergy(g, backbone, src, nil, incErr, f.allocator(), f.Workers, f.Obs)
 }
 
 // Multicast plans a fading-resistant multicast to the target subset:
 // backbone selection restricted to the targets, then NLP allocation with
 // residual-failure constraints only for targets and backbone relays.
 func (f FREEDCB) Multicast(g *tveg.Graph, src tvg.NodeID, targets []tvg.NodeID, t0, deadline float64) (schedule.Schedule, error) {
+	sp := f.Obs.StartPhase("fr-eedcb")
+	defer sp.End()
 	view := plannerView(g, true)
-	backbone, incErr := solveViaAux(view, src, targets, t0, deadline, f.level(), f.Workers, f.DTSOpts, f.AuxOpts)
+	backbone, incErr := solveViaAux(view, src, targets, t0, deadline, f.level(), f.Workers, f.DTSOpts, f.AuxOpts, f.Obs)
 	if bad := onlyIncomplete(incErr); bad != nil {
 		return nil, bad
 	}
-	return allocateEnergy(g, backbone, src, targets, incErr, f.allocator(), f.Workers)
+	return allocateEnergy(g, backbone, src, targets, incErr, f.allocator(), f.Workers, f.Obs)
 }
 
 // FRGreedy is FR-GREED: the coverage-greedy backbone on the fading view
@@ -110,6 +118,8 @@ type FRGreedy struct {
 	Allocator Allocator
 	// UsePenalty is a deprecated alias for Allocator = AllocPenalty.
 	UsePenalty bool
+	// Obs receives the phase tree and metrics; nil records nothing.
+	Obs *obs.Recorder
 }
 
 func (f FRGreedy) allocator() Allocator {
@@ -124,12 +134,18 @@ func (FRGreedy) Name() string { return "FR-GREED" }
 
 // Schedule implements Scheduler.
 func (f FRGreedy) Schedule(g *tveg.Graph, src tvg.NodeID, t0, deadline float64) (schedule.Schedule, error) {
+	sp := f.Obs.StartPhase("fr-greed")
+	defer sp.End()
 	view := plannerView(g, true)
-	backbone, incErr := greedyBackbone(view, src, t0, deadline, f.DTSOpts)
+	dOpts := f.DTSOpts
+	if dOpts.Obs == nil {
+		dOpts.Obs = f.Obs
+	}
+	backbone, incErr := greedyBackbone(view, src, t0, deadline, dOpts)
 	if bad := onlyIncomplete(incErr); bad != nil {
 		return nil, bad
 	}
-	return allocateEnergy(g, backbone, src, nil, incErr, f.allocator(), f.Workers)
+	return allocateEnergy(g, backbone, src, nil, incErr, f.allocator(), f.Workers, f.Obs)
 }
 
 // FRRandom is FR-RAND: the random-relay backbone on the fading view +
@@ -144,6 +160,8 @@ type FRRandom struct {
 	Allocator Allocator
 	// UsePenalty is a deprecated alias for Allocator = AllocPenalty.
 	UsePenalty bool
+	// Obs receives the phase tree and metrics; nil records nothing.
+	Obs *obs.Recorder
 }
 
 func (f FRRandom) allocator() Allocator {
@@ -158,12 +176,18 @@ func (FRRandom) Name() string { return "FR-RAND" }
 
 // Schedule implements Scheduler.
 func (f FRRandom) Schedule(g *tveg.Graph, src tvg.NodeID, t0, deadline float64) (schedule.Schedule, error) {
+	sp := f.Obs.StartPhase("fr-rand")
+	defer sp.End()
 	view := plannerView(g, true)
-	backbone, incErr := randomBackbone(view, src, t0, deadline, f.Seed, f.DTSOpts)
+	dOpts := f.DTSOpts
+	if dOpts.Obs == nil {
+		dOpts.Obs = f.Obs
+	}
+	backbone, incErr := randomBackbone(view, src, t0, deadline, f.Seed, dOpts)
 	if bad := onlyIncomplete(incErr); bad != nil {
 		return nil, bad
 	}
-	return allocateEnergy(g, backbone, src, nil, incErr, f.allocator(), f.Workers)
+	return allocateEnergy(g, backbone, src, nil, incErr, f.allocator(), f.Workers, f.Obs)
 }
 
 // onlyIncomplete passes through nil and *IncompleteError, returning any
@@ -191,10 +215,12 @@ func onlyIncomplete(err error) error {
 // (backbone entry, node) pair — fans out across the worker pool; terms
 // are then added to the problem in the original node order, so the NLP
 // instance is identical for every worker count.
-func allocateEnergy(g *tveg.Graph, backbone schedule.Schedule, src tvg.NodeID, targets []tvg.NodeID, incErr error, alloc Allocator, workers int) (schedule.Schedule, error) {
+func allocateEnergy(g *tveg.Graph, backbone schedule.Schedule, src tvg.NodeID, targets []tvg.NodeID, incErr error, alloc Allocator, workers int, rec *obs.Recorder) (schedule.Schedule, error) {
 	if len(backbone) == 0 {
 		return backbone, incErr
 	}
+	sp := rec.StartPhase("nlp-alloc")
+	defer sp.End()
 	uncov := make(map[tvg.NodeID]bool)
 	if incErr != nil {
 		var ie *IncompleteError
@@ -219,8 +245,10 @@ func allocateEnergy(g *tveg.Graph, backbone schedule.Schedule, src tvg.NodeID, t
 	// term lists depend only on the backbone and the graph, never on
 	// each other, so they build in parallel; skip/degrade decisions
 	// happen in the serial ordering pass below.
+	asmSpan := rec.StartPhase("assemble")
+	asmPool := rec.Pool("nlp.assemble")
 	coverTerms := make([][]nlp.Term, len(targets))
-	parallel.ForEach(workers, len(targets), func(ti int) {
+	parallel.ForEachPool(asmPool, workers, len(targets), func(ti int) {
 		nj := targets[ti]
 		if nj == src || uncov[nj] {
 			return
@@ -255,7 +283,7 @@ func allocateEnergy(g *tveg.Graph, backbone schedule.Schedule, src tvg.NodeID, t
 	// relay, so it must not appear in the constraint.
 	tau := g.Tau()
 	relayTerms := make([][]nlp.Term, len(backbone))
-	parallel.ForEach(workers, len(backbone), func(j int) {
+	parallel.ForEachPool(asmPool, workers, len(backbone), func(j int) {
 		xj := backbone[j]
 		if xj.Relay == src {
 			return
@@ -284,7 +312,13 @@ func allocateEnergy(g *tveg.Graph, backbone schedule.Schedule, src tvg.NodeID, t
 		}
 		p.AddConstraint(eps, relayTerms[j]...)
 	}
+	asmSpan.SetInt("variables", p.NumVars)
+	asmSpan.SetInt("constraints", len(p.Constraints))
+	asmSpan.End()
 
+	solveSpan := rec.StartPhase("solve")
+	solveSpan.SetStr("allocator", alloc.String())
+	p.Obs = rec
 	var (
 		w   []float64
 		err error
@@ -297,6 +331,7 @@ func allocateEnergy(g *tveg.Graph, backbone schedule.Schedule, src tvg.NodeID, t
 	default:
 		w, err = nlp.SolveGreedy(p)
 	}
+	solveSpan.End()
 	if err != nil {
 		return nil, fmt.Errorf("core: energy allocation: %w", err)
 	}

@@ -2,6 +2,7 @@ package core
 
 import (
 	"repro/internal/dts"
+	"repro/internal/obs"
 	"repro/internal/schedule"
 	"repro/internal/tveg"
 	"repro/internal/tvg"
@@ -14,6 +15,9 @@ import (
 // that coverage. It finds local optima where EEDCB optimizes globally.
 type Greedy struct {
 	DTSOpts dts.Options
+	// Obs receives the "greed" phase span and the DTS metrics. Write-only;
+	// nil records nothing.
+	Obs *obs.Recorder
 }
 
 // Name implements Scheduler.
@@ -21,8 +25,14 @@ func (Greedy) Name() string { return "GREED" }
 
 // Schedule implements Scheduler.
 func (gr Greedy) Schedule(g *tveg.Graph, src tvg.NodeID, t0, deadline float64) (schedule.Schedule, error) {
+	sp := gr.Obs.StartPhase("greed")
+	defer sp.End()
 	view := plannerView(g, false)
-	return greedyBackbone(view, src, t0, deadline, gr.DTSOpts)
+	dOpts := gr.DTSOpts
+	if dOpts.Obs == nil {
+		dOpts.Obs = gr.Obs
+	}
+	return greedyBackbone(view, src, t0, deadline, dOpts)
 }
 
 // greedyBackbone runs the coverage-greedy selection on the given view.

@@ -4,6 +4,7 @@ import (
 	"math/rand"
 
 	"repro/internal/dts"
+	"repro/internal/obs"
 	"repro/internal/schedule"
 	"repro/internal/tveg"
 	"repro/internal/tvg"
@@ -18,6 +19,9 @@ type Random struct {
 	// Seed drives relay selection; runs are deterministic per seed.
 	Seed    int64
 	DTSOpts dts.Options
+	// Obs receives the "rand" phase span and the DTS metrics. Write-only;
+	// nil records nothing.
+	Obs *obs.Recorder
 }
 
 // Name implements Scheduler.
@@ -25,8 +29,14 @@ func (Random) Name() string { return "RAND" }
 
 // Schedule implements Scheduler.
 func (r Random) Schedule(g *tveg.Graph, src tvg.NodeID, t0, deadline float64) (schedule.Schedule, error) {
+	sp := r.Obs.StartPhase("rand")
+	defer sp.End()
 	view := plannerView(g, false)
-	return randomBackbone(view, src, t0, deadline, r.Seed, r.DTSOpts)
+	dOpts := r.DTSOpts
+	if dOpts.Obs == nil {
+		dOpts.Obs = r.Obs
+	}
+	return randomBackbone(view, src, t0, deadline, r.Seed, dOpts)
 }
 
 // randomBackbone runs the random-relay selection on the given view.

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"math/rand"
 
+	"repro/internal/obs"
 	"repro/internal/schedule"
 	"repro/internal/tveg"
 	"repro/internal/tvg"
@@ -28,6 +29,10 @@ type ExecOptions struct {
 	Airtime float64
 	// Interference enables the protocol collision model.
 	Interference bool
+	// Obs counts des.tx_fired / des.tx_skipped / des.rx / des.rx_failed /
+	// des.collisions / des.delivered across executions. Write-only; nil
+	// records nothing and realizations are identical either way.
+	Obs *obs.Recorder
 }
 
 // ExecResult reports one realization.
@@ -54,6 +59,11 @@ func Execute(g *tveg.Graph, s schedule.Schedule, src tvg.NodeID, start float64, 
 	if airtime == 0 && opts.Interference {
 		return ExecResult{}, fmt.Errorf("des: interference model needs a positive airtime")
 	}
+
+	txFired := opts.Obs.Counter("des.tx_fired")
+	txSkipped := opts.Obs.Counter("des.tx_skipped")
+	rxOK := opts.Obs.Counter("des.rx")
+	rxFailed := opts.Obs.Counter("des.rx_failed")
 
 	n := g.N()
 	res := ExecResult{InformedAt: make([]float64, n)}
@@ -85,8 +95,10 @@ func Execute(g *tveg.Graph, s schedule.Schedule, src tvg.NodeID, start float64, 
 		x := x
 		sim.AtClass(x.T, 1, func(now float64) {
 			if res.InformedAt[x.Relay] > now+schedule.TimeTol {
+				txSkipped.Inc()
 				return // relay's own reception incomplete: transmission skipped
 			}
+			txFired.Inc()
 			res.ConsumedEnergy += x.W
 			if !opts.Interference {
 				// Without the collision model, receptions are independent:
@@ -104,7 +116,10 @@ func Execute(g *tveg.Graph, s schedule.Schedule, src tvg.NodeID, start float64, 
 						}
 						failure := g.EDAt(x.Relay, j, x.T).FailureProb(x.W)
 						if failure <= 0 || rng.Float64() >= failure {
+							rxOK.Inc()
 							res.InformedAt[j] = end
+						} else {
+							rxFailed.Inc()
 						}
 					}
 				})
@@ -155,7 +170,10 @@ func Execute(g *tveg.Graph, s schedule.Schedule, src tvg.NodeID, start float64, 
 					}
 					failure := g.EDAt(cur.from, j, cur.t).FailureProb(cur.w)
 					if failure <= 0 || rng.Float64() >= failure {
+						rxOK.Inc()
 						res.InformedAt[j] = end
+					} else {
+						rxFailed.Inc()
 					}
 				}
 			})
@@ -167,6 +185,8 @@ func Execute(g *tveg.Graph, s schedule.Schedule, src tvg.NodeID, start float64, 
 			res.Delivered++
 		}
 	}
+	opts.Obs.Counter("des.collisions").Add(int64(res.Collisions))
+	opts.Obs.Counter("des.delivered").Add(int64(res.Delivered))
 	return res, nil
 }
 

@@ -24,6 +24,7 @@ import (
 	"math"
 	"sort"
 
+	"repro/internal/obs"
 	"repro/internal/parallel"
 	"repro/internal/tvg"
 )
@@ -42,6 +43,9 @@ type Options struct {
 	// partition is computed independently, so the result is identical
 	// for every value; <= 1 runs serially.
 	Workers int
+	// Obs receives the "dts" phase span, point-count attributes, and the
+	// filter-sweep pool stats. Nil (the default) records nothing.
+	Obs *obs.Recorder
 }
 
 // DTS is a discrete time set D_V: one discrete time partition P_i^di per
@@ -59,6 +63,8 @@ const timeEps = 1e-9
 // Build computes the DTS of g for a broadcast starting at t0 with delay
 // constraint deadline (absolute time, t0 < deadline <= span end).
 func Build(g *tvg.Graph, t0, deadline float64, opts Options) *DTS {
+	sp := opts.Obs.StartPhase("dts")
+	defer sp.End()
 	span := g.Span()
 	if t0 < span.Start || deadline > span.End || deadline <= t0 {
 		panic(fmt.Sprintf("dts: window [%g,%g] outside span [%g,%g]", t0, deadline, span.Start, span.End))
@@ -113,7 +119,7 @@ func Build(g *tvg.Graph, t0, deadline float64, opts Options) *DTS {
 	// writes its own slot, so the sweep parallelizes without changing
 	// the result.
 	pts := make([][]float64, n)
-	parallel.ForEach(opts.Workers, n, func(i int) {
+	parallel.ForEachPool(opts.Obs.Pool("dts.filter"), opts.Workers, n, func(i int) {
 		var mine []float64
 		for _, p := range global {
 			if opts.NoPrune || g.DegreeAt(tvg.NodeID(i), p) > 0 {
@@ -123,7 +129,11 @@ func Build(g *tvg.Graph, t0, deadline float64, opts Options) *DTS {
 		mine = append(mine, t0, deadline)
 		pts[i] = dedupSorted(mine)
 	})
-	return &DTS{T0: t0, Deadline: deadline, Points: pts}
+	d := &DTS{T0: t0, Deadline: deadline, Points: pts}
+	sp.SetInt("base_points", len(base))
+	sp.SetInt("global_points", len(global))
+	sp.SetInt("total_points", d.TotalPoints())
+	return d
 }
 
 func dedupSorted(xs []float64) []float64 {

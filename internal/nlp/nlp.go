@@ -21,6 +21,7 @@ import (
 	"math"
 
 	"repro/internal/channel"
+	"repro/internal/obs"
 )
 
 // Term is one factor of a product constraint: variable Var transmitting
@@ -41,6 +42,10 @@ type Problem struct {
 	NumVars     int
 	WMin, WMax  float64
 	Constraints []Constraint
+	// Obs counts solver iterations (greedy repairs, descent sweeps,
+	// penalty steps). Write-only: allocations are identical with or
+	// without it. Nil records nothing.
+	Obs *obs.Recorder
 }
 
 // NewProblem creates a problem with n variables in [wmin, wmax].
@@ -193,6 +198,7 @@ func SolveGreedy(p *Problem) ([]float64, error) {
 			return nil, ErrInfeasible
 		}
 		w[bestVar] = bestNew
+		p.Obs.Counter("nlp.greedy.repairs").Inc()
 	}
 	if !p.Feasible(w) {
 		return nil, ErrInfeasible
@@ -213,7 +219,9 @@ func CoordinateDescent(p *Problem, w []float64, maxSweeps int) {
 			byVar[t.Var] = append(byVar[t.Var], ci)
 		}
 	}
+	sweeps := p.Obs.Counter("nlp.descent.sweeps")
 	for sweep := 0; sweep < maxSweeps; sweep++ {
+		sweeps.Inc()
 		changed := false
 		for v := 0; v < p.NumVars; v++ {
 			need := p.WMin
@@ -296,9 +304,13 @@ func SolvePenalty(p *Problem, opts PenaltyOptions) ([]float64, error) {
 	}
 	mu := opts.Mu0
 	grad := make([]float64, p.NumVars)
+	outerSteps := p.Obs.Counter("nlp.penalty.outer")
+	innerSteps := p.Obs.Counter("nlp.penalty.inner")
 	for outer := 0; outer < opts.MaxOuter; outer++ {
+		outerSteps.Inc()
 		step := scale * 0.1
 		for inner := 0; inner < opts.MaxInner; inner++ {
+			innerSteps.Inc()
 			objGrad(p, w, mu, grad, scale)
 			moved := false
 			for v := range w {

@@ -1,0 +1,60 @@
+package obs
+
+import (
+	"testing"
+	"time"
+)
+
+// TestAllocsPerRunDisabledHotPaths pins the zero-overhead-when-disabled
+// contract: every operation an instrumented hot path performs against
+// the nil (disabled) recorder must allocate nothing. This is what lets
+// dts/auxgraph/steiner/nlp/sim carry instrumentation unconditionally.
+// CI runs this guard with -count=3 (see .github/workflows/ci.yml, job
+// "obs overhead").
+func TestAllocsPerRunDisabledHotPaths(t *testing.T) {
+	var r *Recorder
+	var c *Counter
+	var g *Gauge
+	var h *Histogram
+	var p *Pool
+	allocs := testing.AllocsPerRun(1000, func() {
+		sp := r.StartPhase("phase")
+		sp.SetFloat("k", 1.0)
+		sp.SetInt("n", 3)
+		sp.SetStr("s", "v")
+		c.Inc()
+		c.Add(3)
+		_ = c.Value()
+		g.Set(0.5)
+		h.Observe(2.5)
+		p.Observe(0, 10, time.Millisecond)
+		p.Launched()
+		r.Counter("x").Inc()
+		r.Gauge("y").Set(1)
+		r.Pool("z").Observe(1, 1, 0)
+		r.RecordCache("memo", 1, 2, 3)
+		sp.End()
+	})
+	if allocs != 0 {
+		t.Fatalf("disabled instrumentation allocates %.1f allocs/op, want 0", allocs)
+	}
+}
+
+// TestAllocsPerRunEnabledCounterSteadyState checks the enabled counter
+// fast path too: once the handle exists, Inc/Add/Set allocate nothing,
+// so per-event costs stay flat even with observability on.
+func TestAllocsPerRunEnabledCounterSteadyState(t *testing.T) {
+	r := New()
+	c := r.Counter("ops")
+	g := r.Gauge("ratio")
+	h := r.Histogram("sizes", []float64{1, 10})
+	allocs := testing.AllocsPerRun(1000, func() {
+		c.Inc()
+		c.Add(2)
+		g.Set(0.5)
+		h.Observe(5)
+	})
+	if allocs != 0 {
+		t.Fatalf("enabled steady-state instrumentation allocates %.1f allocs/op, want 0", allocs)
+	}
+}

@@ -1,0 +1,211 @@
+// Package obs is the solver-wide observability layer: a metrics registry
+// (counters, gauges, fixed-bucket histograms), hierarchical phase spans,
+// worker-pool utilization accounting, and exporters (human summary,
+// stable JSON run report, expvar map). It depends only on the standard
+// library.
+//
+// Two contracts every instrumented package relies on (see DESIGN.md
+// "Observability"):
+//
+//  1. Zero overhead when disabled — the nil *Recorder is the disabled
+//     default. Every method of Recorder, Span, Counter, Gauge, Histogram,
+//     and Pool is nil-safe and allocation-free on a nil receiver, so hot
+//     paths carry instrumentation unconditionally. Guarded by the
+//     AllocsPerRun test in this package.
+//  2. Schedule invariance — recording is strictly write-only from the
+//     solver's point of view: no planner ever reads a metric back, so
+//     planned schedules are byte-identical with observability enabled or
+//     disabled. Guarded by the determinism test in internal/core.
+//
+// Counters and gauges are safe for concurrent use (atomics); spans form
+// a tree via a recorder-level current-phase stack and are intended for
+// the serial orchestration layers (the phases of one Schedule call run
+// sequentially; worker pools inside a phase only touch counters and pool
+// stats, never spans).
+package obs
+
+import (
+	"math"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Recorder is one run's metric sink. The nil Recorder is the disabled
+// default: every method no-ops. Create an enabled one with New.
+type Recorder struct {
+	mu    sync.Mutex
+	clock func() time.Time
+	root  *Span
+	cur   *Span // innermost open phase (serial orchestration only)
+
+	counters sync.Map // string -> *Counter
+	gauges   sync.Map // string -> *Gauge
+	hists    sync.Map // string -> *Histogram
+	pools    sync.Map // string -> *Pool
+}
+
+// New returns an enabled recorder whose implicit root span starts now.
+func New() *Recorder {
+	r := &Recorder{clock: time.Now}
+	r.root = &Span{r: r, name: "run", start: r.clock()}
+	r.cur = r.root
+	return r
+}
+
+// Enabled reports whether the recorder records anything.
+func (r *Recorder) Enabled() bool { return r != nil }
+
+// SetClock replaces the time source (tests pin reports with a fake
+// monotonic clock). Must be called before any span starts besides the
+// root, whose start time is rewritten.
+func (r *Recorder) SetClock(clock func() time.Time) {
+	if r == nil {
+		return
+	}
+	r.mu.Lock()
+	r.clock = clock
+	r.root.start = clock()
+	r.mu.Unlock()
+}
+
+// now returns the recorder's current time; callers hold r.mu or accept
+// the benign race on clock replacement (SetClock is test-only setup).
+func (r *Recorder) now() time.Time { return r.clock() }
+
+// Counter is a monotonically increasing event count. The nil Counter
+// (from a nil Recorder) discards writes.
+type Counter struct{ v atomic.Int64 }
+
+// Inc adds one.
+func (c *Counter) Inc() {
+	if c != nil {
+		c.v.Add(1)
+	}
+}
+
+// Add adds n.
+func (c *Counter) Add(n int64) {
+	if c != nil {
+		c.v.Add(n)
+	}
+}
+
+// Value returns the current count (0 on nil).
+func (c *Counter) Value() int64 {
+	if c == nil {
+		return 0
+	}
+	return c.v.Load()
+}
+
+// Counter returns the named counter, creating it on first use. Returns
+// nil on a nil recorder; hot paths fetch the handle once per run and use
+// the nil-safe Inc/Add in loops.
+func (r *Recorder) Counter(name string) *Counter {
+	if r == nil {
+		return nil
+	}
+	if v, ok := r.counters.Load(name); ok {
+		return v.(*Counter)
+	}
+	v, _ := r.counters.LoadOrStore(name, new(Counter))
+	return v.(*Counter)
+}
+
+// Gauge is a last-write-wins float value (sizes, rates, configuration).
+type Gauge struct{ bits atomic.Uint64 }
+
+// Set stores v.
+func (g *Gauge) Set(v float64) {
+	if g != nil {
+		g.bits.Store(math.Float64bits(v))
+	}
+}
+
+// Value returns the stored value (0 on nil).
+func (g *Gauge) Value() float64 {
+	if g == nil {
+		return 0
+	}
+	return math.Float64frombits(g.bits.Load())
+}
+
+// Gauge returns the named gauge, creating it on first use (nil on a nil
+// recorder).
+func (r *Recorder) Gauge(name string) *Gauge {
+	if r == nil {
+		return nil
+	}
+	if v, ok := r.gauges.Load(name); ok {
+		return v.(*Gauge)
+	}
+	v, _ := r.gauges.LoadOrStore(name, new(Gauge))
+	return v.(*Gauge)
+}
+
+// Histogram is a fixed-bucket histogram: bounds[i] is the inclusive
+// upper edge of bucket i, with one implicit overflow bucket. Bounds are
+// frozen at registration; concurrent Observe calls are safe.
+type Histogram struct {
+	bounds []float64
+	counts []atomic.Int64 // len(bounds)+1
+	sum    atomic.Uint64  // float64 bits, CAS-accumulated
+	n      atomic.Int64
+}
+
+// Observe records v into its bucket.
+func (h *Histogram) Observe(v float64) {
+	if h == nil {
+		return
+	}
+	i := sort.SearchFloat64s(h.bounds, v)
+	h.counts[i].Add(1)
+	h.n.Add(1)
+	for {
+		old := h.sum.Load()
+		nw := math.Float64bits(math.Float64frombits(old) + v)
+		if h.sum.CompareAndSwap(old, nw) {
+			return
+		}
+	}
+}
+
+// Count returns the number of observations (0 on nil).
+func (h *Histogram) Count() int64 {
+	if h == nil {
+		return 0
+	}
+	return h.n.Load()
+}
+
+// Histogram returns the named histogram, creating it with the given
+// bucket bounds on first use (later bounds are ignored; first
+// registration wins). bounds must be sorted ascending. Nil on a nil
+// recorder.
+func (r *Recorder) Histogram(name string, bounds []float64) *Histogram {
+	if r == nil {
+		return nil
+	}
+	if v, ok := r.hists.Load(name); ok {
+		return v.(*Histogram)
+	}
+	h := &Histogram{bounds: append([]float64(nil), bounds...)}
+	h.counts = make([]atomic.Int64, len(h.bounds)+1)
+	v, _ := r.hists.LoadOrStore(name, h)
+	return v.(*Histogram)
+}
+
+// RecordCache samples a cache's absolute hit/miss/size triple into the
+// conventional gauges cache.<name>.hits / .misses / .size; the report
+// derives cache.<name>.hit_rate from them. Idempotent — call it again
+// whenever fresher numbers are available.
+func (r *Recorder) RecordCache(name string, hits, misses, size int64) {
+	if r == nil {
+		return
+	}
+	r.Gauge("cache." + name + ".hits").Set(float64(hits))
+	r.Gauge("cache." + name + ".misses").Set(float64(misses))
+	r.Gauge("cache." + name + ".size").Set(float64(size))
+}

@@ -1,0 +1,134 @@
+package obs
+
+import (
+	"time"
+)
+
+// Attr is one key/value annotation on a span. Exactly one of Num/Str is
+// meaningful, selected by IsStr; the split (instead of an `any` field)
+// keeps the nil-receiver setters allocation-free — boxing a float64 into
+// an interface would allocate before the nil check could run.
+type Attr struct {
+	Key   string
+	Num   float64
+	Str   string
+	IsStr bool
+}
+
+// Span is one phase of a run: a named interval with attributes and child
+// phases. The nil Span (from a nil Recorder) discards everything.
+type Span struct {
+	r        *Recorder
+	name     string
+	depth    int
+	start    time.Time
+	end      time.Time
+	attrs    []Attr
+	children []*Span
+}
+
+// maxPhaseDepth bounds phase-tree nesting. The serial pipeline is ~4
+// levels deep; the cap only engages when concurrent Schedule calls share
+// one recorder (e.g. a figure sweep), where interleaved Start/End would
+// otherwise chain spans into an unboundedly deep tree. Spans past the
+// cap attach to the root instead, keeping reports bounded for JSON
+// consumers at the cost of flattening concurrent nesting.
+const maxPhaseDepth = 16
+
+// StartPhase opens a phase as a child of the innermost open phase (the
+// root when none is open) and makes it current. Phases are meant for the
+// serial orchestration layers — the pipeline stages of one Schedule call
+// run sequentially, so a stack models the nesting exactly; worker pools
+// inside a phase must only touch counters/pools. Returns nil on a nil
+// recorder.
+func (r *Recorder) StartPhase(name string) *Span {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	parent := r.cur
+	if parent.depth >= maxPhaseDepth {
+		parent = r.root
+	}
+	sp := &Span{r: r, name: name, depth: parent.depth + 1, start: r.now()}
+	parent.children = append(parent.children, sp)
+	r.cur = sp
+	r.mu.Unlock()
+	return sp
+}
+
+// End closes the phase, recording its wall time. Ending a phase that is
+// not current (mismatched nesting under concurrent misuse) still stamps
+// the end time; the current pointer only pops when it matches, so a
+// stray End cannot corrupt the stack.
+func (sp *Span) End() {
+	if sp == nil {
+		return
+	}
+	r := sp.r
+	r.mu.Lock()
+	if sp.end.IsZero() {
+		sp.end = r.now()
+	}
+	if r.cur == sp {
+		r.cur = findParent(r.root, sp)
+	}
+	r.mu.Unlock()
+}
+
+// findParent walks the tree for sp's parent (the tree is tiny — a dozen
+// phases — so the walk is cheaper than storing parent pointers that
+// would complicate snapshotting).
+func findParent(node, sp *Span) *Span {
+	for _, c := range node.children {
+		if c == sp {
+			return node
+		}
+		if p := findParent(c, sp); p != nil {
+			return p
+		}
+	}
+	return nil
+}
+
+// SetFloat attaches a numeric attribute.
+func (sp *Span) SetFloat(key string, v float64) {
+	if sp == nil {
+		return
+	}
+	sp.r.mu.Lock()
+	sp.attrs = append(sp.attrs, Attr{Key: key, Num: v})
+	sp.r.mu.Unlock()
+}
+
+// SetInt attaches an integer attribute (stored as a float64 — run
+// report values are JSON numbers either way).
+func (sp *Span) SetInt(key string, v int) { sp.SetFloat(key, float64(v)) }
+
+// SetStr attaches a string attribute.
+func (sp *Span) SetStr(key, v string) {
+	if sp == nil {
+		return
+	}
+	sp.r.mu.Lock()
+	sp.attrs = append(sp.attrs, Attr{Key: key, Str: v, IsStr: true})
+	sp.r.mu.Unlock()
+}
+
+// Duration returns the span's wall time: end-start when closed, zero on
+// nil, time-since-start while still open.
+func (sp *Span) Duration() time.Duration {
+	if sp == nil {
+		return 0
+	}
+	sp.r.mu.Lock()
+	defer sp.r.mu.Unlock()
+	return sp.durationLocked()
+}
+
+func (sp *Span) durationLocked() time.Duration {
+	if sp.end.IsZero() {
+		return sp.r.now().Sub(sp.start)
+	}
+	return sp.end.Sub(sp.start)
+}

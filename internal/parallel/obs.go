@@ -1,0 +1,79 @@
+package parallel
+
+import (
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/obs"
+)
+
+// ForEachPool is ForEach with worker-pool accounting: each worker's task
+// count and busy wall time are recorded into p. A nil p delegates to the
+// uninstrumented ForEach, so hot paths pass the pool through
+// unconditionally. The accounting is write-only (nothing in the work
+// distribution depends on p), preserving ForEach's determinism contract.
+func ForEachPool(p *obs.Pool, workers, n int, fn func(i int)) {
+	if p == nil {
+		ForEach(workers, n, fn)
+		return
+	}
+	p.Launched()
+	workers = Clamp(workers, n)
+	if workers <= 1 {
+		start := time.Now()
+		for i := 0; i < n; i++ {
+			fn(i)
+		}
+		p.Observe(0, int64(n), time.Since(start))
+		return
+	}
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			start := time.Now()
+			var done int64
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= n {
+					break
+				}
+				fn(i)
+				done++
+			}
+			p.Observe(w, done, time.Since(start))
+		}(w)
+	}
+	wg.Wait()
+}
+
+// ForEachRangePool is ForEachRange with worker-pool accounting; chunk c
+// reports as worker slot c. A nil p delegates to ForEachRange.
+func ForEachRangePool(p *obs.Pool, workers, n int, fn func(chunk int, r Range)) {
+	if p == nil {
+		ForEachRange(workers, n, fn)
+		return
+	}
+	p.Launched()
+	ranges := ChunkRanges(workers, n)
+	if len(ranges) == 1 {
+		start := time.Now()
+		fn(0, ranges[0])
+		p.Observe(0, int64(ranges[0].Hi-ranges[0].Lo), time.Since(start))
+		return
+	}
+	var wg sync.WaitGroup
+	for c, r := range ranges {
+		wg.Add(1)
+		go func(c int, r Range) {
+			defer wg.Done()
+			start := time.Now()
+			fn(c, r)
+			p.Observe(c, int64(r.Hi-r.Lo), time.Since(start))
+		}(c, r)
+	}
+	wg.Wait()
+}

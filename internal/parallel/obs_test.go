@@ -1,0 +1,173 @@
+package parallel
+
+import (
+	"runtime"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/obs"
+)
+
+func TestChunkRangesZeroTasks(t *testing.T) {
+	ranges := ChunkRanges(4, 0)
+	if len(ranges) != 1 || ranges[0] != (Range{0, 0}) {
+		t.Fatalf("ChunkRanges(4,0) = %v, want one empty range", ranges)
+	}
+}
+
+func TestChunkRangesMoreWorkersThanTasks(t *testing.T) {
+	ranges := ChunkRanges(8, 3)
+	if len(ranges) != 3 {
+		t.Fatalf("ChunkRanges(8,3) produced %d ranges, want clamp to 3", len(ranges))
+	}
+	for i, r := range ranges {
+		if r.Hi-r.Lo != 1 {
+			t.Fatalf("range %d = %+v, want width 1", i, r)
+		}
+	}
+}
+
+func TestChunkRangesZeroWorkersResolves(t *testing.T) {
+	// workers <= 0 means "use GOMAXPROCS" at the Resolve layer; ChunkRanges
+	// itself clamps to at least one range so callers that skip Resolve
+	// still get a valid partition.
+	ranges := ChunkRanges(0, 10)
+	if len(ranges) != 1 || ranges[0] != (Range{0, 10}) {
+		t.Fatalf("ChunkRanges(0,10) = %v, want single full range", ranges)
+	}
+	if got := Resolve(0); got != runtime.GOMAXPROCS(0) {
+		t.Fatalf("Resolve(0) = %d, want GOMAXPROCS", got)
+	}
+}
+
+func TestSplitCountsZeroTasks(t *testing.T) {
+	counts := SplitCounts(0, 4)
+	if len(counts) != 1 || counts[0] != 0 {
+		t.Fatalf("SplitCounts(0,4) = %v, want [0]", counts)
+	}
+}
+
+func TestSplitCountsMoreWorkersThanTasks(t *testing.T) {
+	counts := SplitCounts(3, 8)
+	if len(counts) != 3 {
+		t.Fatalf("SplitCounts(3,8) = %v, want clamp to 3 workers", counts)
+	}
+	for w, c := range counts {
+		if c != 1 {
+			t.Fatalf("worker %d share = %d, want 1", w, c)
+		}
+	}
+}
+
+func TestSplitCountsZeroWorkers(t *testing.T) {
+	counts := SplitCounts(10, 0)
+	if len(counts) != 1 || counts[0] != 10 {
+		t.Fatalf("SplitCounts(10,0) = %v, want [10]", counts)
+	}
+}
+
+func TestForEachPoolNilDelegates(t *testing.T) {
+	var hits [50]atomic.Int64
+	ForEachPool(nil, 4, len(hits), func(i int) { hits[i].Add(1) })
+	for i := range hits {
+		if hits[i].Load() != 1 {
+			t.Fatalf("index %d hit %d times", i, hits[i].Load())
+		}
+	}
+}
+
+func TestForEachPoolAccountsTasksAndBusyTime(t *testing.T) {
+	r := obs.New()
+	p := r.Pool("test")
+	const n = 64
+	var hits [n]atomic.Int64
+	ForEachPool(p, 4, n, func(i int) {
+		hits[i].Add(1)
+		time.Sleep(time.Microsecond)
+	})
+	for i := range hits {
+		if hits[i].Load() != 1 {
+			t.Fatalf("index %d hit %d times", i, hits[i].Load())
+		}
+	}
+	rep := r.Snapshot(nil)
+	var found bool
+	for _, pr := range rep.Pools {
+		if pr.Name != "test" {
+			continue
+		}
+		found = true
+		if pr.Runs != 1 {
+			t.Errorf("runs = %d, want 1", pr.Runs)
+		}
+		if pr.Tasks != n {
+			t.Errorf("tasks = %d, want %d", pr.Tasks, n)
+		}
+		if pr.Workers != 4 {
+			t.Errorf("workers = %d, want 4", pr.Workers)
+		}
+		var total float64
+		for _, b := range pr.BusyMS {
+			total += b
+		}
+		if total <= 0 {
+			t.Errorf("total busy time = %g ms, want > 0", total)
+		}
+	}
+	if !found {
+		t.Fatal("pool \"test\" missing from report")
+	}
+}
+
+func TestForEachPoolSerialFallbackReportsSlotZero(t *testing.T) {
+	r := obs.New()
+	p := r.Pool("serial")
+	ForEachPool(p, 1, 10, func(int) {})
+	rep := r.Snapshot(nil)
+	for _, pr := range rep.Pools {
+		if pr.Name == "serial" {
+			if pr.Workers != 1 || pr.Tasks != 10 || pr.Runs != 1 {
+				t.Fatalf("serial pool report = %+v, want workers=1 tasks=10 runs=1", pr)
+			}
+			return
+		}
+	}
+	t.Fatal("pool \"serial\" missing from report")
+}
+
+func TestForEachRangePoolAccountsPerChunk(t *testing.T) {
+	r := obs.New()
+	p := r.Pool("ranges")
+	var sum atomic.Int64
+	ForEachRangePool(p, 3, 10, func(_ int, rg Range) {
+		for i := rg.Lo; i < rg.Hi; i++ {
+			sum.Add(int64(i))
+		}
+	})
+	if sum.Load() != 45 {
+		t.Fatalf("sum = %d, want 45", sum.Load())
+	}
+	rep := r.Snapshot(nil)
+	for _, pr := range rep.Pools {
+		if pr.Name == "ranges" {
+			if pr.Tasks != 10 || pr.Workers != 3 {
+				t.Fatalf("ranges pool report = %+v, want tasks=10 workers=3", pr)
+			}
+			return
+		}
+	}
+	t.Fatal("pool \"ranges\" missing from report")
+}
+
+func TestForEachRangePoolNilDelegates(t *testing.T) {
+	var sum atomic.Int64
+	ForEachRangePool(nil, 3, 10, func(_ int, rg Range) {
+		for i := rg.Lo; i < rg.Hi; i++ {
+			sum.Add(int64(i))
+		}
+	})
+	if sum.Load() != 45 {
+		t.Fatalf("sum = %d, want 45", sum.Load())
+	}
+}

@@ -12,10 +12,39 @@ import (
 // diffed, and replayed by external tooling. The format is stable:
 //
 //	{"version":1,"transmissions":[{"relay":0,"t":9000,"w":1.2e-15},...]}
+//
+// An optional "meta" object records how the schedule was produced
+// (algorithm, seed, workers, per-phase wall times). It is additive:
+// version stays 1, and readers that predate it ignore the unknown field.
+
+// Meta is the optional run-provenance block of a schedule file. All
+// fields are optional; zero values are omitted from the encoding so
+// meta-less files round-trip byte-identically.
+type Meta struct {
+	// Algorithm is the planner's display name (e.g. "FR-EEDCB").
+	Algorithm string `json:"algorithm,omitempty"`
+	// Model is the channel model the schedule was planned for.
+	Model string `json:"model,omitempty"`
+	// Seed is the RNG seed of seeded planners/evaluations.
+	Seed int64 `json:"seed,omitempty"`
+	// Workers is the worker-pool knob the run used (0 = serial default).
+	Workers int `json:"workers,omitempty"`
+	// Trace identifies the input contact trace (path or generator name).
+	Trace string `json:"trace,omitempty"`
+	// Src is the broadcast source node.
+	Src int `json:"src,omitempty"`
+	// T0 and Deadline delimit the delay window.
+	T0       float64 `json:"t0,omitempty"`
+	Deadline float64 `json:"deadline,omitempty"`
+	// PhaseMS maps slash-joined phase paths (e.g. "eedcb/dts") to wall
+	// milliseconds, as reported by the observability layer.
+	PhaseMS map[string]float64 `json:"phase_ms,omitempty"`
+}
 
 // jsonEnvelope is the on-disk representation.
 type jsonEnvelope struct {
 	Version       int      `json:"version"`
+	Meta          *Meta    `json:"meta,omitempty"`
 	Transmissions []jsonTx `json:"transmissions"`
 }
 
@@ -68,6 +97,18 @@ func (s Schedule) WriteJSON(w io.Writer) error {
 	return enc.Encode(s)
 }
 
+// WriteJSONMeta writes the schedule with an embedded meta block. A nil
+// meta produces exactly WriteJSON's output.
+func (s Schedule) WriteJSONMeta(w io.Writer, meta *Meta) error {
+	env := jsonEnvelope{Version: jsonVersion, Meta: meta, Transmissions: make([]jsonTx, len(s))}
+	for i, x := range s {
+		env.Transmissions[i] = jsonTx{Relay: int(x.Relay), T: x.T, W: x.W}
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(env)
+}
+
 // ReadJSON parses a schedule written by WriteJSON.
 func ReadJSON(r io.Reader) (Schedule, error) {
 	var s Schedule
@@ -75,4 +116,22 @@ func ReadJSON(r io.Reader) (Schedule, error) {
 		return nil, err
 	}
 	return s, nil
+}
+
+// ReadJSONMeta parses a schedule file and also returns its meta block
+// (nil when the file carries none, including every pre-meta file).
+func ReadJSONMeta(r io.Reader) (Schedule, *Meta, error) {
+	var env jsonEnvelope
+	if err := json.NewDecoder(r).Decode(&env); err != nil {
+		return nil, nil, fmt.Errorf("schedule: %w", err)
+	}
+	raw, err := json.Marshal(env)
+	if err != nil {
+		return nil, nil, fmt.Errorf("schedule: %w", err)
+	}
+	var s Schedule
+	if err := s.UnmarshalJSON(raw); err != nil {
+		return nil, nil, err
+	}
+	return s, env.Meta, nil
 }

@@ -108,3 +108,115 @@ func TestQuickJSONRoundTrip(t *testing.T) {
 		t.Error(err)
 	}
 }
+
+// TestJSONMetaGolden pins the exact on-disk shape of the meta-bearing
+// envelope: the version stays 1, "meta" precedes "transmissions", and
+// zero-valued meta fields are omitted. cmd/tmedb's -o output and the
+// figures pipeline both rely on this byte layout staying put.
+func TestJSONMetaGolden(t *testing.T) {
+	s := Schedule{{Relay: 0, T: 9000, W: 1.2e-15}, {Relay: 7, T: 9100.5, W: 3e-16}}
+	meta := &Meta{
+		Algorithm: "FR-EEDCB",
+		Model:     "rayleigh",
+		Seed:      42,
+		Workers:   4,
+		Trace:     "synthetic:n=50",
+		Src:       3,
+		T0:        9000,
+		Deadline:  10800,
+		PhaseMS:   map[string]float64{"fr-eedcb/dts": 1.5},
+	}
+	var buf bytes.Buffer
+	if err := s.WriteJSONMeta(&buf, meta); err != nil {
+		t.Fatal(err)
+	}
+	const golden = `{
+  "version": 1,
+  "meta": {
+    "algorithm": "FR-EEDCB",
+    "model": "rayleigh",
+    "seed": 42,
+    "workers": 4,
+    "trace": "synthetic:n=50",
+    "src": 3,
+    "t0": 9000,
+    "deadline": 10800,
+    "phase_ms": {
+      "fr-eedcb/dts": 1.5
+    }
+  },
+  "transmissions": [
+    {
+      "relay": 0,
+      "t": 9000,
+      "w": 1.2e-15
+    },
+    {
+      "relay": 7,
+      "t": 9100.5,
+      "w": 3e-16
+    }
+  ]
+}
+`
+	if got := buf.String(); got != golden {
+		t.Errorf("meta envelope drifted from golden shape:\ngot:\n%s\nwant:\n%s", got, golden)
+	}
+}
+
+func TestJSONMetaRoundTrip(t *testing.T) {
+	s := Schedule{{Relay: 1, T: 10, W: 2e-15}}
+	meta := &Meta{Algorithm: "EEDCB", Workers: 2}
+	var buf bytes.Buffer
+	if err := s.WriteJSONMeta(&buf, meta); err != nil {
+		t.Fatal(err)
+	}
+	got, gotMeta, err := ReadJSONMeta(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 1 || got[0] != s[0] {
+		t.Errorf("schedule = %v, want %v", got, s)
+	}
+	if gotMeta == nil || gotMeta.Algorithm != "EEDCB" || gotMeta.Workers != 2 {
+		t.Errorf("meta = %+v, want %+v", gotMeta, meta)
+	}
+}
+
+func TestJSONMetaNilMatchesPlainWriter(t *testing.T) {
+	s := Schedule{{Relay: 0, T: 1, W: 1e-15}}
+	var plain, withNil bytes.Buffer
+	if err := s.WriteJSON(&plain); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.WriteJSONMeta(&withNil, nil); err != nil {
+		t.Fatal(err)
+	}
+	if plain.String() != withNil.String() {
+		t.Errorf("nil-meta output differs from WriteJSON:\n%s\nvs\n%s", withNil.String(), plain.String())
+	}
+}
+
+func TestJSONMetaBackwardCompatible(t *testing.T) {
+	// A pre-meta reader's envelope (plain ReadJSON) must accept
+	// meta-bearing files, and ReadJSONMeta must accept meta-less files.
+	s := Schedule{{Relay: 2, T: 5, W: 4e-15}}
+	var buf bytes.Buffer
+	if err := s.WriteJSONMeta(&buf, &Meta{Algorithm: "GREED"}); err != nil {
+		t.Fatal(err)
+	}
+	if got, err := ReadJSON(bytes.NewReader(buf.Bytes())); err != nil || len(got) != 1 {
+		t.Errorf("plain reader on meta file: %v, %v", got, err)
+	}
+	var plain bytes.Buffer
+	if err := s.WriteJSON(&plain); err != nil {
+		t.Fatal(err)
+	}
+	got, meta, err := ReadJSONMeta(&plain)
+	if err != nil || len(got) != 1 {
+		t.Errorf("meta reader on plain file: %v, %v", got, err)
+	}
+	if meta != nil {
+		t.Errorf("meta = %+v, want nil for meta-less file", meta)
+	}
+}

@@ -4,7 +4,9 @@ import (
 	"math"
 	"math/rand"
 	"sync"
+	"time"
 
+	"repro/internal/obs"
 	"repro/internal/parallel"
 	"repro/internal/schedule"
 	"repro/internal/tveg"
@@ -20,19 +22,35 @@ import (
 // Workers — a requested pool that degraded to the serial path is
 // visible as Workers == 1.
 func EvaluateParallel(g *tveg.Graph, s schedule.Schedule, src tvg.NodeID, trials int, seed int64, workers int) Result {
+	return EvaluateParallelObs(g, s, src, trials, seed, workers, nil)
+}
+
+// EvaluateParallelObs is EvaluateParallel with per-worker busy time and
+// trial counts recorded into rec's "sim.evaluate" pool, plus the
+// transmission/reception counters of EvaluateObs. A nil rec records
+// nothing; the merged Result is identical either way.
+func EvaluateParallelObs(g *tveg.Graph, s schedule.Schedule, src tvg.NodeID, trials int, seed int64, workers int, rec *obs.Recorder) Result {
+	pool := rec.Pool("sim.evaluate")
 	workers = parallel.Clamp(parallel.Resolve(workers), trials)
 	if workers <= 1 {
-		return Evaluate(g, s, src, trials, rand.New(rand.NewSource(seed)))
+		pool.Launched()
+		start := time.Now()
+		r := EvaluateObs(g, s, src, trials, rand.New(rand.NewSource(seed)), rec)
+		pool.Observe(0, int64(trials), time.Since(start))
+		return r
 	}
 	counts := parallel.SplitCounts(trials, workers)
 
+	pool.Launched()
 	results := make([]Result, workers)
 	var wg sync.WaitGroup
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
 		go func(w, n int) {
 			defer wg.Done()
-			results[w] = Evaluate(g, s, src, n, rand.New(rand.NewSource(parallel.SplitSeed(seed, w))))
+			start := time.Now()
+			results[w] = EvaluateObs(g, s, src, n, rand.New(rand.NewSource(parallel.SplitSeed(seed, w))), rec)
+			pool.Observe(w, int64(n), time.Since(start))
 		}(w, counts[w])
 	}
 	wg.Wait()

@@ -13,6 +13,7 @@ import (
 	"math/rand"
 	"sort"
 
+	"repro/internal/obs"
 	"repro/internal/parallel"
 	"repro/internal/schedule"
 	"repro/internal/tveg"
@@ -68,12 +69,27 @@ func WorkerTrials(trials, workers int) []int {
 // scheduled before that arrival. With τ = 0 same-time cascades resolve
 // in schedule order exactly as before.
 func Evaluate(g *tveg.Graph, s schedule.Schedule, src tvg.NodeID, trials int, rng *rand.Rand) Result {
+	return EvaluateObs(g, s, src, trials, rng, nil)
+}
+
+// EvaluateObs is Evaluate with transmission/reception counters recorded
+// into rec (sim.tx_fired, sim.tx_muted, sim.rx, sim.rx_failed, summed
+// across trials). A nil rec records nothing; results are identical either
+// way — the counters never feed back into the Monte Carlo dynamics.
+func EvaluateObs(g *tveg.Graph, s schedule.Schedule, src tvg.NodeID, trials int, rng *rand.Rand, rec *obs.Recorder) Result {
 	if trials <= 0 {
 		panic(fmt.Sprintf("sim: non-positive trials %d", trials))
 	}
 	ordered := make(schedule.Schedule, len(s))
 	copy(ordered, s)
 	ordered.SortByTime()
+
+	// Handles are fetched once; the nil-safe ops inside the trial loop
+	// are allocation-free when rec is nil (the obs AllocsPerRun guard).
+	txFired := rec.Counter("sim.tx_fired")
+	txMuted := rec.Counter("sim.tx_muted")
+	rxOK := rec.Counter("sim.rx")
+	rxFailed := rec.Counter("sim.rx_failed")
 
 	gamma := g.Params.GammaTh
 	tau := g.Tau()
@@ -94,8 +110,10 @@ func Evaluate(g *tveg.Graph, s schedule.Schedule, src tvg.NodeID, trials int, rn
 				// reception times of this trial all lie at or before x.T,
 				// so the check degenerates to the boolean informed test
 				// and the same-time cascade in schedule order survives.
+				txMuted.Inc()
 				continue
 			}
+			txFired.Inc()
 			energy += x.W
 			for _, j := range g.EverNeighbors(x.Relay) {
 				if recvAt[j] <= x.T || !g.RhoTau(x.Relay, j, x.T) {
@@ -103,9 +121,12 @@ func Evaluate(g *tveg.Graph, s schedule.Schedule, src tvg.NodeID, trials int, rn
 				}
 				failure := g.EDAt(x.Relay, j, x.T).FailureProb(x.W)
 				if failure <= 0 || rng.Float64() >= failure {
+					rxOK.Inc()
 					if t := x.T + tau; t < recvAt[j] {
 						recvAt[j] = t
 					}
+				} else {
+					rxFailed.Inc()
 				}
 			}
 		}

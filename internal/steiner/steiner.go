@@ -27,6 +27,7 @@ import (
 	"sort"
 
 	"repro/internal/graph"
+	"repro/internal/obs"
 	"repro/internal/parallel"
 )
 
@@ -209,6 +210,10 @@ type Solver struct {
 	// ascending vertex order, so solutions are byte-identical for every
 	// value; <= 1 runs the original serial code.
 	workers int
+	// obs records Dijkstra/scan counters and pool utilization. Recording
+	// is write-only — solutions are identical with or without it. Nil
+	// records nothing.
+	obs *obs.Recorder
 }
 
 // NewSolver builds a solver for g.
@@ -229,10 +234,18 @@ func (s *Solver) SetWorkers(workers int) *Solver {
 	return s
 }
 
+// SetObs attaches a metrics recorder (nil disables recording) and
+// returns the solver for chaining.
+func (s *Solver) SetObs(r *obs.Recorder) *Solver {
+	s.obs = r
+	return s
+}
+
 func (s *Solver) from(u int) *sp {
 	if c, ok := s.fwd[u]; ok {
 		return c
 	}
+	s.obs.Counter("steiner.dijkstra.fwd").Inc()
 	d, p := s.g.ShortestPaths(u)
 	c := &sp{d, p}
 	s.fwd[u] = c
@@ -245,6 +258,7 @@ func (s *Solver) distTo(x int) []float64 {
 	if c, ok := s.bwd[x]; ok {
 		return c.dist
 	}
+	s.obs.Counter("steiner.dijkstra.bwd").Inc()
 	d, p := s.rev.ShortestPaths(x)
 	s.bwd[x] = &sp{d, p}
 	return d
@@ -268,7 +282,8 @@ func (s *Solver) distToAll(rem []int) [][]float64 {
 		return dTo
 	}
 	computed := make([]*sp, len(missing))
-	parallel.ForEach(s.workers, len(missing), func(mi int) {
+	s.obs.Counter("steiner.dijkstra.bwd").Add(int64(len(missing)))
+	parallel.ForEachPool(s.obs.Pool("steiner.dijkstra"), s.workers, len(missing), func(mi int) {
 		d, p := s.rev.ShortestPaths(rem[missing[mi]])
 		computed[mi] = &sp{d, p}
 	})
@@ -397,6 +412,8 @@ func (s *Solver) rg(level, k, r int, X []int) (Solution, []int, float64) {
 // density comparison — exactly reproducing the serial "first vertex
 // achieving the global minimum wins" tie-break for every worker count.
 func (s *Solver) scanLevel2(k int, distR []float64, rem []int) (int, []int, float64) {
+	s.obs.Counter("steiner.level2.scans").Inc()
+	s.obs.Counter("steiner.level2.vertices_scanned").Add(int64(s.g.N()))
 	dTo := s.distToAll(rem) // dTo[xi][v] = dist(v, rem[xi])
 	ranges := parallel.ChunkRanges(s.workers, s.g.N())
 	if len(ranges) == 1 {
@@ -404,7 +421,7 @@ func (s *Solver) scanLevel2(k int, distR []float64, rem []int) (int, []int, floa
 		return best.v, best.cov, best.cost
 	}
 	locals := make([]level2Best, len(ranges))
-	parallel.ForEachRange(s.workers, s.g.N(), func(chunk int, r parallel.Range) {
+	parallel.ForEachRangePool(s.obs.Pool("steiner.scan"), s.workers, s.g.N(), func(chunk int, r parallel.Range) {
 		locals[chunk] = s.scanLevel2Range(k, distR, rem, dTo, r)
 	})
 	best := level2Best{v: -1, density: math.Inf(1)}

@@ -2,6 +2,7 @@ package tveg
 
 import (
 	"sync"
+	"sync/atomic"
 
 	"repro/internal/channel"
 	"repro/internal/tvg"
@@ -27,6 +28,12 @@ type costCache struct {
 	minCost sync.Map // minCostKey -> float64
 	dcs     sync.Map // dcsKey -> []CostLevel (treat as read-only)
 	edMemo  channel.Memo
+
+	// Per-map hit/miss counters feed the observability layer. Purely
+	// additive: no planner reads them back, so cached results (and
+	// therefore schedules) are unaffected.
+	minCostHits, minCostMisses atomic.Int64
+	dcsHits, dcsMisses         atomic.Int64
 }
 
 type minCostKey struct {
@@ -47,6 +54,40 @@ func (c *costCache) reset() {
 	c.minCost.Range(func(k, _ any) bool { c.minCost.Delete(k); return true })
 	c.dcs.Range(func(k, _ any) bool { c.dcs.Delete(k); return true })
 	c.edMemo.Reset()
+	c.minCostHits.Store(0)
+	c.minCostMisses.Store(0)
+	c.dcsHits.Store(0)
+	c.dcsMisses.Store(0)
+}
+
+// CacheStats is a point-in-time view of the cost cache's effectiveness:
+// one hit/miss/size triple per memoized query family.
+type CacheStats struct {
+	MinCostHits, MinCostMisses, MinCostSize int64
+	DCSHits, DCSMisses, DCSSize             int64
+	// EDMemo is the underlying MinCost-inversion memo shared by all
+	// coordinate keys.
+	EDMemo channel.MemoStats
+}
+
+// CostCacheStats returns the cache counters; ok is false when the cache
+// is disabled. The numbers are individually atomic but not mutually
+// consistent under concurrent queries — metrics-grade, by design.
+func (g *Graph) CostCacheStats() (CacheStats, bool) {
+	c := g.cache
+	if c == nil {
+		return CacheStats{}, false
+	}
+	st := CacheStats{
+		MinCostHits:   c.minCostHits.Load(),
+		MinCostMisses: c.minCostMisses.Load(),
+		DCSHits:       c.dcsHits.Load(),
+		DCSMisses:     c.dcsMisses.Load(),
+		EDMemo:        c.edMemo.Stats(),
+	}
+	c.minCost.Range(func(_, _ any) bool { st.MinCostSize++; return true })
+	c.dcs.Range(func(_, _ any) bool { st.DCSSize++; return true })
+	return st, true
 }
 
 // EnableCostCache attaches a memo cache for MinCost/DCS queries to the

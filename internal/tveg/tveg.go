@@ -199,8 +199,10 @@ func (g *Graph) MinCost(i, j tvg.NodeID, t float64) float64 {
 	if g.cache != nil {
 		k := minCostKey{i, j, t, g.Model, g.Params.Eps}
 		if v, ok := g.cache.minCost.Load(k); ok {
+			g.cache.minCostHits.Add(1)
 			return v.(float64)
 		}
+		g.cache.minCostMisses.Add(1)
 		w := g.minCostUncached(i, j, t)
 		g.cache.minCost.Store(k, w)
 		return w
@@ -245,8 +247,10 @@ func (g *Graph) DCS(i tvg.NodeID, t float64) []CostLevel {
 	if g.cache != nil {
 		k := dcsKey{i, t, g.Model, g.Params.Eps}
 		if v, ok := g.cache.dcs.Load(k); ok {
+			g.cache.dcsHits.Add(1)
 			return v.([]CostLevel)
 		}
+		g.cache.dcsMisses.Add(1)
 		out := g.dcsUncached(i, t)
 		g.cache.dcs.Store(k, out)
 		return out
