@@ -161,7 +161,7 @@ func BenchmarkAblationDTSTau(b *testing.B) {
 			g := tr.ToTVEG(tau, cfg.Params, Static)
 			var points int
 			for i := 0; i < b.N; i++ {
-				d := dts.Build(g.Graph, 9000, 11000, dts.Options{})
+				d, _ := dts.Build(g.Graph, 9000, 11000, dts.Options{})
 				points = d.TotalPoints()
 			}
 			b.ReportMetric(float64(points), "DTSpoints")
@@ -179,7 +179,7 @@ func BenchmarkAblationDTSPruning(b *testing.B) {
 		b.Run(fmt.Sprintf("noPrune=%v", noPrune), func(b *testing.B) {
 			var points int
 			for i := 0; i < b.N; i++ {
-				d := dts.Build(g.Graph, 9000, 11000, dts.Options{NoPrune: noPrune})
+				d, _ := dts.Build(g.Graph, 9000, 11000, dts.Options{NoPrune: noPrune})
 				points = d.TotalPoints()
 			}
 			b.ReportMetric(float64(points), "DTSpoints")
@@ -239,7 +239,7 @@ func BenchmarkDTSBuild(b *testing.B) {
 	g := tr.ToTVEG(0, cfg.Params, Static)
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		dts.Build(g.Graph, 9000, 11000, dts.Options{})
+		_, _ = dts.Build(g.Graph, 9000, 11000, dts.Options{})
 	}
 }
 
@@ -247,10 +247,10 @@ func BenchmarkAuxGraphBuild(b *testing.B) {
 	cfg := benchConfig()
 	tr := GenerateTrace(cfg.TraceOpts, cfg.TraceSeed).Restrict(20)
 	g := tr.ToTVEG(0, cfg.Params, Static)
-	d := dts.Build(g.Graph, 9000, 11000, dts.Options{})
+	d, _ := dts.Build(g.Graph, 9000, 11000, dts.Options{})
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		auxgraph.Build(g, d, auxgraph.Options{})
+		_, _ = auxgraph.Build(g, d, auxgraph.Options{})
 	}
 }
 

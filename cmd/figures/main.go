@@ -21,19 +21,25 @@ import (
 
 func main() {
 	var (
-		panel   = flag.String("panel", "all", "panel to regenerate: all|4a|4b|5a|5b|6|7a|7b|complexity|gap")
-		quick   = flag.Bool("quick", false, "single source, fewer Monte Carlo trials")
-		seed    = flag.Int64("seed", 1, "trace seed")
-		workers = flag.Int("workers", 0, "worker pool size for the sweep and the solver cores (0: GOMAXPROCS); tables are identical for every value")
-		doAudit = flag.Bool("audit", false, "cross-check every planned schedule through all execution semantics; aborts on any disagreement")
-		metrics = flag.String("metrics", "", "write the aggregated JSON run report for the whole sweep to this file")
+		panel    = flag.String("panel", "all", "panel to regenerate: all|4a|4b|5a|5b|6|7a|7b|complexity|gap")
+		quick    = flag.Bool("quick", false, "single source, fewer Monte Carlo trials")
+		seed     = flag.Int64("seed", 1, "trace seed")
+		workers  = flag.Int("workers", 0, "worker pool size for the sweep and the solver cores (0: GOMAXPROCS); tables are identical for every value")
+		doAudit  = flag.Bool("audit", false, "cross-check every planned schedule through all execution semantics; aborts on any disagreement")
+		metrics  = flag.String("metrics", "", "write the aggregated JSON run report for the whole sweep to this file")
+		deadline = flag.Duration("deadline", 0, "per-schedule wall-clock solve budget (e.g. 500ms); an expired budget skips the data point instead of stalling the sweep. 0 plans unbudgeted")
 	)
 	flag.Parse()
+	if *deadline < 0 {
+		fmt.Fprintf(os.Stderr, "figures: -deadline must be >= 0 (got %v)\n", *deadline)
+		os.Exit(1)
+	}
 
 	cfg := tmedb.DefaultConfig()
 	cfg.TraceSeed = seed2(*seed)
 	cfg.Workers = *workers
 	cfg.Audit = *doAudit
+	cfg.Deadline = *deadline
 	if *quick {
 		cfg.Sources = []tmedb.NodeID{0}
 		cfg.Trials = 200

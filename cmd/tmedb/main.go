@@ -16,6 +16,7 @@
 package main
 
 import (
+	"context"
 	"errors"
 	"flag"
 	"fmt"
@@ -25,6 +26,7 @@ import (
 	_ "net/http/pprof"
 	"os"
 	"strings"
+	"time"
 
 	"repro"
 )
@@ -50,8 +52,17 @@ func main() {
 		metrics   = flag.String("metrics", "", "write the JSON run report (phase tree, counters, cache hit rates, pool utilization) to this file")
 		phases    = flag.Bool("phases", false, "print the phase tree and metrics summary after the run")
 		pprofAddr = flag.String("pprof", "", "serve net/http/pprof and the live run report (expvar \"tmedb\" on /debug/vars) on this address, e.g. localhost:6060")
+		budget    = flag.Duration("deadline", 0, "total wall-clock solve budget (e.g. 2s); engages the degradation ladder, which falls from the primary planner to cheaper ones as the budget runs out. 0 plans unbudgeted with -alg")
+		ladder    = flag.String("ladder", "", "comma-separated degradation ladder for -deadline (rungs: full|spt|greed|rand; empty: full,spt,greed,rand)")
 	)
 	flag.Parse()
+	if err := validateFlags(flagConfig{
+		n: *n, src: *src, delay: *delay, trials: *trials, workers: *workers,
+		level: *level, auditCases: *auditN, budget: *budget, ladder: *ladder,
+		targets: *targets,
+	}); err != nil {
+		fatal(err)
+	}
 
 	var rec *tmedb.Recorder
 	if *metrics != "" || *phases || *pprofAddr != "" {
@@ -109,6 +120,7 @@ func main() {
 	deadline := *t0 + *delay
 	var sched tmedb.Schedule
 	var tgt []tmedb.NodeID
+	var outcome *tmedb.DegradeOutcome
 	if *targets != "" {
 		var terr error
 		tgt, terr = parseTargets(*targets, g.N())
@@ -123,6 +135,15 @@ func main() {
 		default:
 			fatal(fmt.Errorf("-targets requires -alg eedcb or fr-eedcb"))
 		}
+	} else if *budget > 0 {
+		rungs, lerr := tmedb.ParseLadder(*ladder)
+		if lerr != nil {
+			fatal(lerr)
+		}
+		sched, outcome, err = tmedb.SolveWithLadder(context.Background(), g, tmedb.NodeID(*src), *t0, deadline, tmedb.DegradeOptions{
+			Budget: *budget, Ladder: rungs, Level: *level,
+			Workers: *workers, Seed: *seed, Obs: rec,
+		})
 	} else {
 		sched, err = alg.Schedule(g, tmedb.NodeID(*src), *t0, deadline)
 	}
@@ -135,7 +156,16 @@ func main() {
 		fatal(err)
 	}
 
-	fmt.Printf("algorithm        %s (%s channel)\n", alg.Name(), model)
+	algName2 := alg.Name()
+	if outcome != nil {
+		algName2 = outcome.Algorithm
+		fmt.Printf("degradation      rung=%s budget=%v", outcome.Rung, outcome.Budget)
+		if outcome.Reason != "" {
+			fmt.Printf(" (%s)", outcome.Reason)
+		}
+		fmt.Println()
+	}
+	fmt.Printf("algorithm        %s (%s channel)\n", algName2, model)
 	fmt.Printf("trace            %d nodes, %d contacts, horizon %.0f s\n",
 		trace.N, len(trace.Contacts), trace.Horizon)
 	fmt.Printf("broadcast        src=%d window=[%.0f, %.0f] s\n", *src, *t0, deadline)
@@ -184,14 +214,14 @@ func main() {
 	// (planning, feasibility, audit, evaluation) has exercised them.
 	tmedb.RecordCacheStats(rec, g)
 	report := rec.Snapshot(map[string]string{
-		"algorithm": alg.Name(),
+		"algorithm": algName2,
 		"model":     model.String(),
 		"trace":     traceName,
 	})
 
 	if *outJSON != "" {
 		meta := &tmedb.ScheduleMeta{
-			Algorithm: alg.Name(),
+			Algorithm: algName2,
 			Model:     model.String(),
 			Seed:      *seed,
 			Workers:   *workers,
@@ -200,6 +230,7 @@ func main() {
 			T0:        *t0,
 			Deadline:  deadline,
 		}
+		outcome.Annotate(meta)
 		if rec != nil {
 			meta.PhaseMS = report.PhaseWallMS()
 		}
@@ -227,6 +258,62 @@ func main() {
 		}
 		fmt.Printf("run report written to %s\n", *metrics)
 	}
+}
+
+// flagConfig carries the numeric/shape flags subject to upfront
+// validation, so bad invocations fail with one clear message before any
+// work (trace IO, planning) starts.
+type flagConfig struct {
+	n          int
+	src        int
+	delay      float64
+	trials     int
+	workers    int
+	level      int
+	auditCases int
+	budget     time.Duration
+	ladder     string
+	targets    string
+}
+
+// validateFlags rejects structurally invalid flag combinations.
+func validateFlags(c flagConfig) error {
+	if c.n <= 0 {
+		return fmt.Errorf("-n must be positive (got %d)", c.n)
+	}
+	if c.src < 0 {
+		return fmt.Errorf("-src must be >= 0 (got %d)", c.src)
+	}
+	if c.delay <= 0 {
+		return fmt.Errorf("-delay must be positive (got %g)", c.delay)
+	}
+	if c.trials < 0 {
+		return fmt.Errorf("-trials must be >= 0 (got %d)", c.trials)
+	}
+	if c.workers < 0 {
+		return fmt.Errorf("-workers must be >= 0 (got %d; 0 selects GOMAXPROCS)", c.workers)
+	}
+	if c.level < 1 {
+		return fmt.Errorf("-level must be >= 1 (got %d)", c.level)
+	}
+	if c.auditCases <= 0 {
+		return fmt.Errorf("-audit-cases must be positive (got %d)", c.auditCases)
+	}
+	if c.budget < 0 {
+		return fmt.Errorf("-deadline must be >= 0 (got %v)", c.budget)
+	}
+	if c.ladder != "" {
+		if c.budget == 0 {
+			return fmt.Errorf("-ladder requires -deadline")
+		}
+		if _, err := tmedb.ParseLadder(c.ladder); err != nil {
+			return err
+		}
+	}
+	if c.budget > 0 && c.targets != "" {
+		return fmt.Errorf("-deadline (degradation ladder) does not support -targets multicast")
+	}
+	return nil
 }
 
 func parseModel(s string) (tmedb.Model, error) {

@@ -1,6 +1,7 @@
 package tmedb
 
 import (
+	"context"
 	"math"
 	"reflect"
 	"testing"
@@ -77,6 +78,70 @@ func TestFig5TableIdenticalAcrossWorkers(t *testing.T) {
 	parallel := Fig5(cfg, Static).String()
 	if serial != parallel {
 		t.Fatalf("Fig5 tables differ:\nworkers=1:\n%s\nworkers=8:\n%s", serial, parallel)
+	}
+}
+
+// TestScheduleWithContextMatchesSchedule pins the cancellation layer's
+// result-invariance contract at the public API: with a background
+// context every planner takes the exact pre-cancellation code path, so
+// the schedule is identical to the plain Schedule call.
+func TestScheduleWithContextMatchesSchedule(t *testing.T) {
+	static := determinismGraph(Static)
+	fading := determinismGraph(Rayleigh)
+	cases := []struct {
+		name string
+		g    *Graph
+		alg  Scheduler
+	}{
+		{"EEDCB", static, EEDCB{Workers: 4}},
+		{"GREED", static, Greedy{}},
+		{"RAND", static, Random{Seed: 3}},
+		{"FR-EEDCB", fading, FREEDCB{Workers: 4}},
+		{"FR-GREED", fading, FRGreedy{}},
+		{"FR-RAND", fading, FRRandom{Seed: 3}},
+	}
+	for _, c := range cases {
+		want, errW := c.alg.Schedule(c.g, 0, 9000, 11000)
+		got, errG := ScheduleWithContext(context.Background(), c.alg, c.g, 0, 9000, 11000)
+		if (errW == nil) != (errG == nil) {
+			t.Errorf("%s: error mismatch: plain=%v ctx=%v", c.name, errW, errG)
+			continue
+		}
+		if !reflect.DeepEqual(want, got) {
+			t.Errorf("%s: context path changed the schedule:\nplain %v\nctx   %v", c.name, want, got)
+		}
+	}
+}
+
+// TestSolveWithLadderUnbudgetedMatchesPrimary: with no budget the
+// degradation ladder collapses to its first rung, which must plan
+// byte-identically to the primary planner of the graph's channel family.
+func TestSolveWithLadderUnbudgetedMatchesPrimary(t *testing.T) {
+	cases := []struct {
+		name  string
+		model Model
+		alg   Scheduler
+	}{
+		{"static", Static, EEDCB{}},
+		{"rayleigh", Rayleigh, FREEDCB{}},
+	}
+	for _, c := range cases {
+		g := determinismGraph(c.model)
+		want, errW := c.alg.Schedule(g, 0, 9000, 11000)
+		if onlyRealErr(errW) != nil {
+			t.Fatalf("%s: %v", c.name, errW)
+		}
+		got, out, errG := SolveWithLadder(context.Background(), g, 0, 9000, 11000, DegradeOptions{})
+		if onlyRealErr(errG) != nil {
+			t.Fatalf("%s: %v", c.name, errG)
+		}
+		if out == nil || out.Rung != RungFull || out.Algorithm != c.alg.Name() {
+			t.Fatalf("%s: outcome %+v, want rung full via %s", c.name, out, c.alg.Name())
+		}
+		if !reflect.DeepEqual(want, got) {
+			t.Errorf("%s: ladder schedule differs from %s:\nplain  %v\nladder %v",
+				c.name, c.alg.Name(), want, got)
+		}
 	}
 }
 

@@ -1,11 +1,13 @@
 package tmedb
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"math"
 	"math/rand"
 	"strings"
+	"time"
 
 	"repro/internal/audit"
 	"repro/internal/obs"
@@ -54,6 +56,13 @@ type ExperimentConfig struct {
 	// 500 s from 5000 to 15000) and Fig7Delay the per-window deadline.
 	Fig7Times []float64
 	Fig7Delay float64
+	// Deadline is a per-schedule wall-clock solve budget. When positive,
+	// every planner invocation of the harness runs under a context with
+	// this timeout, so a pathological data point surfaces as a skipped
+	// cell (cancel.ErrBudgetExceeded, treated like any planner error)
+	// instead of stalling the whole sweep. Zero (the default) plans
+	// unbudgeted on the exact pre-cancellation code paths.
+	Deadline time.Duration
 	// Audit cross-checks every planned schedule through all execution
 	// semantics (reference executor, sim, DES, both feasibility checks)
 	// before its numbers enter a figure, and panics with the reference
@@ -165,6 +174,18 @@ func (cfg ExperimentConfig) auditSchedule(alg Scheduler, g *Graph, s Schedule, s
 		alg.Name(), src, t0, deadline, strings.Join(diffs, "\n  "), audit.FormatEvents(tr.Events)))
 }
 
+// planSchedule plans one broadcast under the configured per-schedule
+// solve budget (cfg.Deadline; zero or negative plans uncancellable, on
+// the exact pre-cancellation code paths).
+func (cfg ExperimentConfig) planSchedule(alg Scheduler, g *Graph, src NodeID, t0, deadline float64) (Schedule, error) {
+	if cfg.Deadline <= 0 {
+		return alg.Schedule(g, src, t0, deadline)
+	}
+	ctx, cancelFn := context.WithTimeout(context.Background(), cfg.Deadline)
+	defer cancelFn()
+	return ScheduleWithContext(ctx, alg, g, src, t0, deadline)
+}
+
 // meanPlannedEnergy runs alg for every configured source and returns the
 // mean normalized planned energy over the sources whose broadcast the
 // planner completed. ok is false when no source completed.
@@ -174,7 +195,7 @@ func (cfg ExperimentConfig) meanPlannedEnergy(alg Scheduler, g *Graph, t0, deadl
 		if int(src) >= g.N() {
 			continue
 		}
-		s, err := alg.Schedule(g, src, t0, deadline)
+		s, err := cfg.planSchedule(alg, g, src, t0, deadline)
 		if err != nil {
 			var ie *IncompleteError
 			if errors.As(err, &ie) {
@@ -284,7 +305,7 @@ func Fig6(cfg ExperimentConfig) (energy, delivery FigureResult) {
 				if int(src) >= g.N() {
 					continue
 				}
-				s, err := alg.Schedule(g, src, cfg.T0, deadline)
+				s, err := cfg.planSchedule(alg, g, src, cfg.T0, deadline)
 				if err != nil {
 					var ie *IncompleteError
 					if !errors.As(err, &ie) {

@@ -42,9 +42,10 @@ func ComplexityTable(cfg ExperimentConfig) FigureResult {
 	rows := make([]row, len(cfg.Ns))
 	runParallel(cfg.workers(), len(cfg.Ns), func(i int) {
 		g := cfg.graphFor(cfg.Ns[i], Static)
-		dp := dts.Build(g.Graph, cfg.T0, deadline, dts.Options{})
-		df := dts.Build(g.Graph, cfg.T0, deadline, dts.Options{NoPrune: true})
-		a := auxgraph.Build(g, dp, auxgraph.Options{})
+		// Uncancellable builds (no token in the options) never error.
+		dp, _ := dts.Build(g.Graph, cfg.T0, deadline, dts.Options{})
+		df, _ := dts.Build(g.Graph, cfg.T0, deadline, dts.Options{NoPrune: true})
+		a, _ := auxgraph.Build(g, dp, auxgraph.Options{})
 		st := a.Stats()
 		rows[i] = row{float64(dp.TotalPoints()), float64(df.TotalPoints()),
 			float64(st.Vertices), float64(st.Edges)}
@@ -81,7 +82,7 @@ func GapTable(cfg ExperimentConfig) FigureResult {
 			if int(src) >= g.N() {
 				continue
 			}
-			s, err := (EEDCB{Level: cfg.SteinerLevel}).Schedule(g, src, cfg.T0, deadline)
+			s, err := cfg.planSchedule(EEDCB{Level: cfg.SteinerLevel}, g, src, cfg.T0, deadline)
 			var ie *IncompleteError
 			if err != nil && !errors.As(err, &ie) {
 				continue

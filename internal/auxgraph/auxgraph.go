@@ -17,6 +17,7 @@ package auxgraph
 import (
 	"fmt"
 
+	"repro/internal/cancel"
 	"repro/internal/dts"
 	"repro/internal/graph"
 	"repro/internal/obs"
@@ -42,6 +43,11 @@ type Options struct {
 	// child around the ψ-heavy DCS sweep), size attributes, and the DCS
 	// pool stats. Nil (the default) records nothing.
 	Obs *obs.Recorder
+	// Cancel is the cancellation checkpoint token, polled at phase
+	// boundaries, through the DCS sweep's worker pool, and per
+	// transmission-edge batch. Nil is the zero-overhead uncancellable
+	// path; a completed Build is byte-identical for every value.
+	Cancel *cancel.Token
 }
 
 // TxMeta describes the transmission a paying auxiliary edge stands for.
@@ -64,12 +70,16 @@ type Aux struct {
 	advantage bool
 	workers   int
 	obs       *obs.Recorder
+	cancel    *cancel.Token
 }
 
 // Build constructs the auxiliary graph for the TVEG g over the DTS d.
-func Build(g *tveg.Graph, d *dts.DTS, opts Options) *Aux {
+// The only error Build can return is a tripped cancellation checkpoint
+// (cancel.ErrCancelled / cancel.ErrBudgetExceeded via opts.Cancel).
+func Build(g *tveg.Graph, d *dts.DTS, opts Options) (*Aux, error) {
 	sp := opts.Obs.StartPhase("auxgraph")
 	defer sp.End()
+	tok := opts.Cancel
 	n := g.N()
 	base := make([]int, n)
 	total := 0
@@ -85,6 +95,7 @@ func Build(g *tveg.Graph, d *dts.DTS, opts Options) *Aux {
 		advantage: !opts.NoBroadcastAdvantage,
 		workers:   opts.Workers,
 		obs:       opts.Obs,
+		cancel:    opts.Cancel,
 	}
 
 	// Count power vertices first so the digraph can be sized once.
@@ -109,11 +120,14 @@ func Build(g *tveg.Graph, d *dts.DTS, opts Options) *Aux {
 		}
 	}
 	dcsSpan := opts.Obs.StartPhase("dcs-construct")
-	parallel.ForEachPool(opts.Obs.Pool("auxgraph.dcs"), opts.Workers, len(cands), func(k int) {
+	err := parallel.ForEachPoolCancel(opts.Obs.Pool("auxgraph.dcs"), tok, opts.Workers, len(cands), func(k int) {
 		cands[k].levels = g.DCS(cands[k].i, cands[k].t)
 	})
 	dcsSpan.SetInt("candidates", len(cands))
 	dcsSpan.End()
+	if err != nil {
+		return nil, fmt.Errorf("auxgraph: dcs sweep: %w", err)
+	}
 	txs := cands[:0]
 	for _, x := range cands {
 		if len(x.levels) > 0 {
@@ -140,6 +154,9 @@ func Build(g *tveg.Graph, d *dts.DTS, opts Options) *Aux {
 	// Transmission edges.
 	next := total
 	for _, x := range txs {
+		if err := tok.Check(); err != nil {
+			return nil, fmt.Errorf("auxgraph: transmission edges: %w", err)
+		}
 		u := base[x.i] + x.l
 		if opts.NoBroadcastAdvantage {
 			for _, lvl := range x.levels {
@@ -172,7 +189,7 @@ func Build(g *tveg.Graph, d *dts.DTS, opts Options) *Aux {
 	sp.SetInt("vertices", st.Vertices)
 	sp.SetInt("edges", st.Edges)
 	sp.SetInt("power_vertices", st.PowerVertices)
-	return a
+	return a, nil
 }
 
 func (a *Aux) recordMeta(u, v int, m TxMeta) {
@@ -271,7 +288,7 @@ func (s Stats) String() string {
 // auxiliary graph for a broadcast from src and maps the result back to a
 // schedule. level <= 1 selects the shortest-path-tree heuristic.
 func (a *Aux) Solve(src tvg.NodeID, level int) (schedule.Schedule, error) {
-	solver := steiner.NewSolver(a.G).SetWorkers(a.workers).SetObs(a.obs)
+	solver := steiner.NewSolver(a.G).SetWorkers(a.workers).SetObs(a.obs).SetCancel(a.cancel)
 	root := a.SourceVertex(src)
 	terms := a.Terminals()
 	var (

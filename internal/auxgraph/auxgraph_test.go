@@ -21,7 +21,7 @@ func chain() (*tveg.Graph, *dts.DTS) {
 	g := tveg.New(3, iv(0, 100), 0, tveg.DefaultParams(), tveg.Static)
 	g.AddContact(0, 1, iv(10, 30), 5)
 	g.AddContact(1, 2, iv(20, 50), 8)
-	d := dts.Build(g.Graph, 0, 100, dts.Options{})
+	d, _ := dts.Build(g.Graph, 0, 100, dts.Options{})
 	return g, d
 }
 
@@ -32,13 +32,13 @@ func star() (*tveg.Graph, *dts.DTS) {
 	g.AddContact(0, 1, iv(10, 30), 5)
 	g.AddContact(0, 2, iv(10, 30), 10)
 	g.AddContact(0, 3, iv(10, 30), 15)
-	d := dts.Build(g.Graph, 0, 100, dts.Options{})
+	d, _ := dts.Build(g.Graph, 0, 100, dts.Options{})
 	return g, d
 }
 
 func TestBuildStats(t *testing.T) {
 	g, d := chain()
-	a := Build(g, d, Options{})
+	a, _ := Build(g, d, Options{})
 	st := a.Stats()
 	if st.Vertices <= 0 || st.Edges <= 0 {
 		t.Fatalf("empty aux graph: %v", st)
@@ -47,7 +47,7 @@ func TestBuildStats(t *testing.T) {
 		t.Errorf("expected power vertices, got %v", st)
 	}
 	// no-advantage variant has no power vertices
-	a2 := Build(g, d, Options{NoBroadcastAdvantage: true})
+	a2, _ := Build(g, d, Options{NoBroadcastAdvantage: true})
 	if got := a2.Stats().PowerVertices; got != 0 {
 		t.Errorf("NoBroadcastAdvantage power vertices = %d, want 0", got)
 	}
@@ -55,7 +55,7 @@ func TestBuildStats(t *testing.T) {
 
 func TestTerminalsOnePerNode(t *testing.T) {
 	g, d := chain()
-	a := Build(g, d, Options{})
+	a, _ := Build(g, d, Options{})
 	terms := a.Terminals()
 	if len(terms) != g.N() {
 		t.Fatalf("Terminals = %v, want %d entries", terms, g.N())
@@ -71,7 +71,7 @@ func TestTerminalsOnePerNode(t *testing.T) {
 
 func TestFeasibleInstance(t *testing.T) {
 	g, d := chain()
-	a := Build(g, d, Options{})
+	a, _ := Build(g, d, Options{})
 	if un := a.FeasibleInstance(0); len(un) != 0 {
 		t.Errorf("chain should be feasible from 0, unreachable: %v", un)
 	}
@@ -81,8 +81,8 @@ func TestFeasibleInstance(t *testing.T) {
 	// case: isolate node 2 after the fact.
 	g2 := tveg.New(3, iv(0, 100), 0, tveg.DefaultParams(), tveg.Static)
 	g2.AddContact(0, 1, iv(10, 30), 5)
-	d2 := dts.Build(g2.Graph, 0, 100, dts.Options{})
-	a2 := Build(g2, d2, Options{})
+	d2, _ := dts.Build(g2.Graph, 0, 100, dts.Options{})
+	a2, _ := Build(g2, d2, Options{})
 	un := a2.FeasibleInstance(0)
 	if len(un) != 1 || un[0] != 2 {
 		t.Errorf("unreachable = %v, want [2]", un)
@@ -91,7 +91,7 @@ func TestFeasibleInstance(t *testing.T) {
 
 func TestSolveChainProducesFeasibleSchedule(t *testing.T) {
 	g, d := chain()
-	a := Build(g, d, Options{})
+	a, _ := Build(g, d, Options{})
 	for _, level := range []int{1, 2} {
 		s, err := a.Solve(0, level)
 		if err != nil {
@@ -109,7 +109,7 @@ func TestSolveChainProducesFeasibleSchedule(t *testing.T) {
 
 func TestSolveStarUsesBroadcastAdvantage(t *testing.T) {
 	g, d := star()
-	a := Build(g, d, Options{})
+	a, _ := Build(g, d, Options{})
 	s, err := a.Solve(0, 2)
 	if err != nil {
 		t.Fatal(err)
@@ -130,8 +130,8 @@ func TestSolveStarUsesBroadcastAdvantage(t *testing.T) {
 
 func TestNoBroadcastAdvantageCostsMore(t *testing.T) {
 	g, d := star()
-	withAdv := Build(g, d, Options{})
-	noAdv := Build(g, d, Options{NoBroadcastAdvantage: true})
+	withAdv, _ := Build(g, d, Options{})
+	noAdv, _ := Build(g, d, Options{NoBroadcastAdvantage: true})
 	s1, err1 := withAdv.Solve(0, 2)
 	s2, err2 := noAdv.Solve(0, 2)
 	if err1 != nil || err2 != nil {
@@ -145,7 +145,7 @@ func TestNoBroadcastAdvantageCostsMore(t *testing.T) {
 
 func TestScheduleCollapsesPowerLevels(t *testing.T) {
 	g, d := star()
-	a := Build(g, d, Options{})
+	a, _ := Build(g, d, Options{})
 	s, err := a.Solve(0, 1) // SPT picks each terminal's own path
 	if err != nil {
 		t.Fatal(err)
@@ -165,8 +165,8 @@ func TestDeadlineExcludesLateTransmissions(t *testing.T) {
 	g := tveg.New(2, iv(0, 100), 0, tveg.DefaultParams(), tveg.Static)
 	g.AddContact(0, 1, iv(50, 60), 5)
 	// window ends before the contact: infeasible
-	d := dts.Build(g.Graph, 0, 40, dts.Options{})
-	a := Build(g, d, Options{})
+	d, _ := dts.Build(g.Graph, 0, 40, dts.Options{})
+	a, _ := Build(g, d, Options{})
 	if un := a.FeasibleInstance(0); len(un) != 1 {
 		t.Errorf("unreachable = %v, want [1]", un)
 	}
@@ -178,8 +178,8 @@ func TestDeadlineExcludesLateTransmissions(t *testing.T) {
 func TestTauShiftsReception(t *testing.T) {
 	g := tveg.New(2, iv(0, 100), 5, tveg.DefaultParams(), tveg.Static)
 	g.AddContact(0, 1, iv(10, 30), 5)
-	d := dts.Build(g.Graph, 0, 100, dts.Options{})
-	a := Build(g, d, Options{})
+	d, _ := dts.Build(g.Graph, 0, 100, dts.Options{})
+	a, _ := Build(g, d, Options{})
 	s, err := a.Solve(0, 2)
 	if err != nil {
 		t.Fatal(err)
@@ -208,8 +208,8 @@ func TestQuickSolvedSchedulesFeasible(t *testing.T) {
 			s := 250 + r.Float64()*20
 			g.AddContact(0, tvg.NodeID(j), iv(s, s+20), 1+r.Float64()*20)
 		}
-		d := dts.Build(g.Graph, 0, 300, dts.Options{})
-		a := Build(g, d, Options{})
+		d, _ := dts.Build(g.Graph, 0, 300, dts.Options{})
+		a, _ := Build(g, d, Options{})
 		sch, err := a.Solve(0, 2)
 		if err != nil {
 			return false
@@ -230,9 +230,11 @@ func TestQuickAdvantageNeverWorse(t *testing.T) {
 			s := r.Float64() * 100
 			g.AddContact(0, tvg.NodeID(j), iv(s, s+80), 1+r.Float64()*20)
 		}
-		d := dts.Build(g.Graph, 0, 200, dts.Options{})
-		adv, err1 := Build(g, d, Options{}).Solve(0, 2)
-		uni, err2 := Build(g, d, Options{NoBroadcastAdvantage: true}).Solve(0, 2)
+		d, _ := dts.Build(g.Graph, 0, 200, dts.Options{})
+		advA, _ := Build(g, d, Options{})
+		uniA, _ := Build(g, d, Options{NoBroadcastAdvantage: true})
+		adv, err1 := advA.Solve(0, 2)
+		uni, err2 := uniA.Solve(0, 2)
 		if err1 != nil || err2 != nil {
 			return false
 		}

@@ -1,0 +1,160 @@
+// Package cancel is the solver-wide cancellation seam: a nil-safe
+// checkpoint token that every pipeline stage (DTS construction, the
+// auxiliary graph, the Steiner solver, the NLP allocators, the worker
+// pools) polls at phase boundaries and bounded-iteration loop guards.
+//
+// Three contracts the solvers rely on (see DESIGN.md "Cancellation &
+// degradation"):
+//
+//  1. Zero overhead when disabled — the nil *Token is the disabled
+//     default. Check on a nil token is an allocation-free no-op, so hot
+//     paths carry checkpoints unconditionally, exactly like the nil
+//     *obs.Recorder convention.
+//  2. Result invariance — a checkpoint never changes a computation that
+//     runs to completion. A solve that is not cancelled produces a
+//     byte-identical result with or without a token attached.
+//  3. Typed taxonomy — a tripped checkpoint surfaces as exactly one of
+//     ErrBudgetExceeded (a deadline/budget ran out) or ErrCancelled
+//     (the caller revoked the request), matchable with errors.Is through
+//     every wrapping layer.
+//
+// The deterministic fault-injection seam used by the degradation tests
+// rides on the same plumbing: a Trip attached to the context fires after
+// a fixed number of checkpoint observations, independent of wall clock,
+// so tests can cancel "at the k-th checkpoint" reproducibly.
+package cancel
+
+import (
+	"context"
+	"errors"
+	"sync/atomic"
+)
+
+// ErrCancelled reports that the caller revoked the solve (context
+// cancellation). The solve returned promptly without a result.
+var ErrCancelled = errors.New("solve cancelled")
+
+// ErrBudgetExceeded reports that a time budget or deadline expired while
+// the solve was still running. The solve returned promptly without a
+// result; a degradation ladder may fall to a cheaper algorithm.
+var ErrBudgetExceeded = errors.New("solve budget exceeded")
+
+// Is reports whether err is (or wraps) one of the two cancellation
+// errors. Stages use it to tell "the checkpoint tripped" apart from a
+// genuine solver failure.
+func Is(err error) bool {
+	return errors.Is(err, ErrCancelled) || errors.Is(err, ErrBudgetExceeded)
+}
+
+// Trip is the deterministic fault-injection seam: a checkpoint budget in
+// units of observed checks rather than wall time. Attach one to a
+// context with WithTrip; every token derived from that context counts
+// its checks against the trip and fails with Err once more than After
+// checks have been observed. After < 0 never fires (pure counting mode,
+// used to measure a solve's checkpoint total). The zero Err defaults to
+// ErrBudgetExceeded.
+//
+// One Trip may be shared across several solves; the counter accumulates,
+// which is exactly what the checkpoint-sweep tests need.
+type Trip struct {
+	After int64
+	Err   error
+	count atomic.Int64
+}
+
+// NewTrip returns a trip that fires ErrBudgetExceeded after `after`
+// checkpoint observations (after < 0: never, counting only).
+func NewTrip(after int64) *Trip { return &Trip{After: after} }
+
+// Checks returns the number of checkpoint observations so far.
+func (tr *Trip) Checks() int64 { return tr.count.Load() }
+
+// observe counts one check and reports the injected error once the
+// budget is exhausted.
+func (tr *Trip) observe() error {
+	n := tr.count.Add(1)
+	if tr.After >= 0 && n > tr.After {
+		if tr.Err != nil {
+			return tr.Err
+		}
+		return ErrBudgetExceeded
+	}
+	return nil
+}
+
+type tripKey struct{}
+
+// WithTrip attaches a deterministic trip to the context. Tokens derived
+// from the returned context via FromContext observe the trip on every
+// Check.
+func WithTrip(ctx context.Context, tr *Trip) context.Context {
+	return context.WithValue(ctx, tripKey{}, tr)
+}
+
+// Token is one solve's cancellation handle. The nil Token is the
+// disabled default: Check no-ops and returns nil. Tokens are safe for
+// concurrent use by worker pools.
+type Token struct {
+	ctx    context.Context // may be nil (trip-only token)
+	trip   *Trip           // may be nil
+	checks atomic.Int64
+}
+
+// FromContext derives the solve's token from a context. It returns nil
+// — the disabled, zero-overhead token — when the context can never be
+// cancelled and carries no trip, so the uncancellable common case stays
+// on the exact pre-cancellation code path.
+func FromContext(ctx context.Context) *Token {
+	if ctx == nil {
+		return nil
+	}
+	trip, _ := ctx.Value(tripKey{}).(*Trip)
+	if trip == nil && ctx.Done() == nil {
+		return nil
+	}
+	return &Token{ctx: ctx, trip: trip}
+}
+
+// Check is the checkpoint: stages call it at phase boundaries and once
+// per outer-loop iteration. It returns nil to continue, ErrCancelled /
+// ErrBudgetExceeded (possibly via an injected trip) to abort. Nil-safe
+// and allocation-free on the nil token.
+func (t *Token) Check() error {
+	if t == nil {
+		return nil
+	}
+	t.checks.Add(1)
+	if t.trip != nil {
+		if err := t.trip.observe(); err != nil {
+			return err
+		}
+	}
+	if t.ctx != nil {
+		if err := t.ctx.Err(); err != nil {
+			return mapContextErr(err)
+		}
+	}
+	return nil
+}
+
+// Checks returns how many checkpoints this token has observed (0 on
+// nil). The degradation orchestrator records it as the obs counter
+// cancel.checks.
+func (t *Token) Checks() int64 {
+	if t == nil {
+		return 0
+	}
+	return t.checks.Load()
+}
+
+// mapContextErr converts the context package's sentinels into the solve
+// error taxonomy.
+func mapContextErr(err error) error {
+	switch {
+	case errors.Is(err, context.DeadlineExceeded):
+		return ErrBudgetExceeded
+	case errors.Is(err, context.Canceled):
+		return ErrCancelled
+	}
+	return err
+}

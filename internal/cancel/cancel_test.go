@@ -1,0 +1,146 @@
+package cancel
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestNilTokenIsDisabled(t *testing.T) {
+	var tok *Token
+	for i := 0; i < 10; i++ {
+		if err := tok.Check(); err != nil {
+			t.Fatalf("nil token Check returned %v", err)
+		}
+	}
+	if tok.Checks() != 0 {
+		t.Fatalf("nil token reports %d checks", tok.Checks())
+	}
+}
+
+// TestNilTokenZeroAlloc pins the zero-overhead-when-disabled contract:
+// the disabled checkpoint must not allocate, so every inner loop can
+// carry one unconditionally (the cancellation analogue of the obs
+// nil-recorder guard).
+func TestNilTokenZeroAlloc(t *testing.T) {
+	var tok *Token
+	allocs := testing.AllocsPerRun(1000, func() {
+		if err := tok.Check(); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if allocs != 0 {
+		t.Fatalf("disabled checkpoint allocates %.1f allocs/op, want 0", allocs)
+	}
+}
+
+func TestFromContextReturnsNilForUncancellable(t *testing.T) {
+	if tok := FromContext(context.Background()); tok != nil {
+		t.Fatalf("background context yielded a live token %v", tok)
+	}
+	if tok := FromContext(nil); tok != nil { //nolint:staticcheck // nil ctx is the documented disabled case
+		t.Fatal("nil context yielded a live token")
+	}
+}
+
+func TestContextCancellationMapsToErrCancelled(t *testing.T) {
+	ctx, cancelFn := context.WithCancel(context.Background())
+	tok := FromContext(ctx)
+	if tok == nil {
+		t.Fatal("cancellable context yielded nil token")
+	}
+	if err := tok.Check(); err != nil {
+		t.Fatalf("pre-cancel Check: %v", err)
+	}
+	cancelFn()
+	err := tok.Check()
+	if !errors.Is(err, ErrCancelled) {
+		t.Fatalf("post-cancel Check = %v, want ErrCancelled", err)
+	}
+	if !Is(err) {
+		t.Fatalf("Is(%v) = false", err)
+	}
+}
+
+func TestContextDeadlineMapsToErrBudgetExceeded(t *testing.T) {
+	ctx, cancelFn := context.WithDeadline(context.Background(), time.Now().Add(-time.Second))
+	defer cancelFn()
+	err := FromContext(ctx).Check()
+	if !errors.Is(err, ErrBudgetExceeded) {
+		t.Fatalf("expired-deadline Check = %v, want ErrBudgetExceeded", err)
+	}
+}
+
+func TestTripFiresAfterExactBudget(t *testing.T) {
+	tr := NewTrip(3)
+	tok := FromContext(WithTrip(context.Background(), tr))
+	if tok == nil {
+		t.Fatal("trip-bearing context yielded nil token")
+	}
+	for i := 0; i < 3; i++ {
+		if err := tok.Check(); err != nil {
+			t.Fatalf("check %d tripped early: %v", i, err)
+		}
+	}
+	if err := tok.Check(); !errors.Is(err, ErrBudgetExceeded) {
+		t.Fatalf("check 4 = %v, want ErrBudgetExceeded", err)
+	}
+	if got := tr.Checks(); got != 4 {
+		t.Fatalf("trip observed %d checks, want 4", got)
+	}
+}
+
+func TestTripCustomError(t *testing.T) {
+	tr := &Trip{After: 0, Err: ErrCancelled}
+	tok := FromContext(WithTrip(context.Background(), tr))
+	if err := tok.Check(); !errors.Is(err, ErrCancelled) {
+		t.Fatalf("custom trip error = %v, want ErrCancelled", err)
+	}
+}
+
+func TestTripNeverFiresWhenNegative(t *testing.T) {
+	tr := NewTrip(-1)
+	tok := FromContext(WithTrip(context.Background(), tr))
+	for i := 0; i < 100; i++ {
+		if err := tok.Check(); err != nil {
+			t.Fatalf("counting-mode trip fired: %v", err)
+		}
+	}
+	if tr.Checks() != 100 {
+		t.Fatalf("counting-mode trip observed %d checks, want 100", tr.Checks())
+	}
+}
+
+// TestConcurrentChecks exercises the token from many goroutines the way
+// a worker pool does; run under -race this pins the atomics-only
+// contract.
+func TestConcurrentChecks(t *testing.T) {
+	tr := NewTrip(500)
+	tok := FromContext(WithTrip(context.Background(), tr))
+	var wg sync.WaitGroup
+	errs := make(chan error, 8)
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				if err := tok.Check(); err != nil {
+					errs <- err
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		if !errors.Is(err, ErrBudgetExceeded) {
+			t.Fatalf("concurrent check error %v", err)
+		}
+	}
+	if tok.Checks() < 500 {
+		t.Fatalf("token observed %d checks, want >= 500", tok.Checks())
+	}
+}

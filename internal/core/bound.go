@@ -26,8 +26,14 @@ import (
 // for the FR family). Unreachable nodes are skipped and returned.
 func LowerBound(g *tveg.Graph, src tvg.NodeID, t0, deadline float64, dOpts dts.Options, aOpts auxgraph.Options) (bound float64, unreachable []tvg.NodeID, err error) {
 	view := plannerView(g, g.Model.Fading())
-	d := dts.Build(view.Graph, t0, deadline, dOpts)
-	a := auxgraph.Build(view, d, aOpts)
+	d, err := dts.Build(view.Graph, t0, deadline, dOpts)
+	if err != nil {
+		return 0, nil, fmt.Errorf("core: lower bound: %w", err)
+	}
+	a, err := auxgraph.Build(view, d, aOpts)
+	if err != nil {
+		return 0, nil, fmt.Errorf("core: lower bound: %w", err)
+	}
 	solver := steiner.NewSolver(a.G)
 	root := a.SourceVertex(src)
 	for i := 0; i < view.N(); i++ {

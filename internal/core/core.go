@@ -12,6 +12,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"sort"
@@ -31,6 +32,29 @@ type Scheduler interface {
 	// reached within the window, implementations return the best-effort
 	// schedule covering the rest together with an *IncompleteError.
 	Schedule(g *tveg.Graph, src tvg.NodeID, t0, deadline float64) (schedule.Schedule, error)
+}
+
+// ContextScheduler is a Scheduler whose planning honors context
+// cancellation and deadlines: ScheduleCtx polls cancellation checkpoints
+// at phase boundaries and inside every unbounded loop, returning
+// cancel.ErrCancelled / cancel.ErrBudgetExceeded (wrapped) promptly when
+// the context dies. A completed ScheduleCtx is byte-identical to
+// Schedule — the checkpoints never influence planning decisions. All six
+// planners in this package implement it.
+type ContextScheduler interface {
+	Scheduler
+	ScheduleCtx(ctx context.Context, g *tveg.Graph, src tvg.NodeID, t0, deadline float64) (schedule.Schedule, error)
+}
+
+// ScheduleWithContext plans under ctx when s supports cancellation and
+// falls back to the plain uncancellable Schedule otherwise. A
+// context.Background() ctx takes the exact pre-cancellation code path
+// either way.
+func ScheduleWithContext(ctx context.Context, s Scheduler, g *tveg.Graph, src tvg.NodeID, t0, deadline float64) (schedule.Schedule, error) {
+	if cs, ok := s.(ContextScheduler); ok {
+		return cs.ScheduleCtx(ctx, g, src, t0, deadline)
+	}
+	return s.Schedule(g, src, t0, deadline)
 }
 
 // IncompleteError reports nodes that the planner could not cover within

@@ -1,9 +1,11 @@
 package core
 
 import (
+	"context"
 	"fmt"
 
 	"repro/internal/auxgraph"
+	"repro/internal/cancel"
 	"repro/internal/dts"
 	"repro/internal/obs"
 	"repro/internal/schedule"
@@ -48,10 +50,17 @@ func (e EEDCB) level() int {
 
 // Schedule implements Scheduler.
 func (e EEDCB) Schedule(g *tveg.Graph, src tvg.NodeID, t0, deadline float64) (schedule.Schedule, error) {
+	return e.ScheduleCtx(context.Background(), g, src, t0, deadline)
+}
+
+// ScheduleCtx implements ContextScheduler: Schedule with cancellation
+// checkpoints through every pipeline stage (DTS, auxiliary graph,
+// Steiner). A background context takes the exact uncancellable path.
+func (e EEDCB) ScheduleCtx(ctx context.Context, g *tveg.Graph, src tvg.NodeID, t0, deadline float64) (schedule.Schedule, error) {
 	sp := e.Obs.StartPhase("eedcb")
 	defer sp.End()
 	view := plannerView(g, false)
-	return solveViaAux(view, src, nil, t0, deadline, e.level(), e.Workers, e.DTSOpts, e.AuxOpts, e.Obs)
+	return solveViaAux(view, src, nil, t0, deadline, e.level(), e.Workers, cancel.FromContext(ctx), e.DTSOpts, e.AuxOpts, e.Obs)
 }
 
 // Multicast plans a minimum-energy delay-constrained multicast: only the
@@ -59,18 +68,25 @@ func (e EEDCB) Schedule(g *tveg.Graph, src tvg.NodeID, t0, deadline float64) (sc
 // literally the minimum-energy multicast tree problem, so the pipeline is
 // identical with a restricted terminal set.
 func (e EEDCB) Multicast(g *tveg.Graph, src tvg.NodeID, targets []tvg.NodeID, t0, deadline float64) (schedule.Schedule, error) {
+	return e.MulticastCtx(context.Background(), g, src, targets, t0, deadline)
+}
+
+// MulticastCtx is Multicast with cancellation checkpoints (see
+// ScheduleCtx).
+func (e EEDCB) MulticastCtx(ctx context.Context, g *tveg.Graph, src tvg.NodeID, targets []tvg.NodeID, t0, deadline float64) (schedule.Schedule, error) {
 	sp := e.Obs.StartPhase("eedcb")
 	defer sp.End()
 	view := plannerView(g, false)
-	return solveViaAux(view, src, targets, t0, deadline, e.level(), e.Workers, e.DTSOpts, e.AuxOpts, e.Obs)
+	return solveViaAux(view, src, targets, t0, deadline, e.level(), e.Workers, cancel.FromContext(ctx), e.DTSOpts, e.AuxOpts, e.Obs)
 }
 
 // solveViaAux runs the §VI-A pipeline on the given planner view for the
 // target set (nil = broadcast to every node). It covers as many targets
 // as are reachable, reporting the rest through *IncompleteError. workers
 // bounds every stage's internal pool; explicit per-stage Workers in the
-// option structs win over the scheduler-level knob.
-func solveViaAux(view *tveg.Graph, src tvg.NodeID, targets []tvg.NodeID, t0, deadline float64, level, workers int, dOpts dts.Options, aOpts auxgraph.Options, rec *obs.Recorder) (schedule.Schedule, error) {
+// option structs win over the scheduler-level knob, and likewise an
+// explicit per-stage Cancel wins over tok (nil tok = uncancellable).
+func solveViaAux(view *tveg.Graph, src tvg.NodeID, targets []tvg.NodeID, t0, deadline float64, level, workers int, tok *cancel.Token, dOpts dts.Options, aOpts auxgraph.Options, rec *obs.Recorder) (schedule.Schedule, error) {
 	if dOpts.Workers == 0 {
 		dOpts.Workers = workers
 	}
@@ -83,8 +99,20 @@ func solveViaAux(view *tveg.Graph, src tvg.NodeID, targets []tvg.NodeID, t0, dea
 	if aOpts.Obs == nil {
 		aOpts.Obs = rec
 	}
-	d := dts.Build(view.Graph, t0, deadline, dOpts)
-	a := auxgraph.Build(view, d, aOpts)
+	if dOpts.Cancel == nil {
+		dOpts.Cancel = tok
+	}
+	if aOpts.Cancel == nil {
+		aOpts.Cancel = tok
+	}
+	d, err := dts.Build(view.Graph, t0, deadline, dOpts)
+	if err != nil {
+		return nil, fmt.Errorf("core: EEDCB: %w", err)
+	}
+	a, err := auxgraph.Build(view, d, aOpts)
+	if err != nil {
+		return nil, fmt.Errorf("core: EEDCB: %w", err)
+	}
 	if targets == nil {
 		targets = make([]tvg.NodeID, view.N())
 		for i := range targets {
@@ -106,11 +134,8 @@ func solveViaAux(view *tveg.Graph, src tvg.NodeID, targets []tvg.NodeID, t0, dea
 		return nil, &IncompleteError{Uncovered: unreachable}
 	}
 	stSpan := rec.StartPhase("steiner")
-	solver := steiner.NewSolver(a.G).SetWorkers(workers).SetObs(rec)
-	var (
-		sol steiner.Solution
-		err error
-	)
+	solver := steiner.NewSolver(a.G).SetWorkers(workers).SetObs(rec).SetCancel(tok)
+	var sol steiner.Solution
 	if level <= 1 {
 		sol, err = solver.ShortestPathTree(a.SourceVertex(src), terms)
 	} else {

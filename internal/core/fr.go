@@ -1,10 +1,12 @@
 package core
 
 import (
+	"context"
 	"errors"
 	"fmt"
 
 	"repro/internal/auxgraph"
+	"repro/internal/cancel"
 	"repro/internal/dts"
 	"repro/internal/nlp"
 	"repro/internal/obs"
@@ -83,28 +85,42 @@ func (f FREEDCB) level() int {
 
 // Schedule implements Scheduler.
 func (f FREEDCB) Schedule(g *tveg.Graph, src tvg.NodeID, t0, deadline float64) (schedule.Schedule, error) {
+	return f.ScheduleCtx(context.Background(), g, src, t0, deadline)
+}
+
+// ScheduleCtx implements ContextScheduler: Schedule with cancellation
+// checkpoints through backbone selection and the NLP allocation.
+func (f FREEDCB) ScheduleCtx(ctx context.Context, g *tveg.Graph, src tvg.NodeID, t0, deadline float64) (schedule.Schedule, error) {
 	sp := f.Obs.StartPhase("fr-eedcb")
 	defer sp.End()
+	tok := cancel.FromContext(ctx)
 	view := plannerView(g, true)
-	backbone, incErr := solveViaAux(view, src, nil, t0, deadline, f.level(), f.Workers, f.DTSOpts, f.AuxOpts, f.Obs)
+	backbone, incErr := solveViaAux(view, src, nil, t0, deadline, f.level(), f.Workers, tok, f.DTSOpts, f.AuxOpts, f.Obs)
 	if bad := onlyIncomplete(incErr); bad != nil {
 		return nil, bad
 	}
-	return allocateEnergy(g, backbone, src, nil, incErr, f.allocator(), f.Workers, f.Obs)
+	return allocateEnergy(g, backbone, src, nil, incErr, f.allocator(), f.Workers, tok, f.Obs)
 }
 
 // Multicast plans a fading-resistant multicast to the target subset:
 // backbone selection restricted to the targets, then NLP allocation with
 // residual-failure constraints only for targets and backbone relays.
 func (f FREEDCB) Multicast(g *tveg.Graph, src tvg.NodeID, targets []tvg.NodeID, t0, deadline float64) (schedule.Schedule, error) {
+	return f.MulticastCtx(context.Background(), g, src, targets, t0, deadline)
+}
+
+// MulticastCtx is Multicast with cancellation checkpoints (see
+// ScheduleCtx).
+func (f FREEDCB) MulticastCtx(ctx context.Context, g *tveg.Graph, src tvg.NodeID, targets []tvg.NodeID, t0, deadline float64) (schedule.Schedule, error) {
 	sp := f.Obs.StartPhase("fr-eedcb")
 	defer sp.End()
+	tok := cancel.FromContext(ctx)
 	view := plannerView(g, true)
-	backbone, incErr := solveViaAux(view, src, targets, t0, deadline, f.level(), f.Workers, f.DTSOpts, f.AuxOpts, f.Obs)
+	backbone, incErr := solveViaAux(view, src, targets, t0, deadline, f.level(), f.Workers, tok, f.DTSOpts, f.AuxOpts, f.Obs)
 	if bad := onlyIncomplete(incErr); bad != nil {
 		return nil, bad
 	}
-	return allocateEnergy(g, backbone, src, targets, incErr, f.allocator(), f.Workers, f.Obs)
+	return allocateEnergy(g, backbone, src, targets, incErr, f.allocator(), f.Workers, tok, f.Obs)
 }
 
 // FRGreedy is FR-GREED: the coverage-greedy backbone on the fading view
@@ -134,18 +150,25 @@ func (FRGreedy) Name() string { return "FR-GREED" }
 
 // Schedule implements Scheduler.
 func (f FRGreedy) Schedule(g *tveg.Graph, src tvg.NodeID, t0, deadline float64) (schedule.Schedule, error) {
+	return f.ScheduleCtx(context.Background(), g, src, t0, deadline)
+}
+
+// ScheduleCtx implements ContextScheduler: Schedule with cancellation
+// checkpoints through backbone selection and the NLP allocation.
+func (f FRGreedy) ScheduleCtx(ctx context.Context, g *tveg.Graph, src tvg.NodeID, t0, deadline float64) (schedule.Schedule, error) {
 	sp := f.Obs.StartPhase("fr-greed")
 	defer sp.End()
+	tok := cancel.FromContext(ctx)
 	view := plannerView(g, true)
 	dOpts := f.DTSOpts
 	if dOpts.Obs == nil {
 		dOpts.Obs = f.Obs
 	}
-	backbone, incErr := greedyBackbone(view, src, t0, deadline, dOpts)
+	backbone, incErr := greedyBackbone(view, src, t0, deadline, tok, dOpts)
 	if bad := onlyIncomplete(incErr); bad != nil {
 		return nil, bad
 	}
-	return allocateEnergy(g, backbone, src, nil, incErr, f.allocator(), f.Workers, f.Obs)
+	return allocateEnergy(g, backbone, src, nil, incErr, f.allocator(), f.Workers, tok, f.Obs)
 }
 
 // FRRandom is FR-RAND: the random-relay backbone on the fading view +
@@ -176,18 +199,25 @@ func (FRRandom) Name() string { return "FR-RAND" }
 
 // Schedule implements Scheduler.
 func (f FRRandom) Schedule(g *tveg.Graph, src tvg.NodeID, t0, deadline float64) (schedule.Schedule, error) {
+	return f.ScheduleCtx(context.Background(), g, src, t0, deadline)
+}
+
+// ScheduleCtx implements ContextScheduler: Schedule with cancellation
+// checkpoints through backbone selection and the NLP allocation.
+func (f FRRandom) ScheduleCtx(ctx context.Context, g *tveg.Graph, src tvg.NodeID, t0, deadline float64) (schedule.Schedule, error) {
 	sp := f.Obs.StartPhase("fr-rand")
 	defer sp.End()
+	tok := cancel.FromContext(ctx)
 	view := plannerView(g, true)
 	dOpts := f.DTSOpts
 	if dOpts.Obs == nil {
 		dOpts.Obs = f.Obs
 	}
-	backbone, incErr := randomBackbone(view, src, t0, deadline, f.Seed, dOpts)
+	backbone, incErr := randomBackbone(view, src, t0, deadline, f.Seed, tok, dOpts)
 	if bad := onlyIncomplete(incErr); bad != nil {
 		return nil, bad
 	}
-	return allocateEnergy(g, backbone, src, nil, incErr, f.allocator(), f.Workers, f.Obs)
+	return allocateEnergy(g, backbone, src, nil, incErr, f.allocator(), f.Workers, tok, f.Obs)
 }
 
 // onlyIncomplete passes through nil and *IncompleteError, returning any
@@ -215,7 +245,7 @@ func onlyIncomplete(err error) error {
 // (backbone entry, node) pair — fans out across the worker pool; terms
 // are then added to the problem in the original node order, so the NLP
 // instance is identical for every worker count.
-func allocateEnergy(g *tveg.Graph, backbone schedule.Schedule, src tvg.NodeID, targets []tvg.NodeID, incErr error, alloc Allocator, workers int, rec *obs.Recorder) (schedule.Schedule, error) {
+func allocateEnergy(g *tveg.Graph, backbone schedule.Schedule, src tvg.NodeID, targets []tvg.NodeID, incErr error, alloc Allocator, workers int, tok *cancel.Token, rec *obs.Recorder) (schedule.Schedule, error) {
 	if len(backbone) == 0 {
 		return backbone, incErr
 	}
@@ -248,7 +278,7 @@ func allocateEnergy(g *tveg.Graph, backbone schedule.Schedule, src tvg.NodeID, t
 	asmSpan := rec.StartPhase("assemble")
 	asmPool := rec.Pool("nlp.assemble")
 	coverTerms := make([][]nlp.Term, len(targets))
-	parallel.ForEachPool(asmPool, workers, len(targets), func(ti int) {
+	asmErr := parallel.ForEachPoolCancel(asmPool, tok, workers, len(targets), func(ti int) {
 		nj := targets[ti]
 		if nj == src || uncov[nj] {
 			return
@@ -262,6 +292,10 @@ func allocateEnergy(g *tveg.Graph, backbone schedule.Schedule, src tvg.NodeID, t
 		}
 		coverTerms[ti] = terms
 	})
+	if asmErr != nil {
+		asmSpan.End()
+		return nil, fmt.Errorf("core: energy allocation: %w", asmErr)
+	}
 	for ti, nj := range targets {
 		if nj == src || uncov[nj] {
 			continue
@@ -283,7 +317,7 @@ func allocateEnergy(g *tveg.Graph, backbone schedule.Schedule, src tvg.NodeID, t
 	// relay, so it must not appear in the constraint.
 	tau := g.Tau()
 	relayTerms := make([][]nlp.Term, len(backbone))
-	parallel.ForEachPool(asmPool, workers, len(backbone), func(j int) {
+	asmErr = parallel.ForEachPoolCancel(asmPool, tok, workers, len(backbone), func(j int) {
 		xj := backbone[j]
 		if xj.Relay == src {
 			return
@@ -303,6 +337,10 @@ func allocateEnergy(g *tveg.Graph, backbone schedule.Schedule, src tvg.NodeID, t
 		}
 		relayTerms[j] = terms
 	})
+	if asmErr != nil {
+		asmSpan.End()
+		return nil, fmt.Errorf("core: energy allocation: %w", asmErr)
+	}
 	for j, xj := range backbone {
 		if xj.Relay == src {
 			continue
@@ -319,6 +357,7 @@ func allocateEnergy(g *tveg.Graph, backbone schedule.Schedule, src tvg.NodeID, t
 	solveSpan := rec.StartPhase("solve")
 	solveSpan.SetStr("allocator", alloc.String())
 	p.Obs = rec
+	p.Cancel = tok
 	var (
 		w   []float64
 		err error

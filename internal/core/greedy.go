@@ -1,6 +1,10 @@
 package core
 
 import (
+	"context"
+	"fmt"
+
+	"repro/internal/cancel"
 	"repro/internal/dts"
 	"repro/internal/obs"
 	"repro/internal/schedule"
@@ -25,6 +29,12 @@ func (Greedy) Name() string { return "GREED" }
 
 // Schedule implements Scheduler.
 func (gr Greedy) Schedule(g *tveg.Graph, src tvg.NodeID, t0, deadline float64) (schedule.Schedule, error) {
+	return gr.ScheduleCtx(context.Background(), g, src, t0, deadline)
+}
+
+// ScheduleCtx implements ContextScheduler: Schedule with cancellation
+// checkpoints through the DTS build and per greedy round.
+func (gr Greedy) ScheduleCtx(ctx context.Context, g *tveg.Graph, src tvg.NodeID, t0, deadline float64) (schedule.Schedule, error) {
 	sp := gr.Obs.StartPhase("greed")
 	defer sp.End()
 	view := plannerView(g, false)
@@ -32,15 +42,25 @@ func (gr Greedy) Schedule(g *tveg.Graph, src tvg.NodeID, t0, deadline float64) (
 	if dOpts.Obs == nil {
 		dOpts.Obs = gr.Obs
 	}
-	return greedyBackbone(view, src, t0, deadline, dOpts)
+	return greedyBackbone(view, src, t0, deadline, cancel.FromContext(ctx), dOpts)
 }
 
-// greedyBackbone runs the coverage-greedy selection on the given view.
-func greedyBackbone(view *tveg.Graph, src tvg.NodeID, t0, deadline float64, dOpts dts.Options) (schedule.Schedule, error) {
-	d := dts.Build(view.Graph, t0, deadline, dOpts)
+// greedyBackbone runs the coverage-greedy selection on the given view,
+// polling tok once per selection round (nil = uncancellable).
+func greedyBackbone(view *tveg.Graph, src tvg.NodeID, t0, deadline float64, tok *cancel.Token, dOpts dts.Options) (schedule.Schedule, error) {
+	if dOpts.Cancel == nil {
+		dOpts.Cancel = tok
+	}
+	d, err := dts.Build(view.Graph, t0, deadline, dOpts)
+	if err != nil {
+		return nil, fmt.Errorf("core: GREED: %w", err)
+	}
 	inf := newInformedSet(view.N(), src, t0)
 	var s schedule.Schedule
 	for !inf.allInformed() {
+		if err := tok.Check(); err != nil {
+			return nil, fmt.Errorf("core: GREED: %w", err)
+		}
 		var best *candidate
 		for i := 0; i < view.N(); i++ {
 			ni := tvg.NodeID(i)

@@ -1,8 +1,11 @@
 package core
 
 import (
+	"context"
+	"fmt"
 	"math/rand"
 
+	"repro/internal/cancel"
 	"repro/internal/dts"
 	"repro/internal/obs"
 	"repro/internal/schedule"
@@ -29,6 +32,12 @@ func (Random) Name() string { return "RAND" }
 
 // Schedule implements Scheduler.
 func (r Random) Schedule(g *tveg.Graph, src tvg.NodeID, t0, deadline float64) (schedule.Schedule, error) {
+	return r.ScheduleCtx(context.Background(), g, src, t0, deadline)
+}
+
+// ScheduleCtx implements ContextScheduler: Schedule with cancellation
+// checkpoints through the DTS build and per selection round.
+func (r Random) ScheduleCtx(ctx context.Context, g *tveg.Graph, src tvg.NodeID, t0, deadline float64) (schedule.Schedule, error) {
 	sp := r.Obs.StartPhase("rand")
 	defer sp.End()
 	view := plannerView(g, false)
@@ -36,16 +45,26 @@ func (r Random) Schedule(g *tveg.Graph, src tvg.NodeID, t0, deadline float64) (s
 	if dOpts.Obs == nil {
 		dOpts.Obs = r.Obs
 	}
-	return randomBackbone(view, src, t0, deadline, r.Seed, dOpts)
+	return randomBackbone(view, src, t0, deadline, r.Seed, cancel.FromContext(ctx), dOpts)
 }
 
-// randomBackbone runs the random-relay selection on the given view.
-func randomBackbone(view *tveg.Graph, src tvg.NodeID, t0, deadline float64, seed int64, dOpts dts.Options) (schedule.Schedule, error) {
+// randomBackbone runs the random-relay selection on the given view,
+// polling tok once per selection round (nil = uncancellable).
+func randomBackbone(view *tveg.Graph, src tvg.NodeID, t0, deadline float64, seed int64, tok *cancel.Token, dOpts dts.Options) (schedule.Schedule, error) {
 	rng := rand.New(rand.NewSource(seed))
-	d := dts.Build(view.Graph, t0, deadline, dOpts)
+	if dOpts.Cancel == nil {
+		dOpts.Cancel = tok
+	}
+	d, err := dts.Build(view.Graph, t0, deadline, dOpts)
+	if err != nil {
+		return nil, fmt.Errorf("core: RAND: %w", err)
+	}
 	inf := newInformedSet(view.N(), src, t0)
 	var s schedule.Schedule
 	for !inf.allInformed() {
+		if err := tok.Check(); err != nil {
+			return nil, fmt.Errorf("core: RAND: %w", err)
+		}
 		// Collect informed nodes with any productive transmission and
 		// their earliest such opportunity.
 		var cands []*candidate

@@ -1,0 +1,85 @@
+package degrade
+
+import (
+	"context"
+	"math"
+	"testing"
+	"time"
+
+	"repro/internal/audit"
+	"repro/internal/cancel"
+	"repro/internal/schedule"
+	"repro/internal/tveg"
+)
+
+// FuzzDeadlineInjection fuzzes the orchestrator's failure surface: an
+// adversarial injection offset (which checkpoint of which rung dies), a
+// fuzzer-chosen budget split, and both channel families. Whatever the
+// inputs, Solve must neither panic nor hang (a watchdog bounds every
+// case), and any schedule it does return must agree with the
+// differential execution-semantics oracle.
+func FuzzDeadlineInjection(f *testing.F) {
+	f.Add(uint16(0), uint32(0), uint8(0), false)
+	f.Add(uint16(1), uint32(250), uint8(1), true)
+	f.Add(uint16(17), uint32(5000), uint8(2), false)
+	f.Add(uint16(300), uint32(50_000), uint8(3), true)
+	f.Add(uint16(65535), uint32(1_000_000), uint8(4), false)
+	f.Fuzz(func(t *testing.T, offset uint16, budgetUS uint32, rungSel uint8, fading bool) {
+		model := tveg.Static
+		if fading {
+			model = tveg.RayleighFading
+		}
+		g := testTrace(8, model, 7)
+		ladder := DefaultLadder()
+		target := ladder[int(rungSel)%len(ladder)]
+		opts := Options{
+			// Cap the budget at 1s so a fuzz case can never stall on a
+			// long real timeout; 0 exercises the unbudgeted single-rung
+			// path.
+			Budget:  time.Duration(budgetUS%1_000_000) * time.Microsecond,
+			Workers: 2,
+			Seed:    3,
+			Inject: func(r Rung, ctx context.Context) context.Context {
+				if r == target {
+					return cancel.WithTrip(ctx, cancel.NewTrip(int64(offset)))
+				}
+				return ctx
+			},
+		}
+
+		type result struct {
+			s   schedule.Schedule
+			out *Outcome
+			err error
+		}
+		done := make(chan result, 1)
+		go func() {
+			s, out, err := Solve(context.Background(), g, 0, 0, 1000, opts)
+			done <- result{s, out, err}
+		}()
+		var res result
+		select {
+		case res = <-done:
+		case <-time.After(30 * time.Second):
+			t.Fatal("Solve hung past the watchdog (no prompt cancellation)")
+		}
+
+		if usable(res.err) != nil {
+			// The only legitimate total failure is cancellation of every
+			// rung (the injected rung was the rung of last resort, or the
+			// budget expired everywhere).
+			if !cancel.Is(res.err) && res.err.Error() == "" {
+				t.Fatalf("unclassified failure: %v", res.err)
+			}
+			return
+		}
+		if res.out == nil {
+			t.Fatalf("usable schedule without an outcome (err=%v)", res.err)
+		}
+		// Cross-check the surviving schedule against every execution
+		// semantics: a degraded plan must still be a valid plan.
+		if diffs := audit.CompareSchedule(g, res.s, 0, 0, 1000, math.Inf(1)); len(diffs) > 0 {
+			t.Fatalf("rung %v schedule disagrees with the audit oracle: %v", res.out.Rung, diffs)
+		}
+	})
+}

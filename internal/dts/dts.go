@@ -24,6 +24,7 @@ import (
 	"math"
 	"sort"
 
+	"repro/internal/cancel"
 	"repro/internal/obs"
 	"repro/internal/parallel"
 	"repro/internal/tvg"
@@ -46,6 +47,18 @@ type Options struct {
 	// Obs receives the "dts" phase span, point-count attributes, and the
 	// filter-sweep pool stats. Nil (the default) records nothing.
 	Obs *obs.Recorder
+	// Cancel is the cancellation checkpoint token. Build polls it at
+	// phase boundaries and per outer-loop iteration, returning its typed
+	// error promptly when it trips. Nil (the default) is the
+	// zero-overhead uncancellable path; a completed Build is
+	// byte-identical for every value.
+	Cancel *cancel.Token
+	// Reuse short-circuits the construction with an already-built DTS of
+	// the same window — the degradation ladder's artifact-reuse seam
+	// (the DTS depends only on the presence structure, never on the
+	// channel model, so one DTS serves every planner view of a graph).
+	// A window mismatch falls through to a fresh build.
+	Reuse *DTS
 }
 
 // DTS is a discrete time set D_V: one discrete time partition P_i^di per
@@ -61,14 +74,21 @@ type DTS struct {
 const timeEps = 1e-9
 
 // Build computes the DTS of g for a broadcast starting at t0 with delay
-// constraint deadline (absolute time, t0 < deadline <= span end).
-func Build(g *tvg.Graph, t0, deadline float64, opts Options) *DTS {
+// constraint deadline (absolute time, t0 < deadline <= span end). The
+// only error Build can return is a tripped cancellation checkpoint
+// (cancel.ErrCancelled / cancel.ErrBudgetExceeded via opts.Cancel).
+func Build(g *tvg.Graph, t0, deadline float64, opts Options) (*DTS, error) {
+	if r := opts.Reuse; r != nil && r.T0 == t0 && r.Deadline == deadline {
+		opts.Obs.Counter("dts.reused").Inc()
+		return r, nil
+	}
 	sp := opts.Obs.StartPhase("dts")
 	defer sp.End()
 	span := g.Span()
 	if t0 < span.Start || deadline > span.End || deadline <= t0 {
 		panic(fmt.Sprintf("dts: window [%g,%g] outside span [%g,%g]", t0, deadline, span.Start, span.End))
 	}
+	tok := opts.Cancel
 	n := g.N()
 	tau := g.Tau()
 	maxHops := opts.MaxHops
@@ -79,6 +99,9 @@ func Build(g *tvg.Graph, t0, deadline float64, opts Options) *DTS {
 	// 1. Adjacency breakpoints of every pair, clipped to the window.
 	base := []float64{t0}
 	for i := 0; i < n; i++ {
+		if err := tok.Check(); err != nil {
+			return nil, fmt.Errorf("dts: breakpoints: %w", err)
+		}
 		for _, j := range g.EverNeighbors(tvg.NodeID(i)) {
 			if tvg.NodeID(i) > j {
 				continue // each pair once
@@ -101,6 +124,9 @@ func Build(g *tvg.Graph, t0, deadline float64, opts Options) *DTS {
 	if tau > 0 {
 		global = make([]float64, 0, len(base)*(maxHops+1))
 		for _, p := range base {
+			if err := tok.Check(); err != nil {
+				return nil, fmt.Errorf("dts: tau-propagation: %w", err)
+			}
 			for k := 0; k <= maxHops; k++ {
 				q := p + float64(k)*tau
 				if q > deadline {
@@ -119,7 +145,7 @@ func Build(g *tvg.Graph, t0, deadline float64, opts Options) *DTS {
 	// writes its own slot, so the sweep parallelizes without changing
 	// the result.
 	pts := make([][]float64, n)
-	parallel.ForEachPool(opts.Obs.Pool("dts.filter"), opts.Workers, n, func(i int) {
+	err := parallel.ForEachPoolCancel(opts.Obs.Pool("dts.filter"), tok, opts.Workers, n, func(i int) {
 		var mine []float64
 		for _, p := range global {
 			if opts.NoPrune || g.DegreeAt(tvg.NodeID(i), p) > 0 {
@@ -129,11 +155,14 @@ func Build(g *tvg.Graph, t0, deadline float64, opts Options) *DTS {
 		mine = append(mine, t0, deadline)
 		pts[i] = dedupSorted(mine)
 	})
+	if err != nil {
+		return nil, fmt.Errorf("dts: filter sweep: %w", err)
+	}
 	d := &DTS{T0: t0, Deadline: deadline, Points: pts}
 	sp.SetInt("base_points", len(base))
 	sp.SetInt("global_points", len(global))
 	sp.SetInt("total_points", d.TotalPoints())
-	return d
+	return d, nil
 }
 
 func dedupSorted(xs []float64) []float64 {

@@ -22,7 +22,7 @@ func lineGraph(tau float64) *tvg.Graph {
 
 func TestBuildTauZeroContainsAdjacencyBreakpoints(t *testing.T) {
 	g := lineGraph(0)
-	d := Build(g, 0, 100, Options{})
+	d, _ := Build(g, 0, 100, Options{})
 	// node 1 has contacts [10,30) and [25,45): breakpoints 10,25,30,45;
 	// also 40 (edge 2-3 start) is a global point, and node 1 has degree>0
 	// there (contact [25,45) covers 40) so it is kept. At 45 its last
@@ -41,7 +41,7 @@ func TestBuildTauZeroContainsAdjacencyBreakpoints(t *testing.T) {
 
 func TestBuildPrunesZeroDegreePoints(t *testing.T) {
 	g := lineGraph(0)
-	d := Build(g, 0, 100, Options{})
+	d, _ := Build(g, 0, 100, Options{})
 	// node 3 only has the contact [40,55): 40 stays, 45 (a global point
 	// inside the contact) stays, 55 is the excluded endpoint and is
 	// pruned along with every other zero-degree point.
@@ -59,8 +59,8 @@ func TestBuildPrunesZeroDegreePoints(t *testing.T) {
 
 func TestBuildNoPruneKeepsAllGlobalPoints(t *testing.T) {
 	g := lineGraph(0)
-	pruned := Build(g, 0, 100, Options{})
-	full := Build(g, 0, 100, Options{NoPrune: true})
+	pruned, _ := Build(g, 0, 100, Options{})
+	full, _ := Build(g, 0, 100, Options{NoPrune: true})
 	if full.TotalPoints() <= pruned.TotalPoints() {
 		t.Errorf("NoPrune total %d should exceed pruned %d",
 			full.TotalPoints(), pruned.TotalPoints())
@@ -76,7 +76,7 @@ func TestBuildNoPruneKeepsAllGlobalPoints(t *testing.T) {
 
 func TestBuildTauPropagation(t *testing.T) {
 	g := lineGraph(2) // τ = 2
-	d := Build(g, 0, 100, Options{})
+	d, _ := Build(g, 0, 100, Options{})
 	// contact (0,1) eroded: [10,28); breakpoint 10 spawns 12,14,16 via
 	// +kτ. Node 1 has degree > 0 at those times (contact [10,30) up),
 	// so they must appear in P_1^di.
@@ -96,7 +96,7 @@ func TestBuildTauPropagation(t *testing.T) {
 
 func TestBuildWindowClipping(t *testing.T) {
 	g := lineGraph(0)
-	d := Build(g, 20, 42, Options{})
+	d, _ := Build(g, 20, 42, Options{})
 	for i, pts := range d.Points {
 		if pts[0] != 20 || pts[len(pts)-1] != 42 {
 			t.Errorf("node %d window endpoints wrong: %v", i, pts)
@@ -112,9 +112,9 @@ func TestBuildWindowClipping(t *testing.T) {
 func TestBuildPanicsOutsideSpan(t *testing.T) {
 	g := lineGraph(0)
 	for _, f := range []func(){
-		func() { Build(g, -5, 50, Options{}) },
-		func() { Build(g, 0, 150, Options{}) },
-		func() { Build(g, 50, 50, Options{}) },
+		func() { _, _ = Build(g, -5, 50, Options{}) },
+		func() { _, _ = Build(g, 0, 150, Options{}) },
+		func() { _, _ = Build(g, 50, 50, Options{}) },
 	} {
 		func() {
 			defer func() {
@@ -129,7 +129,7 @@ func TestBuildPanicsOutsideSpan(t *testing.T) {
 
 func TestIndexAndAt(t *testing.T) {
 	g := lineGraph(0)
-	d := Build(g, 0, 100, Options{})
+	d, _ := Build(g, 0, 100, Options{})
 	// P_1^di = [0 10 25 30 40 45 100]
 	if got := d.Index(1, 10); d.At(1, got) != 10 {
 		t.Errorf("Index(1,10) = %d (point %g), want point 10", got, d.At(1, got))
@@ -176,7 +176,7 @@ func TestTotalPointsBoundTauZero(t *testing.T) {
 		g.AddContact(i, j, iv(s, s+50))
 		contacts++
 	}
-	d := Build(g, 0, 1000, Options{NoPrune: true})
+	d, _ := Build(g, 0, 1000, Options{NoPrune: true})
 	// global points <= 2*contacts + 2 (window endpoints)
 	maxGlobal := 2*contacts + 2
 	if d.TotalPoints() > n*maxGlobal {
@@ -198,7 +198,7 @@ func TestQuickPointsSortedAndInWindow(t *testing.T) {
 			s := r.Float64() * 450
 			g.AddContact(i, j, iv(s, s+5+r.Float64()*40))
 		}
-		d := Build(g, 0, 500, Options{})
+		d, _ := Build(g, 0, 500, Options{})
 		for _, pts := range d.Points {
 			for k, p := range pts {
 				if p < 0 || p > 500 {
@@ -232,8 +232,8 @@ func TestQuickPrunedSubsetOfUnpruned(t *testing.T) {
 			s := r.Float64() * 180
 			g.AddContact(i, j, iv(s, s+5+r.Float64()*15))
 		}
-		pruned := Build(g, 0, 200, Options{})
-		full := Build(g, 0, 200, Options{NoPrune: true})
+		pruned, _ := Build(g, 0, 200, Options{})
+		full, _ := Build(g, 0, 200, Options{NoPrune: true})
 		for i := range pruned.Points {
 			for _, p := range pruned.Points[i] {
 				found := false

@@ -39,7 +39,8 @@ func Solve(g *tveg.Graph, src tvg.NodeID, t0, deadline float64) (schedule.Schedu
 		return nil, 0, fmt.Errorf("exact: %d nodes exceeds the %d-node limit", g.N(), MaxNodes)
 	}
 
-	d := dts.Build(g.Graph, t0, deadline, dts.Options{})
+	// An uncancellable build (no token in the options) never errors.
+	d, _ := dts.Build(g.Graph, t0, deadline, dts.Options{})
 	// Global candidate transmission times: the union of all nodes' DTS
 	// points (already pruned to degree > 0 plus window endpoints).
 	timeSet := map[float64]bool{}

@@ -1,6 +1,7 @@
 package nlp
 
 import (
+	"fmt"
 	"math"
 
 	"repro/internal/channel"
@@ -72,6 +73,9 @@ func SolveDual(p *Problem, opts DualOptions) ([]float64, error) {
 	lambda := make([]float64, len(p.Constraints))
 	w := make([]float64, p.NumVars)
 	for iter := 0; iter < opts.Iters; iter++ {
+		if err := p.Cancel.Check(); err != nil {
+			return nil, fmt.Errorf("nlp: dual ascent: %w", err)
+		}
 		// per-variable 1-D minimization of w + Σ λ_j log φ(w)
 		for v := 0; v < p.NumVars; v++ {
 			w[v] = minimizeVar(p, byVar[v], lambda, cap_[v])
@@ -79,7 +83,9 @@ func SolveDual(p *Problem, opts DualOptions) ([]float64, error) {
 		// repair to feasibility, polish, track the best
 		cand := append([]float64(nil), w...)
 		if repair(p, cand) {
-			CoordinateDescent(p, cand, 10)
+			if err := CoordinateDescent(p, cand, 10); err != nil {
+				return nil, err
+			}
 			if c := p.Cost(cand); c < bestCost {
 				bestCost = c
 				copy(best, cand)

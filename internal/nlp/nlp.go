@@ -20,6 +20,7 @@ import (
 	"fmt"
 	"math"
 
+	"repro/internal/cancel"
 	"repro/internal/channel"
 	"repro/internal/obs"
 )
@@ -46,6 +47,11 @@ type Problem struct {
 	// penalty steps). Write-only: allocations are identical with or
 	// without it. Nil records nothing.
 	Obs *obs.Recorder
+	// Cancel is the cancellation checkpoint token, polled once per
+	// repair / sweep / gradient step. Nil is the zero-overhead
+	// uncancellable path; a completed solve is byte-identical for every
+	// value.
+	Cancel *cancel.Token
 }
 
 // NewProblem creates a problem with n variables in [wmin, wmax].
@@ -169,6 +175,9 @@ func SolveGreedy(p *Problem) ([]float64, error) {
 	// only decreases every log φ, so repaired constraints stay repaired;
 	// the loop terminates after at most len(Constraints) repairs.
 	for iter := 0; iter <= len(p.Constraints); iter++ {
+		if err := p.Cancel.Check(); err != nil {
+			return nil, fmt.Errorf("nlp: greedy fixing: %w", err)
+		}
 		worstIdx, worstRes := -1, feasTol
 		for ci, c := range p.Constraints {
 			if r := c.Residual(w); r > worstRes {
@@ -203,15 +212,19 @@ func SolveGreedy(p *Problem) ([]float64, error) {
 	if !p.Feasible(w) {
 		return nil, ErrInfeasible
 	}
-	CoordinateDescent(p, w, 50)
+	if err := CoordinateDescent(p, w, 50); err != nil {
+		return nil, err
+	}
 	return w, nil
 }
 
 // CoordinateDescent shrinks each variable in turn to the minimum value
 // keeping every constraint satisfied given the other variables, repeating
 // up to maxSweeps or until a sweep changes nothing. w must be feasible on
-// entry and stays feasible throughout.
-func CoordinateDescent(p *Problem, w []float64, maxSweeps int) {
+// entry and stays feasible throughout. The only error is a tripped
+// cancellation checkpoint; on error w is feasible but unpolished and must
+// be discarded for determinism.
+func CoordinateDescent(p *Problem, w []float64, maxSweeps int) error {
 	// Index constraints by variable.
 	byVar := make([][]int, p.NumVars)
 	for ci, c := range p.Constraints {
@@ -221,6 +234,9 @@ func CoordinateDescent(p *Problem, w []float64, maxSweeps int) {
 	}
 	sweeps := p.Obs.Counter("nlp.descent.sweeps")
 	for sweep := 0; sweep < maxSweeps; sweep++ {
+		if err := p.Cancel.Check(); err != nil {
+			return fmt.Errorf("nlp: coordinate descent: %w", err)
+		}
 		sweeps.Inc()
 		changed := false
 		for v := 0; v < p.NumVars; v++ {
@@ -261,6 +277,7 @@ func CoordinateDescent(p *Problem, w []float64, maxSweeps int) {
 			break
 		}
 	}
+	return nil
 }
 
 // PenaltyOptions tunes SolvePenalty.
@@ -310,6 +327,9 @@ func SolvePenalty(p *Problem, opts PenaltyOptions) ([]float64, error) {
 		outerSteps.Inc()
 		step := scale * 0.1
 		for inner := 0; inner < opts.MaxInner; inner++ {
+			if err := p.Cancel.Check(); err != nil {
+				return nil, fmt.Errorf("nlp: penalty descent: %w", err)
+			}
 			innerSteps.Inc()
 			objGrad(p, w, mu, grad, scale)
 			moved := false

@@ -1,0 +1,73 @@
+package parallel
+
+import (
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/cancel"
+	"repro/internal/obs"
+)
+
+// ForEachPoolCancel is ForEachPool with a cancellation checkpoint before
+// every task claim: once tok reports cancellation, workers stop handing
+// out new indices and the first checkpoint error is returned. Indices
+// already claimed run to completion (fn is never interrupted mid-task),
+// so on a nil error every slot in [0, n) was processed exactly once and
+// the results are byte-identical to ForEachPool; on a non-nil error the
+// partial output must be discarded by the caller.
+//
+// A nil tok delegates to ForEachPool — the uncancellable hot path stays
+// on the exact pre-cancellation code, preserving the determinism and
+// zero-overhead contracts.
+func ForEachPoolCancel(p *obs.Pool, tok *cancel.Token, workers, n int, fn func(i int)) error {
+	if tok == nil {
+		ForEachPool(p, workers, n, fn)
+		return nil
+	}
+	p.Launched()
+	workers = Clamp(workers, n)
+	if workers <= 1 {
+		start := time.Now()
+		var done int64
+		var err error
+		for i := 0; i < n; i++ {
+			if err = tok.Check(); err != nil {
+				break
+			}
+			fn(i)
+			done++
+		}
+		p.Observe(0, done, time.Since(start))
+		return err
+	}
+	var next atomic.Int64
+	var firstErr atomic.Pointer[error]
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			start := time.Now()
+			var done int64
+			for {
+				if err := tok.Check(); err != nil {
+					firstErr.CompareAndSwap(nil, &err)
+					break
+				}
+				i := int(next.Add(1)) - 1
+				if i >= n {
+					break
+				}
+				fn(i)
+				done++
+			}
+			p.Observe(w, done, time.Since(start))
+		}(w)
+	}
+	wg.Wait()
+	if ep := firstErr.Load(); ep != nil {
+		return *ep
+	}
+	return nil
+}

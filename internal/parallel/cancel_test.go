@@ -1,0 +1,88 @@
+package parallel
+
+import (
+	"context"
+	"errors"
+	"runtime"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/cancel"
+)
+
+func TestForEachPoolCancelNilTokenMatchesForEachPool(t *testing.T) {
+	const n = 100
+	want := make([]int, n)
+	ForEachPool(nil, 4, n, func(i int) { want[i] = i * i })
+	got := make([]int, n)
+	if err := ForEachPoolCancel(nil, nil, 4, n, func(i int) { got[i] = i * i }); err != nil {
+		t.Fatal(err)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("slot %d: got %d want %d", i, got[i], want[i])
+		}
+	}
+}
+
+func TestForEachPoolCancelCompletesWithLiveToken(t *testing.T) {
+	ctx, cancelFn := context.WithCancel(context.Background())
+	defer cancelFn()
+	tok := cancel.FromContext(ctx)
+	var sum atomic.Int64
+	if err := ForEachPoolCancel(nil, tok, 4, 50, func(i int) { sum.Add(int64(i)) }); err != nil {
+		t.Fatal(err)
+	}
+	if sum.Load() != 50*49/2 {
+		t.Fatalf("sum = %d, want %d", sum.Load(), 50*49/2)
+	}
+}
+
+// TestForEachPoolCancelStopsMidPool trips the token partway through a
+// large pool run and asserts (a) the typed error surfaces, (b) far
+// fewer than n tasks ran, and (c) no worker goroutines leak.
+func TestForEachPoolCancelStopsMidPool(t *testing.T) {
+	before := runtime.NumGoroutine()
+	const n = 100000
+	for _, workers := range []int{1, 4, 8} {
+		tr := cancel.NewTrip(32)
+		tok := cancel.FromContext(cancel.WithTrip(context.Background(), tr))
+		var ran atomic.Int64
+		err := ForEachPoolCancel(nil, tok, workers, n, func(i int) { ran.Add(1) })
+		if !errors.Is(err, cancel.ErrBudgetExceeded) {
+			t.Fatalf("workers=%d: err = %v, want ErrBudgetExceeded", workers, err)
+		}
+		// Every worker checks once per claim; after the trip fires each
+		// worker stops at its next checkpoint, so the overrun is bounded
+		// by the pool width.
+		if got := ran.Load(); got > 32+int64(workers) {
+			t.Fatalf("workers=%d: %d tasks ran after a 32-check budget", workers, got)
+		}
+	}
+	deadline := time.Now().Add(2 * time.Second)
+	for runtime.NumGoroutine() > before+2 && time.Now().Before(deadline) {
+		time.Sleep(10 * time.Millisecond)
+	}
+	if g := runtime.NumGoroutine(); g > before+2 {
+		t.Fatalf("goroutines leaked: %d before, %d after", before, g)
+	}
+}
+
+// TestForEachPoolCancelAlreadyCancelled: a token that is dead on arrival
+// must prevent any task from running (serial and parallel paths).
+func TestForEachPoolCancelAlreadyCancelled(t *testing.T) {
+	ctx, cancelFn := context.WithCancel(context.Background())
+	cancelFn()
+	for _, workers := range []int{1, 4} {
+		tok := cancel.FromContext(ctx)
+		var ran atomic.Int64
+		err := ForEachPoolCancel(nil, tok, workers, 100, func(i int) { ran.Add(1) })
+		if !errors.Is(err, cancel.ErrCancelled) {
+			t.Fatalf("workers=%d: err = %v, want ErrCancelled", workers, err)
+		}
+		if ran.Load() != 0 {
+			t.Fatalf("workers=%d: %d tasks ran on a dead token", workers, ran.Load())
+		}
+	}
+}

@@ -39,6 +39,12 @@ type Meta struct {
 	// PhaseMS maps slash-joined phase paths (e.g. "eedcb/dts") to wall
 	// milliseconds, as reported by the observability layer.
 	PhaseMS map[string]float64 `json:"phase_ms,omitempty"`
+	// DegradeRung names the degradation-ladder rung that produced the
+	// schedule (e.g. "full", "spt"), when the run was deadline-bounded.
+	DegradeRung string `json:"degrade_rung,omitempty"`
+	// DegradeReason explains why earlier rungs were abandoned (empty when
+	// the first rung succeeded).
+	DegradeReason string `json:"degrade_reason,omitempty"`
 }
 
 // jsonEnvelope is the on-disk representation.

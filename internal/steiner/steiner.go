@@ -26,6 +26,7 @@ import (
 	"math"
 	"sort"
 
+	"repro/internal/cancel"
 	"repro/internal/graph"
 	"repro/internal/obs"
 	"repro/internal/parallel"
@@ -214,6 +215,28 @@ type Solver struct {
 	// is write-only — solutions are identical with or without it. Nil
 	// records nothing.
 	obs *obs.Recorder
+	// cancel is the cancellation checkpoint token, polled once per greedy
+	// round, per density scan, and through the reverse-Dijkstra pool. Nil
+	// is the zero-overhead uncancellable path; a completed solve is
+	// byte-identical for every value.
+	cancel *cancel.Token
+	// tripped latches the first checkpoint error so the recursive scan
+	// helpers can unwind through their value-only signatures; the public
+	// entry points surface it as the returned error.
+	tripped error
+}
+
+// check polls the cancellation token, latching the first error. It
+// reports false once the solve is cancelled.
+func (s *Solver) check() bool {
+	if s.tripped != nil {
+		return false
+	}
+	if err := s.cancel.Check(); err != nil {
+		s.tripped = err
+		return false
+	}
+	return true
 }
 
 // NewSolver builds a solver for g.
@@ -238,6 +261,13 @@ func (s *Solver) SetWorkers(workers int) *Solver {
 // returns the solver for chaining.
 func (s *Solver) SetObs(r *obs.Recorder) *Solver {
 	s.obs = r
+	return s
+}
+
+// SetCancel attaches a cancellation token (nil disables checkpoints)
+// and returns the solver for chaining.
+func (s *Solver) SetCancel(tok *cancel.Token) *Solver {
+	s.cancel = tok
 	return s
 }
 
@@ -283,10 +313,16 @@ func (s *Solver) distToAll(rem []int) [][]float64 {
 	}
 	computed := make([]*sp, len(missing))
 	s.obs.Counter("steiner.dijkstra.bwd").Add(int64(len(missing)))
-	parallel.ForEachPool(s.obs.Pool("steiner.dijkstra"), s.workers, len(missing), func(mi int) {
+	err := parallel.ForEachPoolCancel(s.obs.Pool("steiner.dijkstra"), s.cancel, s.workers, len(missing), func(mi int) {
 		d, p := s.rev.ShortestPaths(rem[missing[mi]])
 		computed[mi] = &sp{d, p}
 	})
+	if err != nil {
+		if s.tripped == nil {
+			s.tripped = err
+		}
+		return nil
+	}
 	for mi, xi := range missing {
 		s.bwd[rem[xi]] = computed[mi]
 		dTo[xi] = computed[mi].dist
@@ -326,6 +362,9 @@ func (s *Solver) minEdge(u, v int) float64 {
 func (s *Solver) ShortestPathTree(root int, terminals []int) (Solution, error) {
 	sol := newSolution(root)
 	for _, t := range terminals {
+		if !s.check() {
+			return Solution{}, fmt.Errorf("steiner: %w", s.tripped)
+		}
 		if !s.addPath(sol, root, t) {
 			return Solution{}, fmt.Errorf("steiner: terminal %d unreachable from %d", t, root)
 		}
@@ -355,6 +394,9 @@ func (s *Solver) RecursiveGreedy(root int, terminals []int, level int) (Solution
 	sol := newSolution(root)
 	for len(remaining) > 0 {
 		sub, covered, _ := s.rg(level, len(remaining), root, remaining)
+		if s.tripped != nil {
+			return Solution{}, fmt.Errorf("steiner: %w", s.tripped)
+		}
 		if len(covered) == 0 {
 			return Solution{}, fmt.Errorf("steiner: no progress covering %v", remaining)
 		}
@@ -377,6 +419,9 @@ func (s *Solver) rg(level, k, r int, X []int) (Solution, []int, float64) {
 	rem := append([]int(nil), X...)
 	distR := s.from(r).dist
 	for k > 0 && len(rem) > 0 {
+		if !s.check() {
+			break
+		}
 		var bestV int
 		var bestCov []int
 		var bestCost float64
@@ -415,6 +460,9 @@ func (s *Solver) scanLevel2(k int, distR []float64, rem []int) (int, []int, floa
 	s.obs.Counter("steiner.level2.scans").Inc()
 	s.obs.Counter("steiner.level2.vertices_scanned").Add(int64(s.g.N()))
 	dTo := s.distToAll(rem) // dTo[xi][v] = dist(v, rem[xi])
+	if dTo == nil {
+		return -1, nil, 0 // cancellation latched in distToAll
+	}
 	ranges := parallel.ChunkRanges(s.workers, s.g.N())
 	if len(ranges) == 1 {
 		best := s.scanLevel2Range(k, distR, rem, dTo, ranges[0])
@@ -497,6 +545,9 @@ func (s *Solver) scanRecursive(level, k int, distR []float64, rem []int) (int, [
 	var bestCov []int
 	var bestCost float64
 	for v := 0; v < s.g.N(); v++ {
+		if !s.check() {
+			return -1, nil, 0
+		}
 		if math.IsInf(distR[v], 1) {
 			continue
 		}
