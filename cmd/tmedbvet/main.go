@@ -1,0 +1,90 @@
+// Command tmedbvet is the repo's static-analysis gate: it loads the
+// module packages matched by its arguments, runs the contract
+// analyzers from internal/analysis/checks (determinism, cancellation,
+// float tolerance, span pairing), and exits non-zero when any
+// non-suppressed finding remains.
+//
+// Usage:
+//
+//	go run ./cmd/tmedbvet [-json] [-list] [packages...]
+//
+// Packages default to ./... relative to the current module. Findings
+// print as file:line:col: [check] message, or as a JSON array with
+// -json (the stable shape CI annotations parse; see DESIGN.md §10).
+// Suppress a finding inline with
+//
+//	//tmedbvet:ignore <check> <reason>
+//
+// on the finding's line or the line above; the reason is mandatory.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"repro/internal/analysis"
+	"repro/internal/analysis/checks"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+// run is main with injectable streams so cmd tests can drive it.
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("tmedbvet", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	jsonOut := fs.Bool("json", false, "emit findings as a JSON array instead of text")
+	list := fs.Bool("list", false, "list the registered checks and exit")
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+
+	all := checks.All()
+	if *list {
+		for _, a := range all {
+			fmt.Fprintf(stdout, "%-14s %s\n", a.Name, a.Doc)
+		}
+		return 0
+	}
+
+	patterns := fs.Args()
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+
+	cwd, err := os.Getwd()
+	if err != nil {
+		fmt.Fprintln(stderr, "tmedbvet:", err)
+		return 2
+	}
+	loader, err := analysis.NewLoader(cwd)
+	if err != nil {
+		fmt.Fprintln(stderr, "tmedbvet:", err)
+		return 2
+	}
+	ds, err := loader.Run(patterns, all)
+	if err != nil {
+		fmt.Fprintln(stderr, "tmedbvet:", err)
+		return 2
+	}
+
+	if *jsonOut {
+		if err := analysis.WriteJSON(stdout, ds); err != nil {
+			fmt.Fprintln(stderr, "tmedbvet:", err)
+			return 2
+		}
+	} else if err := analysis.WriteText(stdout, ds); err != nil {
+		fmt.Fprintln(stderr, "tmedbvet:", err)
+		return 2
+	}
+	if len(ds) > 0 {
+		if !*jsonOut {
+			fmt.Fprintf(stderr, "tmedbvet: %d finding(s)\n", len(ds))
+		}
+		return 1
+	}
+	return 0
+}

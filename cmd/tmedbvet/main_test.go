@@ -1,0 +1,90 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// jsonfixPattern addresses the seeded-findings fixture the way a user
+// would from the module root: patterns resolve against the enclosing
+// module, not the test's working directory.
+const jsonfixPattern = "cmd/tmedbvet/testdata/jsonfix"
+
+func TestJSONGolden(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	code := run([]string{"-json", jsonfixPattern}, &stdout, &stderr)
+	if code != 1 {
+		t.Fatalf("exit code = %d, want 1 (stderr: %s)", code, stderr.String())
+	}
+	golden, err := os.ReadFile(filepath.Join("testdata", "jsonfix.golden"))
+	if err != nil {
+		t.Fatalf("read golden: %v", err)
+	}
+	if stdout.String() != string(golden) {
+		t.Errorf("-json output drifted from testdata/jsonfix.golden.\ngot:\n%s\nwant:\n%s",
+			stdout.String(), golden)
+	}
+	if stderr.Len() != 0 {
+		t.Errorf("-json mode wrote to stderr: %q", stderr.String())
+	}
+}
+
+func TestTextMode(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	code := run([]string{jsonfixPattern}, &stdout, &stderr)
+	if code != 1 {
+		t.Fatalf("exit code = %d, want 1 (stderr: %s)", code, stderr.String())
+	}
+	for _, check := range []string{"[ignore]", "[cancelthread]", "[spanpair]"} {
+		if !strings.Contains(stdout.String(), check) {
+			t.Errorf("text output missing %s finding:\n%s", check, stdout.String())
+		}
+	}
+	if want := "tmedbvet: 3 finding(s)\n"; stderr.String() != want {
+		t.Errorf("stderr = %q, want %q", stderr.String(), want)
+	}
+}
+
+func TestCleanPackageExitsZero(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	code := run([]string{"-json", "repro/internal/schedule"}, &stdout, &stderr)
+	if code != 0 {
+		t.Fatalf("exit code = %d, want 0 (stdout: %s, stderr: %s)",
+			code, stdout.String(), stderr.String())
+	}
+	if stdout.String() != "[]\n" {
+		t.Errorf("clean -json output = %q, want %q", stdout.String(), "[]\n")
+	}
+}
+
+func TestListChecks(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	if code := run([]string{"-list"}, &stdout, &stderr); code != 0 {
+		t.Fatalf("exit code = %d, want 0", code)
+	}
+	for _, name := range []string{"cancelthread", "detrange", "floateq", "nondeterm", "spanpair"} {
+		if !strings.Contains(stdout.String(), name) {
+			t.Errorf("-list output missing %s:\n%s", name, stdout.String())
+		}
+	}
+}
+
+func TestBadFlagExitsTwo(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	if code := run([]string{"-definitely-not-a-flag"}, &stdout, &stderr); code != 2 {
+		t.Fatalf("exit code = %d, want 2", code)
+	}
+}
+
+func TestMissingPackageExitsTwo(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	if code := run([]string{"internal/no/such/package"}, &stdout, &stderr); code != 2 {
+		t.Fatalf("exit code = %d, want 2 (stderr: %s)", code, stderr.String())
+	}
+	if stderr.Len() == 0 {
+		t.Error("load failure produced no stderr message")
+	}
+}

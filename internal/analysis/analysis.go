@@ -1,0 +1,93 @@
+// Package analysis is the repo's static-analysis driver: a small,
+// stdlib-only (go/ast, go/parser, go/types, go/token) framework that
+// loads this module's packages, runs repo-specific analyzers over them,
+// and reports diagnostics with file:line positions, a machine-readable
+// JSON mode, and an inline suppression syntax.
+//
+// The analyzers (see internal/analysis/checks) encode the contracts the
+// solver established in PRs 1–4 — byte-identical schedules under any
+// worker count, checkpoint-threaded cancellation with typed errors,
+// TimeTol-gated time comparisons, and paired obs phase spans — so that
+// violations are caught at analysis time, on every file, before any
+// test has to hit the offending path.
+//
+// Suppressions: a finding is silenced by an inline comment
+//
+//	//tmedbvet:ignore <check> <reason>
+//
+// on the same line as the finding or on the line directly above it.
+// The reason is mandatory; an ignore comment without one is itself a
+// diagnostic (check "ignore") that cannot be suppressed.
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// Diagnostic is one finding: a position, the analyzer (check) that
+// produced it, and a human-readable message.
+type Diagnostic struct {
+	// Pos is the resolved source position. File is relative to the
+	// module root when the finding is inside the module.
+	Pos token.Position
+	// Check is the reporting analyzer's name.
+	Check string
+	// Message describes the violation and the sanctioned alternative.
+	Message string
+}
+
+func (d Diagnostic) String() string {
+	return fmt.Sprintf("%s:%d:%d: [%s] %s", d.Pos.Filename, d.Pos.Line, d.Pos.Column, d.Check, d.Message)
+}
+
+// Analyzer is one named check. Run inspects a single type-checked
+// package and reports findings through the pass.
+type Analyzer struct {
+	// Name is the check identifier used in output and in
+	// //tmedbvet:ignore comments.
+	Name string
+	// Doc is a one-paragraph description of the enforced contract.
+	Doc string
+	// Scope reports whether the analyzer applies to a package import
+	// path. A nil Scope applies everywhere. The fixture harness
+	// bypasses Scope so testdata packages exercise Run directly.
+	Scope func(pkgPath string) bool
+	// Run inspects pass.Pkg and calls pass.Report for each finding.
+	Run func(pass *Pass)
+}
+
+// Pass is one (analyzer, package) unit of work handed to Analyzer.Run.
+type Pass struct {
+	Analyzer *Analyzer
+	Pkg      *Package
+	report   func(Diagnostic)
+}
+
+// Fset returns the file set all of the package's positions resolve
+// against.
+func (p *Pass) Fset() *token.FileSet { return p.Pkg.Fset }
+
+// TypeOf returns the type of an expression, or nil when the checker
+// recorded none.
+func (p *Pass) TypeOf(e ast.Expr) types.Type { return p.Pkg.Info.TypeOf(e) }
+
+// ObjectOf returns the object an identifier denotes (uses before defs),
+// or nil.
+func (p *Pass) ObjectOf(id *ast.Ident) types.Object {
+	if obj := p.Pkg.Info.ObjectOf(id); obj != nil {
+		return obj
+	}
+	return nil
+}
+
+// Reportf records a finding at pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	p.report(Diagnostic{
+		Pos:     p.Pkg.Fset.Position(pos),
+		Check:   p.Analyzer.Name,
+		Message: fmt.Sprintf(format, args...),
+	})
+}

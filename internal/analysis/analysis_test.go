@@ -1,0 +1,257 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"testing"
+)
+
+// markerAnalyzer reports every call to a function named mark — a toy
+// check that makes suppression behavior directly observable.
+func markerAnalyzer(scope func(string) bool) *Analyzer {
+	return &Analyzer{
+		Name:  "marker",
+		Doc:   "reports every call to a function named mark",
+		Scope: scope,
+		Run: func(p *Pass) {
+			for _, f := range p.Pkg.Files {
+				ast.Inspect(f, func(n ast.Node) bool {
+					call, ok := n.(*ast.CallExpr)
+					if !ok {
+						return true
+					}
+					if id, ok := call.Fun.(*ast.Ident); ok && id.Name == "mark" {
+						p.Reportf(call.Pos(), "call to mark")
+					}
+					return true
+				})
+			}
+		},
+	}
+}
+
+func loadIgnores(t *testing.T) (*Loader, *Package) {
+	t.Helper()
+	l, err := NewLoader("testdata/ignores")
+	if err != nil {
+		t.Fatalf("NewLoader: %v", err)
+	}
+	pkg, err := l.LoadDir("testdata/ignores")
+	if err != nil {
+		t.Fatalf("LoadDir: %v", err)
+	}
+	return l, pkg
+}
+
+func TestLoaderModuleDiscovery(t *testing.T) {
+	l, pkg := loadIgnores(t)
+	if l.ModulePath != "repro" {
+		t.Errorf("ModulePath = %q, want %q", l.ModulePath, "repro")
+	}
+	if _, err := os.Stat(filepath.Join(l.ModuleDir, "go.mod")); err != nil {
+		t.Errorf("ModuleDir %s has no go.mod: %v", l.ModuleDir, err)
+	}
+	if want := "repro/internal/analysis/testdata/ignores"; pkg.Path != want {
+		t.Errorf("pkg.Path = %q, want %q", pkg.Path, want)
+	}
+}
+
+func TestExpandSkipsTestdata(t *testing.T) {
+	l, _ := loadIgnores(t)
+	dirs, err := l.Expand([]string{"./..."})
+	if err != nil {
+		t.Fatalf("Expand: %v", err)
+	}
+	if len(dirs) == 0 {
+		t.Fatal("Expand(./...) matched no packages")
+	}
+	for _, d := range dirs {
+		if strings.Contains(d, "testdata") {
+			t.Errorf("Expand(./...) matched testdata directory %s", d)
+		}
+	}
+	// A directory pattern and the equivalent import path resolve to the
+	// same package directory and deduplicate.
+	dirs, err = l.Expand([]string{"internal/analysis", "repro/internal/analysis"})
+	if err != nil {
+		t.Fatalf("Expand: %v", err)
+	}
+	if len(dirs) != 1 {
+		t.Errorf("Expand dir+importpath = %v, want one deduplicated entry", dirs)
+	}
+}
+
+// fixtureLines extracts 1-based line numbers of the ignores fixture
+// matching pred, so the test tracks the fixture without hard-coded
+// line numbers.
+func fixtureLines(t *testing.T, pred func(line string) bool) map[int]bool {
+	t.Helper()
+	data, err := os.ReadFile(filepath.Join("testdata", "ignores", "ignores.go"))
+	if err != nil {
+		t.Fatalf("read fixture: %v", err)
+	}
+	out := make(map[int]bool)
+	for i, line := range strings.Split(string(data), "\n") {
+		if pred(line) {
+			out[i+1] = true
+		}
+	}
+	return out
+}
+
+func TestIgnoreDirectives(t *testing.T) {
+	l, pkg := loadIgnores(t)
+	ds := l.RunPackage(pkg, []*Analyzer{markerAnalyzer(nil)}, true)
+	sortDiagnostics(ds)
+
+	wantMarker := fixtureLines(t, func(s string) bool { return strings.Contains(s, "// hit") })
+	wantIgnore := fixtureLines(t, func(s string) bool {
+		trimmed := strings.TrimSpace(s)
+		return trimmed == "//tmedbvet:ignore" || trimmed == "//tmedbvet:ignore marker"
+	})
+
+	gotMarker := make(map[int]bool)
+	gotIgnore := make(map[int]bool)
+	for _, d := range ds {
+		if !strings.HasSuffix(d.Pos.Filename, "testdata/ignores/ignores.go") {
+			t.Errorf("diagnostic in unexpected file %s", d.Pos.Filename)
+			continue
+		}
+		switch d.Check {
+		case "marker":
+			gotMarker[d.Pos.Line] = true
+		case "ignore":
+			gotIgnore[d.Pos.Line] = true
+		default:
+			t.Errorf("unexpected check %q at line %d", d.Check, d.Pos.Line)
+		}
+	}
+	if !sameLineSet(gotMarker, wantMarker) {
+		t.Errorf("surviving marker lines = %v, want %v", lineList(gotMarker), lineList(wantMarker))
+	}
+	if !sameLineSet(gotIgnore, wantIgnore) {
+		t.Errorf("malformed-directive lines = %v, want %v", lineList(gotIgnore), lineList(wantIgnore))
+	}
+}
+
+func TestScopeFiltering(t *testing.T) {
+	l, pkg := loadIgnores(t)
+	outOfScope := markerAnalyzer(func(path string) bool { return false })
+	for _, d := range l.RunPackage(pkg, []*Analyzer{outOfScope}, true) {
+		if d.Check == "marker" {
+			t.Errorf("out-of-scope analyzer still reported at line %d", d.Pos.Line)
+		}
+	}
+	// The fixture harness's scope bypass runs it anyway.
+	found := false
+	for _, d := range l.RunPackage(pkg, []*Analyzer{outOfScope}, false) {
+		if d.Check == "marker" {
+			found = true
+		}
+	}
+	if !found {
+		t.Error("scope bypass reported no marker diagnostics")
+	}
+}
+
+func TestWriteReports(t *testing.T) {
+	ds := []Diagnostic{
+		{Pos: token.Position{Filename: "internal/core/core.go", Line: 3, Column: 7},
+			Check: "floateq", Message: `exact float == on computed values (a == b)`},
+		{Pos: token.Position{Filename: "internal/sim/sim.go", Line: 11, Column: 2},
+			Check: "detrange", Message: "map iteration order reaches planner output (append to out)"},
+	}
+
+	var text strings.Builder
+	if err := WriteText(&text, ds); err != nil {
+		t.Fatalf("WriteText: %v", err)
+	}
+	wantText := "internal/core/core.go:3:7: [floateq] exact float == on computed values (a == b)\n" +
+		"internal/sim/sim.go:11:2: [detrange] map iteration order reaches planner output (append to out)\n"
+	if text.String() != wantText {
+		t.Errorf("WriteText:\n%s\nwant:\n%s", text.String(), wantText)
+	}
+
+	var jsonOut strings.Builder
+	if err := WriteJSON(&jsonOut, ds); err != nil {
+		t.Fatalf("WriteJSON: %v", err)
+	}
+	wantJSON := `[
+  {
+    "file": "internal/core/core.go",
+    "line": 3,
+    "col": 7,
+    "check": "floateq",
+    "message": "exact float == on computed values (a == b)"
+  },
+  {
+    "file": "internal/sim/sim.go",
+    "line": 11,
+    "col": 2,
+    "check": "detrange",
+    "message": "map iteration order reaches planner output (append to out)"
+  }
+]
+`
+	if jsonOut.String() != wantJSON {
+		t.Errorf("WriteJSON:\n%s\nwant:\n%s", jsonOut.String(), wantJSON)
+	}
+
+	var empty strings.Builder
+	if err := WriteJSON(&empty, nil); err != nil {
+		t.Fatalf("WriteJSON(nil): %v", err)
+	}
+	if empty.String() != "[]\n" {
+		t.Errorf("WriteJSON(nil) = %q, want %q", empty.String(), "[]\n")
+	}
+}
+
+func TestSortDiagnostics(t *testing.T) {
+	ds := []Diagnostic{
+		{Pos: token.Position{Filename: "b.go", Line: 1, Column: 1}, Check: "z"},
+		{Pos: token.Position{Filename: "a.go", Line: 9, Column: 1}, Check: "z"},
+		{Pos: token.Position{Filename: "a.go", Line: 2, Column: 5}, Check: "z"},
+		{Pos: token.Position{Filename: "a.go", Line: 2, Column: 5}, Check: "a"},
+	}
+	sortDiagnostics(ds)
+	if !sort.SliceIsSorted(ds, func(i, j int) bool {
+		a, b := ds[i], ds[j]
+		if a.Pos.Filename != b.Pos.Filename {
+			return a.Pos.Filename < b.Pos.Filename
+		}
+		if a.Pos.Line != b.Pos.Line {
+			return a.Pos.Line < b.Pos.Line
+		}
+		return a.Check < b.Check
+	}) {
+		t.Errorf("sortDiagnostics order wrong: %v", ds)
+	}
+	if ds[0].Pos.Filename != "a.go" || ds[0].Pos.Line != 2 || ds[0].Check != "a" {
+		t.Errorf("first diagnostic = %+v", ds[0])
+	}
+}
+
+func sameLineSet(a, b map[int]bool) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for k := range a {
+		if !b[k] {
+			return false
+		}
+	}
+	return true
+}
+
+func lineList(m map[int]bool) []int {
+	out := make([]int, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Ints(out)
+	return out
+}

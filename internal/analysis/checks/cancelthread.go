@@ -1,0 +1,172 @@
+package checks
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+
+	"repro/internal/analysis"
+)
+
+// CancelThread enforces the two halves of the cancellation contract
+// (DESIGN.md §9):
+//
+//  1. Entry points. Every exported ScheduleCtx / MulticastCtx / Build
+//     in a planner package that contains a loop must thread a cancel
+//     checkpoint — reference cancel.FromContext, a *cancel.Token, or
+//     an options field typed from repro/internal/cancel — so a solve
+//     can be revoked at loop boundaries instead of running to
+//     completion.
+//  2. Sentinel matching. cancel.ErrCancelled, cancel.ErrBudgetExceeded,
+//     context.Canceled, and context.DeadlineExceeded must be matched
+//     with errors.Is, never ==/!=: every layer wraps (%w) the typed
+//     error, so identity comparison silently stops matching.
+var CancelThread = &analysis.Analyzer{
+	Name: "cancelthread",
+	Doc: "looping ScheduleCtx/MulticastCtx/Build entry points must thread a " +
+		"cancel checkpoint, and cancellation sentinels must be matched with " +
+		"errors.Is, never ==",
+	// Scope is nil: the sentinel rule applies module-wide. The
+	// entry-point rule additionally restricts itself to planner
+	// packages inside Run.
+	Run: runCancelThread,
+}
+
+// entryPointNames are the exported solve entry points the checkpoint
+// contract covers.
+var entryPointNames = map[string]bool{"ScheduleCtx": true, "MulticastCtx": true, "Build": true}
+
+// sentinelErrs maps package path -> error variable names that must be
+// matched with errors.Is.
+var sentinelErrs = map[string]map[string]bool{
+	cancelPkgPath: {"ErrCancelled": true, "ErrBudgetExceeded": true},
+	"context":     {"Canceled": true, "DeadlineExceeded": true},
+}
+
+func runCancelThread(pass *analysis.Pass) {
+	// The entry-point rule applies to planner packages — and to golden
+	// fixtures (testdata packages only ever load under the fixture
+	// harness, which bypasses Scope to exercise rules directly).
+	inPlanner := underAny(pass.Pkg.Path, plannerPkgs) || strings.Contains(pass.Pkg.Path, "/testdata/")
+	for _, f := range pass.Pkg.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			if inPlanner && entryPointNames[fd.Name.Name] && ast.IsExported(fd.Name.Name) &&
+				hasLoop(fd.Body) && !threadsCancel(pass, fd.Body) {
+				pass.Reportf(fd.Name.Pos(),
+					"exported entry point %s loops without threading a cancel checkpoint; derive a token (cancel.FromContext) and poll Check at loop boundaries",
+					fd.Name.Name)
+			}
+		}
+		ast.Inspect(f, func(n ast.Node) bool {
+			be, ok := n.(*ast.BinaryExpr)
+			if !ok || (be.Op != token.EQL && be.Op != token.NEQ) {
+				return true
+			}
+			for _, side := range []ast.Expr{be.X, be.Y} {
+				if name, pkg := sentinelName(pass, side); name != "" {
+					pass.Reportf(be.Pos(),
+						"cancellation sentinel %s.%s compared with %s; wrapped errors never match identity — use errors.Is",
+						pkg, name, be.Op)
+					break
+				}
+			}
+			return true
+		})
+	}
+}
+
+// hasLoop reports whether the body contains any for/range statement.
+func hasLoop(body *ast.BlockStmt) bool {
+	found := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch n.(type) {
+		case *ast.ForStmt, *ast.RangeStmt:
+			found = true
+		}
+		return !found
+	})
+	return found
+}
+
+// threadsCancel reports whether the body references the cancel package
+// at all: directly (cancel.FromContext, cancel.Token) or through a
+// value whose type involves repro/internal/cancel (opts.Cancel,
+// solver.SetCancel). Either way the function has its hands on a
+// checkpoint.
+func threadsCancel(pass *analysis.Pass, body *ast.BlockStmt) bool {
+	found := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		id, ok := n.(*ast.Ident)
+		if !ok {
+			return true
+		}
+		obj := pass.ObjectOf(id)
+		if obj == nil {
+			return true
+		}
+		if obj.Pkg() != nil && obj.Pkg().Path() == cancelPkgPath {
+			found = true
+			return false
+		}
+		if t := obj.Type(); t != nil && typeMentions(t, cancelPkgPath) {
+			found = true
+			return false
+		}
+		return true
+	})
+	return found
+}
+
+// typeMentions reports whether the fully-qualified rendering of t
+// names the given package path.
+func typeMentions(t types.Type, path string) bool {
+	seen := types.TypeString(t, func(p *types.Package) string { return p.Path() })
+	return containsPath(seen, path)
+}
+
+// containsPath is a substring check guarded against matching longer
+// package paths (…/cancelx): the path must be followed by a
+// non-path character.
+func containsPath(s, path string) bool {
+	for i := 0; i+len(path) <= len(s); i++ {
+		if s[i:i+len(path)] != path {
+			continue
+		}
+		j := i + len(path)
+		if j == len(s) || s[j] == '.' || s[j] == ')' || s[j] == ']' || s[j] == ',' || s[j] == ' ' {
+			return true
+		}
+	}
+	return false
+}
+
+// sentinelName resolves e to one of the guarded sentinel error
+// variables, returning its name and package ("" when e is something
+// else).
+func sentinelName(pass *analysis.Pass, e ast.Expr) (name, pkg string) {
+	var id *ast.Ident
+	switch e := ast.Unparen(e).(type) {
+	case *ast.Ident:
+		id = e
+	case *ast.SelectorExpr:
+		id = e.Sel
+	default:
+		return "", ""
+	}
+	obj := pass.ObjectOf(id)
+	if obj == nil || obj.Pkg() == nil {
+		return "", ""
+	}
+	if names, ok := sentinelErrs[obj.Pkg().Path()]; ok && names[obj.Name()] {
+		return obj.Name(), obj.Pkg().Name()
+	}
+	return "", ""
+}

@@ -1,0 +1,161 @@
+package checks
+
+import (
+	"go/ast"
+	"go/types"
+
+	"repro/internal/analysis"
+)
+
+// DetRange flags `range` over a map whose iteration order can reach
+// planner output: any map range whose body appends to a slice or sends
+// on a channel. Go randomizes map iteration per run, so an append fed
+// from one produces a different element order every process — which a
+// merely *stable* downstream sort (schedule.SortByTime orders by T
+// only) does not repair for equal keys.
+//
+// The sanctioned pattern is recognized and not flagged: append the
+// keys (or rows) to a slice and, later in the same enclosing block,
+// pass that slice to a sort-package call (sort.Slice, sort.Sort,
+// sort.Ints, …) that imposes a total order. Sorts hidden behind
+// helpers or methods (s.SortByTime()) are not credited — if the helper
+// really is a total order, say so with a //tmedbvet:ignore reason.
+var DetRange = &analysis.Analyzer{
+	Name: "detrange",
+	Doc: "flags map iteration that feeds appends/sends, where Go's randomized " +
+		"iteration order can leak into planner output; iterate sorted keys or " +
+		"sort.* the collected slice in the same block",
+	Scope: func(pkgPath string) bool { return underAny(pkgPath, plannerPkgs) },
+	Run:   runDetRange,
+}
+
+func runDetRange(pass *analysis.Pass) {
+	for _, f := range pass.Pkg.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			var list []ast.Stmt
+			switch n := n.(type) {
+			case *ast.BlockStmt:
+				list = n.List
+			case *ast.CaseClause:
+				list = n.Body
+			case *ast.CommClause:
+				list = n.Body
+			default:
+				return true
+			}
+			for i, s := range list {
+				if ls, ok := s.(*ast.LabeledStmt); ok {
+					s = ls.Stmt
+				}
+				rs, ok := s.(*ast.RangeStmt)
+				if !ok {
+					continue
+				}
+				t := pass.TypeOf(rs.X)
+				if t == nil {
+					continue
+				}
+				if _, isMap := t.Underlying().(*types.Map); !isMap {
+					continue
+				}
+				sink, targets := orderSinks(pass, rs.Body)
+				if sink == "" {
+					continue
+				}
+				if sortedAfter(pass, list[i+1:], targets) {
+					continue
+				}
+				pass.Reportf(rs.Pos(),
+					"map iteration order reaches planner output (%s over range of %s); iterate sorted keys or apply a total-order sort afterward",
+					sink, types.ExprString(rs.X))
+			}
+			return true
+		})
+	}
+}
+
+// orderSinks reports the first order-dependent emission in a loop body
+// (builtin append or channel send) plus the rendered append targets,
+// so the caller can look for a later sanctioned sort over them.
+func orderSinks(pass *analysis.Pass, body *ast.BlockStmt) (sink string, targets []string) {
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.SendStmt:
+			if sink == "" {
+				sink = "channel send"
+			}
+		case *ast.AssignStmt:
+			if len(n.Lhs) != len(n.Rhs) {
+				return true
+			}
+			for k, rhs := range n.Rhs {
+				if isAppendCall(pass, rhs) {
+					if sink == "" {
+						sink = "append"
+					}
+					targets = append(targets, types.ExprString(n.Lhs[k]))
+				}
+			}
+		case *ast.CallExpr:
+			if sink == "" && isAppendCall(pass, n) {
+				sink = "append"
+			}
+		}
+		return true
+	})
+	return sink, targets
+}
+
+// isAppendCall reports whether e is a call to the builtin append.
+func isAppendCall(pass *analysis.Pass, e ast.Expr) bool {
+	call, ok := ast.Unparen(e).(*ast.CallExpr)
+	if !ok {
+		return false
+	}
+	id, ok := call.Fun.(*ast.Ident)
+	if !ok {
+		return false
+	}
+	b, ok := pass.ObjectOf(id).(*types.Builtin)
+	return ok && b.Name() == "append"
+}
+
+// sortedAfter reports whether a statement after the loop passes one of
+// the append targets to a sort-package call — the sanctioned
+// collect-then-sort idiom.
+func sortedAfter(pass *analysis.Pass, rest []ast.Stmt, targets []string) bool {
+	if len(targets) == 0 {
+		return false
+	}
+	names := make(map[string]bool, len(targets))
+	for _, t := range targets {
+		names[t] = true
+	}
+	for _, s := range rest {
+		found := false
+		ast.Inspect(s, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok || found {
+				return !found
+			}
+			sel, ok := call.Fun.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			obj := pass.ObjectOf(sel.Sel)
+			if obj == nil || obj.Pkg() == nil || obj.Pkg().Path() != "sort" {
+				return true
+			}
+			for _, arg := range call.Args {
+				if names[types.ExprString(arg)] {
+					found = true
+				}
+			}
+			return true
+		})
+		if found {
+			return true
+		}
+	}
+	return false
+}

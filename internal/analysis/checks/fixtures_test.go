@@ -1,0 +1,39 @@
+package checks
+
+import (
+	"testing"
+
+	"repro/internal/analysis"
+)
+
+// The golden fixtures under testdata/ carry `// want "regex"` comments
+// on every line a diagnostic is expected; RunFixture diffs both
+// directions (missing and unexpected diagnostics fail the test).
+
+func TestDetRangeFixture(t *testing.T) {
+	analysis.RunFixture(t, "testdata/detrange", DetRange)
+}
+
+func TestNonDetermFixture(t *testing.T) {
+	analysis.RunFixture(t, "testdata/nondeterm", NonDeterm)
+}
+
+func TestFloatEqFixture(t *testing.T) {
+	analysis.RunFixture(t, "testdata/floateq", FloatEq)
+}
+
+func TestCancelThreadFixture(t *testing.T) {
+	analysis.RunFixture(t, "testdata/cancelthread", CancelThread)
+}
+
+func TestSpanPairFixture(t *testing.T) {
+	analysis.RunFixture(t, "testdata/spanpair", SpanPair)
+}
+
+// TestLegacyRelayFixture is the regression gate for the pre-unification
+// premature-relay bug shape (PR 2): map-order schedule assembly
+// "repaired" by a stable by-time sort plus an exact tau-arrival gate.
+// Both analyzers must keep recognizing it.
+func TestLegacyRelayFixture(t *testing.T) {
+	analysis.RunFixture(t, "testdata/legacyrelay", DetRange, FloatEq)
+}

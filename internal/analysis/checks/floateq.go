@@ -1,0 +1,167 @@
+package checks
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+
+	"repro/internal/analysis"
+)
+
+// FloatEq flags float comparisons that sidestep the TimeTol contract
+// (schedule.TimeTol, DESIGN.md §7). Two shapes are reported:
+//
+//  1. `==` / `!=` where both operands are floating point and neither
+//     is a compile-time constant. The planners emit times up to
+//     TimeTol away from nominal arrivals, so exact equality on
+//     computed times or energies silently rejects schedules they
+//     legitimately produce. Comparisons against literal sentinels
+//     (w == 0) stay legal.
+//  2. Ordered comparisons (<, <=, >, >=) whose operands include a
+//     `x + tau` arrival sum but mention no TimeTol slack anywhere in
+//     the expression — the Eq. 16 arrival-rule shape `t_k+tau <= t`
+//     that must go through schedule.Informs or carry an explicit
+//     `+ TimeTol`.
+//
+// Comparator closures passed to the sort package are exempt: an exact
+// total order inside sort.Slice/SliceStable/Search is deterministic
+// and correct.
+var FloatEq = &analysis.Analyzer{
+	Name: "floateq",
+	Doc: "flags exact float equality on computed values and raw tau-arrival " +
+		"comparisons lacking TimeTol; use schedule.Informs or an explicit " +
+		"TimeTol slack",
+	Scope: func(pkgPath string) bool { return underAny(pkgPath, timePkgs) },
+	Run:   runFloatEq,
+}
+
+func runFloatEq(pass *analysis.Pass) {
+	for _, f := range pass.Pkg.Files {
+		cmp := sortComparators(pass, f)
+		ast.Inspect(f, func(n ast.Node) bool {
+			be, ok := n.(*ast.BinaryExpr)
+			if !ok || inRanges(be.Pos(), cmp) {
+				return true
+			}
+			switch be.Op {
+			case token.EQL, token.NEQ:
+				if isFloat(pass.TypeOf(be.X)) && isFloat(pass.TypeOf(be.Y)) &&
+					!isConst(pass, be.X) && !isConst(pass, be.Y) {
+					pass.Reportf(be.Pos(),
+						"exact float %s on computed values (%s); planners emit times within schedule.TimeTol of nominal, so compare with a TimeTol-based comparator",
+						be.Op, types.ExprString(be))
+				}
+			case token.LSS, token.LEQ, token.GTR, token.GEQ:
+				if isFloat(pass.TypeOf(be.X)) && isFloat(pass.TypeOf(be.Y)) &&
+					(hasTauAddend(be.X) || hasTauAddend(be.Y)) && !mentionsTimeTol(be) {
+					pass.Reportf(be.Pos(),
+						"raw tau-arrival comparison (%s) without TimeTol slack; use schedule.Informs or add schedule.TimeTol to the arrival side",
+						types.ExprString(be))
+				}
+			}
+			return true
+		})
+	}
+}
+
+// isFloat reports whether t's underlying type is a floating-point
+// basic type.
+func isFloat(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	b, ok := t.Underlying().(*types.Basic)
+	return ok && b.Info()&types.IsFloat != 0
+}
+
+// isConst reports whether the checker folded e to a constant.
+func isConst(pass *analysis.Pass, e ast.Expr) bool {
+	tv, ok := pass.Pkg.Info.Types[e]
+	return ok && tv.Value != nil
+}
+
+// hasTauAddend reports whether e is (or contains, through +/- chains)
+// an addition with an addend named tau — the arrival-sum shape
+// t_k + tau.
+func hasTauAddend(e ast.Expr) bool {
+	be, ok := ast.Unparen(e).(*ast.BinaryExpr)
+	if !ok {
+		return false
+	}
+	if be.Op == token.ADD && (isTauName(be.X) || isTauName(be.Y)) {
+		return true
+	}
+	if be.Op == token.ADD || be.Op == token.SUB {
+		return hasTauAddend(be.X) || hasTauAddend(be.Y)
+	}
+	return false
+}
+
+// isTauName matches identifiers and selector fields named tau
+// (any case), e.g. tau, Tau, x.Tau, g.Tau().
+func isTauName(e ast.Expr) bool {
+	switch e := ast.Unparen(e).(type) {
+	case *ast.Ident:
+		return strings.EqualFold(e.Name, "tau")
+	case *ast.SelectorExpr:
+		return strings.EqualFold(e.Sel.Name, "tau")
+	case *ast.CallExpr:
+		return isTauName(e.Fun)
+	}
+	return false
+}
+
+// mentionsTimeTol reports whether any identifier named TimeTol appears
+// in the expression.
+func mentionsTimeTol(e ast.Expr) bool {
+	found := false
+	ast.Inspect(e, func(n ast.Node) bool {
+		if id, ok := n.(*ast.Ident); ok && id.Name == "TimeTol" {
+			found = true
+		}
+		return !found
+	})
+	return found
+}
+
+// posRange is a half-open [start, end) position interval.
+type posRange struct{ start, end token.Pos }
+
+func inRanges(p token.Pos, rs []posRange) bool {
+	for _, r := range rs {
+		if r.start <= p && p < r.end {
+			return true
+		}
+	}
+	return false
+}
+
+// sortComparators returns the source ranges of function literals
+// passed to the sort package (sort.Slice, sort.SliceStable,
+// sort.SliceIsSorted, sort.Search), where exact comparisons define the
+// total order and are correct.
+func sortComparators(pass *analysis.Pass, f *ast.File) []posRange {
+	var out []posRange
+	ast.Inspect(f, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		sel, ok := call.Fun.(*ast.SelectorExpr)
+		if !ok {
+			return true
+		}
+		obj := pass.ObjectOf(sel.Sel)
+		if obj == nil || obj.Pkg() == nil || obj.Pkg().Path() != "sort" {
+			return true
+		}
+		for _, arg := range call.Args {
+			if fl, ok := arg.(*ast.FuncLit); ok {
+				out = append(out, posRange{fl.Pos(), fl.End()})
+			}
+		}
+		return true
+	})
+	return out
+}

@@ -1,0 +1,91 @@
+// Package cancelthread is the golden fixture for the cancelthread
+// analyzer: looping entry points without cancel checkpoints, and
+// cancellation sentinels matched by identity.
+package cancelthread
+
+import (
+	"context"
+	"errors"
+
+	"repro/internal/cancel"
+)
+
+// ScheduleCtx loops but never touches the cancel package.
+func ScheduleCtx(ctx context.Context, rounds int) int { // want "cancelthread: exported entry point ScheduleCtx loops without threading a cancel checkpoint"
+	total := 0
+	for i := 0; i < rounds; i++ {
+		total += i
+	}
+	return total
+}
+
+type builder struct {
+	weights []float64
+}
+
+// MulticastCtx is a looping method entry point with the same gap.
+func (b *builder) MulticastCtx(ctx context.Context) float64 { // want "cancelthread: exported entry point MulticastCtx loops without threading a cancel checkpoint"
+	var sum float64
+	for _, w := range b.weights {
+		sum += w
+	}
+	return sum
+}
+
+// Build derives a token and polls it at the loop boundary: sanctioned.
+func Build(ctx context.Context, rounds int) (int, error) {
+	tok := cancel.FromContext(ctx)
+	total := 0
+	for i := 0; i < rounds; i++ {
+		if err := tok.Check(); err != nil {
+			return total, err
+		}
+		total += i
+	}
+	return total, nil
+}
+
+type opts struct {
+	Cancel *cancel.Token
+}
+
+type threaded struct {
+	opts opts
+}
+
+// Build threads a checkpoint through an options field typed from the
+// cancel package: also sanctioned.
+func (t *threaded) Build(rounds int) error {
+	for i := 0; i < rounds; i++ {
+		if err := t.opts.Cancel.Check(); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// classify matches sentinels by identity on both ends of the wrap
+// chain — exactly what the wrapping layers break.
+func classify(err error) string {
+	if err == cancel.ErrCancelled { // want "cancelthread: cancellation sentinel cancel.ErrCancelled compared with =="
+		return "cancelled"
+	}
+	if err != context.Canceled { // want "cancelthread: cancellation sentinel context.Canceled compared with !="
+		return "other"
+	}
+	return "ctx"
+}
+
+// classifyIs is the sanctioned form.
+func classifyIs(err error) string {
+	if errors.Is(err, cancel.ErrBudgetExceeded) {
+		return "budget"
+	}
+	return "other"
+}
+
+// suppressed pins the inline suppression syntax.
+func suppressed(err error) bool {
+	//tmedbvet:ignore cancelthread fixture pins the suppression syntax; err is never wrapped here
+	return err == cancel.ErrBudgetExceeded
+}

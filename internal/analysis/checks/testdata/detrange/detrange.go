@@ -1,0 +1,82 @@
+// Package detrange is the golden fixture for the detrange analyzer:
+// map ranges whose iteration order can leak into planner output.
+package detrange
+
+import "sort"
+
+type row struct {
+	relay int
+	t     float64
+	w     float64
+}
+
+type sched []row
+
+// SortByTime mimics schedule.SortByTime: stable, by time only — NOT a
+// total order, so it does not repair map-iteration order for
+// equal-time rows.
+func (s sched) SortByTime() {
+	sort.SliceStable(s, func(i, j int) bool { return s[i].t < s[j].t })
+}
+
+// emitUnsorted leaks map order straight into the output slice.
+func emitUnsorted(best map[int]float64) []row {
+	var out []row
+	for k, w := range best { // want "detrange: map iteration order reaches planner output \\(append"
+		out = append(out, row{relay: k, w: w})
+	}
+	return out
+}
+
+// emitStableOnly shows the auxgraph bug shape: a stable by-time method
+// sort afterwards is not credited, because it leaves equal-time rows
+// in map order.
+func emitStableOnly(best map[int]float64) sched {
+	var s sched
+	for k, w := range best { // want "detrange: map iteration order reaches planner output \\(append"
+		s = append(s, row{relay: k, w: w})
+	}
+	s.SortByTime()
+	return s
+}
+
+// emitChannel sends rows in map order.
+func emitChannel(best map[int]float64, ch chan<- row) {
+	for k, w := range best { // want "detrange: map iteration order reaches planner output \\(channel send"
+		ch <- row{relay: k, w: w}
+	}
+}
+
+// collectSorted is the sanctioned pattern: collect the keys, impose a
+// total order with a sort-package call, then emit.
+func collectSorted(best map[int]float64) []row {
+	keys := make([]int, 0, len(best))
+	for k := range best {
+		keys = append(keys, k)
+	}
+	sort.Ints(keys)
+	var out []row
+	for _, k := range keys {
+		out = append(out, row{relay: k, w: best[k]})
+	}
+	return out
+}
+
+// countOnly never emits anything order-dependent.
+func countOnly(best map[int]float64) int {
+	n := 0
+	for range best {
+		n++
+	}
+	return n
+}
+
+// suppressed pins the inline suppression syntax.
+func suppressed(set map[int]bool) []int {
+	var out []int
+	//tmedbvet:ignore detrange caller normalizes the order; fixture pins the suppression syntax
+	for k := range set {
+		out = append(out, k)
+	}
+	return out
+}

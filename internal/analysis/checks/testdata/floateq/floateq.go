@@ -1,0 +1,61 @@
+// Package floateq is the golden fixture for the floateq analyzer:
+// exact float equality on computed values and raw tau-arrival
+// comparisons without TimeTol slack.
+package floateq
+
+import "sort"
+
+// TimeTol mirrors schedule.TimeTol; the analyzer keys on the
+// identifier name appearing in the comparison.
+const TimeTol = 1e-9
+
+type tx struct {
+	T float64
+	W float64
+}
+
+// arrivalGate is the Eq. 16 shape t_k + tau <= t_j without slack.
+func arrivalGate(tk, tau, tj float64) bool {
+	return tk+tau <= tj // want "floateq: raw tau-arrival comparison"
+}
+
+// arrivalGateTol carries the TimeTol slack: sanctioned.
+func arrivalGateTol(tk, tau, tj float64) bool {
+	return tk+tau <= tj+TimeTol
+}
+
+// deadlineGate flips the operands; the tau addend is still there.
+func deadlineGate(t, tau, deadline float64) bool {
+	return deadline < t+tau // want "floateq: raw tau-arrival comparison"
+}
+
+func sameTime(a, b tx) bool {
+	return a.T == b.T // want "floateq: exact float =="
+}
+
+func costChanged(w, prev float64) bool {
+	return w != prev // want "floateq: exact float !="
+}
+
+// isUnset compares against a literal sentinel: legal.
+func isUnset(w float64) bool {
+	return w == 0
+}
+
+// sortRows: exact comparisons inside a sort-package comparator define
+// the total order and are exempt.
+func sortRows(rows []tx) {
+	sort.Slice(rows, func(i, j int) bool {
+		if rows[i].T != rows[j].T {
+			return rows[i].T < rows[j].T
+		}
+		return rows[i].W < rows[j].W
+	})
+}
+
+// suppressed pins the inline suppression syntax for the tie-break
+// idiom.
+func suppressed(a, b tx) bool {
+	//tmedbvet:ignore floateq fixture pins the suppression syntax for the same-instant tie-break
+	return a.T == b.T
+}

@@ -1,0 +1,62 @@
+// Package legacyrelay is a regression fixture preserving the shape of
+// the legacy premature-relay bug fixed in the executor unification: the
+// schedule was assembled by ranging over a map and "repaired" with a
+// stable by-time sort (which keeps equal-time rows in map order), and
+// the arrival gate compared t_k + tau against t_j exactly, so a relay
+// informed at the same instant it transmits flickered between runs.
+// The detrange and floateq analyzers must both keep flagging it.
+package legacyrelay
+
+import "sort"
+
+type tx struct {
+	relay int
+	t     float64
+	w     float64
+}
+
+type sched []tx
+
+// SortByTime is the legacy repair: stable, by time only — equal-time
+// rows stay in whatever order the map range produced them.
+func (s sched) SortByTime() {
+	sort.SliceStable(s, func(i, j int) bool { return s[i].t < s[j].t })
+}
+
+// BuildLegacy assembles the schedule in map-iteration order.
+func BuildLegacy(best map[int]tx) sched {
+	var s sched
+	for _, x := range best { // want "detrange: map iteration order reaches planner output \\(append"
+		s = append(s, x)
+	}
+	s.SortByTime()
+	return s
+}
+
+// ExecuteLegacy replays the schedule with the legacy exact arrival
+// gate: a relay whose packet arrives at exactly its own transmit time
+// is muted or not depending on float rounding.
+func ExecuteLegacy(s sched, tau float64, informed map[int]float64) float64 {
+	var energy float64
+	for _, x := range s {
+		at, ok := informed[x.relay]
+		if !ok {
+			continue
+		}
+		if at+tau <= x.t { // want "floateq: raw tau-arrival comparison"
+			energy += x.w
+		}
+	}
+	return energy
+}
+
+// FirstFire returns the first transmission at exactly t — the legacy
+// exact-equality probe that made the premature relay intermittent.
+func FirstFire(s sched, t float64) (tx, bool) {
+	for _, x := range s {
+		if x.t == t { // want "floateq: exact float =="
+			return x, true
+		}
+	}
+	return tx{}, false
+}

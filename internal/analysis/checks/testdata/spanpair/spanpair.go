@@ -1,0 +1,81 @@
+// Package spanpair is the golden fixture for the spanpair analyzer:
+// obs phase spans that leak on some path out of the function.
+package spanpair
+
+import "repro/internal/obs"
+
+// leakOnReturn ends the span on the happy path but leaks it on the
+// early return.
+func leakOnReturn(rec *obs.Recorder, n int) int {
+	sp := rec.StartPhase("leak.return")
+	if n < 0 {
+		return 0 // want "spanpair: return with phase span still open"
+	}
+	sp.End()
+	return n
+}
+
+// leakOnFallThrough annotates the span but never ends it before the
+// function falls off the end.
+func leakOnFallThrough(rec *obs.Recorder, xs []float64) {
+	sp := rec.StartPhase("leak.fall") // want "spanpair: span sp started here is not ended on the fall-through path"
+	var sum float64
+	for _, x := range xs {
+		sum += x
+	}
+	sp.SetFloat("sum", sum)
+}
+
+// discarded drops the span on the floor at the call site.
+func discarded(rec *obs.Recorder) {
+	rec.StartPhase("discarded") // want "spanpair: StartPhase result discarded"
+}
+
+// deferred is the canonical sanctioned shape.
+func deferred(rec *obs.Recorder, n int) int {
+	sp := rec.StartPhase("ok.defer")
+	defer sp.End()
+	if n < 0 {
+		return 0
+	}
+	return n
+}
+
+// branchEnds closes the span explicitly on every path.
+func branchEnds(rec *obs.Recorder, n int) int {
+	sp := rec.StartPhase("ok.branch")
+	if n < 0 {
+		sp.End()
+		return 0
+	}
+	sp.SetInt("n", n)
+	sp.End()
+	return n
+}
+
+// handOff transfers ownership to a helper; tracking ends at the call.
+func handOff(rec *obs.Recorder) {
+	sp := rec.StartPhase("ok.handoff")
+	finish(sp)
+}
+
+func finish(sp *obs.Span) {
+	sp.End()
+}
+
+// closureEnd defers a closure that ends the span.
+func closureEnd(rec *obs.Recorder, n int) int {
+	sp := rec.StartPhase("ok.closure")
+	defer func() {
+		sp.SetInt("n", n)
+		sp.End()
+	}()
+	return n * n
+}
+
+// suppressed pins the inline suppression syntax for a deliberately
+// unterminated span.
+func suppressed(rec *obs.Recorder) {
+	//tmedbvet:ignore spanpair fixture pins the suppression syntax; the recorder is snapshotted before this leaks
+	rec.StartPhase("suppressed")
+}

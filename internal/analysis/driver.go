@@ -1,0 +1,92 @@
+package analysis
+
+import (
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// Run loads every package matched by patterns, applies each in-scope
+// analyzer, filters suppressed findings, and returns the surviving
+// diagnostics sorted by (file, line, column, check). Positions inside
+// the module are relativized to the module root so output is stable
+// across checkouts.
+func (l *Loader) Run(patterns []string, analyzers []*Analyzer) ([]Diagnostic, error) {
+	dirs, err := l.Expand(patterns)
+	if err != nil {
+		return nil, err
+	}
+	var all []Diagnostic
+	for _, dir := range dirs {
+		pkg, err := l.LoadDir(dir)
+		if err != nil {
+			return nil, err
+		}
+		all = append(all, l.RunPackage(pkg, analyzers, true)...)
+	}
+	sortDiagnostics(all)
+	return all, nil
+}
+
+// RunPackage applies the analyzers to one loaded package and returns
+// its surviving diagnostics (unsorted). When honorScope is false every
+// analyzer runs regardless of its Scope — the fixture harness uses
+// this so testdata packages exercise checks that are scoped to solver
+// packages in production runs. Suppression directives are always
+// honored (fixtures test them too).
+func (l *Loader) RunPackage(pkg *Package, analyzers []*Analyzer, honorScope bool) []Diagnostic {
+	var raw []Diagnostic
+	report := func(d Diagnostic) {
+		d.Pos.Filename = l.relativize(d.Pos.Filename)
+		raw = append(raw, d)
+	}
+	dirs := collectIgnores(pkg, report)
+	for i := range dirs {
+		dirs[i].file = l.relativize(dirs[i].file)
+	}
+	for _, a := range analyzers {
+		if honorScope && a.Scope != nil && !a.Scope(pkg.Path) {
+			continue
+		}
+		pass := &Pass{Analyzer: a, Pkg: pkg, report: report}
+		a.Run(pass)
+	}
+	out := raw[:0]
+	for _, d := range raw {
+		if !suppressed(d, dirs) {
+			out = append(out, d)
+		}
+	}
+	return out
+}
+
+// relativize rewrites module-internal absolute paths relative to the
+// module root, with forward slashes, for stable output.
+func (l *Loader) relativize(file string) string {
+	rel, err := filepath.Rel(l.ModuleDir, file)
+	if err != nil || strings.HasPrefix(rel, "..") {
+		return file
+	}
+	return filepath.ToSlash(rel)
+}
+
+// sortDiagnostics orders findings by (file, line, column, check,
+// message) so runs are deterministic byte-for-byte.
+func sortDiagnostics(ds []Diagnostic) {
+	sort.Slice(ds, func(i, j int) bool {
+		a, b := ds[i], ds[j]
+		if a.Pos.Filename != b.Pos.Filename {
+			return a.Pos.Filename < b.Pos.Filename
+		}
+		if a.Pos.Line != b.Pos.Line {
+			return a.Pos.Line < b.Pos.Line
+		}
+		if a.Pos.Column != b.Pos.Column {
+			return a.Pos.Column < b.Pos.Column
+		}
+		if a.Check != b.Check {
+			return a.Check < b.Check
+		}
+		return a.Message < b.Message
+	})
+}

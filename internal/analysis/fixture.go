@@ -1,0 +1,117 @@
+package analysis
+
+import (
+	"fmt"
+	"regexp"
+	"strconv"
+	"strings"
+)
+
+// TB is the subset of *testing.T the fixture harness needs, kept as an
+// interface so importing this package does not pull "testing" into
+// non-test binaries (cmd/tmedbvet links against this package).
+type TB interface {
+	Helper()
+	Errorf(format string, args ...any)
+	Fatalf(format string, args ...any)
+}
+
+// want is one expectation comment: a diagnostic matching rx must be
+// reported at (file, line).
+type want struct {
+	file    string
+	line    int
+	rx      *regexp.Regexp
+	raw     string
+	matched bool
+}
+
+// RunFixture loads the golden-fixture package in dir, runs the
+// analyzers over it with Scope bypassed, and diffs the reported
+// diagnostics against the fixture's inline expectations:
+//
+//	code under test // want "regexp" "second regexp"
+//
+// Each quoted regexp must match exactly one diagnostic reported on its
+// line, against the string "<check>: <message>" (so fixtures shared by
+// several analyzers can pin which check fires). Unmatched expectations
+// and unexpected diagnostics are both test failures. Suppression
+// comments are honored, so fixtures can also pin the ignore syntax.
+func RunFixture(t TB, dir string, analyzers ...*Analyzer) {
+	t.Helper()
+	l, err := NewLoader(dir)
+	if err != nil {
+		t.Fatalf("fixture loader: %v", err)
+	}
+	pkg, err := l.LoadDir(dir)
+	if err != nil {
+		t.Fatalf("fixture load %s: %v", dir, err)
+	}
+	ds := l.RunPackage(pkg, analyzers, false)
+	sortDiagnostics(ds)
+
+	wants, err := collectWants(l, pkg)
+	if err != nil {
+		t.Fatalf("fixture expectations: %v", err)
+	}
+
+	for _, d := range ds {
+		text := d.Check + ": " + d.Message
+		found := false
+		for _, w := range wants {
+			if w.matched || w.file != d.Pos.Filename || w.line != d.Pos.Line {
+				continue
+			}
+			if w.rx.MatchString(text) {
+				w.matched = true
+				found = true
+				break
+			}
+		}
+		if !found {
+			t.Errorf("unexpected diagnostic at %s:%d: %s", d.Pos.Filename, d.Pos.Line, text)
+		}
+	}
+	for _, w := range wants {
+		if !w.matched {
+			t.Errorf("%s:%d: expected diagnostic matching %q, got none", w.file, w.line, w.raw)
+		}
+	}
+}
+
+// wantRE extracts the quoted patterns of a want comment. Patterns use
+// Go string-literal syntax, so \" escapes work.
+var wantRE = regexp.MustCompile(`"(?:[^"\\]|\\.)*"`)
+
+// collectWants parses every `// want "..."` comment in the package.
+func collectWants(l *Loader, pkg *Package) ([]*want, error) {
+	var out []*want
+	for _, f := range pkg.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				idx := strings.Index(c.Text, "want ")
+				if !strings.HasPrefix(c.Text, "//") || idx < 0 {
+					continue
+				}
+				pos := pkg.Fset.Position(c.Pos())
+				for _, q := range wantRE.FindAllString(c.Text[idx:], -1) {
+					raw, err := strconv.Unquote(q)
+					if err != nil {
+						return nil, fmt.Errorf("%s:%d: bad want pattern %s: %v", pos.Filename, pos.Line, q, err)
+					}
+					rx, err := regexp.Compile(raw)
+					if err != nil {
+						return nil, fmt.Errorf("%s:%d: bad want regexp %q: %v", pos.Filename, pos.Line, raw, err)
+					}
+					out = append(out, &want{
+						file: l.relativize(pos.Filename),
+						line: pos.Line,
+						rx:   rx,
+						raw:  raw,
+					})
+				}
+			}
+		}
+	}
+	return out, nil
+}

@@ -1,0 +1,70 @@
+package analysis
+
+import "strings"
+
+// ignorePrefix introduces an inline suppression comment:
+//
+//	//tmedbvet:ignore <check> <reason>
+//
+// It silences findings of <check> on the comment's own line and on the
+// line directly below it (so both trailing comments and stand-alone
+// comment lines work). The reason is mandatory: suppressions are audit
+// records, and a suppression nobody can justify is a finding in its
+// own right.
+const ignorePrefix = "//tmedbvet:ignore"
+
+// ignoreDirective is one parsed suppression.
+type ignoreDirective struct {
+	file  string
+	line  int
+	check string
+}
+
+// collectIgnores parses every suppression comment in the package.
+// Malformed directives (no check name, or no reason) are reported as
+// diagnostics of the reserved check "ignore", which cannot itself be
+// suppressed.
+func collectIgnores(pkg *Package, report func(Diagnostic)) []ignoreDirective {
+	var out []ignoreDirective
+	for _, f := range pkg.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				rest, ok := strings.CutPrefix(c.Text, ignorePrefix)
+				if !ok {
+					continue
+				}
+				pos := pkg.Fset.Position(c.Pos())
+				fields := strings.Fields(rest)
+				if len(fields) == 0 {
+					report(Diagnostic{Pos: pos, Check: "ignore",
+						Message: "tmedbvet:ignore needs a check name and a reason: //tmedbvet:ignore <check> <reason>"})
+					continue
+				}
+				if len(fields) < 2 {
+					report(Diagnostic{Pos: pos, Check: "ignore",
+						Message: "tmedbvet:ignore " + fields[0] + " needs a reason — suppressions must be justified inline"})
+					continue
+				}
+				out = append(out, ignoreDirective{file: pos.Filename, line: pos.Line, check: fields[0]})
+			}
+		}
+	}
+	return out
+}
+
+// suppressed reports whether d is covered by one of the directives: a
+// matching check on the same line or the line directly above.
+func suppressed(d Diagnostic, dirs []ignoreDirective) bool {
+	if d.Check == "ignore" {
+		return false
+	}
+	for _, ig := range dirs {
+		if ig.check != d.Check || ig.file != d.Pos.Filename {
+			continue
+		}
+		if ig.line == d.Pos.Line || ig.line == d.Pos.Line-1 {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,53 @@
+package analysis
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+)
+
+// jsonDiagnostic is the machine-readable shape of one finding, the
+// contract CI annotations and editor integrations parse. Fields are
+// additive-only; never rename or remove one.
+type jsonDiagnostic struct {
+	File    string `json:"file"`
+	Line    int    `json:"line"`
+	Col     int    `json:"col"`
+	Check   string `json:"check"`
+	Message string `json:"message"`
+}
+
+// WriteText prints one finding per line as
+//
+//	file.go:line:col: [check] message
+func WriteText(w io.Writer, ds []Diagnostic) error {
+	for _, d := range ds {
+		if _, err := fmt.Fprintln(w, d.String()); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// WriteJSON prints the findings as an indented JSON array (an empty
+// run prints "[]"), newline-terminated. Output is byte-stable for a
+// given tree: the driver sorts findings and paths are module-relative.
+func WriteJSON(w io.Writer, ds []Diagnostic) error {
+	out := make([]jsonDiagnostic, 0, len(ds))
+	for _, d := range ds {
+		out = append(out, jsonDiagnostic{
+			File:    d.Pos.Filename,
+			Line:    d.Pos.Line,
+			Col:     d.Pos.Column,
+			Check:   d.Check,
+			Message: d.Message,
+		})
+	}
+	data, err := json.MarshalIndent(out, "", "  ")
+	if err != nil {
+		return err
+	}
+	data = append(data, '\n')
+	_, err = w.Write(data)
+	return err
+}

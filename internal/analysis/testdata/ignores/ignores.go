@@ -1,0 +1,50 @@
+// Package ignores exercises the //tmedbvet:ignore directive parser and
+// the suppression matcher. The driver test pairs it with a toy
+// analyzer that reports every call to mark; lines carrying the
+// trailing hit-marker tag are where a marker diagnostic must survive
+// suppression filtering, and
+// malformed directive lines (identified by exact text) must each yield
+// one diagnostic of the reserved "ignore" check.
+package ignores
+
+func mark() int { return 1 }
+
+func unsuppressed() int {
+	return mark() // hit
+}
+
+func sameLine() int {
+	return mark() //tmedbvet:ignore marker same-line directives cover their own line
+}
+
+func lineAbove() int {
+	//tmedbvet:ignore marker directives also cover the line below
+	return mark()
+}
+
+func wrongCheck() int {
+	//tmedbvet:ignore othercheck directive names a different check, so marker still fires
+	return mark() // hit
+}
+
+func tooFar() int {
+	//tmedbvet:ignore marker two lines up is out of range
+
+	return mark() // hit
+}
+
+func missingReason() int {
+	//tmedbvet:ignore marker
+	return mark() // hit
+}
+
+func missingCheck() int {
+	//tmedbvet:ignore
+	return mark() // hit
+}
+
+func ignoreCheckIsUnsuppressable() int {
+	//tmedbvet:ignore ignore the reserved check cannot be silenced, so the next line still reports
+	//tmedbvet:ignore
+	return mark() // hit
+}

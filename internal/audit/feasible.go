@@ -41,6 +41,7 @@ func Feasibility(g *tveg.Graph, s schedule.Schedule, src tvg.NodeID, deadline, c
 				continue // a node's own transmissions never inform it
 			}
 			arrived := y.T < x.T && y.T+tau <= x.T+schedule.TimeTol
+			//tmedbvet:ignore floateq deliberate exact same-instant tie-break: this line independently recodes schedule.Informs' tau=0 cascade rule
 			sameInstant := y.T == x.T && tau <= schedule.TimeTol && k < j
 			if !arrived && !sameInstant {
 				continue
@@ -58,6 +59,7 @@ func Feasibility(g *tveg.Graph, s schedule.Schedule, src tvg.NodeID, deadline, c
 	// (iii) broadcast latency max(t_k) + τ <= T.
 	latency := 0.0
 	for _, x := range s {
+		//tmedbvet:ignore floateq max-accumulation of the latency, not an arrival gate; the TimeTol slack is applied where latency meets the deadline
 		if x.T+tau > latency {
 			latency = x.T + tau
 		}

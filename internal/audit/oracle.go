@@ -356,6 +356,7 @@ func closeTime(a, b float64) bool {
 // The executors sum identical float64 sequences, so in practice they
 // agree bitwise.
 func closeRel(a, b float64) bool {
+	//tmedbvet:ignore floateq exact fast path (covers ±Inf and 0==0) before falling through to the relative-tolerance comparison below
 	if a == b {
 		return true
 	}

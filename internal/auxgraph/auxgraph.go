@@ -16,6 +16,7 @@ package auxgraph
 
 import (
 	"fmt"
+	"sort"
 
 	"repro/internal/cancel"
 	"repro/internal/dts"
@@ -113,6 +114,7 @@ func Build(g *tveg.Graph, d *dts.DTS, opts Options) (*Aux, error) {
 	tau := g.Tau()
 	for i := 0; i < n; i++ {
 		for l, t := range d.Points[i] {
+			//tmedbvet:ignore floateq DTS points and the deadline are exact partition breakpoints, never TimeTol-skewed planner emissions
 			if t+tau > d.Deadline {
 				continue // transmission would overrun the delay constraint
 			}
@@ -245,8 +247,22 @@ func (a *Aux) ScheduleFromSolution(sol steiner.Solution) schedule.Schedule {
 				best[k] = m.W
 			}
 		}
-		for k, w := range best {
-			s = append(s, schedule.Transmission{Relay: k.relay, T: k.t, W: w})
+		// Emit in sorted key order: the SortByTime below is stable by T
+		// only, so equal-time rows would otherwise keep Go's randomized
+		// map iteration order and the planned schedule would differ
+		// between runs (tmedbvet detrange contract).
+		keys := make([]key, 0, len(best))
+		for k := range best {
+			keys = append(keys, k)
+		}
+		sort.Slice(keys, func(i, j int) bool {
+			if keys[i].t != keys[j].t {
+				return keys[i].t < keys[j].t
+			}
+			return keys[i].relay < keys[j].relay
+		})
+		for _, k := range keys {
+			s = append(s, schedule.Transmission{Relay: k.relay, T: k.t, W: best[k]})
 		}
 	} else {
 		for _, e := range sol.Edges() {

@@ -86,8 +86,13 @@ type tripKey struct{}
 
 // WithTrip attaches a deterministic trip to the context. Tokens derived
 // from the returned context via FromContext observe the trip on every
-// Check.
+// Check. A nil ctx is treated as context.Background(), matching the
+// package's nil-is-disabled convention (FromContext(nil) is legal, so
+// WithTrip(nil, tr) must be too).
 func WithTrip(ctx context.Context, tr *Trip) context.Context {
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	return context.WithValue(ctx, tripKey{}, tr)
 }
 

@@ -1,0 +1,74 @@
+package cancel
+
+import (
+	"context"
+	"errors"
+	"testing"
+)
+
+// TestWithTripNilContext covers the nil-ctx path: WithTrip(nil, tr)
+// must behave exactly like WithTrip(context.Background(), tr) instead
+// of panicking inside context.WithValue.
+func TestWithTripNilContext(t *testing.T) {
+	tr := NewTrip(1)
+	ctx := WithTrip(nil, tr)
+	if ctx == nil {
+		t.Fatal("WithTrip(nil, tr) returned nil context")
+	}
+	tok := FromContext(ctx)
+	if tok == nil {
+		t.Fatal("FromContext lost the trip attached to a nil parent context")
+	}
+	if err := tok.Check(); err != nil {
+		t.Fatalf("first Check: %v, want nil (budget is 1)", err)
+	}
+	if err := tok.Check(); !errors.Is(err, ErrBudgetExceeded) {
+		t.Fatalf("second Check: %v, want ErrBudgetExceeded", err)
+	}
+	if got := tr.Checks(); got != 2 {
+		t.Errorf("trip observed %d checks, want 2", got)
+	}
+}
+
+// TestZeroBudgetTripFiresOnFirstCheck pins the off-by-one contract:
+// After == 0 means "no checkpoints allowed", so the very first Check
+// trips.
+func TestZeroBudgetTripFiresOnFirstCheck(t *testing.T) {
+	tok := FromContext(WithTrip(context.Background(), NewTrip(0)))
+	if tok == nil {
+		t.Fatal("FromContext returned nil for a trip-carrying context")
+	}
+	if err := tok.Check(); !errors.Is(err, ErrBudgetExceeded) {
+		t.Fatalf("Check on zero-budget trip: %v, want ErrBudgetExceeded", err)
+	}
+	if got := tok.Checks(); got != 1 {
+		t.Errorf("token observed %d checks, want 1 (the tripped check still counts)", got)
+	}
+}
+
+// TestZeroBudgetTripKeepsFiring: a tripped budget stays tripped — every
+// later checkpoint fails too, so a solver that swallows one error
+// cannot sneak extra work in.
+func TestZeroBudgetTripKeepsFiring(t *testing.T) {
+	tok := FromContext(WithTrip(context.Background(), NewTrip(0)))
+	for i := 0; i < 3; i++ {
+		if err := tok.Check(); !errors.Is(err, ErrBudgetExceeded) {
+			t.Fatalf("Check %d: %v, want ErrBudgetExceeded", i, err)
+		}
+	}
+}
+
+// TestWithTripNilContextCounting: the counting-only mode (After < 0)
+// rides the same nil-ctx path.
+func TestWithTripNilContextCounting(t *testing.T) {
+	tr := NewTrip(-1)
+	tok := FromContext(WithTrip(nil, tr))
+	for i := 0; i < 5; i++ {
+		if err := tok.Check(); err != nil {
+			t.Fatalf("counting-mode Check %d: %v, want nil", i, err)
+		}
+	}
+	if got := tr.Checks(); got != 5 {
+		t.Errorf("counting trip observed %d checks, want 5", got)
+	}
+}

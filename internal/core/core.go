@@ -135,9 +135,11 @@ func (c *candidate) betterThan(o *candidate) bool {
 	if len(c.newNodes) != len(o.newNodes) {
 		return len(c.newNodes) > len(o.newNodes)
 	}
+	//tmedbvet:ignore floateq total-order comparator: candidate selection must break ties bitwise or the greedy pick becomes run-dependent
 	if c.t != o.t {
 		return c.t < o.t
 	}
+	//tmedbvet:ignore floateq total-order comparator (see above): exact cost ordering is the determinism contract
 	if c.w != o.w {
 		return c.w < o.w
 	}
@@ -173,7 +175,7 @@ func transmissionTimes(view *tveg.Graph, pts [][]float64, i tvg.NodeID, from, de
 	tau := view.Tau()
 	var out []float64
 	for _, t := range pts[i] {
-		if t >= from-1e-9 && t+tau <= deadline+1e-9 {
+		if t >= from-schedule.TimeTol && t+tau <= deadline+schedule.TimeTol {
 			out = append(out, t)
 		}
 	}

@@ -2,6 +2,7 @@ package core
 
 import (
 	"math"
+	"sort"
 
 	"repro/internal/dts"
 	"repro/internal/schedule"
@@ -61,9 +62,23 @@ func normalizeET(view *tveg.Graph, s schedule.Schedule, src tvg.NodeID, t0 float
 			best[k] = x.W
 		}
 	}
-	merged := make(schedule.Schedule, 0, len(best))
-	for k, w := range best {
-		merged = append(merged, schedule.Transmission{Relay: k.relay, T: k.t, W: w})
+	// Emit the merged rows in sorted key order: CausalSort's total
+	// (T, Relay, W) comparator would repair any input order here, but
+	// emitting deterministically keeps this function's output
+	// well-defined on its own (tmedbvet detrange contract).
+	keys := make([]key, 0, len(best))
+	for k := range best {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool {
+		if keys[i].t != keys[j].t {
+			return keys[i].t < keys[j].t
+		}
+		return keys[i].relay < keys[j].relay
+	})
+	merged := make(schedule.Schedule, 0, len(keys))
+	for _, k := range keys {
+		merged = append(merged, schedule.Transmission{Relay: k.relay, T: k.t, W: best[k]})
 	}
 	return causalSort(view, merged, src, t0)
 }

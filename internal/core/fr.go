@@ -346,6 +346,7 @@ func allocateEnergy(g *tveg.Graph, backbone schedule.Schedule, src tvg.NodeID, t
 			continue
 		}
 		if len(relayTerms[j]) == 0 {
+			asmSpan.End()
 			return nil, fmt.Errorf("core: backbone relay v%d transmits at %g without any informing transmission", xj.Relay, xj.T)
 		}
 		p.AddConstraint(eps, relayTerms[j]...)
@@ -387,6 +388,7 @@ func allocateEnergy(g *tveg.Graph, backbone schedule.Schedule, src tvg.NodeID, t
 	}
 	if len(uncov) > 0 {
 		ie := &IncompleteError{}
+		//tmedbvet:ignore detrange uncovered-node set is sorted by sortNodeIDs immediately below, a total order on ids
 		for u := range uncov {
 			ie.Uncovered = append(ie.Uncovered, u)
 		}

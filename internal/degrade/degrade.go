@@ -138,6 +138,7 @@ type Options struct {
 
 func (o Options) clock() func() time.Time {
 	if o.Clock == nil {
+		//tmedbvet:ignore nondeterm injectable-clock default: budgets are wall-clock by definition and tests override via Options.Clock
 		return time.Now
 	}
 	return o.Clock

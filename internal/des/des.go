@@ -32,6 +32,7 @@ type eventQueue []*event
 
 func (q eventQueue) Len() int { return len(q) }
 func (q eventQueue) Less(i, j int) bool {
+	//tmedbvet:ignore floateq event-heap comparator: the (t, class, seq) total order must compare times bitwise to stay deterministic
 	if q[i].t != q[j].t {
 		return q[i].t < q[j].t
 	}

@@ -78,6 +78,7 @@ const timeEps = 1e-9
 // only error Build can return is a tripped cancellation checkpoint
 // (cancel.ErrCancelled / cancel.ErrBudgetExceeded via opts.Cancel).
 func Build(g *tvg.Graph, t0, deadline float64, opts Options) (*DTS, error) {
+	//tmedbvet:ignore floateq reuse gate wants bitwise-identical horizon arguments: a tolerant match could hand back a DTS built for a different window
 	if r := opts.Reuse; r != nil && r.T0 == t0 && r.Deadline == deadline {
 		opts.Obs.Counter("dts.reused").Inc()
 		return r, nil

@@ -341,6 +341,7 @@ func SolvePenalty(p *Problem, opts PenaltyOptions) ([]float64, error) {
 				if nw > p.WMax {
 					nw = p.WMax
 				}
+				//tmedbvet:ignore floateq exact fixed-point test: descent must stop only when the clamped iterate is bitwise stationary
 				if nw != w[v] {
 					moved = true
 				}

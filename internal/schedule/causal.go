@@ -41,6 +41,7 @@ func CausalSort(view *tveg.Graph, s Schedule, src tvg.NodeID, t0 float64) Schedu
 	i := 0
 	for i < len(out) {
 		j := i
+		//tmedbvet:ignore floateq equal-time grouping after the exact (T,Relay,W) sort must use bitwise equality: rows in one instant share one float
 		for j < len(out) && out[j].T == out[i].T {
 			j++
 		}

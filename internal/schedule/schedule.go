@@ -115,6 +115,7 @@ func Informs(tk, tau, tj float64, k, j int) bool {
 	if tk > tj {
 		return false // packets do not travel backward in time
 	}
+	//tmedbvet:ignore floateq THE documented same-instant tie-break: Informs defines the exact-equality semantics every other comparison defers to
 	if tk == tj {
 		// Same-instant cascade: only a zero (or sub-tolerance) τ allows
 		// it, and only in schedule order.

@@ -177,6 +177,7 @@ func InformedTimes(g *tveg.Graph, s schedule.Schedule, src tvg.NodeID) []float64
 			if !g.RhoTau(x.Relay, j, x.T) {
 				continue
 			}
+			//tmedbvet:ignore floateq min-arrival relaxation, not a feasibility gate: an exact < keeps the earliest reception time
 			if g.EDAt(x.Relay, j, x.T).FailureProb(x.W) == 0 && x.T+tau < times[j] {
 				times[j] = x.T + tau
 			}

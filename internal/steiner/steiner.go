@@ -99,6 +99,7 @@ func (s Solution) merge(other Solution) {
 // only solution edges.
 func (s Solution) ReachableFromRoot() map[int]bool {
 	adj := make(map[int][]int)
+	//tmedbvet:ignore detrange adjacency build for a reachability sweep: the computed vertex set is order-independent
 	for id := range s.edges {
 		adj[id.U] = append(adj[id.U], id.V)
 	}
@@ -138,6 +139,7 @@ func (s Solution) Pruned(terminals []int) Solution {
 func (s Solution) prunedOnce(terminals []int) Solution {
 	fwd := s.ReachableFromRoot()
 	radj := make(map[int][]int)
+	//tmedbvet:ignore detrange adjacency build for a reverse reachability sweep: the computed vertex set is order-independent
 	for id := range s.edges {
 		radj[id.V] = append(radj[id.V], id.U)
 	}
