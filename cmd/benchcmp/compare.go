@@ -1,0 +1,125 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"sort"
+	"strings"
+
+	"repro/internal/obs"
+)
+
+// loadReport reads an obs run report (the JSON written by
+// cmd/figures -metrics) from path.
+func loadReport(path string) (*obs.Report, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var r obs.Report
+	if err := json.Unmarshal(data, &r); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	if r.Version != 1 {
+		return nil, fmt.Errorf("%s: unsupported report version %d", path, r.Version)
+	}
+	return &r, nil
+}
+
+// phaseSums walks the phase tree and returns, for each target name, the
+// total wall_ms of the maximal spans carrying that name. A span whose
+// ancestor already matched the same name is not counted again — its time
+// is part of the ancestor's — so recursive phases (steiner inside
+// steiner) are never double-billed. Distinct target names nested inside
+// each other (dcs-construct inside auxgraph) each keep their own sum.
+func phaseSums(phases []obs.PhaseReport, targets []string) map[string]float64 {
+	want := make(map[string]bool, len(targets))
+	for _, t := range targets {
+		want[t] = true
+	}
+	acc := make(map[string]float64, len(targets))
+	for _, t := range targets {
+		acc[t] = 0
+	}
+	active := make(map[string]bool)
+	var walk func(n obs.PhaseReport)
+	walk = func(n obs.PhaseReport) {
+		entered := false
+		if want[n.Name] && !active[n.Name] {
+			acc[n.Name] += n.WallMS
+			active[n.Name] = true
+			entered = true
+		}
+		for _, c := range n.Children {
+			walk(c)
+		}
+		if entered {
+			delete(active, n.Name)
+		}
+	}
+	for _, p := range phases {
+		walk(p)
+	}
+	return acc
+}
+
+// row is one line of the comparison: a phase (or the synthetic "total")
+// with its baseline and current wall_ms.
+type row struct {
+	Name      string
+	Base      float64
+	Cur       float64
+	Regressed bool
+}
+
+// ratio returns current/baseline; +0%/no-regression when the baseline
+// span is absent or zero (a phase that did not run cannot regress by
+// ratio — it is reported but never gates).
+func (r row) ratio() (float64, bool) {
+	if r.Base <= 0 {
+		return 0, false
+	}
+	return r.Cur / r.Base, true
+}
+
+// compare builds the comparison table for the total wall time plus each
+// target phase, flagging rows whose current time exceeds baseline by
+// more than tol (0.40 = fail above +40%).
+func compare(base, cur *obs.Report, targets []string, tol float64) []row {
+	bs := phaseSums(base.Phases, targets)
+	cs := phaseSums(cur.Phases, targets)
+	rows := make([]row, 0, len(targets)+1)
+	rows = append(rows, row{Name: "total", Base: base.WallMS, Cur: cur.WallMS})
+	names := append([]string(nil), targets...)
+	sort.Strings(names)
+	for _, n := range names {
+		rows = append(rows, row{Name: n, Base: bs[n], Cur: cs[n]})
+	}
+	for i := range rows {
+		if q, ok := rows[i].ratio(); ok && q > 1+tol {
+			rows[i].Regressed = true
+		}
+	}
+	return rows
+}
+
+// format renders the comparison as an aligned text table.
+func format(rows []row, tol float64) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-16s %14s %14s %9s  %s\n", "phase", "baseline(ms)", "current(ms)", "delta", "verdict")
+	for _, r := range rows {
+		verdict := "ok"
+		delta := "n/a"
+		if q, ok := r.ratio(); ok {
+			delta = fmt.Sprintf("%+.1f%%", (q-1)*100)
+			if r.Regressed {
+				verdict = fmt.Sprintf("REGRESSED (> +%.0f%%)", tol*100)
+			}
+		} else {
+			verdict = "skipped (no baseline)"
+		}
+		fmt.Fprintf(&b, "%-16s %14.3f %14.3f %9s  %s\n", r.Name, r.Base, r.Cur, delta, verdict)
+	}
+	return b.String()
+}

@@ -1,0 +1,136 @@
+package main
+
+import (
+	"math"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/obs"
+)
+
+const floatTol = 1e-9
+
+func approx(a, b float64) bool { return math.Abs(a-b) <= floatTol }
+
+func load(t *testing.T, name string) *obs.Report {
+	t.Helper()
+	r, err := loadReport(filepath.Join("testdata", name))
+	if err != nil {
+		t.Fatalf("loadReport(%s): %v", name, err)
+	}
+	return r
+}
+
+// phaseSums must sum maximal same-name spans: the steiner-inside-steiner
+// span in base.json (90ms nested in 180ms) is part of its parent and must
+// not be double-counted, while dcs-construct nested inside auxgraph keeps
+// its own independent sum.
+func TestPhaseSumsMaximalSpans(t *testing.T) {
+	r := load(t, "base.json")
+	sums := phaseSums(r.Phases, []string{"auxgraph", "dcs-construct", "steiner"})
+	want := map[string]float64{
+		"auxgraph":      400, // 300 (eedcb) + 100 (freedcb)
+		"dcs-construct": 250, // 200 + 50, counted despite auxgraph ancestors
+		"steiner":       300, // 180 (nested 90 excluded) + 120
+	}
+	for name, w := range want {
+		if !approx(sums[name], w) {
+			t.Errorf("phaseSums[%s] = %g, want %g", name, sums[name], w)
+		}
+	}
+}
+
+func TestPhaseSumsMissingPhase(t *testing.T) {
+	r := load(t, "base.json")
+	sums := phaseSums(r.Phases, []string{"no-such-phase"})
+	if got := sums["no-such-phase"]; got != 0 {
+		t.Errorf("missing phase sum = %g, want 0", got)
+	}
+}
+
+func TestCompareFlagsRegression(t *testing.T) {
+	base := load(t, "base.json")
+	cur := load(t, "regressed.json")
+	rows := compare(base, cur, []string{"auxgraph", "dcs-construct", "steiner"}, 0.40)
+	got := map[string]bool{}
+	for _, r := range rows {
+		got[r.Name] = r.Regressed
+	}
+	// auxgraph went 400 -> 720 (+80%): regressed. Total +10%, steiner
+	// flat, dcs-construct improved: all within tolerance.
+	want := map[string]bool{
+		"total":         false,
+		"auxgraph":      true,
+		"dcs-construct": false,
+		"steiner":       false,
+	}
+	for name, w := range want {
+		if got[name] != w {
+			t.Errorf("row %s regressed = %v, want %v", name, got[name], w)
+		}
+	}
+}
+
+func TestCompareImprovementPasses(t *testing.T) {
+	base := load(t, "base.json")
+	cur := load(t, "improved.json")
+	for _, r := range compare(base, cur, []string{"auxgraph", "dcs-construct", "steiner"}, 0.40) {
+		if r.Regressed {
+			t.Errorf("row %s flagged regressed on an improvement", r.Name)
+		}
+	}
+}
+
+// A phase absent from the baseline must be reported but never gate: a
+// ratio against zero is meaningless.
+func TestCompareZeroBaselineNeverGates(t *testing.T) {
+	base := load(t, "base.json")
+	cur := load(t, "regressed.json")
+	rows := compare(base, cur, []string{"dts-unseen"}, 0.40)
+	for _, r := range rows {
+		if r.Name == "dts-unseen" {
+			if r.Regressed {
+				t.Error("zero-baseline phase gated")
+			}
+			if _, ok := r.ratio(); ok {
+				t.Error("zero-baseline phase reported a ratio")
+			}
+		}
+	}
+}
+
+func TestRunExitCodes(t *testing.T) {
+	base := filepath.Join("testdata", "base.json")
+	cases := []struct {
+		name     string
+		baseline string
+		current  string
+		tol      float64
+		want     int
+	}{
+		{"pass", base, filepath.Join("testdata", "improved.json"), 0.40, 0},
+		{"regress", base, filepath.Join("testdata", "regressed.json"), 0.40, 1},
+		{"tight tolerance trips on total", base, filepath.Join("testdata", "regressed.json"), 0.05, 1},
+		{"missing file", base, filepath.Join("testdata", "nope.json"), 0.40, 2},
+		{"missing flag", "", base, 0.40, 2},
+		{"negative tol", base, base, -1, 2},
+	}
+	for _, c := range cases {
+		if got := run(c.baseline, c.current, "auxgraph,dcs-construct,steiner", c.tol); got != c.want {
+			t.Errorf("%s: run() = %d, want %d", c.name, got, c.want)
+		}
+	}
+}
+
+func TestFormatMentionsVerdicts(t *testing.T) {
+	base := load(t, "base.json")
+	cur := load(t, "regressed.json")
+	out := format(compare(base, cur, []string{"auxgraph"}, 0.40), 0.40)
+	if !strings.Contains(out, "REGRESSED") {
+		t.Errorf("format output lacks REGRESSED verdict:\n%s", out)
+	}
+	if !strings.Contains(out, "total") {
+		t.Errorf("format output lacks total row:\n%s", out)
+	}
+}

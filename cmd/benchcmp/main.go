@@ -1,0 +1,70 @@
+// Command benchcmp compares two obs run reports (the JSON written by
+// `cmd/figures -metrics`) and fails when the current run regresses the
+// total wall time or any gated phase by more than the tolerance. It is
+// the CI perf-regression gate: the bench workflow runs the quick Fig4-7
+// sweep on every pull request and compares it against the committed
+// BENCH_pr*.json baseline.
+//
+// Per-phase times are the sums over maximal spans of that name in the
+// phase tree — a recursive span never double-counts its own nested
+// occurrences (see phaseSums).
+//
+// Exit codes: 0 = within tolerance, 1 = at least one gated phase (or
+// the total) regressed, 2 = usage or I/O error.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+)
+
+func main() {
+	var (
+		baseline = flag.String("baseline", "", "committed baseline report (BENCH_pr*.json)")
+		current  = flag.String("current", "", "freshly produced report to gate")
+		phases   = flag.String("phases", "auxgraph,dcs-construct,steiner", "comma-separated phase names to gate")
+		tol      = flag.Float64("tol", 0.40, "allowed fractional slowdown before failing (0.40 = +40%)")
+	)
+	flag.Parse()
+	os.Exit(run(*baseline, *current, *phases, *tol))
+}
+
+func run(baselinePath, currentPath, phaseList string, tol float64) int {
+	if baselinePath == "" || currentPath == "" {
+		fmt.Fprintln(os.Stderr, "benchcmp: -baseline and -current are required")
+		flag.Usage()
+		return 2
+	}
+	if tol < 0 {
+		fmt.Fprintln(os.Stderr, "benchcmp: -tol must be >= 0")
+		return 2
+	}
+	base, err := loadReport(baselinePath)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchcmp: baseline: %v\n", err)
+		return 2
+	}
+	cur, err := loadReport(currentPath)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchcmp: current: %v\n", err)
+		return 2
+	}
+	var targets []string
+	for _, p := range strings.Split(phaseList, ",") {
+		if p = strings.TrimSpace(p); p != "" {
+			targets = append(targets, p)
+		}
+	}
+	rows := compare(base, cur, targets, tol)
+	fmt.Print(format(rows, tol))
+	for _, r := range rows {
+		if r.Regressed {
+			fmt.Printf("\nFAIL: perf regression above +%.0f%% tolerance\n", tol*100)
+			return 1
+		}
+	}
+	fmt.Println("\nOK: within tolerance")
+	return 0
+}

@@ -24,7 +24,7 @@ func ExampleEEDCB() {
 	fmt.Println("feasible:", tmedb.CheckFeasible(g, sched, 0, 100, math.Inf(1)) == nil)
 	// Output:
 	// node 0 transmits at t=10
-	// node 1 transmits at t=30
+	// node 1 transmits at t=20
 	// feasible: true
 }
 

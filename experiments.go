@@ -72,10 +72,10 @@ type ExperimentConfig struct {
 	// Obs aggregates metrics across every solver and evaluation run the
 	// harness launches (cache hit rates, Dijkstra counts, pool busy
 	// times, sim counters). Figure data is byte-identical with or
-	// without it. Note: with Workers > 1 the per-point runs interleave,
-	// so the recorder's phase *tree* reflects the interleaving — read
-	// the counters, gauges, and pools (which aggregate correctly), not
-	// the span nesting. Nil (the default) records nothing.
+	// without it. With Workers > 1 the per-point runs interleave, but
+	// spans nest per goroutine, so each run still yields a correctly
+	// nested subtree (concurrent runs' top-level phases become siblings
+	// under the root). Nil (the default) records nothing.
 	Obs *obs.Recorder
 }
 
@@ -153,7 +153,11 @@ func (cfg ExperimentConfig) graphFor(n int, model Model) *Graph {
 		panic(fmt.Sprintf("tmedb: n=%d exceeds trace nodes %d", n, opts.N))
 	}
 	tr := GenerateTrace(opts, cfg.TraceSeed)
-	return tr.Restrict(n).ToTVEG(cfg.Tau, cfg.Params, model)
+	// The cost cache is exact memoization, so every table is identical
+	// with or without it; the comparison sweeps query the same (node,
+	// time) costs once per algorithm, and the fading models repeat the
+	// same per-segment root-findings across DTS points.
+	return tr.Restrict(n).ToTVEG(cfg.Tau, cfg.Params, model).EnableCostCache()
 }
 
 // auditSchedule cross-checks a freshly planned schedule through every

@@ -30,6 +30,15 @@ func TestSpanPairFixture(t *testing.T) {
 	analysis.RunFixture(t, "testdata/spanpair", SpanPair)
 }
 
+// TestArenaReuseFixture pins the detrange/spanpair contracts on the
+// arena-reuse hot path (PR 6): pooled buffers and build-wide spans with
+// interleaved PutArena defers must not hide the bug shapes (map-order
+// emission into an arena-backed output, spans leaked past an arena
+// return) nor flag the sanctioned collect-sort-emit / defer-End idiom.
+func TestArenaReuseFixture(t *testing.T) {
+	analysis.RunFixture(t, "testdata/arenareuse", DetRange, SpanPair)
+}
+
 // TestLegacyRelayFixture is the regression gate for the pre-unification
 // premature-relay bug shape (PR 2): map-order schedule assembly
 // "repaired" by a stable by-time sort plus an exact tau-arrival gate.

@@ -1,0 +1,89 @@
+// Package arenareuse pins the detrange and spanpair contracts on the
+// arena-reuse hot-path shape introduced with the CSR flattening:
+// pooled buffers change value lifetimes (a slice obtained from the
+// arena outlives loop iterations and may be recycled across
+// candidates) and phase spans wrap whole build calls with unrelated
+// defers (PutArena) in between. Neither twist may confuse the
+// analyzers — a deferred PutArena is not an End, and an arena-backed
+// output slice is still planner output.
+package arenareuse
+
+import (
+	"sort"
+
+	"repro/internal/graph"
+	"repro/internal/obs"
+)
+
+// buildLeaky is the bug shape: the build early-returns with the phase
+// span still open (the deferred PutArena must not be mistaken for an
+// End), and candidate vertices reach the arena-backed output buffer in
+// map order.
+func buildLeaky(rec *obs.Recorder, cands map[int]float64) []int32 {
+	sp := rec.StartPhase("auxgraph")
+	ar := graph.GetArena()
+	defer graph.PutArena(ar)
+	buf := ar.I32(len(cands))[:0]
+	for k := range cands { // want "detrange: map iteration order reaches planner output \\(append"
+		buf = append(buf, int32(k))
+	}
+	if len(buf) == 0 {
+		return nil // want "spanpair: return with phase span still open"
+	}
+	sp.End()
+	return buf
+}
+
+// buildClean is the sanctioned shape on the same arena idiom: the span
+// is deferred alongside the arena return, and map keys are collected
+// and totally ordered before they feed the reused buffer.
+func buildClean(rec *obs.Recorder, cands map[int]float64) []int32 {
+	sp := rec.StartPhase("auxgraph")
+	defer sp.End()
+	ar := graph.GetArena()
+	defer graph.PutArena(ar)
+	keys := make([]int, 0, len(cands))
+	for k := range cands {
+		keys = append(keys, k)
+	}
+	sort.Ints(keys)
+	buf := ar.I32(len(keys))[:0]
+	for _, k := range keys {
+		buf = append(buf, int32(k))
+	}
+	return buf
+}
+
+// sweepLeaky drops per-candidate scratch back to the arena on the happy
+// path but leaks the span when the sweep falls off the end.
+func sweepLeaky(rec *obs.Recorder, rounds int) {
+	sp := rec.StartPhase("dcs-construct") // want "spanpair: span sp started here is not ended on the fall-through path"
+	ar := graph.GetArena()
+	defer graph.PutArena(ar)
+	for i := 0; i < rounds; i++ {
+		fs := ar.I32(8)
+		for j := range fs {
+			fs[j] = int32(i + j)
+		}
+		ar.PutI32(fs)
+	}
+	sp.SetInt("rounds", rounds)
+}
+
+// sweepClean recycles the same scratch across rounds — the
+// arena-reuse lifetime the differential tests exercise — and closes
+// the span on every path.
+func sweepClean(rec *obs.Recorder, rounds int) {
+	sp := rec.StartPhase("dcs-construct")
+	defer sp.End()
+	ar := graph.GetArena()
+	defer graph.PutArena(ar)
+	fs := ar.I32(8)
+	defer ar.PutI32(fs)
+	for i := 0; i < rounds; i++ {
+		for j := range fs {
+			fs[j] = int32(i + j)
+		}
+	}
+	sp.SetInt("rounds", rounds)
+}

@@ -12,11 +12,18 @@
 // pays w_k on the edge into the power vertex, and free edges fan out to
 // every covered receiver at time t+τ. An ablation option disables the
 // expansion and falls back to independent per-link unicast edges.
+//
+// The built graph lives in a CSR core (auxCore): flat adjacency arrays,
+// a lazily-built cached transpose, and per-edge transmission metadata in
+// an index array parallel to the CSR edge array. Cores are immutable and
+// shared through a process-wide memo (see memo.go); construction
+// temporaries come from the graph package's arena.
 package auxgraph
 
 import (
 	"fmt"
 	"sort"
+	"sync"
 
 	"repro/internal/cancel"
 	"repro/internal/dts"
@@ -49,6 +56,11 @@ type Options struct {
 	// transmission-edge batch. Nil is the zero-overhead uncancellable
 	// path; a completed Build is byte-identical for every value.
 	Cancel *cancel.Token
+	// NoMemo bypasses the process-wide core memo (see memo.go) for this
+	// build: the core is always freshly constructed and not cached. The
+	// memoized and fresh graphs are identical; the flag exists for
+	// benchmarks isolating cold-build cost.
+	NoMemo bool
 }
 
 // TxMeta describes the transmission a paying auxiliary edge stands for.
@@ -58,48 +70,112 @@ type TxMeta struct {
 	W     float64
 }
 
-type edgeID struct{ U, V int }
+// auxCore is the immutable, shareable part of an auxiliary graph: the
+// CSR, its (lazily built) transpose, the vertex layout, and the
+// transmission metadata. Everything candidate-independent lives here;
+// the Aux wrapper re-binds per-call plumbing (workers, obs, cancel)
+// around a core that the memo may hand to many callers concurrently.
+type auxCore struct {
+	csr  *graph.CSR
+	base []int32 // base[i] = vertex id of u_{i,0}
+	// metaIdx is parallel to csr.To: metaIdx[e] indexes metas when edge
+	// e is a paying transmission edge, -1 otherwise.
+	metaIdx   []int32
+	metas     []TxMeta
+	power     int  // number of power vertices
+	advantage bool // built with the power-vertex expansion
+
+	revOnce sync.Once
+	rev     *graph.CSR
+}
+
+// reverse returns the transpose of the core's CSR, building and caching
+// it on first use. The transpose is plain heap memory (never arena-owned)
+// because the core may be memoized and outlive any solve.
+func (c *auxCore) reverse() *graph.CSR {
+	c.revOnce.Do(func() { c.rev = c.csr.Transpose(nil) })
+	return c.rev
+}
 
 // Aux is the auxiliary graph of one TMEDB instance.
 type Aux struct {
-	G  *graph.Digraph
+	G  *graph.CSR
 	D  *dts.DTS
 	TV *tveg.Graph
 
-	base      []int // base[i] = vertex id of u_{i,0}
-	meta      map[edgeID]TxMeta
-	advantage bool
-	workers   int
-	obs       *obs.Recorder
-	cancel    *cancel.Token
+	core    *auxCore
+	workers int
+	obs     *obs.Recorder
+	cancel  *cancel.Token
+}
+
+func newAux(c *auxCore, g *tveg.Graph, d *dts.DTS, opts Options) *Aux {
+	return &Aux{
+		G:       c.csr,
+		D:       d,
+		TV:      g,
+		core:    c,
+		workers: opts.Workers,
+		obs:     opts.Obs,
+		cancel:  opts.Cancel,
+	}
 }
 
 // Build constructs the auxiliary graph for the TVEG g over the DTS d.
-// The only error Build can return is a tripped cancellation checkpoint
-// (cancel.ErrCancelled / cancel.ErrBudgetExceeded via opts.Cancel).
+// The core (CSR + transpose + metadata) is served from the process-wide
+// memo when the same (graph version, model, params, DTS, advantage)
+// instance was built before. The only error Build can return is a
+// tripped cancellation checkpoint (cancel.ErrCancelled /
+// cancel.ErrBudgetExceeded via opts.Cancel).
 func Build(g *tveg.Graph, d *dts.DTS, opts Options) (*Aux, error) {
 	sp := opts.Obs.StartPhase("auxgraph")
 	defer sp.End()
+	advantage := !opts.NoBroadcastAdvantage
+	var key memoKey
+	if !opts.NoMemo {
+		key = keyFor(g, d, advantage)
+		if c, ok := memo.Get(key); ok {
+			memoHits.Add(1)
+			opts.Obs.Counter("auxgraph.memo.hits").Inc()
+			annotate(sp, c)
+			return newAux(c, g, d, opts), nil
+		}
+		memoMisses.Add(1)
+		opts.Obs.Counter("auxgraph.memo.misses").Inc()
+	}
+	c, err := buildCore(g, d, advantage, opts)
+	if err != nil {
+		return nil, err
+	}
+	if !opts.NoMemo {
+		memo.Put(key, c)
+	}
+	annotate(sp, c)
+	return newAux(c, g, d, opts), nil
+}
+
+func annotate(sp *obs.Span, c *auxCore) {
+	sp.SetInt("vertices", c.csr.N())
+	sp.SetInt("edges", c.csr.M())
+	sp.SetInt("power_vertices", c.power)
+}
+
+// buildCore runs the §VI-A construction: candidate enumeration, the
+// parallel DCS sweep, and edge emission into a flat edge list laid out
+// as a CSR by one stable counting sort. Temporaries (the per-candidate
+// receiver-index buffer, the counting-sort cursors, the payload
+// permutation) come from a pooled arena; the core's own arrays are plain
+// heap allocations so the memo can share them indefinitely.
+func buildCore(g *tveg.Graph, d *dts.DTS, advantage bool, opts Options) (*auxCore, error) {
 	tok := opts.Cancel
 	n := g.N()
-	base := make([]int, n)
+	base := make([]int32, n)
 	total := 0
 	for i := 0; i < n; i++ {
-		base[i] = total
+		base[i] = int32(total)
 		total += len(d.Points[i])
 	}
-	a := &Aux{
-		D:         d,
-		TV:        g,
-		base:      base,
-		meta:      make(map[edgeID]TxMeta),
-		advantage: !opts.NoBroadcastAdvantage,
-		workers:   opts.Workers,
-		obs:       opts.Obs,
-		cancel:    opts.Cancel,
-	}
 
-	// Count power vertices first so the digraph can be sized once.
 	// Enumerate the candidate (node, point) slots serially — cheap — and
 	// fan the DCS evaluations (each an independent ψ query batch) across
 	// the worker pool; slots keep their enumeration order, so the built
@@ -131,79 +207,123 @@ func Build(g *tveg.Graph, d *dts.DTS, opts Options) (*Aux, error) {
 		return nil, fmt.Errorf("auxgraph: dcs sweep: %w", err)
 	}
 	txs := cands[:0]
+	maxLevels := 0
 	for _, x := range cands {
 		if len(x.levels) > 0 {
 			txs = append(txs, x)
+			if len(x.levels) > maxLevels {
+				maxLevels = len(x.levels)
+			}
 		}
 	}
 	powerVerts := 0
-	if !opts.NoBroadcastAdvantage {
-		for _, x := range txs {
-			powerVerts += len(x.levels)
+	edgeCap := total - n // wait edges
+	for _, x := range txs {
+		L := len(x.levels)
+		if advantage {
+			powerVerts += L
+			edgeCap += L + L*(L+1)/2 // paying edges + coverage fan-out bound
+		} else {
+			edgeCap += L
 		}
 	}
 
-	dg := graph.New(total + powerVerts)
-	a.G = dg
+	ar := graph.GetArena()
+	defer graph.PutArena(ar)
+	el := &graph.EdgeList{
+		U: make([]int32, 0, edgeCap),
+		V: make([]int32, 0, edgeCap),
+		W: make([]float64, 0, edgeCap),
+	}
 
 	// Wait edges.
 	for i := 0; i < n; i++ {
 		for l := 0; l+1 < len(d.Points[i]); l++ {
-			dg.AddEdge(base[i]+l, base[i]+l+1, 0)
+			el.Add(base[i]+int32(l), base[i]+int32(l+1), 0)
 		}
 	}
 
-	// Transmission edges.
-	next := total
+	// Transmission edges. payPos remembers which edge-list entries pay
+	// (parallel to metas); fs caches each level's receiver index once per
+	// candidate — the coverage fan-out reuses it across power levels
+	// instead of redoing the partition binary search per (level, covered)
+	// pair.
+	var (
+		payPos []int32
+		metas  []TxMeta
+	)
+	fs := ar.I32(maxLevels)
+	next := int32(total)
 	for _, x := range txs {
 		if err := tok.Check(); err != nil {
 			return nil, fmt.Errorf("auxgraph: transmission edges: %w", err)
 		}
-		u := base[x.i] + x.l
-		if opts.NoBroadcastAdvantage {
-			for _, lvl := range x.levels {
-				f := d.IndexAtOrAfter(lvl.Node, x.t+tau)
-				if f < 0 {
+		u := base[x.i] + int32(x.l)
+		for j, lvl := range x.levels {
+			fs[j] = int32(d.IndexAtOrAfter(lvl.Node, x.t+tau))
+		}
+		if !advantage {
+			for j, lvl := range x.levels {
+				if fs[j] < 0 {
 					continue
 				}
-				v := base[lvl.Node] + f
-				dg.AddEdge(u, v, lvl.W)
-				a.recordMeta(u, v, TxMeta{x.i, x.t, lvl.W})
+				el.Add(u, base[lvl.Node]+fs[j], lvl.W)
+				payPos = append(payPos, int32(el.Len()-1))
+				metas = append(metas, TxMeta{Relay: x.i, T: x.t, W: lvl.W})
 			}
 			continue
 		}
 		for k, lvl := range x.levels {
 			p := next
 			next++
-			dg.AddEdge(u, p, lvl.W)
-			a.recordMeta(u, p, TxMeta{x.i, x.t, lvl.W})
+			el.Add(u, p, lvl.W)
+			payPos = append(payPos, int32(el.Len()-1))
+			metas = append(metas, TxMeta{Relay: x.i, T: x.t, W: lvl.W})
 			// level k covers neighbors 0..k
-			for _, cov := range x.levels[:k+1] {
-				f := d.IndexAtOrAfter(cov.Node, x.t+tau)
-				if f < 0 {
+			for j := 0; j <= k; j++ {
+				if fs[j] < 0 {
 					continue
 				}
-				dg.AddEdge(p, base[cov.Node]+f, 0)
+				el.Add(p, base[x.levels[j].Node]+fs[j], 0)
 			}
 		}
 	}
-	st := a.Stats()
-	sp.SetInt("vertices", st.Vertices)
-	sp.SetInt("edges", st.Edges)
-	sp.SetInt("power_vertices", st.PowerVertices)
-	return a, nil
-}
+	ar.PutI32(fs)
 
-func (a *Aux) recordMeta(u, v int, m TxMeta) {
-	a.meta[edgeID{u, v}] = m
+	csr, pos := graph.BuildCSR(total+powerVerts, el, ar)
+	metaIdx := make([]int32, csr.M())
+	for i := range metaIdx {
+		metaIdx[i] = -1
+	}
+	for k, li := range payPos {
+		metaIdx[pos[li]] = int32(k)
+	}
+	ar.PutI32(pos)
+	st := ar.Stats()
+	opts.Obs.Counter("graph.arena.reuses").Add(st.Reuses)
+	opts.Obs.Counter("graph.arena.allocs").Add(st.Allocs)
+	return &auxCore{
+		csr:       csr,
+		base:      base,
+		metaIdx:   metaIdx,
+		metas:     metas,
+		power:     powerVerts,
+		advantage: advantage,
+	}, nil
 }
 
 // Vertex returns the auxiliary vertex id of u_{i,l}.
-func (a *Aux) Vertex(i tvg.NodeID, l int) int { return a.base[i] + l }
+func (a *Aux) Vertex(i tvg.NodeID, l int) int { return int(a.core.base[i]) + l }
 
 // SourceVertex returns the root of the Steiner instance for a broadcast
 // from src starting at the DTS window start.
-func (a *Aux) SourceVertex(src tvg.NodeID) int { return a.base[src] }
+func (a *Aux) SourceVertex(src tvg.NodeID) int { return int(a.core.base[src]) }
+
+// Reverse returns the memoized transpose of the auxiliary graph,
+// building it on first use. Planners inject it into their Steiner
+// solvers (steiner.Solver.WithReverse) so repeated solves on a memoized
+// core never recompute it.
+func (a *Aux) Reverse() *graph.CSR { return a.core.reverse() }
 
 // Terminals returns the Steiner terminal set D = {u_{i,h_i}}: the last
 // DTS point of every node. The source's terminal is reachable through
@@ -211,15 +331,23 @@ func (a *Aux) SourceVertex(src tvg.NodeID) int { return a.base[src] }
 func (a *Aux) Terminals() []int {
 	out := make([]int, a.TV.N())
 	for i := range out {
-		out[i] = a.base[i] + a.D.Last(tvg.NodeID(i))
+		out[i] = int(a.core.base[i]) + a.D.Last(tvg.NodeID(i))
 	}
 	return out
 }
 
-// MetaFor returns the transmission behind a paying edge, if any.
+// MetaFor returns the transmission behind a paying edge, if any. It
+// scans u's CSR row — out-degrees are small (wait edge + per-level
+// fan-out), so the scan beats a hash lookup on the hot path.
 func (a *Aux) MetaFor(u, v int) (TxMeta, bool) {
-	m, ok := a.meta[edgeID{u, v}]
-	return m, ok
+	c := a.core
+	g := c.csr
+	for e := g.Off[u]; e < g.Off[u+1]; e++ {
+		if int(g.To[e]) == v && c.metaIdx[e] >= 0 {
+			return c.metas[c.metaIdx[e]], true
+		}
+	}
+	return TxMeta{}, false
 }
 
 // ScheduleFromSolution converts a Steiner solution on the auxiliary graph
@@ -231,14 +359,14 @@ func (a *Aux) MetaFor(u, v int) (TxMeta, bool) {
 // modeling difference the ablation measures.
 func (a *Aux) ScheduleFromSolution(sol steiner.Solution) schedule.Schedule {
 	var s schedule.Schedule
-	if a.advantage {
+	if a.core.advantage {
 		type key struct {
 			relay tvg.NodeID
 			t     float64
 		}
 		best := make(map[key]float64)
 		for _, e := range sol.Edges() {
-			m, ok := a.meta[edgeID{int(e[0]), int(e[1])}]
+			m, ok := a.MetaFor(int(e[0]), int(e[1]))
 			if !ok {
 				continue
 			}
@@ -266,7 +394,7 @@ func (a *Aux) ScheduleFromSolution(sol steiner.Solution) schedule.Schedule {
 		}
 	} else {
 		for _, e := range sol.Edges() {
-			m, ok := a.meta[edgeID{int(e[0]), int(e[1])}]
+			m, ok := a.MetaFor(int(e[0]), int(e[1]))
 			if !ok {
 				continue
 			}
@@ -285,14 +413,10 @@ type Stats struct {
 
 // Stats returns size statistics of the auxiliary graph.
 func (a *Aux) Stats() Stats {
-	userVerts := 0
-	for i := 0; i < a.TV.N(); i++ {
-		userVerts += len(a.D.Points[i])
-	}
 	return Stats{
 		Vertices:      a.G.N(),
 		Edges:         a.G.M(),
-		PowerVertices: a.G.N() - userVerts,
+		PowerVertices: a.core.power,
 	}
 }
 
@@ -304,7 +428,12 @@ func (s Stats) String() string {
 // auxiliary graph for a broadcast from src and maps the result back to a
 // schedule. level <= 1 selects the shortest-path-tree heuristic.
 func (a *Aux) Solve(src tvg.NodeID, level int) (schedule.Schedule, error) {
-	solver := steiner.NewSolver(a.G).SetWorkers(a.workers).SetObs(a.obs).SetCancel(a.cancel)
+	solver := steiner.NewSolver(a.G).
+		WithReverse(a.Reverse()).
+		SetWorkers(a.workers).
+		SetObs(a.obs).
+		SetCancel(a.cancel)
+	defer solver.Release()
 	root := a.SourceVertex(src)
 	terms := a.Terminals()
 	var (
@@ -332,7 +461,7 @@ func (a *Aux) Solve(src tvg.NodeID, level int) (schedule.Schedule, error) {
 func (a *Aux) FeasibleInstance(src tvg.NodeID) (unreachable []tvg.NodeID) {
 	reach := a.G.Reachable(a.SourceVertex(src))
 	for i := 0; i < a.TV.N(); i++ {
-		if !reach[a.base[i]+a.D.Last(tvg.NodeID(i))] {
+		if !reach[int(a.core.base[i])+a.D.Last(tvg.NodeID(i))] {
 			unreachable = append(unreachable, tvg.NodeID(i))
 		}
 	}

@@ -1,0 +1,66 @@
+package auxgraph
+
+import (
+	"sync/atomic"
+
+	"repro/internal/dts"
+	"repro/internal/lru"
+	"repro/internal/tveg"
+	"repro/internal/tvg"
+)
+
+// The auxiliary-graph memo caches built cores — the CSR, its transpose,
+// the vertex layout, and the transmission metadata — per (graph identity,
+// channel model, physical parameters, DTS identity, advantage flag).
+// Everything a core contains is immutable after construction, so a hit
+// hands the same *auxCore to every caller; only the thin Aux wrapper
+// (per-call workers/obs/cancel plumbing) is rebuilt.
+//
+// The DCS sweep behind a core is the ψ-heaviest stage of the whole
+// pipeline, and planners rebuild the same core constantly: the gap
+// certificate's second run, every algorithm of a comparison sweep on the
+// same instance, the FR family's repeated static views. The memo turns
+// all of those into pointer returns.
+//
+// Keying on the *dts.DTS identity (not its contents) is what the DTS
+// memo's pointer-stable returns buy: a DTS memo hit is the precondition
+// for an auxgraph memo hit. Invalidation is by key — the key carries
+// tvg.Graph.Version(), so mutating a graph stops matching old entries,
+// which age out of the LRU. Params rides in the key by value (it is a
+// comparable struct of scalars), so planner views with different ε or
+// cost bounds never collide.
+type memoKey struct {
+	g         *tvg.Graph
+	version   uint64
+	model     tveg.Model
+	params    tveg.Params
+	d         *dts.DTS
+	advantage bool
+}
+
+const memoCapacity = 32
+
+var (
+	memo                 = lru.New[memoKey, *auxCore](memoCapacity)
+	memoHits, memoMisses atomic.Int64
+)
+
+func keyFor(g *tveg.Graph, d *dts.DTS, advantage bool) memoKey {
+	return memoKey{
+		g:         g.Graph,
+		version:   g.Version(),
+		model:     g.Model,
+		params:    g.Params,
+		d:         d,
+		advantage: advantage,
+	}
+}
+
+// MemoStats returns the process-wide core-memo hit/miss counters.
+func MemoStats() (hits, misses int64) {
+	return memoHits.Load(), memoMisses.Load()
+}
+
+// PurgeMemo empties the process-wide core memo (benchmarks isolating
+// cold-build cost call this between runs).
+func PurgeMemo() { memo.Purge() }

@@ -34,7 +34,8 @@ func LowerBound(g *tveg.Graph, src tvg.NodeID, t0, deadline float64, dOpts dts.O
 	if err != nil {
 		return 0, nil, fmt.Errorf("core: lower bound: %w", err)
 	}
-	solver := steiner.NewSolver(a.G)
+	solver := steiner.NewSolver(a.G).WithReverse(a.Reverse())
+	defer solver.Release()
 	root := a.SourceVertex(src)
 	for i := 0; i < view.N(); i++ {
 		n := tvg.NodeID(i)

@@ -134,7 +134,12 @@ func solveViaAux(view *tveg.Graph, src tvg.NodeID, targets []tvg.NodeID, t0, dea
 		return nil, &IncompleteError{Uncovered: unreachable}
 	}
 	stSpan := rec.StartPhase("steiner")
-	solver := steiner.NewSolver(a.G).SetWorkers(workers).SetObs(rec).SetCancel(tok)
+	solver := steiner.NewSolver(a.G).
+		WithReverse(a.Reverse()).
+		SetWorkers(workers).
+		SetObs(rec).
+		SetCancel(tok)
+	defer solver.Release()
 	var sol steiner.Solution
 	if level <= 1 {
 		sol, err = solver.ShortestPathTree(a.SourceVertex(src), terms)

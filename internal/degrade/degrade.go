@@ -28,6 +28,7 @@ import (
 	"strings"
 	"time"
 
+	"repro/internal/auxgraph"
 	"repro/internal/cancel"
 	"repro/internal/core"
 	"repro/internal/dts"
@@ -180,7 +181,14 @@ func (o *Outcome) Annotate(m *schedule.Meta) {
 // model: fading graphs get the fading-resistant family so every rung's
 // schedule satisfies the ε-bound, static graphs the static family.
 func (o Options) planner(rung Rung, fading bool, d *dts.DTS) core.ContextScheduler {
-	dOpts := dts.Options{Workers: o.Workers, Obs: o.Obs, Reuse: d}
+	// The ladder opts out of the process-wide DTS/auxgraph memos: its
+	// budget accounting (and the fault-injection harness checking it)
+	// needs every rung to do work proportional to the instance,
+	// independent of process history, and a cancelled rung must discard
+	// its work wholesale. Deliberate artifact sharing goes through the
+	// explicit Reuse seam instead.
+	dOpts := dts.Options{Workers: o.Workers, Obs: o.Obs, Reuse: d, NoMemo: true}
+	aOpts := auxgraph.Options{NoMemo: true}
 	level := o.Level
 	if rung == RungSPT {
 		level = 1
@@ -188,9 +196,9 @@ func (o Options) planner(rung Rung, fading bool, d *dts.DTS) core.ContextSchedul
 	switch rung {
 	case RungFull, RungSPT:
 		if fading {
-			return core.FREEDCB{Level: level, Workers: o.Workers, DTSOpts: dOpts, Allocator: o.Allocator, Obs: o.Obs}
+			return core.FREEDCB{Level: level, Workers: o.Workers, DTSOpts: dOpts, AuxOpts: aOpts, Allocator: o.Allocator, Obs: o.Obs}
 		}
-		return core.EEDCB{Level: level, Workers: o.Workers, DTSOpts: dOpts, Obs: o.Obs}
+		return core.EEDCB{Level: level, Workers: o.Workers, DTSOpts: dOpts, AuxOpts: aOpts, Obs: o.Obs}
 	case RungGreed:
 		if fading {
 			return core.FRGreedy{Workers: o.Workers, DTSOpts: dOpts, Allocator: o.Allocator, Obs: o.Obs}
@@ -229,7 +237,7 @@ func Solve(ctx context.Context, g *tveg.Graph, src tvg.NodeID, t0, deadline floa
 	// under the caller's context: without it no rung can answer, so it
 	// gets no smaller budget of its own.
 	d, err := dts.Build(g.Graph, t0, deadline, dts.Options{
-		Workers: opts.Workers, Obs: opts.Obs, Cancel: cancel.FromContext(ctx),
+		Workers: opts.Workers, Obs: opts.Obs, Cancel: cancel.FromContext(ctx), NoMemo: true,
 	})
 	if err != nil {
 		countCancel(opts.Obs, err)

@@ -59,6 +59,11 @@ type Options struct {
 	// channel model, so one DTS serves every planner view of a graph).
 	// A window mismatch falls through to a fresh build.
 	Reuse *DTS
+	// NoMemo bypasses the process-wide DTS memo (see memo.go) for this
+	// build: the result is always freshly constructed and not cached.
+	// The memoized and fresh DTS are identical; the flag exists for
+	// benchmarks isolating cold-build cost.
+	NoMemo bool
 }
 
 // DTS is a discrete time set D_V: one discrete time partition P_i^di per
@@ -82,6 +87,17 @@ func Build(g *tvg.Graph, t0, deadline float64, opts Options) (*DTS, error) {
 	if r := opts.Reuse; r != nil && r.T0 == t0 && r.Deadline == deadline {
 		opts.Obs.Counter("dts.reused").Inc()
 		return r, nil
+	}
+	var key memoKey
+	if !opts.NoMemo {
+		key = keyFor(g, t0, deadline, opts)
+		if d, ok := memo.Get(key); ok {
+			memoHits.Add(1)
+			opts.Obs.Counter("dts.memo.hits").Inc()
+			return d, nil
+		}
+		memoMisses.Add(1)
+		opts.Obs.Counter("dts.memo.misses").Inc()
 	}
 	sp := opts.Obs.StartPhase("dts")
 	defer sp.End()
@@ -163,6 +179,9 @@ func Build(g *tvg.Graph, t0, deadline float64, opts Options) (*DTS, error) {
 	sp.SetInt("base_points", len(base))
 	sp.SetInt("global_points", len(global))
 	sp.SetInt("total_points", d.TotalPoints())
+	if !opts.NoMemo {
+		memo.Put(key, d)
+	}
 	return d, nil
 }
 

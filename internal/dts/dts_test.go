@@ -3,6 +3,7 @@ package dts
 import (
 	"math"
 	"math/rand"
+	"reflect"
 	"testing"
 	"testing/quick"
 
@@ -252,5 +253,51 @@ func TestQuickPrunedSubsetOfUnpruned(t *testing.T) {
 	}
 	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
 		t.Error(err)
+	}
+}
+
+// TestMemoReturnsSharedIdenticalDTS pins the transparent memo: a second
+// Build with the same (graph, window, options) returns the SAME *DTS
+// (pointer identity is what lets the auxiliary-graph memo key on it),
+// NoMemo bypasses it, and mutating the graph invalidates by version.
+func TestMemoReturnsSharedIdenticalDTS(t *testing.T) {
+	g := lineGraph(0)
+	d1, err := Build(g, 0, 10, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	d2, err := Build(g, 0, 10, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d1 != d2 {
+		t.Fatal("memo should return the identical *DTS on a repeat build")
+	}
+	d3, err := Build(g, 0, 10, Options{NoMemo: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d3 == d1 {
+		t.Fatal("NoMemo build must not come from the memo")
+	}
+	if !reflect.DeepEqual(d1.Points, d3.Points) {
+		t.Fatal("memoized and fresh DTS differ")
+	}
+	// Different options miss.
+	d4, err := Build(g, 0, 10, Options{NoPrune: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d4 == d1 {
+		t.Fatal("NoPrune build must not share the pruned entry")
+	}
+	// Mutating the topology bumps the version: no stale hit.
+	g.AddContact(0, 2, interval.Interval{Start: 1, End: 2})
+	d5, err := Build(g, 0, 10, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d5 == d1 {
+		t.Fatal("memo served a stale DTS after AddContact")
 	}
 }

@@ -1,0 +1,63 @@
+package dts
+
+import (
+	"sync/atomic"
+
+	"repro/internal/lru"
+	"repro/internal/tvg"
+)
+
+// The DTS memo caches built discrete time sets per (graph identity,
+// window, construction options). The DTS depends only on the presence
+// structure — never on the channel model — so one memoized DTS serves
+// every planner view of a graph: the static planning view, the fading
+// view of the FR family, every algorithm of a comparison sweep, and the
+// gap certificate's second pipeline run. It generalizes Options.Reuse
+// (the caller-managed seam, still honored first) to a transparent
+// process-wide cache.
+//
+// Invalidation is by key, not by purge: the key carries
+// tvg.Graph.Version(), so mutating a graph simply stops matching the
+// old entries, which age out of the LRU. Cached DTS values are shared
+// by pointer and must never be mutated — a DTS is read-only after
+// Build, which downstream consumers (auxgraph, planners) already rely
+// on. Sharing the pointer is itself load-bearing: the auxiliary-graph
+// memo keys on the *DTS identity, so a DTS memo hit is what makes an
+// auxgraph memo hit possible.
+
+// memoKey identifies a DTS build by everything that affects its result.
+// Workers/Obs/Cancel are deliberately absent: a completed Build is
+// byte-identical for every value of those.
+type memoKey struct {
+	g        *tvg.Graph
+	version  uint64
+	t0       float64
+	deadline float64
+	// maxHops is normalized: <= 0 (meaning N-1) is stored as 0.
+	maxHops int
+	noPrune bool
+}
+
+const memoCapacity = 32
+
+var (
+	memo                 = lru.New[memoKey, *DTS](memoCapacity)
+	memoHits, memoMisses atomic.Int64
+)
+
+func keyFor(g *tvg.Graph, t0, deadline float64, opts Options) memoKey {
+	mh := opts.MaxHops
+	if mh <= 0 {
+		mh = 0
+	}
+	return memoKey{g: g, version: g.Version(), t0: t0, deadline: deadline, maxHops: mh, noPrune: opts.NoPrune}
+}
+
+// MemoStats returns the process-wide memo hit/miss counters.
+func MemoStats() (hits, misses int64) {
+	return memoHits.Load(), memoMisses.Load()
+}
+
+// PurgeMemo empties the process-wide DTS memo (benchmarks isolating
+// cold-build cost call this between runs).
+func PurgeMemo() { memo.Purge() }

@@ -61,8 +61,19 @@ type pqItem struct {
 
 type pq []pqItem
 
-func (p pq) Len() int            { return len(p) }
-func (p pq) Less(i, j int) bool  { return p[i].dist < p[j].dist }
+func (p pq) Len() int { return len(p) }
+
+// Less orders by (dist, v) lexicographically. The vertex tie-break makes
+// the pop order — and therefore the relaxation order and predecessor
+// choices on equal-distance ties — canonical, so the heap Dijkstra and
+// the bucket-queue Dijkstra (see bucketq.go) produce bitwise-identical
+// dist/prev arrays. The differential tests in csr_test.go rely on this.
+func (p pq) Less(i, j int) bool {
+	if p[i].dist != p[j].dist {
+		return p[i].dist < p[j].dist
+	}
+	return p[i].v < p[j].v
+}
 func (p pq) Swap(i, j int)       { p[i], p[j] = p[j], p[i] }
 func (p *pq) Push(x interface{}) { *p = append(*p, x.(pqItem)) }
 func (p *pq) Pop() interface{} {

@@ -1,0 +1,93 @@
+// Package lru provides a small mutex-guarded LRU cache for the solver's
+// artifact memos (discrete time sets, auxiliary-graph cores). Values are
+// shared by reference with every getter, so cached artifacts must be
+// immutable. Capacities are tens of entries — the cache is a bounded
+// map with recency eviction, not a high-throughput cache; operations are
+// O(capacity), which at these sizes beats maintaining list nodes.
+package lru
+
+import "sync"
+
+// Cache is a fixed-capacity least-recently-used cache, safe for
+// concurrent use. The zero Cache is unusable; create with New.
+type Cache[K comparable, V any] struct {
+	mu   sync.Mutex
+	cap  int
+	keys []K // keys[0] is most recently used
+	vals []V
+}
+
+// New returns a cache holding at most capacity entries.
+func New[K comparable, V any](capacity int) *Cache[K, V] {
+	if capacity <= 0 {
+		capacity = 1
+	}
+	return &Cache[K, V]{cap: capacity}
+}
+
+// Get returns the value cached under k, marking it most recently used.
+func (c *Cache[K, V]) Get(k K) (V, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	for i, key := range c.keys {
+		if key == k {
+			c.touch(i)
+			return c.vals[0], true
+		}
+	}
+	var zero V
+	return zero, false
+}
+
+// Put caches v under k, evicting the least recently used entry when the
+// cache is full. An existing entry for k is replaced.
+func (c *Cache[K, V]) Put(k K, v V) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	for i, key := range c.keys {
+		if key == k {
+			c.touch(i)
+			c.vals[0] = v
+			return
+		}
+	}
+	if len(c.keys) >= c.cap {
+		last := len(c.keys) - 1
+		c.keys = c.keys[:last]
+		c.vals = c.vals[:last]
+	}
+	var zk K
+	var zv V
+	c.keys = append(c.keys, zk)
+	c.vals = append(c.vals, zv)
+	copy(c.keys[1:], c.keys)
+	copy(c.vals[1:], c.vals)
+	c.keys[0] = k
+	c.vals[0] = v
+}
+
+// touch moves entry i to the front. Caller holds the lock.
+func (c *Cache[K, V]) touch(i int) {
+	if i == 0 {
+		return
+	}
+	k, v := c.keys[i], c.vals[i]
+	copy(c.keys[1:i+1], c.keys[:i])
+	copy(c.vals[1:i+1], c.vals[:i])
+	c.keys[0], c.vals[0] = k, v
+}
+
+// Len returns the number of cached entries.
+func (c *Cache[K, V]) Len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.keys)
+}
+
+// Purge empties the cache.
+func (c *Cache[K, V]) Purge() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.keys = c.keys[:0]
+	c.vals = c.vals[:0]
+}

@@ -1,0 +1,105 @@
+package lru
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+)
+
+func TestBasicGetPut(t *testing.T) {
+	c := New[int, string](2)
+	if _, ok := c.Get(1); ok {
+		t.Fatal("empty cache returned a value")
+	}
+	c.Put(1, "a")
+	c.Put(2, "b")
+	if v, ok := c.Get(1); !ok || v != "a" {
+		t.Fatalf("Get(1) = %q,%v", v, ok)
+	}
+	// 1 is now most recent; inserting 3 evicts 2.
+	c.Put(3, "c")
+	if _, ok := c.Get(2); ok {
+		t.Fatal("2 should have been evicted")
+	}
+	if v, ok := c.Get(1); !ok || v != "a" {
+		t.Fatalf("Get(1) after eviction = %q,%v", v, ok)
+	}
+	if v, ok := c.Get(3); !ok || v != "c" {
+		t.Fatalf("Get(3) = %q,%v", v, ok)
+	}
+	if c.Len() != 2 {
+		t.Fatalf("Len = %d", c.Len())
+	}
+}
+
+func TestPutReplaces(t *testing.T) {
+	c := New[string, int](4)
+	c.Put("k", 1)
+	c.Put("k", 2)
+	if c.Len() != 1 {
+		t.Fatalf("Len = %d, want 1", c.Len())
+	}
+	if v, _ := c.Get("k"); v != 2 {
+		t.Fatalf("Get = %d, want 2", v)
+	}
+}
+
+func TestPurge(t *testing.T) {
+	c := New[int, int](4)
+	c.Put(1, 1)
+	c.Purge()
+	if c.Len() != 0 {
+		t.Fatalf("Len after Purge = %d", c.Len())
+	}
+	if _, ok := c.Get(1); ok {
+		t.Fatal("Get after Purge hit")
+	}
+}
+
+func TestConcurrentAccess(t *testing.T) {
+	c := New[int, int](8)
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 500; i++ {
+				c.Put(i%16, w)
+				c.Get((i + w) % 16)
+			}
+		}(w)
+	}
+	wg.Wait()
+	if c.Len() > 8 {
+		t.Fatalf("Len %d exceeds capacity", c.Len())
+	}
+}
+
+func TestZeroCapacityClamped(t *testing.T) {
+	c := New[int, int](0)
+	c.Put(1, 1)
+	if v, ok := c.Get(1); !ok || v != 1 {
+		t.Fatalf("Get = %d,%v", v, ok)
+	}
+	c.Put(2, 2)
+	if _, ok := c.Get(1); ok {
+		t.Fatal("capacity-1 cache kept two entries")
+	}
+}
+
+func TestEvictionOrderIsLRU(t *testing.T) {
+	c := New[int, string](3)
+	for i := 1; i <= 3; i++ {
+		c.Put(i, fmt.Sprint(i))
+	}
+	c.Get(1) // order: 1,3,2
+	c.Put(4, "4")
+	if _, ok := c.Get(2); ok {
+		t.Fatal("2 was most stale and should have been evicted")
+	}
+	for _, k := range []int{1, 3, 4} {
+		if _, ok := c.Get(k); !ok {
+			t.Fatalf("key %d missing", k)
+		}
+	}
+}

@@ -18,10 +18,11 @@
 //     disabled. Guarded by the determinism test in internal/core.
 //
 // Counters and gauges are safe for concurrent use (atomics); spans form
-// a tree via a recorder-level current-phase stack and are intended for
-// the serial orchestration layers (the phases of one Schedule call run
-// sequentially; worker pools inside a phase only touch counters and pool
-// stats, never spans).
+// a tree via per-goroutine current-phase stacks, so concurrent Schedule
+// calls sharing one recorder each get a correctly nested subtree (their
+// top-level phases become siblings under the root). Within one call the
+// phases run sequentially on the calling goroutine; worker pools inside
+// a phase only touch counters and pool stats, never spans.
 package obs
 
 import (
@@ -38,7 +39,11 @@ type Recorder struct {
 	mu    sync.Mutex
 	clock func() time.Time
 	root  *Span
-	cur   *Span // innermost open phase (serial orchestration only)
+	// cur maps goroutine id -> that goroutine's innermost open phase.
+	// Absent entry = no open phase (StartPhase attaches to the root).
+	// Entries are deleted when a goroutine pops back to the root, so the
+	// map stays bounded by the number of concurrently planning callers.
+	cur map[uint64]*Span
 
 	counters sync.Map // string -> *Counter
 	gauges   sync.Map // string -> *Gauge
@@ -48,9 +53,8 @@ type Recorder struct {
 
 // New returns an enabled recorder whose implicit root span starts now.
 func New() *Recorder {
-	r := &Recorder{clock: time.Now}
+	r := &Recorder{clock: time.Now, cur: make(map[uint64]*Span)}
 	r.root = &Span{r: r, name: "run", start: r.clock()}
-	r.cur = r.root
 	return r
 }
 

@@ -300,3 +300,86 @@ func TestPhaseDepthBounded(t *testing.T) {
 		t.Fatal("no phases reported")
 	}
 }
+
+// TestConcurrentPhaseIsolation pins the per-goroutine span stacks: two
+// goroutines interleaving planner-style phase trees on one recorder must
+// produce two independent top-level subtrees, never splice one call's
+// spans under the other's open phase (the duplicated eedcb→dts→eedcb
+// nesting that corrupted BENCH_pr3.json's attribution).
+func TestConcurrentPhaseIsolation(t *testing.T) {
+	r := New()
+	start := make(chan struct{})
+	var wg sync.WaitGroup
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			<-start
+			for i := 0; i < 50; i++ {
+				outer := r.StartPhase("eedcb")
+				d := r.StartPhase("dts")
+				d.End()
+				a := r.StartPhase("auxgraph")
+				dcs := r.StartPhase("dcs-construct")
+				dcs.End()
+				a.End()
+				outer.End()
+			}
+		}()
+	}
+	close(start)
+	wg.Wait()
+
+	rep := r.Snapshot(nil)
+	if len(rep.Phases) != 200 {
+		t.Fatalf("top-level phases = %d, want 200 (4 goroutines x 50)", len(rep.Phases))
+	}
+	var check func(ps []PhaseReport)
+	check = func(ps []PhaseReport) {
+		for _, p := range ps {
+			switch p.Name {
+			case "eedcb":
+				if len(p.Children) != 2 {
+					t.Fatalf("eedcb children = %d, want 2: %+v", len(p.Children), p)
+				}
+			case "dts", "dcs-construct":
+				if len(p.Children) != 0 {
+					t.Fatalf("%s has children: %+v", p.Name, p)
+				}
+			case "auxgraph":
+				if len(p.Children) != 1 || p.Children[0].Name != "dcs-construct" {
+					t.Fatalf("auxgraph subtree: %+v", p)
+				}
+			default:
+				t.Fatalf("unexpected phase %q", p.Name)
+			}
+			check(p.Children)
+		}
+	}
+	check(rep.Phases)
+}
+
+// TestGoroutineStackEntryCleared verifies the cur map shrinks back to
+// empty once every phase on a goroutine is closed, so long-lived
+// recorders do not accumulate entries for finished goroutines.
+func TestGoroutineStackEntryCleared(t *testing.T) {
+	r := New()
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			sp := r.StartPhase("p")
+			inner := r.StartPhase("q")
+			inner.End()
+			sp.End()
+		}()
+	}
+	wg.Wait()
+	r.mu.Lock()
+	n := len(r.cur)
+	r.mu.Unlock()
+	if n != 0 {
+		t.Fatalf("cur map has %d stale entries, want 0", n)
+	}
+}

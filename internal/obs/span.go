@@ -1,6 +1,7 @@
 package obs
 
 import (
+	"runtime"
 	"time"
 )
 
@@ -21,6 +22,7 @@ type Span struct {
 	r        *Recorder
 	name     string
 	depth    int
+	parent   *Span
 	start    time.Time
 	end      time.Time
 	attrs    []Attr
@@ -28,67 +30,82 @@ type Span struct {
 }
 
 // maxPhaseDepth bounds phase-tree nesting. The serial pipeline is ~4
-// levels deep; the cap only engages when concurrent Schedule calls share
-// one recorder (e.g. a figure sweep), where interleaved Start/End would
-// otherwise chain spans into an unboundedly deep tree. Spans past the
+// levels deep; the cap is a safety net against pathological nesting
+// (e.g. a recursive solver opening a span per level). Spans past the
 // cap attach to the root instead, keeping reports bounded for JSON
-// consumers at the cost of flattening concurrent nesting.
+// consumers.
 const maxPhaseDepth = 16
 
-// StartPhase opens a phase as a child of the innermost open phase (the
-// root when none is open) and makes it current. Phases are meant for the
-// serial orchestration layers — the pipeline stages of one Schedule call
-// run sequentially, so a stack models the nesting exactly; worker pools
-// inside a phase must only touch counters/pools. Returns nil on a nil
-// recorder.
+// StartPhase opens a phase as a child of the innermost phase open on the
+// calling goroutine (the root when none is open) and makes it that
+// goroutine's current phase. The per-goroutine stacks are what keep
+// concurrent Schedule calls sharing one recorder honest: each call's
+// pipeline (dts → auxgraph → steiner) runs serially on its own
+// goroutine, so its spans nest correctly, while spans from other
+// goroutines become siblings under the root instead of splicing into a
+// foreign call's open phase (the duplicated eedcb→dts→eedcb nesting
+// visible in BENCH_pr3.json, which double-counted planner wall time).
+// Returns nil on a nil recorder.
 func (r *Recorder) StartPhase(name string) *Span {
 	if r == nil {
 		return nil
 	}
+	g := goroutineID()
 	r.mu.Lock()
-	parent := r.cur
-	if parent.depth >= maxPhaseDepth {
+	parent := r.cur[g]
+	if parent == nil || parent.depth >= maxPhaseDepth {
 		parent = r.root
 	}
-	sp := &Span{r: r, name: name, depth: parent.depth + 1, start: r.now()}
+	sp := &Span{r: r, name: name, depth: parent.depth + 1, parent: parent, start: r.now()}
 	parent.children = append(parent.children, sp)
-	r.cur = sp
+	r.cur[g] = sp
 	r.mu.Unlock()
 	return sp
 }
 
 // End closes the phase, recording its wall time. Ending a phase that is
-// not current (mismatched nesting under concurrent misuse) still stamps
-// the end time; the current pointer only pops when it matches, so a
-// stray End cannot corrupt the stack.
+// not the goroutine's current one (mismatched nesting under concurrent
+// misuse) still stamps the end time; the current pointer only pops when
+// it matches, so a stray End cannot corrupt the stack.
 func (sp *Span) End() {
 	if sp == nil {
 		return
 	}
+	g := goroutineID()
 	r := sp.r
 	r.mu.Lock()
 	if sp.end.IsZero() {
 		sp.end = r.now()
 	}
-	if r.cur == sp {
-		r.cur = findParent(r.root, sp)
+	if r.cur[g] == sp {
+		if sp.parent == nil || sp.parent == r.root {
+			delete(r.cur, g) // keep the map from growing with dead goroutines
+		} else {
+			r.cur[g] = sp.parent
+		}
 	}
 	r.mu.Unlock()
 }
 
-// findParent walks the tree for sp's parent (the tree is tiny — a dozen
-// phases — so the walk is cheaper than storing parent pointers that
-// would complicate snapshotting).
-func findParent(node, sp *Span) *Span {
-	for _, c := range node.children {
-		if c == sp {
-			return node
+// goroutineID extracts the current goroutine's id from the runtime stack
+// header ("goroutine 123 [running]:"). ~1µs per call — spans are opened
+// a handful of times per solve, never inside the per-vertex hot loops,
+// so the cost is noise; in exchange the span tree is correct under
+// concurrent recorder sharing. The id is only ever used as a map key:
+// no ordering or planner decision ever depends on it (determinism
+// contract: spans are write-only).
+func goroutineID() uint64 {
+	var buf [32]byte
+	n := runtime.Stack(buf[:], false)
+	// Skip "goroutine " (10 bytes), parse digits up to the next space.
+	var id uint64
+	for _, c := range buf[10:n] {
+		if c < '0' || c > '9' {
+			break
 		}
-		if p := findParent(c, sp); p != nil {
-			return p
-		}
+		id = id*10 + uint64(c-'0')
 	}
-	return nil
+	return id
 }
 
 // SetFloat attaches a numeric attribute.

@@ -11,7 +11,7 @@ import (
 // randomDAGish builds a seeded digraph with forward edges (plus a few
 // back edges) and varied weights — large enough that the level-2 scan
 // actually splits across chunks.
-func randomDAGish(rng *rand.Rand, n, m int) *graph.Digraph {
+func randomDAGish(rng *rand.Rand, n, m int) *graph.CSR {
 	g := graph.New(n)
 	// Spine guarantees reachability of every vertex from 0.
 	for v := 1; v < n; v++ {
@@ -24,7 +24,7 @@ func randomDAGish(rng *rand.Rand, n, m int) *graph.Digraph {
 		}
 		g.AddEdge(u, v, 0.5+rng.Float64()*20)
 	}
-	return g
+	return graph.FromDigraph(g)
 }
 
 // TestRecursiveGreedyParallelMatchesSerial is the solver-level

@@ -13,17 +13,20 @@
 //     approximation ratio O(ℓ·k^{1/ℓ}) for k terminals, matching the
 //     O(N^ε) guarantee family the paper cites.
 //
-// Distances are computed lazily: one forward Dijkstra per recursion root
-// and one reverse-graph Dijkstra per terminal, so the level-2 solver
-// runs on auxiliary graphs with tens of thousands of vertices without
-// ever materializing all-pairs distances. Levels >= 3 need forward
-// distances from arbitrary vertices and are therefore restricted to
-// small graphs.
+// The solver operates on the flat CSR representation with the monotone
+// bucket-queue Dijkstra (see internal/graph): distances are computed
+// lazily — one forward sweep per recursion root and one reverse-graph
+// sweep per terminal — into arena-recycled buffers, and the level-2
+// density scan prunes dominated candidate vertices with an admissible
+// lower bound before paying for their candidate sort. Levels >= 3 need
+// forward distances from arbitrary vertices and are therefore restricted
+// to small graphs.
 package steiner
 
 import (
 	"fmt"
 	"math"
+	"slices"
 	"sort"
 
 	"repro/internal/cancel"
@@ -173,11 +176,11 @@ func (s Solution) prunedOnce(terminals []int) Solution {
 // Verify checks that the solution is sound for the instance: every edge
 // exists in g with at least the claimed weight available, and every
 // terminal is reachable from the root through solution edges.
-func (s Solution) Verify(g *graph.Digraph, terminals []int) error {
+func (s Solution) Verify(g *graph.CSR, terminals []int) error {
 	for id, w := range s.edges {
 		found := false
-		for _, e := range g.Out(id.U) {
-			if e.To == id.V && e.W <= w+1e-12 {
+		for ei := g.Off[id.U]; ei < g.Off[id.U+1]; ei++ {
+			if int(g.To[ei]) == id.V && g.W[ei] <= w+1e-12 {
 				found = true
 				break
 			}
@@ -195,19 +198,26 @@ func (s Solution) Verify(g *graph.Digraph, terminals []int) error {
 	return nil
 }
 
-// sp caches one Dijkstra run.
+// sp caches one Dijkstra run. The slices are arena-owned; Release
+// recycles them, after which the sp must not be read.
 type sp struct {
 	dist []float64
-	prev []int
+	prev []int32
 }
 
-// Solver answers Steiner queries on one digraph with lazily cached
-// shortest-path computations.
+// Solver answers Steiner queries on one CSR digraph with lazily cached
+// shortest-path computations. Acquire with NewSolver, hand back the
+// arena-owned caches with Release when done.
 type Solver struct {
-	g   *graph.Digraph
-	rev *graph.Digraph
+	g   *graph.CSR
+	rev *graph.CSR  // lazily built transpose; see revGraph / WithReverse
 	fwd map[int]*sp // forward Dijkstra per source
 	bwd map[int]*sp // reverse-graph Dijkstra per terminal (distances TO it)
+	// arena recycles the dist/prev buffers across solver instances; the
+	// serial scratch holds the bucket queue between runs. Parallel
+	// workers take their own scratch from the package pool.
+	arena   *graph.Arena
+	scratch *graph.DijkstraScratch
 	// workers bounds the pool used by the level-2 candidate scan and the
 	// reverse-Dijkstra prefill. The scan merges per-chunk winners in
 	// ascending vertex order, so solutions are byte-identical for every
@@ -225,7 +235,8 @@ type Solver struct {
 	// tripped latches the first checkpoint error so the recursive scan
 	// helpers can unwind through their value-only signatures; the public
 	// entry points surface it as the returned error.
-	tripped error
+	tripped  error
+	released bool
 }
 
 // check polls the cancellation token, latching the first error. It
@@ -241,15 +252,67 @@ func (s *Solver) check() bool {
 	return true
 }
 
-// NewSolver builds a solver for g.
-func NewSolver(g *graph.Digraph) *Solver {
-	rev := graph.New(g.N())
-	for u := 0; u < g.N(); u++ {
-		for _, e := range g.Out(u) {
-			rev.AddEdge(e.To, u, e.W)
-		}
+// NewSolver builds a solver for g. The reverse graph is computed lazily
+// on the first terminal-distance query; callers holding a memoized
+// transpose (the auxiliary-graph core) inject it with WithReverse.
+func NewSolver(g *graph.CSR) *Solver {
+	return &Solver{
+		g:       g,
+		fwd:     make(map[int]*sp),
+		bwd:     make(map[int]*sp),
+		arena:   graph.GetArena(),
+		scratch: graph.GetScratch(),
+		workers: 1,
 	}
-	return &Solver{g: g, rev: rev, fwd: make(map[int]*sp), bwd: make(map[int]*sp), workers: 1}
+}
+
+// WithReverse injects a precomputed transpose of g (it must equal
+// g.Transpose(nil); the memoized auxiliary-graph core caches one) and
+// returns the solver for chaining.
+func (s *Solver) WithReverse(rev *graph.CSR) *Solver {
+	s.rev = rev
+	return s
+}
+
+// Release returns the solver's cached Dijkstra buffers, scratch, and
+// arena to the package pools and flushes the queue-operation counters to
+// the recorder. The solver (and any distance data obtained from it) must
+// not be used afterwards. Idempotent.
+func (s *Solver) Release() {
+	if s == nil || s.released {
+		return
+	}
+	s.released = true
+	for _, c := range s.fwd {
+		s.arena.PutF64(c.dist)
+		s.arena.PutI32(c.prev)
+	}
+	for _, c := range s.bwd {
+		s.arena.PutF64(c.dist)
+		s.arena.PutI32(c.prev)
+	}
+	s.fwd, s.bwd = nil, nil
+	st := s.arena.Stats()
+	s.obs.Counter("graph.arena.reuses").Add(st.Reuses)
+	s.obs.Counter("graph.arena.allocs").Add(st.Allocs)
+	flushScratch(s.obs, s.scratch)
+	graph.PutScratch(s.scratch)
+	s.scratch = nil
+	graph.PutArena(s.arena)
+	s.arena = nil
+}
+
+// flushScratch adds a scratch's queue counters to the conventional
+// bucket-queue counters and zeroes them.
+func flushScratch(r *obs.Recorder, sc *graph.DijkstraScratch) {
+	if sc == nil {
+		return
+	}
+	r.Counter("graph.bucketq.pushes").Add(sc.Pushes)
+	r.Counter("graph.bucketq.pops").Add(sc.Pops)
+	r.Counter("graph.bucketq.stale").Add(sc.Stale)
+	r.Counter("graph.bucketq.scanned").Add(sc.Scanned)
+	sc.Pushes, sc.Pops, sc.Stale, sc.Scanned = 0, 0, 0, 0
 }
 
 // SetWorkers bounds the solver's internal worker pool (<= 1 serial) and
@@ -273,13 +336,22 @@ func (s *Solver) SetCancel(tok *cancel.Token) *Solver {
 	return s
 }
 
+// revGraph returns the transpose, building it on first use.
+func (s *Solver) revGraph() *graph.CSR {
+	if s.rev == nil {
+		s.rev = s.g.Transpose(s.arena)
+	}
+	return s.rev
+}
+
 func (s *Solver) from(u int) *sp {
 	if c, ok := s.fwd[u]; ok {
 		return c
 	}
 	s.obs.Counter("steiner.dijkstra.fwd").Inc()
-	d, p := s.g.ShortestPaths(u)
-	c := &sp{d, p}
+	n := s.g.N()
+	c := &sp{dist: s.arena.F64(n), prev: s.arena.I32(n)}
+	s.g.ShortestPathsInto(u, c.dist, c.prev, s.scratch)
 	s.fwd[u] = c
 	return c
 }
@@ -291,15 +363,19 @@ func (s *Solver) distTo(x int) []float64 {
 		return c.dist
 	}
 	s.obs.Counter("steiner.dijkstra.bwd").Inc()
-	d, p := s.rev.ShortestPaths(x)
-	s.bwd[x] = &sp{d, p}
-	return d
+	n := s.g.N()
+	c := &sp{dist: s.arena.F64(n), prev: s.arena.I32(n)}
+	s.revGraph().ShortestPathsInto(x, c.dist, c.prev, s.scratch)
+	s.bwd[x] = c
+	return c.dist
 }
 
 // distToAll returns dTo[xi] = dist(·, rem[xi]) for every terminal,
 // running the cache-missing reverse Dijkstras across the worker pool.
-// Workers only read the immutable reverse graph and write their own
-// result slot; the cache map itself is filled serially afterwards.
+// Result buffers are taken from the solver's arena serially before the
+// fan-out; workers only read the immutable reverse graph and write their
+// own pre-assigned slot with a pool-local scratch, so the arena is never
+// touched concurrently.
 func (s *Solver) distToAll(rem []int) [][]float64 {
 	dTo := make([][]float64, len(rem))
 	var missing []int // indices into rem with no cached run
@@ -313,11 +389,18 @@ func (s *Solver) distToAll(rem []int) [][]float64 {
 	if len(missing) == 0 {
 		return dTo
 	}
+	rev := s.revGraph()
+	n := s.g.N()
 	computed := make([]*sp, len(missing))
+	for mi := range missing {
+		computed[mi] = &sp{dist: s.arena.F64(n), prev: s.arena.I32(n)}
+	}
 	s.obs.Counter("steiner.dijkstra.bwd").Add(int64(len(missing)))
 	err := parallel.ForEachPoolCancel(s.obs.Pool("steiner.dijkstra"), s.cancel, s.workers, len(missing), func(mi int) {
-		d, p := s.rev.ShortestPaths(rem[missing[mi]])
-		computed[mi] = &sp{d, p}
+		sc := graph.GetScratch()
+		rev.ShortestPathsInto(rem[missing[mi]], computed[mi].dist, computed[mi].prev, sc)
+		flushScratch(s.obs, sc)
+		graph.PutScratch(sc)
 	})
 	if err != nil {
 		if s.tripped == nil {
@@ -339,7 +422,7 @@ func (s *Solver) Dist(u, v int) float64 { return s.from(u).dist[v] }
 // is unreachable from u.
 func (s *Solver) addPath(sol Solution, u, v int) bool {
 	c := s.from(u)
-	p := graph.PathTo(c.prev, u, v)
+	p := graph.PathTo32(c.prev, u, v)
 	if p == nil {
 		return false
 	}
@@ -351,9 +434,10 @@ func (s *Solver) addPath(sol Solution, u, v int) bool {
 
 func (s *Solver) minEdge(u, v int) float64 {
 	best := math.Inf(1)
-	for _, e := range s.g.Out(u) {
-		if e.To == v && e.W < best {
-			best = e.W
+	g := s.g
+	for ei := g.Off[u]; ei < g.Off[u+1]; ei++ {
+		if int(g.To[ei]) == v && g.W[ei] < best {
+			best = g.W[ei]
 		}
 	}
 	return best
@@ -491,33 +575,75 @@ type level2Best struct {
 	density float64
 }
 
+// td is one candidate (terminal index, distance) pair of the density
+// scan; candidates order canonically by (d, xi).
+type td struct {
+	xi int
+	d  float64
+}
+
 // scanLevel2Range runs the serial density scan over vertices [r.Lo, r.Hi).
+//
+// Two admissible lower bounds prune dominated vertices before their
+// candidate sort. For any prefix size kp <= kv := min(k, |cands(v)|):
+//
+//	density(v, kp) = (distR[v] + Σ_{kp nearest} d) / kp
+//	              >= distR[v]/k                    (tier 1: d >= 0, kp <= k)
+//	              >= distR[v]/kv + min_x d(v, x)   (tier 2)
+//
+// A vertex whose bound already reaches the best density seen cannot win
+// — winners update on strictly-less — so skipping it never changes the
+// selected (vertex, prefix). Tier 1 costs one division; tier 2 falls out
+// of the candidate-collection pass and skips the sort. Each parallel
+// chunk starts from its own +Inf best, so chunks prune less than the
+// serial scan but select identical winners.
 func (s *Solver) scanLevel2Range(k int, distR []float64, rem []int, dTo [][]float64, r parallel.Range) level2Best {
-	type td struct {
-		xi int
-		d  float64
-	}
 	best := level2Best{v: -1, density: math.Inf(1)}
 	var bestCov []int
+	var pruned int64
 	cands := make([]td, 0, len(rem))
 	for v := r.Lo; v < r.Hi; v++ {
 		if math.IsInf(distR[v], 1) {
 			continue
 		}
+		if distR[v]/float64(k) >= best.density {
+			pruned++
+			continue
+		}
 		cands = cands[:0]
+		dmin := math.Inf(1)
 		for xi := range rem {
 			if d := dTo[xi][v]; !math.IsInf(d, 1) {
 				cands = append(cands, td{xi, d})
+				if d < dmin {
+					dmin = d
+				}
 			}
 		}
 		if len(cands) == 0 {
 			continue
 		}
-		sort.Slice(cands, func(a, b int) bool { return cands[a].d < cands[b].d })
 		kv := k
 		if kv > len(cands) {
 			kv = len(cands)
 		}
+		if distR[v]/float64(kv)+dmin >= best.density {
+			pruned++
+			continue
+		}
+		slices.SortFunc(cands, func(a, b td) int {
+			// Canonical (distance, terminal-index) order: exact compare on
+			// the Dijkstra labels themselves, not a tolerance test — any
+			// widening would make the sort order depend on neighbors.
+			//tmedbvet:ignore floateq deterministic tie-break sorts on exact Dijkstra labels
+			if a.d != b.d {
+				if a.d < b.d {
+					return -1
+				}
+				return 1
+			}
+			return a.xi - b.xi
+		})
 		prefix := 0.0
 		for kp := 1; kp <= kv; kp++ {
 			prefix += cands[kp-1].d
@@ -532,6 +658,7 @@ func (s *Solver) scanLevel2Range(k int, distR []float64, rem []int, dTo [][]floa
 			}
 		}
 	}
+	s.obs.Counter("steiner.level2.pruned").Add(pruned)
 	if best.v == -1 {
 		return best
 	}
@@ -572,18 +699,24 @@ func (s *Solver) scanRecursive(level, k int, distR []float64, rem []int) (int, [
 // rgBase is A_1(k, r, X): connect r to the k nearest reachable terminals
 // by direct shortest paths.
 func (s *Solver) rgBase(k, r int, X []int) (Solution, []int, float64) {
-	type td struct {
-		t int
-		d float64
-	}
 	dist := s.from(r).dist
 	cands := make([]td, 0, len(X))
-	for _, t := range X {
+	for xi, t := range X {
 		if d := dist[t]; !math.IsInf(d, 1) {
-			cands = append(cands, td{t, d})
+			cands = append(cands, td{xi, d})
 		}
 	}
-	sort.Slice(cands, func(i, j int) bool { return cands[i].d < cands[j].d })
+	slices.SortFunc(cands, func(a, b td) int {
+		// Same canonical exact-label tie-break as scanLevel2Range.
+		//tmedbvet:ignore floateq deterministic tie-break sorts on exact Dijkstra labels
+		if a.d != b.d {
+			if a.d < b.d {
+				return -1
+			}
+			return 1
+		}
+		return a.xi - b.xi
+	})
 	if k > len(cands) {
 		k = len(cands)
 	}
@@ -591,8 +724,9 @@ func (s *Solver) rgBase(k, r int, X []int) (Solution, []int, float64) {
 	var covered []int
 	var cost float64
 	for _, c := range cands[:k] {
-		s.addPath(sol, r, c.t)
-		covered = append(covered, c.t)
+		t := X[c.xi]
+		s.addPath(sol, r, t)
+		covered = append(covered, t)
 		cost += c.d
 	}
 	return sol, covered, cost

@@ -12,14 +12,14 @@ import (
 // starGadget: hub structure where the greedy-density approach pays off.
 // root 0 → hub 1 (cost 10), hub 1 → terminals 2,3,4 (cost 1 each);
 // also direct expensive edges 0→t (cost 9 each).
-func starGadget() (*graph.Digraph, []int) {
+func starGadget() (*graph.CSR, []int) {
 	g := graph.New(5)
 	g.AddEdge(0, 1, 10)
 	for _, t := range []int{2, 3, 4} {
 		g.AddEdge(1, t, 1)
 		g.AddEdge(0, t, 9)
 	}
-	return g, []int{2, 3, 4}
+	return graph.FromDigraph(g), []int{2, 3, 4}
 }
 
 func TestShortestPathTreeStar(t *testing.T) {
@@ -72,7 +72,7 @@ func TestRecursiveGreedyLevel1EqualsGreedySPT(t *testing.T) {
 func TestUnreachableTerminal(t *testing.T) {
 	g := graph.New(3)
 	g.AddEdge(0, 1, 1)
-	s := NewSolver(g)
+	s := NewSolver(graph.FromDigraph(g))
 	if _, err := s.ShortestPathTree(0, []int{2}); err == nil {
 		t.Error("SPT should fail on unreachable terminal")
 	}
@@ -84,7 +84,7 @@ func TestUnreachableTerminal(t *testing.T) {
 func TestBadLevel(t *testing.T) {
 	g := graph.New(2)
 	g.AddEdge(0, 1, 1)
-	s := NewSolver(g)
+	s := NewSolver(graph.FromDigraph(g))
 	if _, err := s.RecursiveGreedy(0, []int{1}, 0); err == nil {
 		t.Error("level 0 should error")
 	}
@@ -96,7 +96,7 @@ func TestSingleTerminalIsShortestPath(t *testing.T) {
 	g.AddEdge(1, 2, 1)
 	g.AddEdge(0, 2, 5)
 	g.AddEdge(2, 3, 1)
-	s := NewSolver(g)
+	s := NewSolver(graph.FromDigraph(g))
 	for _, level := range []int{1, 2, 3} {
 		sol, err := s.RecursiveGreedy(0, []int{3}, level)
 		if err != nil {
@@ -111,12 +111,13 @@ func TestSingleTerminalIsShortestPath(t *testing.T) {
 func TestTerminalEqualsRoot(t *testing.T) {
 	g := graph.New(2)
 	g.AddEdge(0, 1, 1)
-	s := NewSolver(g)
+	c := graph.FromDigraph(g)
+	s := NewSolver(c)
 	sol, err := s.ShortestPathTree(0, []int{0, 1})
 	if err != nil {
 		t.Fatal(err)
 	}
-	if err := sol.Verify(g, []int{0, 1}); err != nil {
+	if err := sol.Verify(c, []int{0, 1}); err != nil {
 		t.Error(err)
 	}
 }
@@ -127,7 +128,7 @@ func TestSharedPathNotDoubleCounted(t *testing.T) {
 	g.AddEdge(0, 1, 10)
 	g.AddEdge(1, 2, 1)
 	g.AddEdge(1, 3, 1)
-	s := NewSolver(g)
+	s := NewSolver(graph.FromDigraph(g))
 	sol, err := s.ShortestPathTree(0, []int{2, 3})
 	if err != nil {
 		t.Fatal(err)
@@ -158,12 +159,12 @@ func TestVerifyCatchesFakeEdge(t *testing.T) {
 	g.AddEdge(0, 1, 1)
 	sol := newSolution(0)
 	sol.addEdge(0, 2, 1) // not in graph
-	if err := sol.Verify(g, nil); err == nil {
+	if err := sol.Verify(graph.FromDigraph(g), nil); err == nil {
 		t.Error("Verify should reject edge missing from graph")
 	}
 }
 
-func randomInstance(r *rand.Rand, n, m, k int) (*graph.Digraph, []int) {
+func randomInstance(r *rand.Rand, n, m, k int) (*graph.CSR, []int) {
 	g := graph.New(n)
 	// a random backbone guaranteeing reachability from 0
 	order := r.Perm(n)
@@ -186,7 +187,7 @@ func randomInstance(r *rand.Rand, n, m, k int) (*graph.Digraph, []int) {
 			terms = append(terms, v)
 		}
 	}
-	return g, terms
+	return graph.FromDigraph(g), terms
 }
 
 func TestQuickSolutionsValid(t *testing.T) {
@@ -294,6 +295,38 @@ func TestPrunedKeepsCoverage(t *testing.T) {
 		}
 		if err := sol.Verify(g, terms); err != nil {
 			t.Fatalf("trial %d: pruned solution broken: %v", trial, err)
+		}
+	}
+}
+
+// TestReleaseRecyclesBuffers exercises the solver lifecycle: Release
+// hands the distance caches back, a second solver (which will typically
+// be served the recycled buffers) must still produce identical
+// solutions, and double-Release is harmless.
+func TestReleaseRecyclesBuffers(t *testing.T) {
+	g, terms := starGadget()
+	s1 := NewSolver(g)
+	sol1, err := s1.RecursiveGreedy(0, terms, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	edges1 := sol1.Edges()
+	s1.Release()
+	s1.Release() // idempotent
+
+	s2 := NewSolver(g)
+	defer s2.Release()
+	sol2, err := s2.RecursiveGreedy(0, terms, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	edges2 := sol2.Edges()
+	if len(edges1) != len(edges2) {
+		t.Fatalf("edge counts differ after recycle: %v vs %v", edges1, edges2)
+	}
+	for i := range edges1 {
+		if edges1[i] != edges2[i] {
+			t.Fatalf("solutions differ after recycle:\n%v\n%v", edges1, edges2)
 		}
 	}
 }

@@ -259,9 +259,14 @@ func (g *Graph) DCS(i tvg.NodeID, t float64) []CostLevel {
 }
 
 func (g *Graph) dcsUncached(i tvg.NodeID, t float64) []CostLevel {
+	// Per-link costs go through minCostUncached, not MinCost: the DCS
+	// cache already memoizes the composite result per (i, t), so writing
+	// every (i, j, t) into the fine-grained MinCost map during the sweep
+	// is pure map traffic. The ED-function memo inside minCostUncached
+	// still deduplicates the expensive channel inversions per segment.
 	var out []CostLevel
 	for _, j := range g.EverNeighbors(i) {
-		w := g.MinCost(i, j, t)
+		w := g.minCostUncached(i, j, t)
 		if !math.IsInf(w, 1) {
 			out = append(out, CostLevel{w, j})
 		}

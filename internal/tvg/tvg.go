@@ -42,6 +42,11 @@ type Graph struct {
 	// neighbors[i] lists the nodes that share at least one presence
 	// interval with i, kept sorted for determinism.
 	neighbors [][]NodeID
+	// version counts topology mutations (AddContact calls that change
+	// presence). Memo caches downstream (dts, auxgraph) key on the
+	// (graph pointer, version) pair, so a mutated graph never serves a
+	// stale cached artifact.
+	version uint64
 }
 
 // New creates a TVG with n nodes over the time span, with uniform edge
@@ -85,11 +90,17 @@ func (g *Graph) AddContact(i, j NodeID, iv interval.Interval) {
 	k := MakeEdgeKey(i, j)
 	old, existed := g.presence[k]
 	g.presence[k] = old.Add(iv)
+	g.version++
 	if !existed {
 		g.neighbors[i] = insertSorted(g.neighbors[i], j)
 		g.neighbors[j] = insertSorted(g.neighbors[j], i)
 	}
 }
+
+// Version returns the topology mutation counter: it changes whenever a
+// contact is added, and is stable otherwise. Caches keyed on (graph
+// pointer, version) are invalidated exactly when the topology changes.
+func (g *Graph) Version() uint64 { return g.version }
 
 func insertSorted(s []NodeID, v NodeID) []NodeID {
 	i := sort.Search(len(s), func(i int) bool { return s[i] >= v })
