@@ -21,9 +21,6 @@ import (
 	"flag"
 	"fmt"
 	"math"
-	"net"
-	"net/http"
-	_ "net/http/pprof"
 	"os"
 	"strings"
 	"time"
@@ -69,13 +66,15 @@ func main() {
 		rec = tmedb.NewRecorder()
 	}
 	if *pprofAddr != "" {
-		rec.PublishExpvar("tmedb")
-		ln, err := net.Listen("tcp", *pprofAddr)
+		if err := rec.PublishExpvar("tmedb"); err != nil {
+			fatal(err)
+		}
+		dbg, err := tmedb.ServeDebug(context.Background(), *pprofAddr)
 		if err != nil {
 			fatal(err)
 		}
-		fmt.Fprintf(os.Stderr, "tmedb: pprof/expvar on http://%s/debug/pprof\n", ln.Addr())
-		go http.Serve(ln, nil)
+		defer dbg.Close()
+		fmt.Fprintf(os.Stderr, "tmedb: pprof/expvar on http://%s/debug/pprof\n", dbg.Addr())
 	}
 
 	if *auditRun {

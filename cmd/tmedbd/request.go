@@ -1,0 +1,227 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"time"
+
+	"repro"
+)
+
+// solveRequest is the JSON body of POST /solve. Exactly one trace source
+// — inline text, a server-side file reference, or a synthetic generator
+// ref — must be set.
+type solveRequest struct {
+	// Alg selects the planner: eedcb|greed|rand|fr-eedcb|fr-greed|fr-rand
+	// (default fr-eedcb).
+	Alg string `json:"alg,omitempty"`
+	// Model selects the channel model: static|rayleigh|rician|nakagami
+	// (default static).
+	Model string `json:"model,omitempty"`
+
+	// Trace is an inline contact trace (any format ReadTrace accepts,
+	// e.g. the native "# haggle-trace v1" text).
+	Trace string `json:"trace,omitempty"`
+	// TraceFile references a trace file under the daemon's -traces root.
+	TraceFile string `json:"trace_file,omitempty"`
+	// Synthetic asks for the deterministic synthetic Haggle-like trace.
+	Synthetic *syntheticRef `json:"synthetic,omitempty"`
+
+	// Src is the broadcast source node.
+	Src int `json:"src"`
+	// T0 is the broadcast release time (seconds into the trace).
+	T0 float64 `json:"t0"`
+	// Delay is the delay constraint T in seconds; the absolute deadline
+	// is T0+Delay.
+	Delay float64 `json:"delay"`
+	// Eps overrides the residual failure bound ε (0 = the §VII default).
+	Eps float64 `json:"eps,omitempty"`
+	// Level is the recursive-greedy Steiner level of (FR-)EEDCB
+	// (default 2).
+	Level int `json:"level,omitempty"`
+	// Seed drives the RAND planners and is part of the cache key.
+	Seed int64 `json:"seed,omitempty"`
+	// Workers bounds the solver's worker pools for this request, capped
+	// by the daemon's -workers (0 = the daemon default). Schedules are
+	// identical for every value.
+	Workers int `json:"workers,omitempty"`
+	// DeadlineMS is the per-request solve budget in milliseconds. A
+	// positive value engages the degradation ladder, which falls to
+	// cheaper planners as the budget runs out; 0 plans unbudgeted.
+	DeadlineMS int64 `json:"deadline_ms,omitempty"`
+	// Ladder overrides the degradation ladder for budgeted solves
+	// ("full,spt,greed,rand" rung names).
+	Ladder string `json:"ladder,omitempty"`
+	// Report asks for the per-request obs run report in the response.
+	Report bool `json:"report,omitempty"`
+	// NoCache bypasses the schedule cache for this request (both lookup
+	// and fill).
+	NoCache bool `json:"no_cache,omitempty"`
+}
+
+// syntheticRef names a deterministic synthetic trace: GenerateTrace with
+// default shape parameters, N nodes, and the given seed.
+type syntheticRef struct {
+	N    int   `json:"n"`
+	Seed int64 `json:"seed"`
+}
+
+// solveResponse is the JSON body of a successful solve.
+type solveResponse struct {
+	// Schedule is the standard schedule envelope ({version, meta,
+	// transmissions}) — the same shape tmedb -o writes and
+	// ReadScheduleJSONMeta parses.
+	Schedule json.RawMessage `json:"schedule"`
+	// Cache is "hit" or "miss".
+	Cache string `json:"cache"`
+	// ShedRungs counts the ladder rungs admission control dropped for
+	// this request because the queue was deep (0 = unshed).
+	ShedRungs int `json:"shed_rungs,omitempty"`
+	// Rung names the degradation-ladder rung that produced the schedule
+	// (budgeted or shed solves only).
+	Rung string `json:"rung,omitempty"`
+	// DegradeReason explains why earlier rungs were abandoned.
+	DegradeReason string `json:"degrade_reason,omitempty"`
+	// Incomplete lists nodes the planner could not cover within the
+	// delay window (the schedule is still valid for the covered nodes).
+	Incomplete []int `json:"incomplete,omitempty"`
+	// Report is the per-request obs run report, when requested.
+	Report *tmedb.RunReport `json:"report,omitempty"`
+}
+
+// errorResponse is the JSON body of every non-2xx reply.
+type errorResponse struct {
+	Error string `json:"error"`
+}
+
+func (r *solveRequest) validate() error {
+	sources := 0
+	if r.Trace != "" {
+		sources++
+	}
+	if r.TraceFile != "" {
+		sources++
+	}
+	if r.Synthetic != nil {
+		sources++
+	}
+	if sources != 1 {
+		return fmt.Errorf("exactly one of trace, trace_file, synthetic required (got %d)", sources)
+	}
+	if r.Synthetic != nil && r.Synthetic.N <= 0 {
+		return fmt.Errorf("synthetic.n must be positive (got %d)", r.Synthetic.N)
+	}
+	if r.Src < 0 {
+		return fmt.Errorf("src must be >= 0 (got %d)", r.Src)
+	}
+	if r.Delay <= 0 {
+		return fmt.Errorf("delay must be positive (got %g)", r.Delay)
+	}
+	if r.Eps < 0 || r.Eps >= 1 {
+		return fmt.Errorf("eps must be in [0, 1) (got %g)", r.Eps)
+	}
+	if r.Level < 0 {
+		return fmt.Errorf("level must be >= 0 (got %d)", r.Level)
+	}
+	if r.Workers < 0 {
+		return fmt.Errorf("workers must be >= 0 (got %d)", r.Workers)
+	}
+	if r.DeadlineMS < 0 {
+		return fmt.Errorf("deadline_ms must be >= 0 (got %d)", r.DeadlineMS)
+	}
+	if r.Ladder != "" {
+		if _, err := tmedb.ParseLadder(r.Ladder); err != nil {
+			return err
+		}
+	}
+	if _, err := parseModel(r.model()); err != nil {
+		return err
+	}
+	if !validAlg[r.alg()] {
+		return fmt.Errorf("unknown alg %q", r.alg())
+	}
+	return nil
+}
+
+func (r *solveRequest) alg() string {
+	if r.Alg == "" {
+		return "fr-eedcb"
+	}
+	return strings.ToLower(r.Alg)
+}
+
+func (r *solveRequest) model() string {
+	if r.Model == "" {
+		return "static"
+	}
+	return strings.ToLower(r.Model)
+}
+
+func (r *solveRequest) level() int {
+	if r.Level == 0 {
+		return 2
+	}
+	return r.Level
+}
+
+func (r *solveRequest) budget() time.Duration {
+	return time.Duration(r.DeadlineMS) * time.Millisecond
+}
+
+var validAlg = map[string]bool{
+	"eedcb": true, "greed": true, "rand": true,
+	"fr-eedcb": true, "fr-greed": true, "fr-rand": true,
+}
+
+func parseModel(s string) (tmedb.Model, error) {
+	switch s {
+	case "static":
+		return tmedb.Static, nil
+	case "rayleigh":
+		return tmedb.Rayleigh, nil
+	case "rician":
+		return tmedb.Rician, nil
+	case "nakagami":
+		return tmedb.Nakagami, nil
+	}
+	return 0, fmt.Errorf("unknown model %q", s)
+}
+
+// resolveTrace materializes the request's trace source. File references
+// are confined to the daemon's trace root: a daemon without one rejects
+// them, and paths may not escape it.
+func (s *server) resolveTrace(r *solveRequest) (*tmedb.Trace, string, error) {
+	switch {
+	case r.Trace != "":
+		tr, err := tmedb.ReadTrace(strings.NewReader(r.Trace))
+		if err != nil {
+			return nil, "", err
+		}
+		return tr, "inline", nil
+	case r.Synthetic != nil:
+		tr := tmedb.GenerateTrace(tmedb.TraceOptions{N: r.Synthetic.N}, r.Synthetic.Seed)
+		return tr, fmt.Sprintf("synthetic(n=%d,seed=%d)", r.Synthetic.N, r.Synthetic.Seed), nil
+	default:
+		if s.cfg.traceDir == "" {
+			return nil, "", fmt.Errorf("trace_file refs disabled (daemon started without -traces)")
+		}
+		rel := filepath.Clean(r.TraceFile)
+		if filepath.IsAbs(rel) || rel == ".." || strings.HasPrefix(rel, ".."+string(filepath.Separator)) {
+			return nil, "", fmt.Errorf("trace_file %q escapes the trace root", r.TraceFile)
+		}
+		path := filepath.Join(s.cfg.traceDir, rel)
+		f, err := os.Open(path)
+		if err != nil {
+			return nil, "", fmt.Errorf("trace_file: %w", err)
+		}
+		defer f.Close()
+		tr, err := tmedb.ReadTrace(f)
+		if err != nil {
+			return nil, "", fmt.Errorf("trace_file %q: %w", r.TraceFile, err)
+		}
+		return tr, rel, nil
+	}
+}

@@ -1,0 +1,427 @@
+package main
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"sync/atomic"
+
+	"repro"
+	"repro/internal/lru"
+)
+
+// config tunes one daemon instance.
+type config struct {
+	// addr is the listen address of the solve API.
+	addr string
+	// debugAddr, when non-empty, serves pprof + expvar there.
+	debugAddr string
+	// traceDir is the root for trace_file references ("" disables them).
+	traceDir string
+	// workers caps the per-solve worker pools (0 = GOMAXPROCS); a
+	// request may ask for fewer, never more.
+	workers int
+	// maxConcurrent bounds the solves running at once.
+	maxConcurrent int
+	// maxQueue bounds the requests waiting for a solve slot; beyond it
+	// the daemon answers 503 (the backstop behind rung shedding).
+	maxQueue int
+	// cacheSize is the schedule-cache capacity in entries.
+	cacheSize int
+	// maxBody bounds the request body (inline traces can be large).
+	maxBody int64
+}
+
+func defaultConfig() config {
+	return config{
+		addr:          "localhost:8723",
+		workers:       1,
+		maxConcurrent: 4,
+		maxQueue:      16,
+		cacheSize:     256,
+		maxBody:       64 << 20,
+	}
+}
+
+// cacheKey identifies a solve by everything that determines its
+// full-quality schedule: the trace content hash (not the instance — the
+// same trace uploaded twice hits), the broadcast instance (src, window,
+// ε), and the planner (alg, model, level, seed). Workers is deliberately
+// absent: schedules are identical for every pool size.
+type cacheKey struct {
+	traceHash uint64
+	src       int
+	t0, delay float64
+	eps       float64
+	model     string
+	alg       string
+	level     int
+	seed      int64
+}
+
+// cacheEntry is one cached full-quality solve. The schedule and meta are
+// shared read-only with every response that hits.
+type cacheEntry struct {
+	sched      tmedb.Schedule
+	meta       *tmedb.ScheduleMeta
+	incomplete []int
+}
+
+// server is one daemon instance: the admission-controlled compute tier
+// in front of the solver stack, the schedule cache, and the fleet
+// recorder backing /debug/vars.
+type server struct {
+	cfg   config
+	cache *lru.Cache[cacheKey, cacheEntry]
+	// sem holds one token per running solve.
+	sem chan struct{}
+	// waiting counts requests blocked on sem — the queue depth driving
+	// the shedding policy.
+	waiting atomic.Int64
+	active  atomic.Int64
+	// proc is the process-wide fleet recorder (expvar "tmedbd"); every
+	// request also gets its own per-request recorder when it asks for a
+	// report.
+	proc *tmedb.Recorder
+}
+
+func newServer(cfg config) *server {
+	if cfg.maxConcurrent <= 0 {
+		cfg.maxConcurrent = 1
+	}
+	if cfg.maxQueue <= 0 {
+		cfg.maxQueue = 1
+	}
+	if cfg.cacheSize <= 0 {
+		cfg.cacheSize = 1
+	}
+	if cfg.maxBody <= 0 {
+		cfg.maxBody = 64 << 20
+	}
+	return &server{
+		cfg:   cfg,
+		cache: lru.New[cacheKey, cacheEntry](cfg.cacheSize),
+		sem:   make(chan struct{}, cfg.maxConcurrent),
+		proc:  tmedb.NewRecorder(),
+	}
+}
+
+// handler mounts the API: POST /solve and GET /healthz. Debug endpoints
+// live on their own listener (see config.debugAddr), not here.
+func (s *server) handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/solve", s.handleSolve)
+	mux.HandleFunc("/healthz", s.handleHealthz)
+	return mux
+}
+
+func (s *server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "application/json")
+	json.NewEncoder(w).Encode(map[string]any{
+		"status":  "ok",
+		"active":  s.active.Load(),
+		"waiting": s.waiting.Load(),
+	})
+}
+
+var errQueueFull = errors.New("queue full")
+
+// admit blocks until a solve slot frees up or ctx dies. The returned
+// shed level is the number of ladder rungs admission control drops for
+// this request: it grows with the queue depth observed at arrival, so an
+// overloaded daemon degrades answer quality instead of erroring. Only a
+// queue deeper than maxQueue is rejected outright.
+func (s *server) admit(ctx context.Context) (release func(), shed int, err error) {
+	depth := int(s.waiting.Add(1) - 1)
+	defer func() {
+		s.waiting.Add(-1)
+		s.proc.Gauge("tmedbd.queue.waiting").Set(float64(s.waiting.Load()))
+	}()
+	if depth >= s.cfg.maxQueue {
+		s.proc.Counter("tmedbd.queue.rejected").Inc()
+		return nil, 0, errQueueFull
+	}
+	shed = s.shedLevel(depth)
+	select {
+	case s.sem <- struct{}{}:
+		s.proc.Gauge("tmedbd.active").Set(float64(s.active.Add(1)))
+		return func() {
+			s.proc.Gauge("tmedbd.active").Set(float64(s.active.Add(-1)))
+			<-s.sem
+		}, shed, nil
+	case <-ctx.Done():
+		return nil, 0, ctx.Err()
+	}
+}
+
+// shedLevel maps the queue depth at arrival to a ladder starting rung:
+// an empty queue sheds nothing, a queue at capacity starts at the rung
+// of last resort, linear in between.
+func (s *server) shedLevel(depth int) int {
+	if depth <= 0 {
+		return 0
+	}
+	level := depth * int(tmedb.RungRand+1) / s.cfg.maxQueue
+	if max := int(tmedb.RungRand); level > max {
+		return max
+	}
+	return level
+}
+
+func (s *server) handleSolve(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		writeError(w, http.StatusMethodNotAllowed, fmt.Errorf("POST only"))
+		return
+	}
+	s.proc.Counter("tmedbd.requests").Inc()
+	var req solveRequest
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, s.cfg.maxBody))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&req); err != nil {
+		s.fail(w, http.StatusBadRequest, err)
+		return
+	}
+	if err := req.validate(); err != nil {
+		s.fail(w, http.StatusBadRequest, err)
+		return
+	}
+	tr, traceName, err := s.resolveTrace(&req)
+	if err != nil {
+		s.fail(w, http.StatusBadRequest, err)
+		return
+	}
+	if req.Src >= tr.N {
+		s.fail(w, http.StatusBadRequest, fmt.Errorf("src %d outside [0,%d)", req.Src, tr.N))
+		return
+	}
+	if req.T0 < 0 || req.T0+req.Delay > tr.Horizon {
+		s.fail(w, http.StatusBadRequest,
+			fmt.Errorf("window [%g,%g] outside trace horizon [0,%g]", req.T0, req.T0+req.Delay, tr.Horizon))
+		return
+	}
+
+	key := cacheKey{
+		traceHash: tmedb.TraceHash(tr),
+		src:       req.Src,
+		t0:        req.T0,
+		delay:     req.Delay,
+		eps:       req.Eps,
+		model:     req.model(),
+		alg:       req.alg(),
+		level:     req.level(),
+		seed:      req.Seed,
+	}
+	if !req.NoCache {
+		if e, ok := s.cache.Get(key); ok {
+			s.proc.Counter("tmedbd.cache.hits").Inc()
+			s.writeSolve(w, solveResponse{Cache: "hit"}, e.sched, e.meta, e.incomplete)
+			return
+		}
+		s.proc.Counter("tmedbd.cache.misses").Inc()
+	}
+
+	release, shed, err := s.admit(r.Context())
+	if err != nil {
+		if errors.Is(err, errQueueFull) {
+			w.Header().Set("Retry-After", "1")
+			s.fail(w, http.StatusServiceUnavailable, err)
+		} else {
+			// The client went away while queued; nobody reads the body,
+			// but close out the request cleanly.
+			s.proc.Counter("tmedbd.cancelled").Inc()
+			writeError(w, statusClientClosedRequest, err)
+		}
+		return
+	}
+	defer release()
+	if shed > 0 {
+		s.proc.Counter("tmedbd.shed.requests").Inc()
+		s.proc.Counter("tmedbd.shed.rungs").Add(int64(shed))
+	}
+
+	var rec *tmedb.Recorder
+	if req.Report {
+		rec = tmedb.NewRecorder()
+	}
+	sched, outcome, incomplete, err := s.solve(r.Context(), &req, tr, shed, rec)
+	if err != nil {
+		switch {
+		case errors.Is(err, tmedb.ErrBudgetExceeded):
+			s.fail(w, http.StatusGatewayTimeout, err)
+		case errors.Is(err, tmedb.ErrCancelled):
+			s.proc.Counter("tmedbd.cancelled").Inc()
+			writeError(w, statusClientClosedRequest, err)
+		default:
+			s.fail(w, http.StatusInternalServerError, err)
+		}
+		return
+	}
+	s.proc.Counter("tmedbd.solved").Inc()
+
+	meta := &tmedb.ScheduleMeta{
+		Algorithm: req.alg(),
+		Model:     req.model(),
+		Seed:      req.Seed,
+		Trace:     traceName,
+		Src:       req.Src,
+		T0:        req.T0,
+		Deadline:  req.T0 + req.Delay,
+	}
+	outcome.Annotate(meta)
+
+	resp := solveResponse{Cache: "miss", ShedRungs: shed}
+	if outcome != nil {
+		resp.Rung = outcome.Rung.String()
+		resp.DegradeReason = outcome.Reason
+	}
+	if rec != nil {
+		report := rec.Snapshot(map[string]string{
+			"algorithm": meta.Algorithm,
+			"model":     meta.Model,
+			"trace":     traceName,
+		})
+		meta.PhaseMS = report.PhaseWallMS()
+		resp.Report = &report
+	}
+
+	// Only full-quality deterministic results enter the cache: nothing
+	// shed, and — for budgeted solves — the ladder's best rung answered
+	// without falling. Degraded schedules depend on load, not on the
+	// key.
+	if !req.NoCache && shed == 0 && (outcome == nil || outcome.Reason == "") {
+		s.cache.Put(key, cacheEntry{sched: sched, meta: meta, incomplete: incomplete})
+	}
+	s.writeSolve(w, resp, sched, meta, incomplete)
+}
+
+// solve runs the planner stack for one admitted request. Unshed,
+// unbudgeted requests take the direct path: the requested planner via
+// ScheduleWithContext, byte-identical to a CLI/facade solve. A positive
+// budget or a shed level engages the degradation ladder, which plans
+// model-true (the fading family on fading graphs) so every fallback
+// stays T/ε-feasible.
+func (s *server) solve(ctx context.Context, req *solveRequest, tr *tmedb.Trace, shed int, rec *tmedb.Recorder) (tmedb.Schedule, *tmedb.DegradeOutcome, []int, error) {
+	model, err := parseModel(req.model())
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	params := tmedb.DefaultParams()
+	if req.Eps > 0 {
+		params.Eps = req.Eps
+	}
+	g := tr.ToTVEG(0, params, model)
+	workers := s.effectiveWorkers(req.Workers)
+	deadline := req.T0 + req.Delay
+
+	var sched tmedb.Schedule
+	var outcome *tmedb.DegradeOutcome
+	if req.budget() > 0 || shed > 0 {
+		ladder, lerr := tmedb.ParseLadder(req.Ladder)
+		if lerr != nil {
+			return nil, nil, nil, lerr
+		}
+		// The request's planner bounds the best rung (a greed request
+		// must not be upgraded to a full Steiner solve), then shedding
+		// lowers the start further.
+		ladder = tmedb.ShedLadder(ladder, rungFor(req.alg()))
+		ladder = tmedb.ShedLadder(ladder, tmedb.DegradeRung(shed))
+		sched, outcome, err = tmedb.SolveWithLadder(ctx, g, tmedb.NodeID(req.Src), req.T0, deadline, tmedb.DegradeOptions{
+			Budget:  req.budget(),
+			Ladder:  ladder,
+			Level:   req.level(),
+			Workers: workers,
+			Seed:    req.Seed,
+			Obs:     rec,
+		})
+	} else {
+		alg := s.planner(req, workers, rec)
+		sched, err = tmedb.ScheduleWithContext(ctx, alg, g, tmedb.NodeID(req.Src), req.T0, deadline)
+	}
+
+	var inc *tmedb.IncompleteError
+	switch {
+	case err == nil:
+		return sched, outcome, nil, nil
+	case errors.As(err, &inc):
+		uncovered := make([]int, len(inc.Uncovered))
+		for i, n := range inc.Uncovered {
+			uncovered[i] = int(n)
+		}
+		return sched, outcome, uncovered, nil
+	default:
+		return nil, nil, nil, err
+	}
+}
+
+// effectiveWorkers caps a request's worker ask by the daemon's per-solve
+// bound; 0 inherits the daemon default.
+func (s *server) effectiveWorkers(ask int) int {
+	if ask <= 0 {
+		return s.cfg.workers
+	}
+	if s.cfg.workers > 0 && ask > s.cfg.workers {
+		return s.cfg.workers
+	}
+	return ask
+}
+
+func (s *server) planner(req *solveRequest, workers int, rec *tmedb.Recorder) tmedb.Scheduler {
+	switch req.alg() {
+	case "eedcb":
+		return tmedb.EEDCB{Level: req.level(), Workers: workers, Obs: rec}
+	case "greed":
+		return tmedb.Greedy{Obs: rec}
+	case "rand":
+		return tmedb.Random{Seed: req.Seed, Obs: rec}
+	case "fr-greed":
+		return tmedb.FRGreedy{Workers: workers, Obs: rec}
+	case "fr-rand":
+		return tmedb.FRRandom{Seed: req.Seed, Workers: workers, Obs: rec}
+	default:
+		return tmedb.FREEDCB{Level: req.level(), Workers: workers, Obs: rec}
+	}
+}
+
+// rungFor maps a requested planner to the best degradation rung it may
+// run at.
+func rungFor(alg string) tmedb.DegradeRung {
+	switch alg {
+	case "greed", "fr-greed":
+		return tmedb.RungGreed
+	case "rand", "fr-rand":
+		return tmedb.RungRand
+	default:
+		return tmedb.RungFull
+	}
+}
+
+// statusClientClosedRequest mirrors nginx's non-standard 499: the client
+// cancelled before the daemon could answer. Nothing reads the body; the
+// code keeps access logs honest.
+const statusClientClosedRequest = 499
+
+func (s *server) writeSolve(w http.ResponseWriter, resp solveResponse, sched tmedb.Schedule, meta *tmedb.ScheduleMeta, incomplete []int) {
+	var buf bytes.Buffer
+	if err := tmedb.WriteScheduleJSONMeta(&buf, sched, meta); err != nil {
+		s.fail(w, http.StatusInternalServerError, err)
+		return
+	}
+	resp.Schedule = json.RawMessage(buf.Bytes())
+	resp.Incomplete = incomplete
+	w.Header().Set("Content-Type", "application/json")
+	json.NewEncoder(w).Encode(resp)
+}
+
+func (s *server) fail(w http.ResponseWriter, code int, err error) {
+	s.proc.Counter("tmedbd.errors").Inc()
+	writeError(w, code, err)
+}
+
+func writeError(w http.ResponseWriter, code int, err error) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	json.NewEncoder(w).Encode(errorResponse{Error: err.Error()})
+}

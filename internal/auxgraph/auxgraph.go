@@ -131,8 +131,12 @@ func Build(g *tveg.Graph, d *dts.DTS, opts Options) (*Aux, error) {
 	sp := opts.Obs.StartPhase("auxgraph")
 	defer sp.End()
 	advantage := !opts.NoBroadcastAdvantage
+	// A DTS with identity 0 was hand-constructed rather than built by
+	// dts.Build; it carries no process-unique identity, so caching
+	// against it could alias two distinct hand-made instances.
+	useMemo := !opts.NoMemo && d.ID() != 0
 	var key memoKey
-	if !opts.NoMemo {
+	if useMemo {
 		key = keyFor(g, d, advantage)
 		if c, ok := memo.Get(key); ok {
 			memoHits.Add(1)
@@ -147,7 +151,7 @@ func Build(g *tveg.Graph, d *dts.DTS, opts Options) (*Aux, error) {
 	if err != nil {
 		return nil, err
 	}
-	if !opts.NoMemo {
+	if useMemo {
 		memo.Put(key, c)
 	}
 	annotate(sp, c)

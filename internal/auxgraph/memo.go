@@ -6,7 +6,6 @@ import (
 	"repro/internal/dts"
 	"repro/internal/lru"
 	"repro/internal/tveg"
-	"repro/internal/tvg"
 )
 
 // The auxiliary-graph memo caches built cores — the CSR, its transpose,
@@ -22,19 +21,28 @@ import (
 // same instance, the FR family's repeated static views. The memo turns
 // all of those into pointer returns.
 //
-// Keying on the *dts.DTS identity (not its contents) is what the DTS
-// memo's pointer-stable returns buy: a DTS memo hit is the precondition
+// Keying on the dts.DTS identity (not its contents) is what the DTS
+// memo's identity-stable returns buy: a DTS memo hit is the precondition
 // for an auxgraph memo hit. Invalidation is by key — the key carries
 // tvg.Graph.Version(), so mutating a graph stops matching old entries,
 // which age out of the LRU. Params rides in the key by value (it is a
 // comparable struct of scalars), so planner views with different ε or
 // cost bounds never collide.
+//
+// Identities are the process-unique monotonic IDs stamped at
+// construction (tvg.Graph.ID, dts.DTS.ID), NOT the pointers. A pointer
+// key is unsound in a long-running process: once an entry's graph or DTS
+// is garbage-collected, the allocator can recycle its address for a
+// fresh instance — also at version 0 — and a lookup for the new instance
+// would silently return the dead one's core. IDs are never reused, so
+// that collision cannot happen (see
+// TestMemoNoAliasingAcrossIdentityReuse for the old shape).
 type memoKey struct {
-	g         *tvg.Graph
+	gid       uint64
 	version   uint64
 	model     tveg.Model
 	params    tveg.Params
-	d         *dts.DTS
+	did       uint64
 	advantage bool
 }
 
@@ -47,11 +55,11 @@ var (
 
 func keyFor(g *tveg.Graph, d *dts.DTS, advantage bool) memoKey {
 	return memoKey{
-		g:         g.Graph,
+		gid:       g.ID(),
 		version:   g.Version(),
 		model:     g.Model,
 		params:    g.Params,
-		d:         d,
+		did:       d.ID(),
 		advantage: advantage,
 	}
 }

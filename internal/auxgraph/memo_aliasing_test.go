@@ -1,0 +1,96 @@
+package auxgraph
+
+import (
+	"testing"
+
+	"repro/internal/dts"
+)
+
+// TestMemoNoAliasingAcrossIdentityReuse is the regression test for the
+// pointer-keyed memo bug: the core memo used to key on the *dts.DTS
+// pointer, and in a long-running process a collected DTS's address can
+// be recycled for a fresh one, so a lookup for the new DTS silently
+// returned a core built over a different time set. The key now carries
+// the process-unique monotonic DTS.ID instead.
+//
+// The test proves the old shape was reachable by forcing exactly the
+// collision address recycling used to produce: two distinct DTS values
+// over the same graph with identical identity. Under the forced
+// collision the memo serves the first DTS's (wrong) core for the second;
+// with real IDs it never does.
+func TestMemoNoAliasingAcrossIdentityReuse(t *testing.T) {
+	PurgeMemo()
+	defer PurgeMemo()
+
+	g, d1 := chain()
+	// A second DTS over the same graph but a shorter window: fewer
+	// discrete points, hence a structurally different auxiliary graph.
+	d2, err := dts.Build(g.Graph, 0, 40, dts.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	a1, err := Build(g, d1, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	fresh, err := Build(g, d2, Options{NoMemo: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a1.Stats() == fresh.Stats() {
+		t.Fatal("test setup: the two windows must yield distinguishable cores")
+	}
+
+	// 1. The collision the pointer-keyed scheme allowed: recycle d1's
+	// identity onto d2. Every other key field (graph ID, version, model,
+	// params, advantage) already matches, so the memo serves d1's core
+	// for d2 — the exact stale-hit bug.
+	d2.SetIDForTest(d1.ID())
+	aliased, err := Build(g, d2, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if aliased.Stats() != a1.Stats() {
+		t.Fatal("forced identity collision did not reproduce the stale-hit shape; the regression test lost its teeth")
+	}
+
+	// 2. With its real process-unique identity, the second DTS misses
+	// d1's entry and gets its own correct core.
+	d3, err := dts.Build(g.Graph, 0, 40, dts.Options{NoMemo: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	a3, err := Build(g, d3, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a3.Stats() != fresh.Stats() {
+		t.Fatal("memoized build for the second DTS differs from its fresh build")
+	}
+}
+
+// TestMemoSkipsHandConstructedDTS pins the id-0 guard: a DTS literal
+// that never went through dts.Build has no process-unique identity, so
+// Build must not cache against it (two distinct literals would alias).
+func TestMemoSkipsHandConstructedDTS(t *testing.T) {
+	PurgeMemo()
+	defer PurgeMemo()
+
+	g, d := chain()
+	handMade := &dts.DTS{T0: d.T0, Deadline: d.Deadline, Points: d.Points}
+	if handMade.ID() != 0 {
+		t.Fatal("hand-constructed DTS should carry identity 0")
+	}
+	beforeHit, beforeMiss := MemoStats()
+	if _, err := Build(g, handMade, Options{}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Build(g, handMade, Options{}); err != nil {
+		t.Fatal(err)
+	}
+	hits, misses := MemoStats()
+	if hits != beforeHit || misses != beforeMiss {
+		t.Fatalf("hand-constructed DTS touched the memo (Δhits=%d Δmisses=%d, want no traffic)", hits-beforeHit, misses-beforeMiss)
+	}
+}

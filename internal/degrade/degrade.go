@@ -89,6 +89,26 @@ func ParseRung(s string) (Rung, error) {
 // DefaultLadder returns the standard quality-ordered ladder.
 func DefaultLadder() []Rung { return []Rung{RungFull, RungSPT, RungGreed, RungRand} }
 
+// ShedTo trims a ladder for load shedding: it returns the suffix
+// starting at the first rung whose quality is at or below r (rungs are
+// ordered best-first, so shedding drops the expensive prefix). When
+// every rung in the ladder is better than r, the last rung — the rung of
+// last resort — survives, so a shed request still gets an answer. This
+// is the admission-control seam of the solve daemon: an overloaded queue
+// lowers the starting rung of waiting requests instead of rejecting
+// them, trading energy quality (never T/ε-feasibility) for latency.
+func ShedTo(ladder []Rung, r Rung) []Rung {
+	if len(ladder) == 0 {
+		return nil
+	}
+	for i, rung := range ladder {
+		if rung >= r {
+			return ladder[i:]
+		}
+	}
+	return ladder[len(ladder)-1:]
+}
+
 // ParseLadder parses a comma-separated rung list (e.g. "full,greed,rand").
 // An empty string yields the default ladder.
 func ParseLadder(s string) ([]Rung, error) {

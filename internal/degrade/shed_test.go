@@ -1,0 +1,32 @@
+package degrade
+
+import (
+	"reflect"
+	"testing"
+)
+
+func TestShedTo(t *testing.T) {
+	full := DefaultLadder() // full, spt, greed, rand
+	cases := []struct {
+		ladder []Rung
+		to     Rung
+		want   []Rung
+	}{
+		{full, RungFull, full},
+		{full, RungSPT, []Rung{RungSPT, RungGreed, RungRand}},
+		{full, RungGreed, []Rung{RungGreed, RungRand}},
+		{full, RungRand, []Rung{RungRand}},
+		// A custom ladder without the shed target starts at the next
+		// rung at-or-below it.
+		{[]Rung{RungFull, RungGreed}, RungSPT, []Rung{RungGreed}},
+		// Every rung better than the target: the rung of last resort
+		// survives — shedding must never leave a request answerless.
+		{[]Rung{RungFull, RungSPT}, RungRand, []Rung{RungSPT}},
+		{nil, RungGreed, nil},
+	}
+	for _, c := range cases {
+		if got := ShedTo(c.ladder, c.to); !reflect.DeepEqual(got, c.want) {
+			t.Errorf("ShedTo(%v, %v) = %v, want %v", c.ladder, c.to, got, c.want)
+		}
+	}
+}

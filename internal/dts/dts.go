@@ -23,6 +23,7 @@ import (
 	"fmt"
 	"math"
 	"sort"
+	"sync/atomic"
 
 	"repro/internal/cancel"
 	"repro/internal/obs"
@@ -73,7 +74,28 @@ type DTS struct {
 	// Points[i] holds P_i^di, sorted ascending. The final point is
 	// always Deadline (the terminal marker used by the auxiliary graph).
 	Points [][]float64
+	// id is the process-unique identity stamped by Build. The auxiliary
+	// graph memo keys on it instead of the *DTS pointer: in a
+	// long-running process a collected DTS's address can be recycled for
+	// a fresh one, and a pointer-keyed cache would then serve the dead
+	// instance's cores. IDs are never reused; 0 means "hand-constructed,
+	// never memoize against".
+	id uint64
 }
+
+// nextDTSID hands out process-unique DTS identities; 0 is reserved for
+// hand-constructed values that must never hit an identity-keyed cache.
+var nextDTSID atomic.Uint64
+
+// ID returns the DTS's process-unique identity (0 for hand-constructed
+// values that did not come out of Build).
+func (d *DTS) ID() uint64 { return d.id }
+
+// SetIDForTest overrides the DTS identity. It exists solely so
+// regression tests can force two distinct DTS values onto one ID and
+// prove a cache keyed on recycled identities serves stale artifacts;
+// production code must never call it.
+func (d *DTS) SetIDForTest(id uint64) { d.id = id }
 
 // timeEps is the tolerance for deduplicating time points.
 const timeEps = 1e-9
@@ -175,7 +197,7 @@ func Build(g *tvg.Graph, t0, deadline float64, opts Options) (*DTS, error) {
 	if err != nil {
 		return nil, fmt.Errorf("dts: filter sweep: %w", err)
 	}
-	d := &DTS{T0: t0, Deadline: deadline, Points: pts}
+	d := &DTS{T0: t0, Deadline: deadline, Points: pts, id: nextDTSID.Add(1)}
 	sp.SetInt("base_points", len(base))
 	sp.SetInt("global_points", len(global))
 	sp.SetInt("total_points", d.TotalPoints())

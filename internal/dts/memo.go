@@ -28,8 +28,16 @@ import (
 // memoKey identifies a DTS build by everything that affects its result.
 // Workers/Obs/Cancel are deliberately absent: a completed Build is
 // byte-identical for every value of those.
+//
+// Graph identity is the process-unique tvg.Graph.ID(), NOT the *Graph
+// pointer. A pointer key is unsound in a long-running process: once an
+// entry's graph is garbage-collected, the allocator can recycle its
+// address for a brand-new graph — also at version 0 — and a lookup for
+// the new graph would silently return the dead graph's DTS. IDs are
+// monotonic and never reused, so that collision cannot happen (see
+// TestMemoNoAliasingAcrossIdentityReuse for the old shape).
 type memoKey struct {
-	g        *tvg.Graph
+	gid      uint64
 	version  uint64
 	t0       float64
 	deadline float64
@@ -50,7 +58,7 @@ func keyFor(g *tvg.Graph, t0, deadline float64, opts Options) memoKey {
 	if mh <= 0 {
 		mh = 0
 	}
-	return memoKey{g: g, version: g.Version(), t0: t0, deadline: deadline, maxHops: mh, noPrune: opts.NoPrune}
+	return memoKey{gid: g.ID(), version: g.Version(), t0: t0, deadline: deadline, maxHops: mh, noPrune: opts.NoPrune}
 }
 
 // MemoStats returns the process-wide memo hit/miss counters.

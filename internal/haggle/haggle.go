@@ -12,7 +12,9 @@ package haggle
 
 import (
 	"bufio"
+	"encoding/binary"
 	"fmt"
+	"hash/fnv"
 	"io"
 	"math"
 	"math/rand"
@@ -36,6 +38,31 @@ type Trace struct {
 	N        int
 	Horizon  float64
 	Contacts []Contact
+}
+
+// Hash returns a stable 64-bit content hash of the trace (FNV-1a over
+// the node count, horizon, and every contact in order). Two traces hash
+// equal exactly when their Write outputs would be semantically equal, so
+// the hash identifies a trace in content-addressed caches — notably the
+// tmedbd schedule cache — independent of where the trace was loaded from
+// or which *Trace instance carries it.
+func (t *Trace) Hash() uint64 {
+	h := fnv.New64a()
+	var buf [8]byte
+	wu := func(v uint64) {
+		binary.LittleEndian.PutUint64(buf[:], v)
+		h.Write(buf[:])
+	}
+	wu(uint64(t.N))
+	wu(math.Float64bits(t.Horizon))
+	for _, c := range t.Contacts {
+		wu(uint64(c.I))
+		wu(uint64(c.J))
+		wu(math.Float64bits(c.Start))
+		wu(math.Float64bits(c.End))
+		wu(math.Float64bits(c.Dist))
+	}
+	return h.Sum64()
 }
 
 // Write emits the trace in the text format:

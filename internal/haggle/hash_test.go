@@ -1,0 +1,27 @@
+package haggle
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestHashContentAddressed(t *testing.T) {
+	a := Generate(GenOptions{N: 12}, rand.New(rand.NewSource(7)))
+	b := Generate(GenOptions{N: 12}, rand.New(rand.NewSource(7)))
+	if a == b {
+		t.Fatal("test setup: want two distinct *Trace instances")
+	}
+	if a.Hash() != b.Hash() {
+		t.Fatal("identical content in distinct instances must hash equal")
+	}
+	c := Generate(GenOptions{N: 12}, rand.New(rand.NewSource(8)))
+	if a.Hash() == c.Hash() {
+		t.Fatal("different traces hash equal")
+	}
+	// Sensitive to every contact field.
+	d := Generate(GenOptions{N: 12}, rand.New(rand.NewSource(7)))
+	d.Contacts[0].Dist += 0.25
+	if a.Hash() == d.Hash() {
+		t.Fatal("hash ignores contact distance")
+	}
+}

@@ -1,0 +1,98 @@
+package obs
+
+import (
+	"context"
+	"expvar"
+	"net"
+	"net/http"
+	"net/http/pprof"
+	"time"
+)
+
+// DebugServer is a running pprof/expvar endpoint: net/http/pprof under
+// /debug/pprof/ and the expvar map (including every recorder published
+// via PublishExpvar) under /debug/vars. It exists because both tmedb and
+// tmedbd used to hand-roll this — tmedb with a bare `go http.Serve(ln,
+// nil)` whose error vanished and whose listener nothing ever closed.
+// The helper owns the listener, reports the serve error, and shuts down
+// gracefully when its context is cancelled or Close is called.
+type DebugServer struct {
+	ln   net.Listener
+	srv  *http.Server
+	done chan struct{}
+	err  error // serve error; written once before done closes
+}
+
+// shutdownGrace bounds how long a graceful shutdown waits for in-flight
+// debug requests (profiles can be long-running) before cutting them off.
+const shutdownGrace = 5 * time.Second
+
+// ServeDebug binds addr and serves the debug endpoints on it until ctx
+// is cancelled or Close is called. It returns after the listener is
+// bound, so the reported Addr is immediately connectable; the serve loop
+// runs in the background and its terminal error is available from Wait.
+// The handlers are mounted on a private mux — nothing leaks onto
+// http.DefaultServeMux.
+func ServeDebug(ctx context.Context, addr string) (*DebugServer, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	mux := http.NewServeMux()
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	mux.Handle("/debug/vars", expvar.Handler())
+	d := &DebugServer{
+		ln:   ln,
+		srv:  &http.Server{Handler: mux},
+		done: make(chan struct{}),
+	}
+	go func() {
+		err := d.srv.Serve(ln)
+		if err == http.ErrServerClosed {
+			// The expected exit: someone asked for shutdown.
+			err = nil
+		}
+		d.err = err
+		close(d.done)
+	}()
+	go func() {
+		select {
+		case <-ctx.Done():
+			d.shutdown()
+		case <-d.done:
+		}
+	}()
+	return d, nil
+}
+
+func (d *DebugServer) shutdown() {
+	ctx, cancel := context.WithTimeout(context.Background(), shutdownGrace)
+	defer cancel()
+	if d.srv.Shutdown(ctx) != nil {
+		// Grace expired with requests still in flight; cut them off so
+		// the serve loop (and Wait) terminates.
+		d.srv.Close()
+	}
+}
+
+// Addr returns the bound listener address (useful with ":0").
+func (d *DebugServer) Addr() net.Addr { return d.ln.Addr() }
+
+// Wait blocks until the serve loop exits and returns its terminal error
+// (nil after a clean shutdown).
+func (d *DebugServer) Wait() error {
+	<-d.done
+	return d.err
+}
+
+// Close shuts the server down gracefully and returns the serve loop's
+// terminal error. Safe to call more than once and concurrently with
+// context cancellation.
+func (d *DebugServer) Close() error {
+	d.shutdown()
+	return d.Wait()
+}

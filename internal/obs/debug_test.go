@@ -1,0 +1,136 @@
+package obs
+
+import (
+	"context"
+	"encoding/json"
+	"expvar"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+	"testing"
+	"time"
+)
+
+// TestPublishExpvarIdempotent is the regression test for the
+// once-per-process publish bug: PublishExpvar used to call
+// expvar.Publish directly, which panics on a duplicate name, so any
+// process creating a second recorder for the same name — a daemon
+// serving its second request, a test re-running main's run() — crashed.
+// Re-publishing must instead atomically swap which recorder backs the
+// registered expvar.Func.
+func TestPublishExpvarIdempotent(t *testing.T) {
+	const name = "obs_test_idempotent"
+	r1 := New()
+	r1.Counter("probe").Add(1)
+	if err := r1.PublishExpvar(name); err != nil {
+		t.Fatalf("first publish: %v", err)
+	}
+	// The old shape panicked here.
+	r2 := New()
+	r2.Counter("probe").Add(42)
+	if err := r2.PublishExpvar(name); err != nil {
+		t.Fatalf("re-publish: %v", err)
+	}
+
+	v := expvar.Get(name)
+	if v == nil {
+		t.Fatalf("expvar %q not registered", name)
+	}
+	var rep Report
+	if err := json.Unmarshal([]byte(v.String()), &rep); err != nil {
+		t.Fatalf("expvar %q is not a report: %v", name, err)
+	}
+	if got := rep.Counters["probe"]; got != 42 {
+		t.Fatalf("expvar serves probe=%d, want 42 (the re-published recorder)", got)
+	}
+}
+
+func TestPublishExpvarErrors(t *testing.T) {
+	r := New()
+	if err := r.PublishExpvar(""); err == nil {
+		t.Error("empty name must be an error")
+	}
+	// A name somebody else already registered with expvar directly is
+	// genuine misuse: we cannot take it over, but we must not panic.
+	// Registration is once per process (expvar.NewInt itself panics on
+	// reuse), so guard for -count>1 reruns.
+	const foreign = "obs_test_foreign"
+	if expvar.Get(foreign) == nil {
+		expvar.NewInt(foreign)
+	}
+	if err := r.PublishExpvar(foreign); err == nil {
+		t.Error("foreign expvar name must be an error, not a panic or a silent overwrite")
+	}
+}
+
+func TestPublishExpvarNilRecorder(t *testing.T) {
+	// The nil recorder is the disabled default everywhere else; a nil
+	// publish must serve the zero report rather than crash the expvar
+	// read path.
+	var r *Recorder
+	const name = "obs_test_nil"
+	if err := r.PublishExpvar(name); err != nil {
+		t.Fatalf("nil publish: %v", err)
+	}
+	var rep Report
+	if err := json.Unmarshal([]byte(expvar.Get(name).String()), &rep); err != nil {
+		t.Fatalf("nil-backed expvar: %v", err)
+	}
+	if rep.Version != reportVersion {
+		t.Fatalf("nil-backed expvar version = %d, want %d", rep.Version, reportVersion)
+	}
+}
+
+// TestServeDebugLifecycle exercises the shared debug server: the
+// listener is connectable when ServeDebug returns, /debug/vars serves
+// the expvar map, and cancelling the context shuts the listener down and
+// resolves Wait with a nil error (http.ErrServerClosed is the clean
+// exit, not a failure).
+func TestServeDebugLifecycle(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	d, err := ServeDebug(ctx, "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	url := fmt.Sprintf("http://%s/debug/vars", d.Addr())
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatalf("GET %s: %v", url, err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET %s: status %d", url, resp.StatusCode)
+	}
+	if !strings.Contains(string(body), "memstats") {
+		t.Errorf("/debug/vars does not look like an expvar map")
+	}
+
+	cancel()
+	if err := d.Wait(); err != nil {
+		t.Fatalf("Wait after cancel: %v", err)
+	}
+	// The listener must actually be down.
+	deadline := time.Now().Add(2 * time.Second)
+	for time.Now().Before(deadline) {
+		if _, err := http.Get(url); err != nil {
+			return
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	t.Fatal("listener still accepting after shutdown")
+}
+
+func TestServeDebugCloseIdempotent(t *testing.T) {
+	d, err := ServeDebug(context.Background(), "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := d.Close(); err != nil {
+		t.Fatalf("first Close: %v", err)
+	}
+	if err := d.Close(); err != nil {
+		t.Fatalf("second Close: %v", err)
+	}
+}

@@ -8,6 +8,8 @@ import (
 	"math"
 	"sort"
 	"strings"
+	"sync"
+	"sync/atomic"
 	"time"
 )
 
@@ -281,11 +283,42 @@ func (r *Recorder) Expvar() expvar.Func {
 	return func() any { return r.Snapshot(nil) }
 }
 
-// PublishExpvar publishes the recorder under the given expvar name.
-// expvar panics on duplicate names, so this is a once-per-process call
-// (commands publish under "tmedb").
-func (r *Recorder) PublishExpvar(name string) {
-	expvar.Publish(name, r.Expvar())
+// published maps an expvar name to the swappable slot backing the
+// expvar.Func registered under it. expvar registrations are permanent
+// (expvar.Publish panics on duplicates and offers no unpublish), so the
+// indirection is what makes PublishExpvar idempotent: the expvar.Func is
+// registered once per name and forever reads whichever recorder the slot
+// currently holds.
+var (
+	publishMu sync.Mutex
+	published = map[string]*atomic.Pointer[Recorder]{}
+)
+
+// PublishExpvar publishes the recorder's live snapshot under the given
+// expvar name. It is idempotent per name: re-publishing atomically swaps
+// which recorder backs the registered expvar.Func — what a long-running
+// process needs when successive runs (or re-invoked tests) each create a
+// fresh recorder, where the old expvar.Publish-on-every-call shape
+// panicked the process on the second run. It returns an error, never
+// panics, on genuine misuse: an empty name, or a name already taken by
+// an expvar this package did not register.
+func (r *Recorder) PublishExpvar(name string) error {
+	if name == "" {
+		return fmt.Errorf("obs: PublishExpvar with empty name")
+	}
+	publishMu.Lock()
+	defer publishMu.Unlock()
+	slot, ok := published[name]
+	if !ok {
+		if expvar.Get(name) != nil {
+			return fmt.Errorf("obs: expvar %q already registered outside this package", name)
+		}
+		slot = new(atomic.Pointer[Recorder])
+		published[name] = slot
+		expvar.Publish(name, expvar.Func(func() any { return slot.Load().Snapshot(nil) }))
+	}
+	slot.Store(r)
+	return nil
 }
 
 func ms(d time.Duration) float64 { return float64(d) / float64(time.Millisecond) }

@@ -10,6 +10,7 @@ import (
 	"fmt"
 	"math"
 	"sort"
+	"sync/atomic"
 
 	"repro/internal/interval"
 	"repro/internal/partition"
@@ -44,10 +45,20 @@ type Graph struct {
 	neighbors [][]NodeID
 	// version counts topology mutations (AddContact calls that change
 	// presence). Memo caches downstream (dts, auxgraph) key on the
-	// (graph pointer, version) pair, so a mutated graph never serves a
+	// (graph ID, version) pair, so a mutated graph never serves a
 	// stale cached artifact.
 	version uint64
+	// id is the process-unique identity stamped by New. Downstream memo
+	// caches key on it instead of the *Graph pointer: in a long-running
+	// process a collected graph's address can be recycled for a fresh
+	// graph (also at version 0), and a pointer-keyed cache would then
+	// silently serve the dead graph's artifacts. IDs are never reused.
+	id uint64
 }
+
+// nextGraphID hands out process-unique graph identities; 0 is reserved
+// as "no graph" so a zero-value key never matches a real one.
+var nextGraphID atomic.Uint64
 
 // New creates a TVG with n nodes over the time span, with uniform edge
 // traversal time tau >= 0.
@@ -64,6 +75,7 @@ func New(n int, span interval.Interval, tau float64) *Graph {
 		tau:       tau,
 		presence:  make(map[EdgeKey]interval.Set),
 		neighbors: make([][]NodeID, n),
+		id:        nextGraphID.Add(1),
 	}
 }
 
@@ -98,9 +110,21 @@ func (g *Graph) AddContact(i, j NodeID, iv interval.Interval) {
 }
 
 // Version returns the topology mutation counter: it changes whenever a
-// contact is added, and is stable otherwise. Caches keyed on (graph
-// pointer, version) are invalidated exactly when the topology changes.
+// contact is added, and is stable otherwise. Caches keyed on (graph ID,
+// version) are invalidated exactly when the topology changes.
 func (g *Graph) Version() uint64 { return g.version }
+
+// ID returns the graph's process-unique identity: a monotonic counter
+// stamped at construction and never reused, so two distinct graphs never
+// share an ID even if one is garbage-collected and the other happens to
+// be allocated at the same address. Memo caches key on (ID, Version).
+func (g *Graph) ID() uint64 { return g.id }
+
+// SetIDForTest overrides the graph's identity. It exists solely so
+// regression tests can force two distinct graphs onto one ID and prove a
+// cache keyed on recycled identities serves stale artifacts; production
+// code must never call it.
+func (g *Graph) SetIDForTest(id uint64) { g.id = id }
 
 func insertSorted(s []NodeID, v NodeID) []NodeID {
 	i := sort.Search(len(s), func(i int) bool { return s[i] >= v })

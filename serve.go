@@ -1,0 +1,42 @@
+package tmedb
+
+// Serving: the pieces behind the tmedbd solve daemon — the shared
+// pprof/expvar debug endpoint (also used by the tmedb CLI), the
+// content-addressed trace hash keying the daemon's schedule cache, and
+// the ladder-shedding policy its admission control applies under load.
+
+import (
+	"context"
+
+	"repro/internal/degrade"
+	"repro/internal/obs"
+)
+
+// DebugServer is a running pprof/expvar debug endpoint. It owns its
+// listener, surfaces the serve error (Wait/Close), and shuts down
+// gracefully when its context is cancelled — the corrected form of the
+// fire-and-forget `go http.Serve` the CLI used to run.
+type DebugServer = obs.DebugServer
+
+// ServeDebug binds addr and serves net/http/pprof plus the expvar map
+// (including every recorder published via Recorder.PublishExpvar) until
+// ctx is cancelled or Close is called. It returns once the listener is
+// bound; pass ":0" to let the kernel pick a port and read it from Addr.
+func ServeDebug(ctx context.Context, addr string) (*DebugServer, error) {
+	return obs.ServeDebug(ctx, addr)
+}
+
+// TraceHash returns the stable 64-bit content hash of a trace. Two
+// traces hash equal exactly when their contact lists are identical, so
+// the hash identifies a trace independently of where it was loaded from
+// — the first component of the daemon's schedule cache key.
+func TraceHash(t *Trace) uint64 { return t.Hash() }
+
+// ShedLadder trims a degradation ladder for load shedding: it drops the
+// rungs of higher quality than r, keeping at least the rung of last
+// resort. An overloaded server lowers the starting rung of queued
+// requests instead of rejecting them — quality degrades, feasibility
+// (the T and ε bounds) never does.
+func ShedLadder(ladder []DegradeRung, r DegradeRung) []DegradeRung {
+	return degrade.ShedTo(ladder, r)
+}
