@@ -473,3 +473,110 @@ func TestCacheServesIdenticalSchedule(t *testing.T) {
 		t.Fatal("cache hit returned a different schedule than the cold solve")
 	}
 }
+
+// TestLadderSolvesDoNotPoisonCache pins the cache-fill contract: a
+// budgeted solve whose request-supplied ladder pins it to the rung of
+// last resort wins its first rung cleanly, yet must not be cached —
+// the ladder is not part of the cache key, so caching it would hand a
+// rand schedule to later full-quality requests for the same key.
+func TestLadderSolvesDoNotPoisonCache(t *testing.T) {
+	srv := newServer(defaultConfig())
+	ts := httptest.NewServer(srv.handler())
+	defer ts.Close()
+
+	in := instance{alg: "fr-eedcb", model: "rayleigh", n: 10, seed: 11, src: 0}
+	code, sr, err := postSolve(ts.Client(), ts.URL, solveBody(in, func(q *solveRequest) {
+		q.DeadlineMS = 60_000
+		q.Ladder = "rand"
+	}))
+	if err != nil || code != http.StatusOK {
+		t.Fatalf("ladder solve: code=%d err=%v", code, err)
+	}
+	if sr.Rung != "rand" {
+		t.Fatalf("ladder solve answered at rung %q, want rand", sr.Rung)
+	}
+	// The same key without the ladder must be a miss and answer the
+	// full-quality schedule, byte-identical to a direct facade solve.
+	code, sr, err = postSolve(ts.Client(), ts.URL, solveBody(in, nil))
+	if err != nil || code != http.StatusOK {
+		t.Fatalf("plain solve: code=%d err=%v", code, err)
+	}
+	if sr.Cache != "miss" {
+		t.Errorf("plain solve after ladder solve was a %q, want miss (cache poisoned)", sr.Cache)
+	}
+	got := scheduleBytes(t, decodeSchedule(t, sr))
+	if want := scheduleBytes(t, expected(t, in)); !bytes.Equal(got, want) {
+		t.Errorf("plain solve after ladder solve differs from facade:\n got %s\nwant %s", got, want)
+	}
+}
+
+// TestAdmitFreeSlotNeverSheds pins the admission fast path: arrivals
+// that find a free solve slot admit unshed no matter how many other
+// requests are mid-admission, even when maxQueue is small relative to
+// maxConcurrent (the old admit counted simultaneous arrivals on an idle
+// daemon as queue depth and could shed or 503 with slots free).
+func TestAdmitFreeSlotNeverSheds(t *testing.T) {
+	cfg := defaultConfig()
+	cfg.maxConcurrent = 2
+	cfg.maxQueue = 1
+	srv := newServer(cfg)
+
+	// Simulate the worst interleaving: the waiting counter already holds
+	// more in-flight arrivals than the queue admits.
+	srv.waiting.Add(int64(cfg.maxQueue + 3))
+	rel1, shed, err := srv.admit(context.Background())
+	if err != nil || shed != 0 {
+		t.Fatalf("admit on idle daemon: shed=%d err=%v", shed, err)
+	}
+	rel2, shed, err := srv.admit(context.Background())
+	if err != nil || shed != 0 {
+		t.Fatalf("admit with one slot left: shed=%d err=%v", shed, err)
+	}
+	srv.waiting.Add(-int64(cfg.maxQueue + 3))
+
+	// Slots exhausted: admission queues again and the caller's context
+	// is the only way out.
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, _, err := srv.admit(ctx); !errors.Is(err, context.Canceled) {
+		t.Fatalf("admit with no free slot and dead ctx: %v, want context.Canceled", err)
+	}
+	rel1()
+	rel2()
+}
+
+// TestShedRungsCountsDroppedRungs pins the shed_rungs semantics: the
+// value is the number of rungs the shed level actually removed from the
+// planner-bounded ladder, not the absolute shed level.
+func TestShedRungsCountsDroppedRungs(t *testing.T) {
+	srv := newServer(defaultConfig())
+	tr := tmedb.GenerateTrace(tmedb.TraceOptions{N: 10}, 1)
+	shed := int(tmedb.RungGreed)
+
+	// A greed request already starts at the greed rung: shedding to
+	// greed removes nothing and must report zero.
+	req := solveRequest{Alg: "greed", Src: 0, T0: soakT0, Delay: soakDelay}
+	_, outcome, dropped, _, err := srv.solve(context.Background(), &req, tr, shed, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dropped != 0 {
+		t.Errorf("greed request shed to greed reports %d dropped rungs, want 0", dropped)
+	}
+	if outcome == nil || outcome.Rung != tmedb.RungGreed {
+		t.Fatalf("greed request shed to greed answered outcome %+v, want greed rung", outcome)
+	}
+
+	// The default planner's 4-rung ladder loses full and spt.
+	req = solveRequest{Src: 0, T0: soakT0, Delay: soakDelay}
+	_, outcome, dropped, _, err = srv.solve(context.Background(), &req, tr, shed, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dropped != 2 {
+		t.Errorf("fr-eedcb request shed to greed reports %d dropped rungs, want 2", dropped)
+	}
+	if outcome == nil || outcome.Rung != tmedb.RungGreed {
+		t.Fatalf("fr-eedcb request shed to greed answered outcome %+v, want greed rung", outcome)
+	}
+}

@@ -77,8 +77,10 @@ type solveResponse struct {
 	Schedule json.RawMessage `json:"schedule"`
 	// Cache is "hit" or "miss".
 	Cache string `json:"cache"`
-	// ShedRungs counts the ladder rungs admission control dropped for
-	// this request because the queue was deep (0 = unshed).
+	// ShedRungs counts the degradation-ladder rungs admission control
+	// actually removed for this request because the queue was deep
+	// (0 = unshed). A shed level at or below the requested planner's
+	// best rung removes nothing and reports 0.
 	ShedRungs int `json:"shed_rungs,omitempty"`
 	// Rung names the degradation-ladder rung that produced the schedule
 	// (budgeted or shed solves only).

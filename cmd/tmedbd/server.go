@@ -47,19 +47,29 @@ func defaultConfig() config {
 }
 
 // cacheKey identifies a solve by everything that determines its
-// full-quality schedule: the trace content hash (not the instance — the
-// same trace uploaded twice hits), the broadcast instance (src, window,
-// ε), and the planner (alg, model, level, seed). Workers is deliberately
+// full-quality schedule: the trace content (not the instance — the same
+// trace uploaded twice hits), the broadcast instance (src, window, ε),
+// and the planner (alg, model, level, seed). Workers is deliberately
 // absent: schedules are identical for every pool size.
+//
+// The trace is identified by its 64-bit FNV-1a content hash plus a
+// structural fingerprint (node count, horizon, contact count): the hash
+// alone is only statistically collision-free (see the Trace.Hash
+// collision note), and a collision here would silently serve another
+// trace's schedule, so wrong-answer collisions additionally require two
+// traces that agree on shape.
 type cacheKey struct {
-	traceHash uint64
-	src       int
-	t0, delay float64
-	eps       float64
-	model     string
-	alg       string
-	level     int
-	seed      int64
+	traceHash     uint64
+	traceN        int
+	traceHorizon  float64
+	traceContacts int
+	src           int
+	t0, delay     float64
+	eps           float64
+	model         string
+	alg           string
+	level         int
+	seed          int64
 }
 
 // cacheEntry is one cached full-quality solve. The schedule and meta are
@@ -130,11 +140,19 @@ func (s *server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 var errQueueFull = errors.New("queue full")
 
 // admit blocks until a solve slot frees up or ctx dies. The returned
-// shed level is the number of ladder rungs admission control drops for
+// shed level is the ladder starting rung admission control applies to
 // this request: it grows with the queue depth observed at arrival, so an
-// overloaded daemon degrades answer quality instead of erroring. Only a
-// queue deeper than maxQueue is rejected outright.
+// overloaded daemon degrades answer quality instead of erroring. A free
+// slot admits immediately and sheds nothing — simultaneous arrivals on
+// an idle daemon must not observe each other as queue depth and shed (or
+// 503) while slots are free. Only a queue at maxQueue is rejected
+// outright.
 func (s *server) admit(ctx context.Context) (release func(), shed int, err error) {
+	select {
+	case s.sem <- struct{}{}:
+		return s.acquired(), 0, nil
+	default:
+	}
 	depth := int(s.waiting.Add(1) - 1)
 	defer func() {
 		s.waiting.Add(-1)
@@ -147,13 +165,18 @@ func (s *server) admit(ctx context.Context) (release func(), shed int, err error
 	shed = s.shedLevel(depth)
 	select {
 	case s.sem <- struct{}{}:
-		s.proc.Gauge("tmedbd.active").Set(float64(s.active.Add(1)))
-		return func() {
-			s.proc.Gauge("tmedbd.active").Set(float64(s.active.Add(-1)))
-			<-s.sem
-		}, shed, nil
+		return s.acquired(), shed, nil
 	case <-ctx.Done():
 		return nil, 0, ctx.Err()
+	}
+}
+
+// acquired records a newly taken solve slot and returns its release.
+func (s *server) acquired() func() {
+	s.proc.Gauge("tmedbd.active").Set(float64(s.active.Add(1)))
+	return func() {
+		s.proc.Gauge("tmedbd.active").Set(float64(s.active.Add(-1)))
+		<-s.sem
 	}
 }
 
@@ -204,15 +227,18 @@ func (s *server) handleSolve(w http.ResponseWriter, r *http.Request) {
 	}
 
 	key := cacheKey{
-		traceHash: tmedb.TraceHash(tr),
-		src:       req.Src,
-		t0:        req.T0,
-		delay:     req.Delay,
-		eps:       req.Eps,
-		model:     req.model(),
-		alg:       req.alg(),
-		level:     req.level(),
-		seed:      req.Seed,
+		traceHash:     tmedb.TraceHash(tr),
+		traceN:        tr.N,
+		traceHorizon:  tr.Horizon,
+		traceContacts: len(tr.Contacts),
+		src:           req.Src,
+		t0:            req.T0,
+		delay:         req.Delay,
+		eps:           req.Eps,
+		model:         req.model(),
+		alg:           req.alg(),
+		level:         req.level(),
+		seed:          req.Seed,
 	}
 	if !req.NoCache {
 		if e, ok := s.cache.Get(key); ok {
@@ -237,16 +263,16 @@ func (s *server) handleSolve(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	defer release()
-	if shed > 0 {
-		s.proc.Counter("tmedbd.shed.requests").Inc()
-		s.proc.Counter("tmedbd.shed.rungs").Add(int64(shed))
-	}
 
 	var rec *tmedb.Recorder
 	if req.Report {
 		rec = tmedb.NewRecorder()
 	}
-	sched, outcome, incomplete, err := s.solve(r.Context(), &req, tr, shed, rec)
+	sched, outcome, shedRungs, incomplete, err := s.solve(r.Context(), &req, tr, shed, rec)
+	if shedRungs > 0 {
+		s.proc.Counter("tmedbd.shed.requests").Inc()
+		s.proc.Counter("tmedbd.shed.rungs").Add(int64(shedRungs))
+	}
 	if err != nil {
 		switch {
 		case errors.Is(err, tmedb.ErrBudgetExceeded):
@@ -272,7 +298,7 @@ func (s *server) handleSolve(w http.ResponseWriter, r *http.Request) {
 	}
 	outcome.Annotate(meta)
 
-	resp := solveResponse{Cache: "miss", ShedRungs: shed}
+	resp := solveResponse{Cache: "miss", ShedRungs: shedRungs}
 	if outcome != nil {
 		resp.Rung = outcome.Rung.String()
 		resp.DegradeReason = outcome.Reason
@@ -287,11 +313,15 @@ func (s *server) handleSolve(w http.ResponseWriter, r *http.Request) {
 		resp.Report = &report
 	}
 
-	// Only full-quality deterministic results enter the cache: nothing
-	// shed, and — for budgeted solves — the ladder's best rung answered
-	// without falling. Degraded schedules depend on load, not on the
-	// key.
-	if !req.NoCache && shed == 0 && (outcome == nil || outcome.Reason == "") {
+	// Only direct-path results enter the cache: nothing shed and no
+	// degradation ladder engaged (outcome == nil), so the cached bytes
+	// are exactly what an unbudgeted facade solve of the key would
+	// produce. Ladder solves never fill — which rung answers depends on
+	// the request's budget and ladder, neither of which is in the key,
+	// so even a clean first-rung win (e.g. a request-supplied
+	// ladder:"rand" under the default alg) may be a degraded answer for
+	// the key's planner.
+	if !req.NoCache && outcome == nil {
 		s.cache.Put(key, cacheEntry{sched: sched, meta: meta, incomplete: incomplete})
 	}
 	s.writeSolve(w, resp, sched, meta, incomplete)
@@ -302,11 +332,13 @@ func (s *server) handleSolve(w http.ResponseWriter, r *http.Request) {
 // ScheduleWithContext, byte-identical to a CLI/facade solve. A positive
 // budget or a shed level engages the degradation ladder, which plans
 // model-true (the fading family on fading graphs) so every fallback
-// stays T/ε-feasible.
-func (s *server) solve(ctx context.Context, req *solveRequest, tr *tmedb.Trace, shed int, rec *tmedb.Recorder) (tmedb.Schedule, *tmedb.DegradeOutcome, []int, error) {
+// stays T/ε-feasible. The int result is the number of ladder rungs the
+// shed level actually removed — zero when the ladder, already bounded by
+// the requested planner, starts at or below the shed rung.
+func (s *server) solve(ctx context.Context, req *solveRequest, tr *tmedb.Trace, shed int, rec *tmedb.Recorder) (tmedb.Schedule, *tmedb.DegradeOutcome, int, []int, error) {
 	model, err := parseModel(req.model())
 	if err != nil {
-		return nil, nil, nil, err
+		return nil, nil, 0, nil, err
 	}
 	params := tmedb.DefaultParams()
 	if req.Eps > 0 {
@@ -318,16 +350,20 @@ func (s *server) solve(ctx context.Context, req *solveRequest, tr *tmedb.Trace, 
 
 	var sched tmedb.Schedule
 	var outcome *tmedb.DegradeOutcome
+	shedRungs := 0
 	if req.budget() > 0 || shed > 0 {
 		ladder, lerr := tmedb.ParseLadder(req.Ladder)
 		if lerr != nil {
-			return nil, nil, nil, lerr
+			return nil, nil, 0, nil, lerr
 		}
 		// The request's planner bounds the best rung (a greed request
 		// must not be upgraded to a full Steiner solve), then shedding
-		// lowers the start further.
+		// lowers the start further. Only the second trim is load
+		// shedding; shedRungs reports the rungs it actually removed.
 		ladder = tmedb.ShedLadder(ladder, rungFor(req.alg()))
+		bounded := len(ladder)
 		ladder = tmedb.ShedLadder(ladder, tmedb.DegradeRung(shed))
+		shedRungs = bounded - len(ladder)
 		sched, outcome, err = tmedb.SolveWithLadder(ctx, g, tmedb.NodeID(req.Src), req.T0, deadline, tmedb.DegradeOptions{
 			Budget:  req.budget(),
 			Ladder:  ladder,
@@ -344,15 +380,15 @@ func (s *server) solve(ctx context.Context, req *solveRequest, tr *tmedb.Trace, 
 	var inc *tmedb.IncompleteError
 	switch {
 	case err == nil:
-		return sched, outcome, nil, nil
+		return sched, outcome, shedRungs, nil, nil
 	case errors.As(err, &inc):
 		uncovered := make([]int, len(inc.Uncovered))
 		for i, n := range inc.Uncovered {
 			uncovered[i] = int(n)
 		}
-		return sched, outcome, uncovered, nil
+		return sched, outcome, shedRungs, uncovered, nil
 	default:
-		return nil, nil, nil, err
+		return nil, nil, shedRungs, nil, err
 	}
 }
 

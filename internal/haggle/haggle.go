@@ -46,6 +46,14 @@ type Trace struct {
 // the hash identifies a trace in content-addressed caches — notably the
 // tmedbd schedule cache — independent of where the trace was loaded from
 // or which *Trace instance carries it.
+//
+// The hash is 64 bits and unkeyed: two distinct traces can collide
+// (≈2⁻⁶⁴ per pair, birthday-bounded over a cache's lifetime), and FNV-1a
+// is not collision-resistant against adversarial inputs. Callers for
+// whom a collision would be a correctness bug — not just a wasted miss —
+// should pair the hash with a cheap structural fingerprint (N, Horizon,
+// contact count) rather than trust it alone, as the tmedbd cache key
+// does.
 func (t *Trace) Hash() uint64 {
 	h := fnv.New64a()
 	var buf [8]byte
