@@ -65,12 +65,17 @@ func phaseSums(phases []obs.PhaseReport, targets []string) map[string]float64 {
 }
 
 // row is one line of the comparison: a phase (or the synthetic "total")
-// with its baseline and current wall_ms.
+// with its baseline and current wall_ms, or a counter/gauge with its
+// baseline and current value.
 type row struct {
 	Name      string
 	Base      float64
 	Cur       float64
 	Regressed bool
+	// LowerIsWorse flips the gate direction: quality metrics (hit
+	// rates) regress by falling, cost metrics (allocation counts, wall
+	// times) by rising.
+	LowerIsWorse bool
 }
 
 // ratio returns current/baseline; +0%/no-regression when the baseline
@@ -104,22 +109,93 @@ func compare(base, cur *obs.Report, targets []string, tol float64) []row {
 	return rows
 }
 
+// metricValue resolves a gated metric name in a report. Plain names
+// look up the counter map first, then the gauges. The derived
+// "<base>.hit_rate" form computes hits/(hits+misses) from the
+// "<base>.hits"/"<base>.misses" counters (falling back to same-named
+// gauges, where cache sampling records them) — the cache-effectiveness
+// view, which regresses by falling rather than rising.
+func metricValue(r *obs.Report, name string) (v float64, lowerIsWorse, ok bool) {
+	if base, isRate := strings.CutSuffix(name, ".hit_rate"); isRate {
+		hits, hok := lookupNum(r, base+".hits")
+		misses, mok := lookupNum(r, base+".misses")
+		if !hok || !mok || hits+misses == 0 {
+			return 0, true, false
+		}
+		return hits / (hits + misses), true, true
+	}
+	v, ok = lookupNum(r, name)
+	return v, false, ok
+}
+
+func lookupNum(r *obs.Report, name string) (float64, bool) {
+	if c, ok := r.Counters[name]; ok {
+		return float64(c), true
+	}
+	if g, ok := r.Gauges[name]; ok {
+		return g, true
+	}
+	return 0, false
+}
+
+// compareMetrics builds comparison rows for gated counters/gauges.
+// Cost metrics regress above baseline*(1+tol); hit rates regress below
+// baseline*(1-tol). A metric absent from the baseline (or with a zero
+// denominator) is reported but never gates, mirroring the phase rule.
+func compareMetrics(base, cur *obs.Report, names []string, tol float64) []row {
+	sorted := append([]string(nil), names...)
+	sort.Strings(sorted)
+	rows := make([]row, 0, len(sorted))
+	for _, n := range sorted {
+		bv, lower, bok := metricValue(base, n)
+		cv, _, cok := metricValue(cur, n)
+		r := row{Name: n, Base: bv, Cur: cv, LowerIsWorse: lower}
+		if bok && cok && bv > 0 {
+			q := cv / bv
+			if lower && q < 1-tol {
+				r.Regressed = true
+			}
+			if !lower && q > 1+tol {
+				r.Regressed = true
+			}
+		}
+		if !bok {
+			r.Base = 0
+		}
+		rows = append(rows, r)
+	}
+	return rows
+}
+
 // format renders the comparison as an aligned text table.
 func format(rows []row, tol float64) string {
+	return formatTable(rows, tol, "phase", "baseline(ms)", "current(ms)")
+}
+
+// formatMetrics renders the counter/gauge comparison table.
+func formatMetrics(rows []row, tol float64) string {
+	return formatTable(rows, tol, "metric", "baseline", "current")
+}
+
+func formatTable(rows []row, tol float64, label, baseCol, curCol string) string {
 	var b strings.Builder
-	fmt.Fprintf(&b, "%-16s %14s %14s %9s  %s\n", "phase", "baseline(ms)", "current(ms)", "delta", "verdict")
+	fmt.Fprintf(&b, "%-24s %14s %14s %9s  %s\n", label, baseCol, curCol, "delta", "verdict")
 	for _, r := range rows {
 		verdict := "ok"
 		delta := "n/a"
 		if q, ok := r.ratio(); ok {
 			delta = fmt.Sprintf("%+.1f%%", (q-1)*100)
 			if r.Regressed {
-				verdict = fmt.Sprintf("REGRESSED (> +%.0f%%)", tol*100)
+				if r.LowerIsWorse {
+					verdict = fmt.Sprintf("REGRESSED (< -%.0f%%)", tol*100)
+				} else {
+					verdict = fmt.Sprintf("REGRESSED (> +%.0f%%)", tol*100)
+				}
 			}
 		} else {
 			verdict = "skipped (no baseline)"
 		}
-		fmt.Fprintf(&b, "%-16s %14.3f %14.3f %9s  %s\n", r.Name, r.Base, r.Cur, delta, verdict)
+		fmt.Fprintf(&b, "%-24s %14.3f %14.3f %9s  %s\n", r.Name, r.Base, r.Cur, delta, verdict)
 	}
 	return b.String()
 }

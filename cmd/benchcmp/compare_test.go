@@ -117,9 +117,97 @@ func TestRunExitCodes(t *testing.T) {
 		{"negative tol", base, base, -1, 2},
 	}
 	for _, c := range cases {
-		if got := run(c.baseline, c.current, "auxgraph,dcs-construct,steiner", c.tol); got != c.want {
+		if got := run(c.baseline, c.current, "auxgraph,dcs-construct,steiner", "", c.tol); got != c.want {
 			t.Errorf("%s: run() = %d, want %d", c.name, got, c.want)
 		}
+	}
+}
+
+// metricReport builds a report carrying only counters/gauges, the shape
+// compareMetrics consumes.
+func metricReport(counters map[string]int64, gauges map[string]float64) *obs.Report {
+	return &obs.Report{Version: 1, Counters: counters, Gauges: gauges}
+}
+
+// TestCompareMetricsCostCounters pins the cost direction: a plain
+// counter regresses by rising beyond tolerance, never by falling.
+func TestCompareMetricsCostCounters(t *testing.T) {
+	base := metricReport(map[string]int64{"graph.arena.allocs": 100}, nil)
+	worse := metricReport(map[string]int64{"graph.arena.allocs": 150}, nil)
+	better := metricReport(map[string]int64{"graph.arena.allocs": 50}, nil)
+
+	rows := compareMetrics(base, worse, []string{"graph.arena.allocs"}, 0.40)
+	if len(rows) != 1 || !rows[0].Regressed {
+		t.Errorf("+50%% allocs at 40%% tol should regress: %+v", rows)
+	}
+	rows = compareMetrics(base, better, []string{"graph.arena.allocs"}, 0.40)
+	if rows[0].Regressed {
+		t.Errorf("fewer allocs flagged as regression: %+v", rows)
+	}
+}
+
+// TestCompareMetricsHitRate pins the derived quality direction: the
+// <base>.hit_rate form computes hits/(hits+misses) and regresses by
+// falling beyond tolerance.
+func TestCompareMetricsHitRate(t *testing.T) {
+	base := metricReport(map[string]int64{"dts.memo.hits": 80, "dts.memo.misses": 20}, nil)
+	worse := metricReport(map[string]int64{"dts.memo.hits": 20, "dts.memo.misses": 80}, nil)
+	better := metricReport(map[string]int64{"dts.memo.hits": 95, "dts.memo.misses": 5}, nil)
+
+	rows := compareMetrics(base, worse, []string{"dts.memo.hit_rate"}, 0.40)
+	if len(rows) != 1 || !rows[0].Regressed {
+		t.Errorf("hit rate 0.8 -> 0.2 at 40%% tol should regress: %+v", rows)
+	}
+	if !approx(rows[0].Base, 0.8) || !approx(rows[0].Cur, 0.2) {
+		t.Errorf("derived rates = %g -> %g, want 0.8 -> 0.2", rows[0].Base, rows[0].Cur)
+	}
+	rows = compareMetrics(base, better, []string{"dts.memo.hit_rate"}, 0.40)
+	if rows[0].Regressed {
+		t.Errorf("improved hit rate flagged as regression: %+v", rows)
+	}
+	// A rate falls within tolerance: 0.8 -> 0.6 is -25%, under 40%.
+	mild := metricReport(map[string]int64{"dts.memo.hits": 60, "dts.memo.misses": 40}, nil)
+	rows = compareMetrics(base, mild, []string{"dts.memo.hit_rate"}, 0.40)
+	if rows[0].Regressed {
+		t.Errorf("-25%% hit rate at 40%% tol flagged: %+v", rows)
+	}
+}
+
+// TestCompareMetricsGaugeFallback pins the gauge fallback: names absent
+// from the counter map resolve in the gauges (cache sampling records
+// hits/misses as gauges), and a metric with no baseline never gates.
+func TestCompareMetricsGaugeFallback(t *testing.T) {
+	base := metricReport(nil, map[string]float64{"cache.cost.hits": 90, "cache.cost.misses": 10})
+	cur := metricReport(nil, map[string]float64{"cache.cost.hits": 10, "cache.cost.misses": 90})
+	rows := compareMetrics(base, cur, []string{"cache.cost.hit_rate"}, 0.40)
+	if len(rows) != 1 || !rows[0].Regressed {
+		t.Errorf("gauge-backed hit rate collapse should regress: %+v", rows)
+	}
+
+	rows = compareMetrics(metricReport(nil, nil), cur, []string{"cache.cost.hit_rate", "nope"}, 0.40)
+	for _, r := range rows {
+		if r.Regressed {
+			t.Errorf("metric with no baseline gated: %+v", r)
+		}
+	}
+}
+
+// TestRunExitCodesWithCounters pins the end-to-end gate: identical
+// reports pass with counters gated, and formatMetrics renders the
+// metric table.
+func TestRunExitCodesWithCounters(t *testing.T) {
+	base := filepath.Join("testdata", "base.json")
+	// base.json has no counters, so gating on absent metrics must not
+	// fail the run (skipped, not regressed).
+	if got := run(base, base, "auxgraph", "graph.arena.allocs,dts.memo.hit_rate", 0.40); got != 0 {
+		t.Errorf("identical reports with counter gates: run() = %d, want 0", got)
+	}
+	out := formatMetrics(compareMetrics(
+		metricReport(map[string]int64{"x": 10}, nil),
+		metricReport(map[string]int64{"x": 20}, nil),
+		[]string{"x"}, 0.40), 0.40)
+	if !strings.Contains(out, "REGRESSED") || !strings.Contains(out, "metric") {
+		t.Errorf("formatMetrics output lacks verdict/header:\n%s", out)
 	}
 }
 

@@ -9,6 +9,13 @@
 // phase tree — a recursive span never double-counts its own nested
 // occurrences (see phaseSums).
 //
+// -counters additionally gates counter/gauge values: plain names
+// (allocation counts, memo misses) fail on increase beyond the
+// tolerance; the derived "<base>.hit_rate" form — hits/(hits+misses)
+// from the <base>.hits / <base>.misses counters or gauges — fails on
+// decrease, so cache-effectiveness regressions are caught even when
+// wall times still pass.
+//
 // Exit codes: 0 = within tolerance, 1 = at least one gated phase (or
 // the total) regressed, 2 = usage or I/O error.
 package main
@@ -25,13 +32,14 @@ func main() {
 		baseline = flag.String("baseline", "", "committed baseline report (BENCH_pr*.json)")
 		current  = flag.String("current", "", "freshly produced report to gate")
 		phases   = flag.String("phases", "auxgraph,dcs-construct,steiner", "comma-separated phase names to gate")
-		tol      = flag.Float64("tol", 0.40, "allowed fractional slowdown before failing (0.40 = +40%)")
+		counters = flag.String("counters", "", "comma-separated counters/gauges to gate; plain names fail on increase, the derived <base>.hit_rate (from <base>.hits/<base>.misses) fails on decrease")
+		tol      = flag.Float64("tol", 0.40, "allowed fractional regression before failing (0.40 = ±40%)")
 	)
 	flag.Parse()
-	os.Exit(run(*baseline, *current, *phases, *tol))
+	os.Exit(run(*baseline, *current, *phases, *counters, *tol))
 }
 
-func run(baselinePath, currentPath, phaseList string, tol float64) int {
+func run(baselinePath, currentPath, phaseList, counterList string, tol float64) int {
 	if baselinePath == "" || currentPath == "" {
 		fmt.Fprintln(os.Stderr, "benchcmp: -baseline and -current are required")
 		flag.Usage()
@@ -59,9 +67,21 @@ func run(baselinePath, currentPath, phaseList string, tol float64) int {
 	}
 	rows := compare(base, cur, targets, tol)
 	fmt.Print(format(rows, tol))
+	var metrics []string
+	for _, m := range strings.Split(counterList, ",") {
+		if m = strings.TrimSpace(m); m != "" {
+			metrics = append(metrics, m)
+		}
+	}
+	if len(metrics) > 0 {
+		mrows := compareMetrics(base, cur, metrics, tol)
+		fmt.Println()
+		fmt.Print(formatMetrics(mrows, tol))
+		rows = append(rows, mrows...)
+	}
 	for _, r := range rows {
 		if r.Regressed {
-			fmt.Printf("\nFAIL: perf regression above +%.0f%% tolerance\n", tol*100)
+			fmt.Printf("\nFAIL: perf regression beyond ±%.0f%% tolerance\n", tol*100)
 			return 1
 		}
 	}

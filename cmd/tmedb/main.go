@@ -11,8 +11,10 @@
 // Without -trace a synthetic Haggle-like trace is generated (-seed, -n).
 //
 // Observability: -metrics writes the machine-readable run report,
-// -phases prints the phase tree with wall times and cache hit rates, and
-// -pprof serves net/http/pprof plus the live report on /debug/vars.
+// -phases prints the phase tree with wall times and cache hit rates,
+// -trace-out writes the phase tree as Chrome trace-event (catapult)
+// JSON, and -pprof serves net/http/pprof plus the live report on
+// /debug/vars and its Prometheus exposition on /metrics.
 package main
 
 import (
@@ -47,6 +49,7 @@ func main() {
 		auditRun  = flag.Bool("audit", false, "run the differential execution-semantics audit over randomized cases (seeded by -seed) and exit; non-zero on any disagreement")
 		auditN    = flag.Int("audit-cases", 250, "randomized cases for -audit")
 		metrics   = flag.String("metrics", "", "write the JSON run report (phase tree, counters, cache hit rates, pool utilization) to this file")
+		traceOut  = flag.String("trace-out", "", "write the run's phase tree as Chrome trace-event (catapult) JSON to this file, loadable in chrome://tracing or Perfetto")
 		phases    = flag.Bool("phases", false, "print the phase tree and metrics summary after the run")
 		pprofAddr = flag.String("pprof", "", "serve net/http/pprof and the live run report (expvar \"tmedb\" on /debug/vars) on this address, e.g. localhost:6060")
 		budget    = flag.Duration("deadline", 0, "total wall-clock solve budget (e.g. 2s); engages the degradation ladder, which falls from the primary planner to cheaper ones as the budget runs out. 0 plans unbudgeted with -alg")
@@ -62,7 +65,7 @@ func main() {
 	}
 
 	var rec *tmedb.Recorder
-	if *metrics != "" || *phases || *pprofAddr != "" {
+	if *metrics != "" || *phases || *pprofAddr != "" || *traceOut != "" {
 		rec = tmedb.NewRecorder()
 	}
 	if *pprofAddr != "" {
@@ -256,6 +259,17 @@ func main() {
 			fatal(err)
 		}
 		fmt.Printf("run report written to %s\n", *metrics)
+	}
+	if *traceOut != "" {
+		f, err := os.Create(*traceOut)
+		if err != nil {
+			fatal(err)
+		}
+		defer f.Close()
+		if err := report.WriteTrace(f); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("trace written to %s\n", *traceOut)
 	}
 }
 

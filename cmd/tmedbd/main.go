@@ -10,14 +10,21 @@
 //
 //	tmedbd [-addr localhost:8723] [-debug localhost:6060] [-traces dir]
 //	       [-workers 1] [-max-concurrent 4] [-max-queue 16] [-cache 256]
+//	       [-log json|text] [-flight 256]
 //
 // API:
 //
-//	POST /solve    JSON solve request -> schedule envelope + meta
-//	GET  /healthz  liveness + queue depth
+//	POST /solve           JSON solve request -> schedule envelope + meta
+//	                      (?trace=1 answers the catapult trace instead)
+//	GET  /healthz         liveness + queue depth
+//	GET  /metrics         Prometheus text exposition of the fleet metrics
+//	GET  /debug/requests  flight recorder: the last N completed requests
 //
-// With -debug, net/http/pprof and the expvar fleet metrics (expvar name
-// "tmedbd" on /debug/vars) are served on the debug address.
+// With -log, every request gets a process-unique req_id shared by its
+// structured log events (admission, shedding, cache, degradation rungs,
+// errors), its flight-recorder entry, and its response. With -debug,
+// net/http/pprof, the expvar fleet metrics (expvar name "tmedbd" on
+// /debug/vars), and /metrics are served on the debug address too.
 package main
 
 import (
@@ -58,8 +65,18 @@ func parseFlags(args []string) (config, error) {
 	fs.IntVar(&cfg.maxConcurrent, "max-concurrent", cfg.maxConcurrent, "solves running at once")
 	fs.IntVar(&cfg.maxQueue, "max-queue", cfg.maxQueue, "requests waiting for a slot before 503; a deepening queue sheds ladder rungs first")
 	fs.IntVar(&cfg.cacheSize, "cache", cfg.cacheSize, "schedule cache capacity (entries)")
+	fs.StringVar(&cfg.logFormat, "log", "", "request-scoped structured logging to stderr: json or text (empty: disabled)")
+	fs.IntVar(&cfg.flightSize, "flight", 0, "flight recorder capacity in requests (0: default 256)")
 	if err := fs.Parse(args); err != nil {
 		return cfg, err
+	}
+	switch cfg.logFormat {
+	case "", "json", "text":
+	default:
+		return cfg, fmt.Errorf("-log must be json or text (got %q)", cfg.logFormat)
+	}
+	if cfg.flightSize < 0 {
+		return cfg, fmt.Errorf("-flight must be >= 0 (got %d)", cfg.flightSize)
 	}
 	if cfg.workers < 0 {
 		return cfg, fmt.Errorf("-workers must be >= 0 (got %d)", cfg.workers)
@@ -87,6 +104,12 @@ const shutdownGrace = 10 * time.Second
 // PublishExpvar panic.
 func run(ctx context.Context, cfg config, logw io.Writer) error {
 	srv := newServer(cfg)
+	switch cfg.logFormat {
+	case "json":
+		srv.log = tmedb.NewJSONLogger(logw)
+	case "text":
+		srv.log = tmedb.NewTextLogger(logw)
+	}
 	if err := srv.proc.PublishExpvar("tmedbd"); err != nil {
 		return err
 	}

@@ -9,7 +9,9 @@ import (
 	"io"
 	"net/http"
 	"net/http/httptest"
+	"regexp"
 	"runtime"
+	"strings"
 	"sync"
 	"testing"
 	"time"
@@ -160,6 +162,47 @@ func TestSoakMixedWorkloads(t *testing.T) {
 	const rounds = 6
 	var wg sync.WaitGroup
 	errs := make(chan error, clients*rounds*2)
+
+	// Telemetry under load: collect the req_id of every completed (200)
+	// solve for the flight-recorder exactly-once check, and scrape
+	// /metrics concurrently — every scrape must parse as valid
+	// Prometheus exposition while solves are in flight.
+	var completedMu sync.Mutex
+	var completed []string
+	scrapeStop := make(chan struct{})
+	var scrapeWG sync.WaitGroup
+	scrapeWG.Add(1)
+	go func() {
+		defer scrapeWG.Done()
+		for {
+			select {
+			case <-scrapeStop:
+				return
+			default:
+			}
+			resp, err := http.Get(ts.URL + "/metrics")
+			if err != nil {
+				errs <- fmt.Errorf("metrics scrape: %w", err)
+				return
+			}
+			body, err := io.ReadAll(resp.Body)
+			resp.Body.Close()
+			if err != nil {
+				errs <- fmt.Errorf("metrics scrape: %w", err)
+				return
+			}
+			if err := validateExposition(string(body)); err != nil {
+				errs <- fmt.Errorf("metrics scrape mid-soak: %w", err)
+				return
+			}
+			time.Sleep(5 * time.Millisecond)
+		}
+	}()
+	recordCompleted := func(sr solveResponse) {
+		completedMu.Lock()
+		completed = append(completed, sr.ReqID)
+		completedMu.Unlock()
+	}
 	for c := 0; c < clients; c++ {
 		wg.Add(1)
 		go func(c int) {
@@ -186,6 +229,7 @@ func TestSoakMixedWorkloads(t *testing.T) {
 						errs <- fmt.Errorf("solve %v shed %d rungs with an empty queue", instances[i], sr.ShedRungs)
 						continue
 					}
+					recordCompleted(sr)
 					if got := scheduleBytes(t, decodeSchedule(t, sr)); !bytes.Equal(got, want[i]) {
 						errs <- fmt.Errorf("solve %v (%s): schedule differs from facade\n got %s\nwant %s",
 							instances[i], sr.Cache, got, want[i])
@@ -203,6 +247,7 @@ func TestSoakMixedWorkloads(t *testing.T) {
 						errs <- fmt.Errorf("budgeted solve %v: status %d, want degraded 200", instances[i], code)
 						continue
 					}
+					recordCompleted(sr)
 					if sr.Rung == "" {
 						errs <- fmt.Errorf("budgeted solve %v: no rung in response", instances[i])
 					}
@@ -220,6 +265,8 @@ func TestSoakMixedWorkloads(t *testing.T) {
 		}(c)
 	}
 	wg.Wait()
+	close(scrapeStop)
+	scrapeWG.Wait()
 	close(errs)
 	for err := range errs {
 		t.Error(err)
@@ -234,13 +281,82 @@ func TestSoakMixedWorkloads(t *testing.T) {
 	if sr.Cache != "hit" {
 		t.Errorf("post-soak repeat of instances[0] was a %q, want hit", sr.Cache)
 	}
+	recordCompleted(sr)
 	rep := srv.proc.Snapshot(nil)
 	if rep.Counters["tmedbd.solved"] == 0 {
 		t.Error("fleet counters recorded zero solves")
 	}
+	if rep.Rollings == nil {
+		t.Error("fleet report has no rolling latency windows")
+	}
+
+	// Flight-recorder consistency: every completed request's record was
+	// published before its response bytes, so by now each collected
+	// req_id appears in /debug/requests exactly once (well under the
+	// default 256-slot capacity, nothing was evicted).
+	flight := fetchFlight(t, ts.URL)
+	seen := map[string]int{}
+	for _, r := range flight.Requests {
+		seen[r.ID]++
+	}
+	for _, id := range completed {
+		if id == "" {
+			t.Error("completed solve carried no req_id")
+			continue
+		}
+		if seen[id] != 1 {
+			t.Errorf("req_id %s appears %d times in the flight recorder, want exactly once", id, seen[id])
+		}
+	}
+	for i := 1; i < len(flight.Requests); i++ {
+		if flight.Requests[i].Seq <= flight.Requests[i-1].Seq {
+			t.Errorf("flight snapshot out of order at %d: seq %d then %d",
+				i, flight.Requests[i-1].Seq, flight.Requests[i].Seq)
+		}
+	}
 
 	ts.Close()
 	checkNoLeaks(t, base)
+}
+
+// flightPageJSON mirrors the /debug/requests envelope for decoding.
+type flightPageJSON struct {
+	Cap      int                   `json:"cap"`
+	Recorded uint64                `json:"recorded"`
+	Requests []tmedb.RequestRecord `json:"requests"`
+}
+
+func fetchFlight(t *testing.T, url string) flightPageJSON {
+	t.Helper()
+	resp, err := http.Get(url + "/debug/requests")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var page flightPageJSON
+	if err := json.NewDecoder(resp.Body).Decode(&page); err != nil {
+		t.Fatalf("flight page: %v", err)
+	}
+	return page
+}
+
+// expositionLine matches one Prometheus text-format sample:
+// name{labels} value.
+var expositionLine = regexp.MustCompile(
+	`^[a-zA-Z_:][a-zA-Z0-9_:]*(\{[a-zA-Z_][a-zA-Z0-9_]*="(\\.|[^"\\])*"(,[a-zA-Z_][a-zA-Z0-9_]*="(\\.|[^"\\])*")*\})? (NaN|[+-]?Inf|[-+0-9.eE]+)$`)
+
+// validateExposition checks that body parses as Prometheus text
+// exposition format 0.0.4 (comment/TYPE/HELP lines or samples).
+func validateExposition(body string) error {
+	for _, line := range strings.Split(body, "\n") {
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		if !expositionLine.MatchString(line) {
+			return fmt.Errorf("malformed exposition line: %q", line)
+		}
+	}
+	return nil
 }
 
 // TestOverloadShedsInsteadOfErroring pins the shedding contract on a

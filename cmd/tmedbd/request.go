@@ -71,6 +71,10 @@ type syntheticRef struct {
 
 // solveResponse is the JSON body of a successful solve.
 type solveResponse struct {
+	// ReqID is the daemon-minted request ID; the same ID tags every
+	// structured log line of this request and its flight-recorder entry,
+	// so a response can be joined to its server-side telemetry.
+	ReqID string `json:"req_id,omitempty"`
 	// Schedule is the standard schedule envelope ({version, meta,
 	// transmissions}) — the same shape tmedb -o writes and
 	// ReadScheduleJSONMeta parses.

@@ -8,6 +8,7 @@ import (
 	"fmt"
 	"net/http"
 	"sync/atomic"
+	"time"
 
 	"repro"
 	"repro/internal/lru"
@@ -33,6 +34,11 @@ type config struct {
 	cacheSize int
 	// maxBody bounds the request body (inline traces can be large).
 	maxBody int64
+	// logFormat selects request-scoped structured logging: "json", "text",
+	// or "" (disabled — the zero-allocation nil logger).
+	logFormat string
+	// flightSize is the flight-recorder ring capacity (0 = default 256).
+	flightSize int
 }
 
 func defaultConfig() config {
@@ -96,6 +102,16 @@ type server struct {
 	// request also gets its own per-request recorder when it asks for a
 	// report.
 	proc *tmedb.Recorder
+	// log is the structured event sink; nil (the default) disables
+	// logging at zero cost. Each request derives a child logger bound to
+	// its req_id and threads it through the solve via context.
+	log *tmedb.Logger
+	// flight is the last-N-requests ring served at /debug/requests.
+	flight *tmedb.Flight
+	// lat and qwait are the rolling-window SLO distributions behind the
+	// /metrics summaries: end-to-end solve latency and time spent queued
+	// for a slot, both in milliseconds.
+	lat, qwait *tmedb.Rolling
 }
 
 func newServer(cfg config) *server {
@@ -111,20 +127,28 @@ func newServer(cfg config) *server {
 	if cfg.maxBody <= 0 {
 		cfg.maxBody = 64 << 20
 	}
-	return &server{
-		cfg:   cfg,
-		cache: lru.New[cacheKey, cacheEntry](cfg.cacheSize),
-		sem:   make(chan struct{}, cfg.maxConcurrent),
-		proc:  tmedb.NewRecorder(),
+	srv := &server{
+		cfg:    cfg,
+		cache:  lru.New[cacheKey, cacheEntry](cfg.cacheSize),
+		sem:    make(chan struct{}, cfg.maxConcurrent),
+		proc:   tmedb.NewRecorder(),
+		flight: tmedb.NewFlight(cfg.flightSize),
 	}
+	srv.lat = srv.proc.Rolling("tmedbd.latency_ms", 0)
+	srv.qwait = srv.proc.Rolling("tmedbd.queue_wait_ms", 0)
+	return srv
 }
 
-// handler mounts the API: POST /solve and GET /healthz. Debug endpoints
-// live on their own listener (see config.debugAddr), not here.
+// handler mounts the API: POST /solve, GET /healthz, plus the telemetry
+// reads — the Prometheus exposition of the fleet recorder at /metrics
+// and the flight recorder at /debug/requests. pprof/expvar live on
+// their own listener (see config.debugAddr), not here.
 func (s *server) handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/solve", s.handleSolve)
 	mux.HandleFunc("/healthz", s.handleHealthz)
+	mux.Handle("/metrics", s.proc.PromHandler("tmedbd"))
+	mux.Handle("/debug/requests", s.flight)
 	return mux
 }
 
@@ -194,37 +218,172 @@ func (s *server) shedLevel(depth int) int {
 	return level
 }
 
+// reqState is one request's telemetry: what the handler learned about
+// the request as it progressed, shared between the solve path and the
+// completion hooks (flight record, structured events).
+type reqState struct {
+	id         string
+	alg, model string
+	trace      string
+	src        int
+	t0, delay  float64
+	rung       string
+	shedRungs  int
+	cache      string
+	err        error
+	phaseMS    map[string]float64
+}
+
+func (st *reqState) errString() string {
+	if st.err == nil {
+		return ""
+	}
+	return st.err.Error()
+}
+
+// statusWriter captures the response status and fires onFirst once,
+// immediately before the first header/body write reaches the client —
+// the hook that publishes the flight record before the response, so a
+// client that has read its answer can already see the request at
+// /debug/requests.
+type statusWriter struct {
+	http.ResponseWriter
+	code    int
+	onFirst func(code int)
+}
+
+func (w *statusWriter) WriteHeader(code int) {
+	w.first(code)
+	w.ResponseWriter.WriteHeader(code)
+}
+
+func (w *statusWriter) Write(b []byte) (int, error) {
+	w.first(http.StatusOK)
+	return w.ResponseWriter.Write(b)
+}
+
+func (w *statusWriter) first(code int) {
+	if w.code != 0 {
+		return
+	}
+	w.code = code
+	if w.onFirst != nil {
+		w.onFirst(code)
+	}
+}
+
+// errKind is the error-taxonomy label logged with failed requests.
+func errKind(status int) string {
+	switch status {
+	case statusClientClosedRequest:
+		return "cancelled"
+	case http.StatusGatewayTimeout:
+		return "budget"
+	case http.StatusServiceUnavailable:
+		return "overload"
+	case http.StatusBadRequest:
+		return "bad_request"
+	default:
+		return "internal"
+	}
+}
+
+// handleSolve is the telemetry envelope around one solve: it mints the
+// request ID, binds it to the request-scoped logger threaded through
+// the solver via context, and on completion records the flight entry,
+// observes the latency distribution, and emits the solve.done /
+// solve.failed event — all tagged with the same req_id.
 func (s *server) handleSolve(w http.ResponseWriter, r *http.Request) {
 	if r.Method != http.MethodPost {
 		writeError(w, http.StatusMethodNotAllowed, fmt.Errorf("POST only"))
 		return
 	}
 	s.proc.Counter("tmedbd.requests").Inc()
+	start := time.Now()
+	st := &reqState{id: tmedb.NewRequestID()}
+	lg := s.log.With(tmedb.LogStr("req_id", st.id))
+	sw := &statusWriter{ResponseWriter: w}
+	sw.onFirst = func(code int) {
+		s.flight.Record(tmedb.RequestRecord{
+			ID:         st.id,
+			Start:      start,
+			DurationMS: float64(time.Since(start)) / float64(time.Millisecond),
+			Status:     code,
+			Alg:        st.alg,
+			Model:      st.model,
+			Trace:      st.trace,
+			Src:        st.src,
+			T0:         st.t0,
+			Delay:      st.delay,
+			Rung:       st.rung,
+			ShedRungs:  st.shedRungs,
+			Cache:      st.cache,
+			Err:        st.errString(),
+			PhaseMS:    st.phaseMS,
+		})
+	}
+	s.serveSolve(sw, r.WithContext(tmedb.WithLogger(r.Context(), lg)), st)
+	ms := float64(time.Since(start)) / float64(time.Millisecond)
+	s.lat.Observe(ms)
+	if st.err != nil {
+		lg.Error("solve.failed", st.err,
+			tmedb.LogInt("status", sw.code),
+			tmedb.LogStr("kind", errKind(sw.code)),
+			tmedb.LogF64("ms", ms))
+	} else if lg.Enabled() {
+		lg.Event("solve.done",
+			tmedb.LogInt("status", sw.code),
+			tmedb.LogStr("cache", st.cache),
+			tmedb.LogStr("rung", st.rung),
+			tmedb.LogInt("shed_rungs", st.shedRungs),
+			tmedb.LogF64("ms", ms))
+	}
+}
+
+// serveSolve is the solve path proper: decode, validate, cache, admit,
+// plan, respond — recording what it learns into st as it goes.
+func (s *server) serveSolve(w http.ResponseWriter, r *http.Request, st *reqState) {
+	lg := tmedb.LoggerFrom(r.Context())
 	var req solveRequest
 	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, s.cfg.maxBody))
 	dec.DisallowUnknownFields()
 	if err := dec.Decode(&req); err != nil {
-		s.fail(w, http.StatusBadRequest, err)
+		s.fail(st, w, http.StatusBadRequest, err)
 		return
 	}
 	if err := req.validate(); err != nil {
-		s.fail(w, http.StatusBadRequest, err)
+		s.fail(st, w, http.StatusBadRequest, err)
 		return
 	}
 	tr, traceName, err := s.resolveTrace(&req)
 	if err != nil {
-		s.fail(w, http.StatusBadRequest, err)
+		s.fail(st, w, http.StatusBadRequest, err)
 		return
 	}
+	st.alg, st.model, st.trace = req.alg(), req.model(), traceName
+	st.src, st.t0, st.delay = req.Src, req.T0, req.Delay
+	if lg.Enabled() {
+		lg.Event("solve.received",
+			tmedb.LogStr("alg", st.alg),
+			tmedb.LogStr("model", st.model),
+			tmedb.LogStr("trace", traceName),
+			tmedb.LogInt("src", req.Src),
+			tmedb.LogF64("t0", req.T0),
+			tmedb.LogF64("delay", req.Delay))
+	}
 	if req.Src >= tr.N {
-		s.fail(w, http.StatusBadRequest, fmt.Errorf("src %d outside [0,%d)", req.Src, tr.N))
+		s.fail(st, w, http.StatusBadRequest, fmt.Errorf("src %d outside [0,%d)", req.Src, tr.N))
 		return
 	}
 	if req.T0 < 0 || req.T0+req.Delay > tr.Horizon {
-		s.fail(w, http.StatusBadRequest,
+		s.fail(st, w, http.StatusBadRequest,
 			fmt.Errorf("window [%g,%g] outside trace horizon [0,%g]", req.T0, req.T0+req.Delay, tr.Horizon))
 		return
 	}
+	// ?trace=1 asks for the catapult trace of this solve instead of the
+	// schedule envelope: it forces a per-request recorder and bypasses
+	// the cache lookup (a cache hit plans nothing, so it has no trace).
+	traceReq := r.URL.Query().Get("trace") == "1"
 
 	key := cacheKey{
 		traceHash:     tmedb.TraceHash(tr),
@@ -240,35 +399,47 @@ func (s *server) handleSolve(w http.ResponseWriter, r *http.Request) {
 		level:         req.level(),
 		seed:          req.Seed,
 	}
-	if !req.NoCache {
+	st.cache = "miss"
+	if !req.NoCache && !traceReq {
 		if e, ok := s.cache.Get(key); ok {
 			s.proc.Counter("tmedbd.cache.hits").Inc()
-			s.writeSolve(w, solveResponse{Cache: "hit"}, e.sched, e.meta, e.incomplete)
+			st.cache = "hit"
+			if lg.Enabled() {
+				lg.Event("solve.cache_hit")
+			}
+			s.writeSolve(st, w, solveResponse{ReqID: st.id, Cache: "hit"}, e.sched, e.meta, e.incomplete)
 			return
 		}
 		s.proc.Counter("tmedbd.cache.misses").Inc()
 	}
 
+	qStart := time.Now()
 	release, shed, err := s.admit(r.Context())
+	s.qwait.Observe(float64(time.Since(qStart)) / float64(time.Millisecond))
 	if err != nil {
 		if errors.Is(err, errQueueFull) {
 			w.Header().Set("Retry-After", "1")
-			s.fail(w, http.StatusServiceUnavailable, err)
+			s.fail(st, w, http.StatusServiceUnavailable, err)
 		} else {
 			// The client went away while queued; nobody reads the body,
 			// but close out the request cleanly.
 			s.proc.Counter("tmedbd.cancelled").Inc()
+			st.err = err
 			writeError(w, statusClientClosedRequest, err)
 		}
 		return
 	}
 	defer release()
+	if shed > 0 && lg.Enabled() {
+		lg.Event("solve.shed", tmedb.LogInt("level", shed))
+	}
 
 	var rec *tmedb.Recorder
-	if req.Report {
+	if req.Report || traceReq {
 		rec = tmedb.NewRecorder()
 	}
 	sched, outcome, shedRungs, incomplete, err := s.solve(r.Context(), &req, tr, shed, rec)
+	st.shedRungs = shedRungs
 	if shedRungs > 0 {
 		s.proc.Counter("tmedbd.shed.requests").Inc()
 		s.proc.Counter("tmedbd.shed.rungs").Add(int64(shedRungs))
@@ -276,12 +447,13 @@ func (s *server) handleSolve(w http.ResponseWriter, r *http.Request) {
 	if err != nil {
 		switch {
 		case errors.Is(err, tmedb.ErrBudgetExceeded):
-			s.fail(w, http.StatusGatewayTimeout, err)
+			s.fail(st, w, http.StatusGatewayTimeout, err)
 		case errors.Is(err, tmedb.ErrCancelled):
 			s.proc.Counter("tmedbd.cancelled").Inc()
+			st.err = err
 			writeError(w, statusClientClosedRequest, err)
 		default:
-			s.fail(w, http.StatusInternalServerError, err)
+			s.fail(st, w, http.StatusInternalServerError, err)
 		}
 		return
 	}
@@ -298,19 +470,25 @@ func (s *server) handleSolve(w http.ResponseWriter, r *http.Request) {
 	}
 	outcome.Annotate(meta)
 
-	resp := solveResponse{Cache: "miss", ShedRungs: shedRungs}
+	resp := solveResponse{ReqID: st.id, Cache: "miss", ShedRungs: shedRungs}
 	if outcome != nil {
 		resp.Rung = outcome.Rung.String()
 		resp.DegradeReason = outcome.Reason
+		st.rung = resp.Rung
 	}
+	var report *tmedb.RunReport
 	if rec != nil {
-		report := rec.Snapshot(map[string]string{
+		rp := rec.Snapshot(map[string]string{
 			"algorithm": meta.Algorithm,
 			"model":     meta.Model,
 			"trace":     traceName,
 		})
-		meta.PhaseMS = report.PhaseWallMS()
-		resp.Report = &report
+		report = &rp
+		meta.PhaseMS = rp.PhaseWallMS()
+		st.phaseMS = meta.PhaseMS
+		if req.Report {
+			resp.Report = report
+		}
 	}
 
 	// Only direct-path results enter the cache: nothing shed and no
@@ -324,7 +502,15 @@ func (s *server) handleSolve(w http.ResponseWriter, r *http.Request) {
 	if !req.NoCache && outcome == nil {
 		s.cache.Put(key, cacheEntry{sched: sched, meta: meta, incomplete: incomplete})
 	}
-	s.writeSolve(w, resp, sched, meta, incomplete)
+	if traceReq {
+		w.Header().Set("Content-Type", "application/json")
+		w.Header().Set("X-Request-Id", st.id)
+		if err := report.WriteTrace(w); err != nil {
+			st.err = err
+		}
+		return
+	}
+	s.writeSolve(st, w, resp, sched, meta, incomplete)
 }
 
 // solve runs the planner stack for one admitted request. Unshed,
@@ -439,10 +625,10 @@ func rungFor(alg string) tmedb.DegradeRung {
 // code keeps access logs honest.
 const statusClientClosedRequest = 499
 
-func (s *server) writeSolve(w http.ResponseWriter, resp solveResponse, sched tmedb.Schedule, meta *tmedb.ScheduleMeta, incomplete []int) {
+func (s *server) writeSolve(st *reqState, w http.ResponseWriter, resp solveResponse, sched tmedb.Schedule, meta *tmedb.ScheduleMeta, incomplete []int) {
 	var buf bytes.Buffer
 	if err := tmedb.WriteScheduleJSONMeta(&buf, sched, meta); err != nil {
-		s.fail(w, http.StatusInternalServerError, err)
+		s.fail(st, w, http.StatusInternalServerError, err)
 		return
 	}
 	resp.Schedule = json.RawMessage(buf.Bytes())
@@ -451,8 +637,11 @@ func (s *server) writeSolve(w http.ResponseWriter, resp solveResponse, sched tme
 	json.NewEncoder(w).Encode(resp)
 }
 
-func (s *server) fail(w http.ResponseWriter, code int, err error) {
+// fail records the terminal error in the request state (for the flight
+// record and the solve.failed event) and answers it.
+func (s *server) fail(st *reqState, w http.ResponseWriter, code int, err error) {
 	s.proc.Counter("tmedbd.errors").Inc()
+	st.err = err
 	writeError(w, code, err)
 }
 

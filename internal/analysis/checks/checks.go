@@ -16,6 +16,9 @@
 //     sentinels must be matched with errors.Is (DESIGN.md §9).
 //   - spanpair: every obs phase span that is started must be ended on
 //     every path (observability contract, DESIGN.md §8).
+//   - logconst: obs.Logger / log/slog messages must be constant
+//     strings; variable data rides in key-value attrs (telemetry
+//     contract, DESIGN.md §13).
 package checks
 
 import (
@@ -72,6 +75,7 @@ func All() []*analysis.Analyzer {
 		CancelThread,
 		DetRange,
 		FloatEq,
+		LogConst,
 		NonDeterm,
 		SpanPair,
 	}

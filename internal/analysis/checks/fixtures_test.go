@@ -30,6 +30,10 @@ func TestSpanPairFixture(t *testing.T) {
 	analysis.RunFixture(t, "testdata/spanpair", SpanPair)
 }
 
+func TestLogConstFixture(t *testing.T) {
+	analysis.RunFixture(t, "testdata/logconst", LogConst)
+}
+
 // TestArenaReuseFixture pins the detrange/spanpair contracts on the
 // arena-reuse hot path (PR 6): pooled buffers and build-wide spans with
 // interleaved PutArena defers must not hide the bug shapes (map-order

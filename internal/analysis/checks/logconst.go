@@ -1,0 +1,120 @@
+package checks
+
+import (
+	"go/ast"
+	"go/constant"
+	"go/types"
+
+	"repro/internal/analysis"
+)
+
+// LogConst enforces the structured-logging idiom (DESIGN.md
+// "Telemetry"): the message argument of every obs.Logger / log/slog
+// logging call must be a compile-time string constant. Variable data
+// belongs in key-value attributes, never fmt.Sprintf-ed into the
+// message — constant messages are what make log streams aggregatable
+// (every "solve.done" line is the same event, countable and alertable
+// without parsing).
+//
+// The obs package itself is out of scope: its Logger veneer forwards
+// caller-supplied messages to slog by construction.
+var LogConst = &analysis.Analyzer{
+	Name: "logconst",
+	Doc: "log messages must be constant strings (variable data goes in " +
+		"key-value attrs, not fmt.Sprintf-ed into the message)",
+	Scope: func(pkgPath string) bool { return pkgPath != obsPkgPath },
+	Run:   runLogConst,
+}
+
+// slogMsgArg maps log/slog call names to the index of their message
+// argument (Log/LogAttrs carry ctx and level first).
+var slogMsgArg = map[string]int{
+	"Debug": 0, "DebugContext": 1,
+	"Info": 0, "InfoContext": 1,
+	"Warn": 0, "WarnContext": 1,
+	"Error": 0, "ErrorContext": 1,
+	"Log": 2, "LogAttrs": 2,
+}
+
+// obsMsgArg maps obs.Logger method names to their message argument.
+var obsMsgArg = map[string]int{"Event": 0, "Error": 0}
+
+func runLogConst(pass *analysis.Pass) {
+	for _, f := range pass.Pkg.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			sel, ok := call.Fun.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			fn, ok := pass.ObjectOf(sel.Sel).(*types.Func)
+			if ok && fn.Pkg() != nil {
+				if idx, qual, ok := msgArgIndex(fn); ok && idx < len(call.Args) {
+					arg := call.Args[idx]
+					if !isConstString(pass, arg) {
+						pass.Reportf(arg.Pos(),
+							"non-constant message in %s.%s: make the message a constant event name and carry variable data in key-value attrs",
+							qual, fn.Name())
+					}
+				}
+			}
+			return true
+		})
+	}
+}
+
+// msgArgIndex resolves a called function to (message argument index,
+// qualifier for the report) when it is a gated logging call.
+func msgArgIndex(fn *types.Func) (int, string, bool) {
+	switch fn.Pkg().Path() {
+	case obsPkgPath:
+		if recvNamed(fn) == "Logger" {
+			if idx, ok := obsMsgArg[fn.Name()]; ok {
+				return idx, "Logger", true
+			}
+		}
+	case "log/slog":
+		idx, ok := slogMsgArg[fn.Name()]
+		if !ok {
+			return 0, "", false
+		}
+		// Package-level slog.Info(...) or methods on *slog.Logger; both
+		// take the message at the same index.
+		if fn.Parent() == fn.Pkg().Scope() || recvNamed(fn) == "Logger" {
+			return idx, "slog", true
+		}
+	}
+	return 0, "", false
+}
+
+// recvNamed returns the name of a method's receiver type ("" for plain
+// functions), unwrapping the pointer.
+func recvNamed(fn *types.Func) string {
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok || sig.Recv() == nil {
+		return ""
+	}
+	t := sig.Recv().Type()
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok {
+		return ""
+	}
+	return named.Obj().Name()
+}
+
+// isConstString reports whether the checker evaluated e to a string
+// constant (literals, named constants, and constant concatenations all
+// qualify).
+func isConstString(pass *analysis.Pass, e ast.Expr) bool {
+	tv, ok := pass.Pkg.Info.Types[e]
+	if !ok || tv.Value == nil {
+		return false
+	}
+	return tv.Value.Kind() == constant.String
+}

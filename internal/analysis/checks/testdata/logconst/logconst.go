@@ -1,0 +1,54 @@
+// Package logconst is the golden fixture for the logconst analyzer:
+// logging messages must be compile-time string constants, with variable
+// data in key-value attrs — never fmt.Sprintf-ed into the message.
+package logconst
+
+import (
+	"context"
+	"fmt"
+	"log/slog"
+
+	"repro/internal/obs"
+)
+
+const solveDone = "solve.done"
+
+// constantMessages is the sanctioned idiom: literal or named-constant
+// messages, variable data as attrs.
+func constantMessages(lg *obs.Logger, rung string, ms float64) {
+	lg.Event("solve.received", obs.Str("rung", rung))
+	lg.Event(solveDone, obs.F64("ms", ms))
+	lg.Event("solve." + "shed") // constant concatenation is still constant
+	lg.Error("solve.failed", nil, obs.Str("kind", "internal"))
+}
+
+func sprintfIntoMessage(lg *obs.Logger, rung string) {
+	lg.Event(fmt.Sprintf("solve done on rung %s", rung)) // want "logconst: non-constant message in Logger.Event"
+}
+
+func variableMessage(lg *obs.Logger, msg string) {
+	lg.Error(msg, nil) // want "logconst: non-constant message in Logger.Error"
+}
+
+func concatenatedVariable(lg *obs.Logger, rung string) {
+	lg.Event("rung: " + rung) // want "logconst: non-constant message in Logger.Event"
+}
+
+func slogPackageLevel(err error) {
+	slog.Info("cache.hit", "key", 7)
+	slog.Error("solve failed: " + err.Error()) // want "logconst: non-constant message in slog.Error"
+}
+
+func slogMethods(l *slog.Logger, n int) {
+	l.Warn("queue.deep", "depth", n)
+	l.Warn(fmt.Sprintf("queue depth %d", n)) // want "logconst: non-constant message in slog.Warn"
+	l.Log(context.Background(), slog.LevelInfo, "solve.done")
+	l.Log(context.Background(), slog.LevelInfo, fmt.Sprint("solve", n)) // want "logconst: non-constant message in slog.Log"
+	l.LogAttrs(context.Background(), slog.LevelInfo, "solve.done", slog.Int("n", n))
+}
+
+// suppressed pins the ignore syntax for the rare legitimate forwarder.
+func suppressed(lg *obs.Logger, msg string) {
+	//tmedbvet:ignore logconst test forwarder relays caller-owned messages
+	lg.Event(msg)
+}

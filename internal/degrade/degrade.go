@@ -241,6 +241,7 @@ func (o Options) planner(rung Rung, fading bool, d *dts.DTS) core.ContextSchedul
 func Solve(ctx context.Context, g *tveg.Graph, src tvg.NodeID, t0, deadline float64, opts Options) (schedule.Schedule, *Outcome, error) {
 	sp := opts.Obs.StartPhase("degrade")
 	defer sp.End()
+	lg := obs.LoggerFrom(ctx)
 	ladder := opts.Ladder
 	if len(ladder) == 0 {
 		ladder = DefaultLadder()
@@ -274,6 +275,9 @@ func Solve(ctx context.Context, g *tveg.Graph, src tvg.NodeID, t0, deadline floa
 			remaining := opts.Budget - clock().Sub(start)
 			if remaining <= 0 {
 				opts.Obs.Counter("degrade.rung_transitions").Inc()
+				if lg.Enabled() {
+					lg.Event("degrade.rung_skipped", obs.Str("rung", rung.String()))
+				}
 				out.Attempts = append(out.Attempts, Attempt{Rung: rung, Algorithm: "", Err: "budget exhausted before start"})
 				reasons = append(reasons, fmt.Sprintf("%s: budget exhausted before start", rung))
 				continue
@@ -298,6 +302,12 @@ func Solve(ctx context.Context, g *tveg.Graph, src tvg.NodeID, t0, deadline floa
 			out.Algorithm = alg.Name()
 			out.Reason = strings.Join(reasons, "; ")
 			sp.SetStr("rung", rung.String())
+			if lg.Enabled() {
+				lg.Event("degrade.rung_answered",
+					obs.Str("rung", rung.String()),
+					obs.Str("algorithm", alg.Name()),
+					obs.I("attempts", len(out.Attempts)))
+			}
 			return s, out, err
 		}
 		if !cancel.Is(err) {
@@ -312,6 +322,12 @@ func Solve(ctx context.Context, g *tveg.Graph, src tvg.NodeID, t0, deadline floa
 			return nil, nil, fmt.Errorf("degrade: %w", ctxErr)
 		}
 		opts.Obs.Counter("degrade.rung_transitions").Inc()
+		if lg.Enabled() {
+			lg.Event("degrade.rung_abandoned",
+				obs.Str("rung", rung.String()),
+				obs.Str("algorithm", alg.Name()),
+				obs.Str("cause", err.Error()))
+		}
 		out.Attempts = append(out.Attempts, Attempt{Rung: rung, Algorithm: alg.Name(), Err: err.Error()})
 		reasons = append(reasons, fmt.Sprintf("%s: %v", rung, err))
 	}

@@ -1,6 +1,7 @@
 package obs
 
 import (
+	"context"
 	"testing"
 	"time"
 )
@@ -37,6 +38,33 @@ func TestAllocsPerRunDisabledHotPaths(t *testing.T) {
 	})
 	if allocs != 0 {
 		t.Fatalf("disabled instrumentation allocates %.1f allocs/op, want 0", allocs)
+	}
+}
+
+// TestAllocsPerRunDisabledTelemetry extends the same contract to the
+// serving-tier telemetry added for the daemon: the nil Logger, Rolling
+// window, and Flight recorder must be free when disabled, and fetching
+// the absent logger from a context must not allocate. The variadic
+// attrs stay on the caller's stack because Event/Error only range over
+// them.
+func TestAllocsPerRunDisabledTelemetry(t *testing.T) {
+	var l *Logger
+	var ro *Rolling
+	var f *Flight
+	ctx := context.Background()
+	allocs := testing.AllocsPerRun(1000, func() {
+		l.Event("solve.done", Str("rung", "full"), I("shed", 0), F64("ms", 1.5))
+		l.Error("solve.failed", nil, Str("kind", "none"))
+		_ = l.Enabled()
+		_ = LoggerFrom(ctx)
+		_ = WithLogger(ctx, nil)
+		ro.Observe(1.5)
+		_ = ro.Count()
+		f.Record(RequestRecord{Status: 200})
+		_ = f.Cap()
+	})
+	if allocs != 0 {
+		t.Fatalf("disabled telemetry allocates %.1f allocs/op, want 0", allocs)
 	}
 }
 

@@ -9,9 +9,10 @@ import (
 	"time"
 )
 
-// DebugServer is a running pprof/expvar endpoint: net/http/pprof under
-// /debug/pprof/ and the expvar map (including every recorder published
-// via PublishExpvar) under /debug/vars. It exists because both tmedb and
+// DebugServer is a running pprof/expvar/metrics endpoint: net/http/pprof
+// under /debug/pprof/, the expvar map (including every recorder
+// published via PublishExpvar) under /debug/vars, and the Prometheus
+// exposition of those same recorders under /metrics. It exists because both tmedb and
 // tmedbd used to hand-roll this — tmedb with a bare `go http.Serve(ln,
 // nil)` whose error vanished and whose listener nothing ever closed.
 // The helper owns the listener, reports the serve error, and shuts down
@@ -45,6 +46,7 @@ func ServeDebug(ctx context.Context, addr string) (*DebugServer, error) {
 	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
 	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
 	mux.Handle("/debug/vars", expvar.Handler())
+	mux.Handle("/metrics", MetricsHandler())
 	d := &DebugServer{
 		ln:   ln,
 		srv:  &http.Server{Handler: mux},

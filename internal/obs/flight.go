@@ -1,0 +1,127 @@
+package obs
+
+import (
+	"encoding/json"
+	"net/http"
+	"sort"
+	"sync/atomic"
+	"time"
+)
+
+// Flight is the serving tier's flight recorder: a fixed-size lock-free
+// ring holding the last N completed requests, served as JSON at
+// /debug/requests so a postmortem ("what did the daemon answer just
+// before it degraded?") needs no log scraping. Writers claim a slot
+// with one atomic increment and publish the record with one atomic
+// pointer store — no mutex on the request path; the ring evicts FIFO by
+// construction (slot = seq mod N). The nil Flight discards records.
+type Flight struct {
+	slots []atomic.Pointer[RequestRecord]
+	head  atomic.Uint64
+}
+
+// defaultFlightSize is the ring capacity when the caller passes a
+// non-positive size.
+const defaultFlightSize = 256
+
+// RequestRecord is one completed request as the flight recorder keeps
+// it: the request params, which rung/cache path answered, and the
+// outcome. Seq is the process-wide completion sequence number stamped
+// by Record (FIFO eviction order).
+type RequestRecord struct {
+	Seq   uint64    `json:"seq"`
+	ID    string    `json:"req_id"`
+	Start time.Time `json:"start"`
+	// DurationMS is the wall time from request receipt to completion.
+	DurationMS float64 `json:"duration_ms"`
+	// Status is the HTTP status the daemon answered.
+	Status int     `json:"status"`
+	Alg    string  `json:"alg,omitempty"`
+	Model  string  `json:"model,omitempty"`
+	Trace  string  `json:"trace,omitempty"`
+	Src    int     `json:"src"`
+	T0     float64 `json:"t0"`
+	Delay  float64 `json:"delay"`
+	// Rung is the degradation rung that answered (budgeted/shed solves).
+	Rung string `json:"rung,omitempty"`
+	// ShedRungs counts ladder rungs removed by admission control.
+	ShedRungs int `json:"shed_rungs,omitempty"`
+	// Cache is "hit", "miss", or empty when the request never reached
+	// the cache.
+	Cache string `json:"cache,omitempty"`
+	// Err carries the error string of failed requests.
+	Err string `json:"err,omitempty"`
+	// PhaseMS is the flattened phase tree (slash-joined path → wall ms)
+	// when the request ran with a per-request recorder.
+	PhaseMS map[string]float64 `json:"phase_ms,omitempty"`
+}
+
+// NewFlight returns a flight recorder holding the last n requests.
+func NewFlight(n int) *Flight {
+	if n <= 0 {
+		n = defaultFlightSize
+	}
+	return &Flight{slots: make([]atomic.Pointer[RequestRecord], n)}
+}
+
+// Record appends one completed request, evicting the oldest once the
+// ring is full. Safe for concurrent use; each call publishes exactly
+// one record.
+func (f *Flight) Record(rec RequestRecord) {
+	if f == nil {
+		return
+	}
+	// Copy into an explicit allocation rather than taking &rec: a
+	// parameter whose address escapes is moved to the heap in the
+	// function prologue, which would charge the nil (disabled) path one
+	// allocation too.
+	p := new(RequestRecord)
+	*p = rec
+	p.Seq = f.head.Add(1) - 1
+	f.slots[p.Seq%uint64(len(f.slots))].Store(p)
+}
+
+// Cap returns the ring capacity (0 on nil).
+func (f *Flight) Cap() int {
+	if f == nil {
+		return 0
+	}
+	return len(f.slots)
+}
+
+// Snapshot returns the recorded requests oldest-first. Taken while
+// writers are active it is a consistent sample: every returned record
+// was completely published, each sequence number appears at most once,
+// and ordering is by completion sequence.
+func (f *Flight) Snapshot() []RequestRecord {
+	if f == nil {
+		return nil
+	}
+	out := make([]RequestRecord, 0, len(f.slots))
+	for i := range f.slots {
+		if p := f.slots[i].Load(); p != nil {
+			out = append(out, *p)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Seq < out[j].Seq })
+	return out
+}
+
+// flightPage is the /debug/requests JSON envelope.
+type flightPage struct {
+	Cap      int             `json:"cap"`
+	Recorded uint64          `json:"recorded"`
+	Requests []RequestRecord `json:"requests"`
+}
+
+// ServeHTTP serves the snapshot as JSON (mount at /debug/requests).
+func (f *Flight) ServeHTTP(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "application/json")
+	page := flightPage{Requests: []RequestRecord{}}
+	if f != nil {
+		page.Cap = len(f.slots)
+		page.Recorded = f.head.Load()
+		page.Requests = f.Snapshot()
+	}
+	json.NewEncoder(w).Encode(page)
+}

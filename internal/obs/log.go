@@ -1,0 +1,175 @@
+package obs
+
+import (
+	"context"
+	"crypto/rand"
+	"encoding/hex"
+	"fmt"
+	"io"
+	"log/slog"
+	"sync/atomic"
+)
+
+// Request-scoped structured logging. The Logger is a thin nil-safe
+// veneer over log/slog that follows the same two contracts as the rest
+// of this package: the nil *Logger is the disabled default and every
+// method on it is a zero-allocation no-op (guarded by the AllocsPerRun
+// test), and logging is strictly write-only — no solver decision ever
+// reads a log back, so schedules are byte-identical with logging on or
+// off.
+//
+// The serving tier mints one process-unique request ID per /solve call
+// (NewRequestID), binds it to a derived Logger (With), and threads that
+// logger through the solve via context.Context (WithLogger/LoggerFrom),
+// so admission, shedding, cache, degradation-rung, cancellation, and
+// error-taxonomy events all carry the same req_id without any solver
+// layer knowing about HTTP.
+//
+// Logging idiom (enforced by the tmedbvet logconst analyzer): message
+// strings are constants — variable data goes in key-value Attrs, never
+// fmt.Sprintf-ed into the message. Constant messages are what make logs
+// aggregatable: every "solve.done" line is the same event.
+
+// Logger is a leveled structured event sink. The nil Logger discards
+// everything at zero cost; create an enabled one with NewLogger (or the
+// NewTextLogger/NewJSONLogger conveniences).
+type Logger struct {
+	s *slog.Logger
+}
+
+// NewLogger wraps a slog handler. A nil handler yields the disabled
+// (nil) logger.
+func NewLogger(h slog.Handler) *Logger {
+	if h == nil {
+		return nil
+	}
+	return &Logger{s: slog.New(h)}
+}
+
+// NewTextLogger returns a logger writing logfmt-style lines to w.
+func NewTextLogger(w io.Writer) *Logger {
+	return NewLogger(slog.NewTextHandler(w, nil))
+}
+
+// NewJSONLogger returns a logger writing one JSON object per line to w.
+func NewJSONLogger(w io.Writer) *Logger {
+	return NewLogger(slog.NewJSONHandler(w, nil))
+}
+
+// Enabled reports whether the logger records anything. Call sites that
+// must compute attribute values (error strings, formatted params) gate
+// on it so the disabled path stays allocation-free.
+func (l *Logger) Enabled() bool { return l != nil }
+
+// With returns a derived logger with attrs bound to every subsequent
+// event — how a request ID is attached once and carried everywhere.
+// Returns nil (still disabled) on a nil receiver.
+func (l *Logger) With(attrs ...Attr) *Logger {
+	if l == nil {
+		return nil
+	}
+	bound := make([]any, len(attrs))
+	for i, a := range attrs {
+		bound[i] = toSlog(a)
+	}
+	return &Logger{s: l.s.With(bound...)}
+}
+
+// Event logs one structured event at info level. The message must be a
+// constant string (the logconst contract); variable data rides in
+// attrs.
+func (l *Logger) Event(msg string, attrs ...Attr) {
+	if l == nil {
+		return
+	}
+	l.log(slog.LevelInfo, msg, nil, attrs)
+}
+
+// Error logs one structured error event. err is attached under the
+// "err" key next to the caller's attrs (taxonomy keys like "kind"
+// belong there).
+func (l *Logger) Error(msg string, err error, attrs ...Attr) {
+	if l == nil {
+		return
+	}
+	l.log(slog.LevelError, msg, err, attrs)
+}
+
+// log converts the package's non-boxing Attrs to slog attrs. attrs is
+// only ranged over, never retained, so the caller's variadic slice
+// stays on its stack — that is what keeps the nil path allocation-free.
+func (l *Logger) log(level slog.Level, msg string, err error, attrs []Attr) {
+	out := make([]slog.Attr, 0, len(attrs)+1)
+	for _, a := range attrs {
+		out = append(out, toSlog(a))
+	}
+	if err != nil {
+		out = append(out, slog.String("err", err.Error()))
+	}
+	l.s.LogAttrs(context.Background(), level, msg, out...)
+}
+
+func toSlog(a Attr) slog.Attr {
+	if a.IsStr {
+		return slog.String(a.Key, a.Str)
+	}
+	return slog.Float64(a.Key, a.Num)
+}
+
+// Str builds a string attribute.
+func Str(key, v string) Attr { return Attr{Key: key, Str: v, IsStr: true} }
+
+// F64 builds a numeric attribute.
+func F64(key string, v float64) Attr { return Attr{Key: key, Num: v} }
+
+// I builds an integer attribute (stored as a float64, the same
+// convention as span attributes — values are JSON numbers either way).
+func I(key string, v int) Attr { return Attr{Key: key, Num: float64(v)} }
+
+// loggerKey is the context key carrying the request-scoped logger.
+type loggerKey struct{}
+
+// WithLogger returns a context carrying l. A nil logger returns ctx
+// unchanged, so the disabled path allocates no context frame.
+func WithLogger(ctx context.Context, l *Logger) context.Context {
+	if l == nil {
+		return ctx
+	}
+	return context.WithValue(ctx, loggerKey{}, l)
+}
+
+// LoggerFrom extracts the request-scoped logger from ctx, nil (the
+// disabled logger) when none was attached. Safe on a nil context.
+func LoggerFrom(ctx context.Context) *Logger {
+	if ctx == nil {
+		return nil
+	}
+	l, _ := ctx.Value(loggerKey{}).(*Logger)
+	return l
+}
+
+// Request IDs: a per-process random prefix plus a monotonic counter.
+// The prefix makes IDs unique across daemon restarts (two processes
+// never mint the same ID, so fleet-wide log aggregation can join on
+// req_id alone); the counter makes them unique and cheap within one.
+var (
+	reqSeq    atomic.Uint64
+	reqPrefix = newReqPrefix()
+)
+
+func newReqPrefix() string {
+	var b [4]byte
+	if _, err := rand.Read(b[:]); err != nil {
+		// crypto/rand failing is effectively unreachable; fall back to
+		// a fixed prefix rather than refusing to mint IDs.
+		return "00000000"
+	}
+	return hex.EncodeToString(b[:])
+}
+
+// NewRequestID mints a process-unique request ID ("<proc>-<seq>").
+// Minting allocates (it builds a string) and belongs at the serving
+// boundary, never on the per-transmission hot path.
+func NewRequestID() string {
+	return fmt.Sprintf("%s-%08x", reqPrefix, reqSeq.Add(1))
+}

@@ -49,6 +49,7 @@ type Recorder struct {
 	gauges   sync.Map // string -> *Gauge
 	hists    sync.Map // string -> *Histogram
 	pools    sync.Map // string -> *Pool
+	rollings sync.Map // string -> *Rolling
 }
 
 // New returns an enabled recorder whose implicit root span starts now.
@@ -182,6 +183,16 @@ func (h *Histogram) Count() int64 {
 		return 0
 	}
 	return h.n.Load()
+}
+
+// Sum returns the running sum of every observed value (0 on nil) — the
+// Prometheus _sum companion to the bucket counts, and what mean-latency
+// panels divide by Count.
+func (h *Histogram) Sum() float64 {
+	if h == nil {
+		return 0
+	}
+	return math.Float64frombits(h.sum.Load())
 }
 
 // Histogram returns the named histogram, creating it with the given

@@ -25,6 +25,7 @@ type Report struct {
 	Gauges   map[string]float64 `json:"gauges,omitempty"`
 	Hists    []HistReport       `json:"histograms,omitempty"`
 	Pools    []PoolReport       `json:"pools,omitempty"`
+	Rollings []RollingReport    `json:"rollings,omitempty"`
 }
 
 // reportVersion is the current run-report shape version.
@@ -32,18 +33,25 @@ const reportVersion = 1
 
 // PhaseReport is one node of the phase tree.
 type PhaseReport struct {
-	Name     string         `json:"name"`
+	Name string `json:"name"`
+	// StartMS is the phase's start offset from the run's root span —
+	// what lets the trace-event export place spans on a timeline
+	// instead of only sizing them.
+	StartMS  float64        `json:"start_ms"`
 	WallMS   float64        `json:"wall_ms"`
 	Attrs    map[string]any `json:"attrs,omitempty"`
 	Children []PhaseReport  `json:"children,omitempty"`
 }
 
-// HistReport is one histogram's buckets.
+// HistReport is one histogram's buckets plus the running sum (the
+// Prometheus _sum companion; Mean = Sum/Count is kept precomputed for
+// human output).
 type HistReport struct {
 	Name   string    `json:"name"`
 	Bounds []float64 `json:"bounds"`
 	Counts []int64   `json:"counts"` // len(Bounds)+1, last = overflow
 	Count  int64     `json:"count"`
+	Sum    float64   `json:"sum"`
 	Mean   float64   `json:"mean"`
 }
 
@@ -70,7 +78,7 @@ func (r *Recorder) Snapshot(meta map[string]string) Report {
 	r.mu.Lock()
 	rep.WallMS = ms(r.root.durationLocked())
 	for _, c := range r.root.children {
-		rep.Phases = append(rep.Phases, phaseReport(c))
+		rep.Phases = append(rep.Phases, phaseReport(c, r.root.start))
 	}
 	r.mu.Unlock()
 
@@ -115,6 +123,7 @@ func (r *Recorder) Snapshot(meta map[string]string) Report {
 		}
 		sum = math.Float64frombits(h.sum.Load())
 		hr.Count = total
+		hr.Sum = sum
 		if total > 0 {
 			hr.Mean = sum / float64(total)
 		}
@@ -122,6 +131,20 @@ func (r *Recorder) Snapshot(meta map[string]string) Report {
 		return true
 	})
 	sort.Slice(rep.Hists, func(i, j int) bool { return rep.Hists[i].Name < rep.Hists[j].Name })
+
+	r.rollings.Range(func(k, v any) bool {
+		n, sum, window, capacity := v.(*Rolling).snapshot()
+		rr := RollingReport{Name: k.(string), Window: capacity, Count: n, Sum: sum}
+		if len(window) > 0 {
+			sort.Float64s(window)
+			rr.P50 = quantileSorted(window, 0.50)
+			rr.P90 = quantileSorted(window, 0.90)
+			rr.P99 = quantileSorted(window, 0.99)
+		}
+		rep.Rollings = append(rep.Rollings, rr)
+		return true
+	})
+	sort.Slice(rep.Rollings, func(i, j int) bool { return rep.Rollings[i].Name < rep.Rollings[j].Name })
 
 	r.pools.Range(func(k, v any) bool {
 		runs, tasks, busy, width := v.(*Pool).snapshot()
@@ -147,8 +170,8 @@ func (r *Recorder) Snapshot(meta map[string]string) Report {
 	return rep
 }
 
-func phaseReport(sp *Span) PhaseReport {
-	pr := PhaseReport{Name: sp.name, WallMS: ms(sp.durationLocked())}
+func phaseReport(sp *Span, origin time.Time) PhaseReport {
+	pr := PhaseReport{Name: sp.name, StartMS: ms(sp.start.Sub(origin)), WallMS: ms(sp.durationLocked())}
 	if len(sp.attrs) > 0 {
 		pr.Attrs = make(map[string]any, len(sp.attrs))
 		for _, a := range sp.attrs {
@@ -160,7 +183,7 @@ func phaseReport(sp *Span) PhaseReport {
 		}
 	}
 	for _, c := range sp.children {
-		pr.Children = append(pr.Children, phaseReport(c))
+		pr.Children = append(pr.Children, phaseReport(c, origin))
 	}
 	return pr
 }
@@ -213,7 +236,10 @@ func (rep Report) String() string {
 	writeSortedInt(&b, "counters", rep.Counters)
 	writeSortedFloat(&b, "gauges", rep.Gauges)
 	for _, h := range rep.Hists {
-		fmt.Fprintf(&b, "hist %s: n=%d mean=%.4g buckets=%v\n", h.Name, h.Count, h.Mean, h.Counts)
+		fmt.Fprintf(&b, "hist %s: n=%d sum=%.4g mean=%.4g buckets=%v\n", h.Name, h.Count, h.Sum, h.Mean, h.Counts)
+	}
+	for _, ro := range rep.Rollings {
+		fmt.Fprintf(&b, "rolling %s: n=%d p50=%.4g p90=%.4g p99=%.4g\n", ro.Name, ro.Count, ro.P50, ro.P90, ro.P99)
 	}
 	for _, p := range rep.Pools {
 		fmt.Fprintf(&b, "pool %s: runs=%d tasks=%d workers=%d balance=%.2f busy_ms=%s\n",

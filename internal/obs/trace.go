@@ -1,0 +1,65 @@
+package obs
+
+import (
+	"encoding/json"
+	"io"
+)
+
+// Chrome trace-event (catapult) export of the phase tree: the JSON
+// array format chrome://tracing, Perfetto, and speedscope all open
+// directly, so a slow solve's dts/auxgraph/steiner breakdown is one
+// download away from a flame view. Spans become complete ("ph": "X")
+// events with microsecond timestamps relative to the run's root span;
+// span attributes ride in "args". Each top-level phase gets its own
+// track id so concurrent solves sharing one recorder render as parallel
+// tracks instead of one corrupted stack.
+
+// TraceEvent is one Chrome trace-event entry (the subset of the
+// catapult schema the export uses).
+type TraceEvent struct {
+	Name string `json:"name"`
+	// Ph is the event phase; the export emits complete events ("X").
+	Ph string `json:"ph"`
+	// Ts is the start timestamp in microseconds relative to the run.
+	Ts float64 `json:"ts"`
+	// Dur is the duration in microseconds.
+	Dur  float64        `json:"dur"`
+	Pid  int            `json:"pid"`
+	Tid  int            `json:"tid"`
+	Args map[string]any `json:"args,omitempty"`
+}
+
+// TraceEvents flattens the report's phase tree into catapult events.
+// The synthetic root event carries the run's wall time; every phase
+// keeps its recorded start offset, so gaps between phases (queue wait,
+// non-instrumented work) stay visible.
+func (rep Report) TraceEvents() []TraceEvent {
+	events := []TraceEvent{{Name: "run", Ph: "X", Ts: 0, Dur: rep.WallMS * 1000, Pid: 1, Tid: 1}}
+	var walk func(p PhaseReport, tid int)
+	walk = func(p PhaseReport, tid int) {
+		events = append(events, TraceEvent{
+			Name: p.Name,
+			Ph:   "X",
+			Ts:   p.StartMS * 1000,
+			Dur:  p.WallMS * 1000,
+			Pid:  1,
+			Tid:  tid,
+			Args: p.Attrs,
+		})
+		for _, c := range p.Children {
+			walk(c, tid)
+		}
+	}
+	for i, p := range rep.Phases {
+		walk(p, i+1)
+	}
+	return events
+}
+
+// WriteTrace writes the catapult JSON array ready for a trace viewer.
+// The bytes are stable for a given snapshot (args maps marshal with
+// sorted keys).
+func (rep Report) WriteTrace(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	return enc.Encode(rep.TraceEvents())
+}

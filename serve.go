@@ -7,6 +7,9 @@ package tmedb
 
 import (
 	"context"
+	"io"
+	"log/slog"
+	"net/http"
 
 	"repro/internal/degrade"
 	"repro/internal/obs"
@@ -40,3 +43,70 @@ func TraceHash(t *Trace) uint64 { return t.Hash() }
 func ShedLadder(ladder []DegradeRung, r DegradeRung) []DegradeRung {
 	return degrade.ShedTo(ladder, r)
 }
+
+// Logger is the request-scoped structured event sink threaded through
+// SolveWithLadder via context. The nil Logger is the disabled default:
+// every method is an allocation-free no-op, and logging is write-only,
+// so schedules are byte-identical with logging on or off.
+type Logger = obs.Logger
+
+// LogAttr is one structured key-value attribute (build with LogStr,
+// LogF64, LogInt).
+type LogAttr = obs.Attr
+
+// NewLogger wraps a log/slog handler as a Logger (nil handler = the
+// disabled logger).
+func NewLogger(h slog.Handler) *Logger { return obs.NewLogger(h) }
+
+// NewTextLogger returns a Logger writing logfmt-style lines to w.
+func NewTextLogger(w io.Writer) *Logger { return obs.NewTextLogger(w) }
+
+// NewJSONLogger returns a Logger writing one JSON object per line to w.
+func NewJSONLogger(w io.Writer) *Logger { return obs.NewJSONLogger(w) }
+
+// WithLogger returns a context carrying l; solver layers retrieve it
+// with LoggerFrom. A nil logger returns ctx unchanged.
+func WithLogger(ctx context.Context, l *Logger) context.Context {
+	return obs.WithLogger(ctx, l)
+}
+
+// LoggerFrom extracts the request-scoped logger from ctx (nil — the
+// disabled logger — when none was attached).
+func LoggerFrom(ctx context.Context) *Logger { return obs.LoggerFrom(ctx) }
+
+// NewRequestID mints a process-unique request ID: a per-process random
+// prefix plus a monotonic counter, so IDs stay unique across daemon
+// restarts and fleet-wide log aggregation can join on req_id alone.
+func NewRequestID() string { return obs.NewRequestID() }
+
+// LogStr builds a string log attribute.
+func LogStr(key, v string) LogAttr { return obs.Str(key, v) }
+
+// LogF64 builds a numeric log attribute.
+func LogF64(key string, v float64) LogAttr { return obs.F64(key, v) }
+
+// LogInt builds an integer log attribute.
+func LogInt(key string, v int) LogAttr { return obs.I(key, v) }
+
+// Flight is a fixed-size lock-free ring buffer holding the last N
+// completed serving requests — the daemon's flight recorder, served as
+// JSON at /debug/requests. The nil Flight discards records.
+type Flight = obs.Flight
+
+// RequestRecord is one completed request as the flight recorder keeps
+// it: params, the rung/cache path that answered, and the outcome.
+type RequestRecord = obs.RequestRecord
+
+// NewFlight returns a flight recorder holding the last n requests
+// (n <= 0 selects the default capacity of 256).
+func NewFlight(n int) *Flight { return obs.NewFlight(n) }
+
+// MetricsHandler serves the Prometheus text exposition of every
+// recorder published via Recorder.PublishExpvar — the /metrics twin of
+// the expvar /debug/vars page, mounted by ServeDebug and the daemon.
+func MetricsHandler() http.Handler { return obs.MetricsHandler() }
+
+// Rolling is a rolling-window distribution (Recorder.Rolling): quantiles
+// cover the last W observations while count and sum stay cumulative —
+// the SLO view of serving latency, exposed as a Prometheus summary.
+type Rolling = obs.Rolling
