@@ -444,3 +444,119 @@ func BenchmarkGapTable(b *testing.B) {
 		logOnce(b, i, GapTable(cfg))
 	}
 }
+
+func BenchmarkEditChurnTable(b *testing.B) {
+	cfg := benchConfig()
+	for i := 0; i < b.N; i++ {
+		logOnce(b, i, EditChurnTable(cfg))
+	}
+}
+
+// TestEditChurnTableAllRoundsPatch pins the edit-churn workload's
+// contract at the experiments layer: the cumulative patch-hit series
+// must count every round — round r's re-solve derived its DTS from
+// round r-1's memo entry — otherwise the perf gate's dts.patch.hit_rate
+// is measuring a workload that silently stopped exercising the
+// incremental path.
+func TestEditChurnTableAllRoundsPatch(t *testing.T) {
+	res := EditChurnTable(benchConfig())
+	var patched *Series
+	for _, s := range res.Series {
+		if s.Label == "patch-hits" {
+			patched = s
+		}
+	}
+	if patched == nil {
+		t.Fatal("edit-churn table has no patch-hits series")
+	}
+	for i, y := range patched.Y {
+		if want := float64(i + 1); y != want {
+			t.Errorf("round %d: cumulative patch hits = %g, want %g (a round fell back to a cold rebuild)", i+1, y, want)
+		}
+	}
+}
+
+// BenchmarkIncrementalEditSolve is the single-edit replan comparison:
+// after one contact edit, "cold" rebuilds the graph from the trace and
+// solves from scratch (fresh graph identity, so no memoized artifact is
+// reusable), while "incremental" applies the edit to the live graph and
+// solves it — the DTS and auxgraph cores derive from the previous
+// version's memo entries (the dts.patch path). The incremental variant
+// alternates add/remove so the graph stays bounded while every
+// iteration's version is fresh.
+func BenchmarkIncrementalEditSolve(b *testing.B) {
+	tr := GenerateTrace(TraceOptions{N: 20}, 1)
+	alg := EEDCB{Level: 2}
+	t0, deadline := 9000.0, 11000.0
+	iv := Interval{Start: 9100, End: 9500}
+	b.Run("cold", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			g := tr.ToTVEG(0, DefaultParams(), Static).EnableCostCache()
+			if i%2 == 0 {
+				g.AddContact(0, 9, iv, 8)
+			}
+			_, err := alg.Schedule(g, 0, t0, deadline)
+			if err := onlyRealErr(err); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("incremental", func(b *testing.B) {
+		g := tr.ToTVEG(0, DefaultParams(), Static).EnableCostCache()
+		_, err := alg.Schedule(g, 0, t0, deadline)
+		if err := onlyRealErr(err); err != nil {
+			b.Fatal(err)
+		}
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if i%2 == 0 {
+				g.AddContact(0, 9, iv, 8)
+			} else {
+				g.RemoveContact(0, 9, iv)
+			}
+			_, err := alg.Schedule(g, 0, t0, deadline)
+			if err := onlyRealErr(err); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// TestIncrementalEditSolvePatchesInsteadOfRebuilding is the
+// deterministic work proxy behind BenchmarkIncrementalEditSolve: every
+// post-edit solve on the live graph must derive its DTS by patching the
+// previous version's memo entry — never fall back to a cold global
+// recompute — which is what makes the incremental path beat the cold
+// rebuild. Wall-clock is left to the benchmark; the counters cannot
+// flake.
+func TestIncrementalEditSolvePatchesInsteadOfRebuilding(t *testing.T) {
+	tr := GenerateTrace(TraceOptions{N: 20}, 1)
+	g := tr.ToTVEG(0, DefaultParams(), Static).EnableCostCache()
+	alg := EEDCB{Level: 2}
+	solve := func() {
+		t.Helper()
+		_, err := alg.Schedule(g, 0, 9000, 11000)
+		if err := onlyRealErr(err); err != nil {
+			t.Fatal(err)
+		}
+	}
+	solve() // warm the version-keyed memos
+	hits0, misses0 := dts.PatchStats()
+	iv := Interval{Start: 9100, End: 9500}
+	const rounds = 6
+	for r := 0; r < rounds; r++ {
+		if r%2 == 0 {
+			g.AddContact(0, 9, iv, 8)
+		} else {
+			g.RemoveContact(0, 9, iv)
+		}
+		solve()
+	}
+	hits1, misses1 := dts.PatchStats()
+	if got := hits1 - hits0; got < rounds {
+		t.Errorf("%d edited solves produced only %d patch derivations, want >= %d", rounds, got, rounds)
+	}
+	if misses1 != misses0 {
+		t.Errorf("edited solves fell back to %d cold DTS rebuilds, want 0", misses1-misses0)
+	}
+}

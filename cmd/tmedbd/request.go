@@ -3,6 +3,7 @@ package main
 import (
 	"encoding/json"
 	"fmt"
+	"hash/fnv"
 	"os"
 	"path/filepath"
 	"strings"
@@ -96,6 +97,120 @@ type solveResponse struct {
 	Incomplete []int `json:"incomplete,omitempty"`
 	// Report is the per-request obs run report, when requested.
 	Report *tmedb.RunReport `json:"report,omitempty"`
+	// Edit summarizes the edit reconciliation (POST /edit only).
+	Edit *editSummary `json:"edit,omitempty"`
+}
+
+// editRequest is the JSON body of POST /edit: a solve request plus the
+// full edit sequence (from the base trace) to apply before solving. The
+// sequence is the complete delta, not an increment — the daemon reuses
+// a live instance when the sequence extends the one already applied,
+// and rebuilds from the base trace otherwise, so the answer never
+// depends on instance state.
+type editRequest struct {
+	solveRequest
+	// Edits is the full edit sequence from the base trace, in order.
+	Edits []editSpec `json:"edits"`
+}
+
+// editSpec is one edit operation.
+type editSpec struct {
+	// Op is "add", "remove", or "retime".
+	Op string `json:"op"`
+	// I, J name the edge's endpoints.
+	I int `json:"i"`
+	J int `json:"j"`
+	// Start/End delimit the contact window: the interval added or
+	// removed, or the exact window of the contact a retime moves.
+	Start float64 `json:"start"`
+	End   float64 `json:"end"`
+	// Dist is the contact distance in meters (add only).
+	Dist float64 `json:"dist,omitempty"`
+	// ToStart/ToEnd is the retime target window.
+	ToStart float64 `json:"to_start,omitempty"`
+	ToEnd   float64 `json:"to_end,omitempty"`
+}
+
+func (e *editSpec) validate(k int) error {
+	switch e.Op {
+	case "add":
+		if e.Dist <= 0 {
+			return fmt.Errorf("edits[%d]: add needs dist > 0 (got %g)", k, e.Dist)
+		}
+	case "remove":
+	case "retime":
+		if e.ToStart >= e.ToEnd {
+			return fmt.Errorf("edits[%d]: retime target [%g,%g) is empty", k, e.ToStart, e.ToEnd)
+		}
+	default:
+		return fmt.Errorf("edits[%d]: unknown op %q", k, e.Op)
+	}
+	if e.I < 0 || e.J < 0 || e.I == e.J {
+		return fmt.Errorf("edits[%d]: bad pair (%d,%d)", k, e.I, e.J)
+	}
+	if e.Start >= e.End {
+		return fmt.Errorf("edits[%d]: window [%g,%g) is empty", k, e.Start, e.End)
+	}
+	return nil
+}
+
+// apply runs the edit against a live graph, reporting whether the graph
+// actually changed (no-op removals and identity retimes do not).
+func (e *editSpec) apply(g *tmedb.Graph) (bool, error) {
+	i, j := tmedb.NodeID(e.I), tmedb.NodeID(e.J)
+	iv := tmedb.Interval{Start: e.Start, End: e.End}
+	switch e.Op {
+	case "add":
+		g.AddContact(i, j, iv, e.Dist)
+		return true, nil
+	case "remove":
+		return g.RemoveContact(i, j, iv), nil
+	default: // "retime" — validate() bounds the op set
+		return g.RetimeChannel(i, j, iv, tmedb.Interval{Start: e.ToStart, End: e.ToEnd})
+	}
+}
+
+func (r *editRequest) validate() error {
+	if err := r.solveRequest.validate(); err != nil {
+		return err
+	}
+	if len(r.Edits) == 0 {
+		return fmt.Errorf("edits must be non-empty (use /solve for plain solves)")
+	}
+	for k := range r.Edits {
+		if err := r.Edits[k].validate(k); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// editsHash fingerprints an edit sequence for the schedule-cache key.
+func editsHash(edits []editSpec) uint64 {
+	h := fnv.New64a()
+	for _, e := range edits {
+		fmt.Fprintf(h, "%s|%d|%d|%x|%x|%x|%x|%x\n",
+			e.Op, e.I, e.J, e.Start, e.End, e.Dist, e.ToStart, e.ToEnd)
+	}
+	return h.Sum64()
+}
+
+// editSummary reports what POST /edit did to the live instance before
+// solving.
+type editSummary struct {
+	// Ops is the length of the requested edit sequence.
+	Ops int `json:"ops"`
+	// Reused counts leading ops already applied to the live instance
+	// (the incremental prefix); Applied counts the ops this request
+	// applied; Noops counts applied ops that did not change the graph.
+	Reused  int `json:"reused"`
+	Applied int `json:"applied"`
+	Noops   int `json:"noops"`
+	// Rebuilt reports that the instance was reconstructed from the base
+	// trace because the sequence did not extend the live one.
+	Rebuilt bool `json:"rebuilt,omitempty"`
+	// Version is the graph version after the edits.
+	Version uint64 `json:"version"`
 }
 
 // errorResponse is the JSON body of every non-2xx reply.

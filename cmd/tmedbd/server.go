@@ -7,6 +7,7 @@ import (
 	"errors"
 	"fmt"
 	"net/http"
+	"sync"
 	"sync/atomic"
 	"time"
 
@@ -76,6 +77,10 @@ type cacheKey struct {
 	alg           string
 	level         int
 	seed          int64
+	// edits fingerprints the /edit request's edit sequence (0 for plain
+	// /solve): the same base trace under different deltas is a different
+	// graph and must never share a cached schedule.
+	edits uint64
 }
 
 // cacheEntry is one cached full-quality solve. The schedule and meta are
@@ -112,7 +117,42 @@ type server struct {
 	// /metrics summaries: end-to-end solve latency and time spent queued
 	// for a slot, both in milliseconds.
 	lat, qwait *tmedb.Rolling
+	// instances holds the live edited graphs behind POST /edit, keyed by
+	// everything that determines the pre-edit graph (base trace, model,
+	// ε). Instances are an optimization, never a correctness dependency:
+	// each /edit request carries its full edit sequence from the base
+	// trace, so an evicted or diverged instance just costs that request a
+	// rebuild. instMu guards the registry itself; each instance has its
+	// own lock for edits and the solves answering them.
+	instMu    sync.Mutex
+	instances *lru.Cache[instanceKey, *editInstance]
 }
+
+// instanceKey identifies one live editable graph: the base trace (hash
+// plus structural fingerprint, as in cacheKey) and the graph-shaping
+// solve parameters. Planner fields are deliberately absent — every
+// planner solves the same edited graph.
+type instanceKey struct {
+	traceHash     uint64
+	traceN        int
+	traceHorizon  float64
+	traceContacts int
+	model         string
+	eps           float64
+}
+
+// editInstance is one live edited graph plus the edit sequence applied
+// to it. mu serializes edits with the solves responding to them: a
+// /edit response must answer exactly the state its request's sequence
+// produced, not a later concurrent edit's.
+type editInstance struct {
+	mu      sync.Mutex
+	g       *tmedb.Graph
+	applied []editSpec
+}
+
+// editInstanceCap bounds the live-instance registry.
+const editInstanceCap = 32
 
 func newServer(cfg config) *server {
 	if cfg.maxConcurrent <= 0 {
@@ -128,24 +168,27 @@ func newServer(cfg config) *server {
 		cfg.maxBody = 64 << 20
 	}
 	srv := &server{
-		cfg:    cfg,
-		cache:  lru.New[cacheKey, cacheEntry](cfg.cacheSize),
-		sem:    make(chan struct{}, cfg.maxConcurrent),
-		proc:   tmedb.NewRecorder(),
-		flight: tmedb.NewFlight(cfg.flightSize),
+		cfg:       cfg,
+		cache:     lru.New[cacheKey, cacheEntry](cfg.cacheSize),
+		sem:       make(chan struct{}, cfg.maxConcurrent),
+		proc:      tmedb.NewRecorder(),
+		flight:    tmedb.NewFlight(cfg.flightSize),
+		instances: lru.New[instanceKey, *editInstance](editInstanceCap),
 	}
 	srv.lat = srv.proc.Rolling("tmedbd.latency_ms", 0)
 	srv.qwait = srv.proc.Rolling("tmedbd.queue_wait_ms", 0)
 	return srv
 }
 
-// handler mounts the API: POST /solve, GET /healthz, plus the telemetry
+// handler mounts the API: POST /solve, POST /edit (solve-with-delta),
+// GET /healthz, plus the telemetry
 // reads — the Prometheus exposition of the fleet recorder at /metrics
 // and the flight recorder at /debug/requests. pprof/expvar live on
 // their own listener (see config.debugAddr), not here.
 func (s *server) handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/solve", s.handleSolve)
+	mux.HandleFunc("/edit", s.handleEdit)
 	mux.HandleFunc("/healthz", s.handleHealthz)
 	mux.Handle("/metrics", s.proc.PromHandler("tmedbd"))
 	mux.Handle("/debug/requests", s.flight)
@@ -513,6 +556,327 @@ func (s *server) serveSolve(w http.ResponseWriter, r *http.Request, st *reqState
 	s.writeSolve(st, w, resp, sched, meta, incomplete)
 }
 
+// handleEdit is the telemetry envelope around one solve-with-delta:
+// the same request-ID minting, flight recording, and latency accounting
+// as handleSolve, under the edit.* event names and counters.
+func (s *server) handleEdit(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		writeError(w, http.StatusMethodNotAllowed, fmt.Errorf("POST only"))
+		return
+	}
+	s.proc.Counter("tmedbd.edit.requests").Inc()
+	start := time.Now()
+	st := &reqState{id: tmedb.NewRequestID()}
+	lg := s.log.With(tmedb.LogStr("req_id", st.id))
+	sw := &statusWriter{ResponseWriter: w}
+	sw.onFirst = func(code int) {
+		s.flight.Record(tmedb.RequestRecord{
+			ID:         st.id,
+			Start:      start,
+			DurationMS: float64(time.Since(start)) / float64(time.Millisecond),
+			Status:     code,
+			Alg:        st.alg,
+			Model:      st.model,
+			Trace:      st.trace,
+			Src:        st.src,
+			T0:         st.t0,
+			Delay:      st.delay,
+			Rung:       st.rung,
+			ShedRungs:  st.shedRungs,
+			Cache:      st.cache,
+			Err:        st.errString(),
+			PhaseMS:    st.phaseMS,
+		})
+	}
+	s.serveEdit(sw, r.WithContext(tmedb.WithLogger(r.Context(), lg)), st)
+	ms := float64(time.Since(start)) / float64(time.Millisecond)
+	s.lat.Observe(ms)
+	if st.err != nil {
+		lg.Error("edit.failed", st.err,
+			tmedb.LogInt("status", sw.code),
+			tmedb.LogStr("kind", errKind(sw.code)),
+			tmedb.LogF64("ms", ms))
+	} else if lg.Enabled() {
+		lg.Event("edit.done",
+			tmedb.LogInt("status", sw.code),
+			tmedb.LogStr("cache", st.cache),
+			tmedb.LogStr("rung", st.rung),
+			tmedb.LogInt("shed_rungs", st.shedRungs),
+			tmedb.LogF64("ms", ms))
+	}
+}
+
+// serveEdit is the solve-with-delta path: resolve the base trace,
+// reconcile the live instance with the request's edit sequence, apply
+// the missing suffix (the incremental path — the edited versions'
+// DTS/auxgraph cores derive from their memoized ancestors), and solve
+// the patched graph under the same cache, admission, and ladder
+// machinery as /solve.
+func (s *server) serveEdit(w http.ResponseWriter, r *http.Request, st *reqState) {
+	lg := tmedb.LoggerFrom(r.Context())
+	var req editRequest
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, s.cfg.maxBody))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&req); err != nil {
+		s.fail(st, w, http.StatusBadRequest, err)
+		return
+	}
+	if err := req.validate(); err != nil {
+		s.fail(st, w, http.StatusBadRequest, err)
+		return
+	}
+	tr, traceName, err := s.resolveTrace(&req.solveRequest)
+	if err != nil {
+		s.fail(st, w, http.StatusBadRequest, err)
+		return
+	}
+	st.alg, st.model, st.trace = req.alg(), req.model(), traceName
+	st.src, st.t0, st.delay = req.Src, req.T0, req.Delay
+	if lg.Enabled() {
+		lg.Event("edit.received",
+			tmedb.LogStr("alg", st.alg),
+			tmedb.LogStr("model", st.model),
+			tmedb.LogStr("trace", traceName),
+			tmedb.LogInt("edits", len(req.Edits)),
+			tmedb.LogInt("src", req.Src),
+			tmedb.LogF64("t0", req.T0),
+			tmedb.LogF64("delay", req.Delay))
+	}
+	if req.Src >= tr.N {
+		s.fail(st, w, http.StatusBadRequest, fmt.Errorf("src %d outside [0,%d)", req.Src, tr.N))
+		return
+	}
+	if req.T0 < 0 || req.T0+req.Delay > tr.Horizon {
+		s.fail(st, w, http.StatusBadRequest,
+			fmt.Errorf("window [%g,%g] outside trace horizon [0,%g]", req.T0, req.T0+req.Delay, tr.Horizon))
+		return
+	}
+	for k := range req.Edits {
+		if e := &req.Edits[k]; e.I >= tr.N || e.J >= tr.N {
+			s.fail(st, w, http.StatusBadRequest,
+				fmt.Errorf("edits[%d]: pair (%d,%d) outside [0,%d)", k, e.I, e.J, tr.N))
+			return
+		}
+	}
+	model, err := parseModel(req.model())
+	if err != nil {
+		s.fail(st, w, http.StatusBadRequest, err)
+		return
+	}
+	traceReq := r.URL.Query().Get("trace") == "1"
+	var rec *tmedb.Recorder
+	if req.Report || traceReq {
+		rec = tmedb.NewRecorder()
+	}
+
+	// The instance lock covers reconcile, apply, and solve: a response
+	// answers exactly the graph state its edit sequence produced, never a
+	// concurrent request's later edits.
+	inst := s.instance(instanceKey{
+		traceHash:     tmedb.TraceHash(tr),
+		traceN:        tr.N,
+		traceHorizon:  tr.Horizon,
+		traceContacts: len(tr.Contacts),
+		model:         req.model(),
+		eps:           req.Eps,
+	})
+	inst.mu.Lock()
+	defer inst.mu.Unlock()
+	summary, err := s.applyEdits(inst, tr, solveParams(&req.solveRequest), model, req.Edits, rec)
+	if err != nil {
+		s.proc.Counter("tmedbd.edit.rejected").Inc()
+		s.fail(st, w, http.StatusBadRequest, err)
+		return
+	}
+	if lg.Enabled() {
+		lg.Event("edit.applied",
+			tmedb.LogInt("ops", summary.Ops),
+			tmedb.LogInt("reused", summary.Reused),
+			tmedb.LogInt("applied", summary.Applied),
+			tmedb.LogInt("noops", summary.Noops))
+	}
+
+	key := cacheKey{
+		traceHash:     tmedb.TraceHash(tr),
+		traceN:        tr.N,
+		traceHorizon:  tr.Horizon,
+		traceContacts: len(tr.Contacts),
+		src:           req.Src,
+		t0:            req.T0,
+		delay:         req.Delay,
+		eps:           req.Eps,
+		model:         req.model(),
+		alg:           req.alg(),
+		level:         req.level(),
+		seed:          req.Seed,
+		edits:         editsHash(req.Edits),
+	}
+	st.cache = "miss"
+	if !req.NoCache && !traceReq {
+		if e, ok := s.cache.Get(key); ok {
+			s.proc.Counter("tmedbd.edit.cache.hits").Inc()
+			st.cache = "hit"
+			if lg.Enabled() {
+				lg.Event("edit.cache_hit")
+			}
+			s.writeSolve(st, w, solveResponse{ReqID: st.id, Cache: "hit", Edit: &summary}, e.sched, e.meta, e.incomplete)
+			return
+		}
+		s.proc.Counter("tmedbd.edit.cache.misses").Inc()
+	}
+
+	qStart := time.Now()
+	release, shed, err := s.admit(r.Context())
+	s.qwait.Observe(float64(time.Since(qStart)) / float64(time.Millisecond))
+	if err != nil {
+		if errors.Is(err, errQueueFull) {
+			w.Header().Set("Retry-After", "1")
+			s.fail(st, w, http.StatusServiceUnavailable, err)
+		} else {
+			s.proc.Counter("tmedbd.cancelled").Inc()
+			st.err = err
+			writeError(w, statusClientClosedRequest, err)
+		}
+		return
+	}
+	defer release()
+	if shed > 0 && lg.Enabled() {
+		lg.Event("edit.shed", tmedb.LogInt("level", shed))
+	}
+
+	sched, outcome, shedRungs, incomplete, err := s.solveGraph(r.Context(), &req.solveRequest, inst.g, shed, rec)
+	st.shedRungs = shedRungs
+	if shedRungs > 0 {
+		s.proc.Counter("tmedbd.shed.requests").Inc()
+		s.proc.Counter("tmedbd.shed.rungs").Add(int64(shedRungs))
+	}
+	if err != nil {
+		switch {
+		case errors.Is(err, tmedb.ErrBudgetExceeded):
+			s.fail(st, w, http.StatusGatewayTimeout, err)
+		case errors.Is(err, tmedb.ErrCancelled):
+			s.proc.Counter("tmedbd.cancelled").Inc()
+			st.err = err
+			writeError(w, statusClientClosedRequest, err)
+		default:
+			s.fail(st, w, http.StatusInternalServerError, err)
+		}
+		return
+	}
+	s.proc.Counter("tmedbd.edit.solved").Inc()
+
+	meta := &tmedb.ScheduleMeta{
+		Algorithm: req.alg(),
+		Model:     req.model(),
+		Seed:      req.Seed,
+		Trace:     traceName,
+		Src:       req.Src,
+		T0:        req.T0,
+		Deadline:  req.T0 + req.Delay,
+	}
+	outcome.Annotate(meta)
+
+	resp := solveResponse{ReqID: st.id, Cache: "miss", ShedRungs: shedRungs, Edit: &summary}
+	if outcome != nil {
+		resp.Rung = outcome.Rung.String()
+		resp.DegradeReason = outcome.Reason
+		st.rung = resp.Rung
+	}
+	var report *tmedb.RunReport
+	if rec != nil {
+		rp := rec.Snapshot(map[string]string{
+			"algorithm": meta.Algorithm,
+			"model":     meta.Model,
+			"trace":     traceName,
+		})
+		report = &rp
+		meta.PhaseMS = rp.PhaseWallMS()
+		st.phaseMS = meta.PhaseMS
+		if req.Report {
+			resp.Report = report
+		}
+	}
+	// Same fill rule as /solve: only direct-path results are cached, and
+	// the key's edits fingerprint keeps every delta's schedule separate.
+	if !req.NoCache && outcome == nil {
+		s.cache.Put(key, cacheEntry{sched: sched, meta: meta, incomplete: incomplete})
+	}
+	if traceReq {
+		w.Header().Set("Content-Type", "application/json")
+		w.Header().Set("X-Request-Id", st.id)
+		if err := report.WriteTrace(w); err != nil {
+			st.err = err
+		}
+		return
+	}
+	s.writeSolve(st, w, resp, sched, meta, incomplete)
+}
+
+// instance returns the live instance for key, creating an empty shell
+// on first use; the shell's graph materializes lazily under the
+// instance lock.
+func (s *server) instance(key instanceKey) *editInstance {
+	s.instMu.Lock()
+	defer s.instMu.Unlock()
+	if inst, ok := s.instances.Get(key); ok {
+		return inst
+	}
+	inst := &editInstance{}
+	s.instances.Put(key, inst)
+	return inst
+}
+
+// applyEdits reconciles the live instance with the requested edit
+// sequence: when the sequence extends what is already applied, only the
+// suffix runs and the solve rides the patched structures; anything else
+// rebuilds the graph from the base trace first. A rejected edit leaves
+// the instance on the successfully applied prefix — a state a shorter
+// valid sequence still reaches — and fails the request. Callers hold
+// inst.mu.
+func (s *server) applyEdits(inst *editInstance, tr *tmedb.Trace, params tmedb.Params, model tmedb.Model, edits []editSpec, rec *tmedb.Recorder) (editSummary, error) {
+	span := rec.StartPhase("edit.apply")
+	defer span.End()
+	sum := editSummary{Ops: len(edits)}
+	if inst.g == nil || !prefixOf(inst.applied, edits) {
+		if inst.g != nil {
+			sum.Rebuilt = true
+			s.proc.Counter("tmedbd.edit.rebuilds").Inc()
+		}
+		inst.g = tr.ToTVEG(0, params, model)
+		inst.applied = nil
+	}
+	sum.Reused = len(inst.applied)
+	s.proc.Counter("tmedbd.edit.reused").Add(int64(sum.Reused))
+	for k := sum.Reused; k < len(edits); k++ {
+		changed, err := edits[k].apply(inst.g)
+		if err != nil {
+			return sum, fmt.Errorf("edits[%d]: %w", k, err)
+		}
+		inst.applied = append(inst.applied, edits[k])
+		sum.Applied++
+		if !changed {
+			sum.Noops++
+		}
+	}
+	s.proc.Counter("tmedbd.edit.applied").Add(int64(sum.Applied))
+	s.proc.Counter("tmedbd.edit.noops").Add(int64(sum.Noops))
+	sum.Version = inst.g.Version()
+	return sum, nil
+}
+
+// prefixOf reports whether applied is a leading prefix of edits.
+func prefixOf(applied, edits []editSpec) bool {
+	if len(applied) > len(edits) {
+		return false
+	}
+	for k := range applied {
+		if applied[k] != edits[k] {
+			return false
+		}
+	}
+	return true
+}
+
 // solve runs the planner stack for one admitted request. Unshed,
 // unbudgeted requests take the direct path: the requested planner via
 // ScheduleWithContext, byte-identical to a CLI/facade solve. A positive
@@ -526,14 +890,28 @@ func (s *server) solve(ctx context.Context, req *solveRequest, tr *tmedb.Trace, 
 	if err != nil {
 		return nil, nil, 0, nil, err
 	}
+	g := tr.ToTVEG(0, solveParams(req), model)
+	return s.solveGraph(ctx, req, g, shed, rec)
+}
+
+// solveParams derives the graph-shaping parameters of a request.
+func solveParams(req *solveRequest) tmedb.Params {
 	params := tmedb.DefaultParams()
 	if req.Eps > 0 {
 		params.Eps = req.Eps
 	}
-	g := tr.ToTVEG(0, params, model)
+	return params
+}
+
+// solveGraph runs the planner stack against an already-materialized
+// graph — the seam /edit uses to solve its live (incrementally patched)
+// instance with the same admission, budget, and ladder semantics as
+// /solve.
+func (s *server) solveGraph(ctx context.Context, req *solveRequest, g *tmedb.Graph, shed int, rec *tmedb.Recorder) (tmedb.Schedule, *tmedb.DegradeOutcome, int, []int, error) {
 	workers := s.effectiveWorkers(req.Workers)
 	deadline := req.T0 + req.Delay
 
+	var err error
 	var sched tmedb.Schedule
 	var outcome *tmedb.DegradeOutcome
 	shedRungs := 0

@@ -1,0 +1,82 @@
+package tmedb
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/dts"
+)
+
+// EditChurnTable exercises the incremental-edit path end to end: one
+// live graph absorbs a deterministic stream of single-contact edits
+// (add, retime, remove) and is re-planned after every edit, so each
+// re-solve derives its DTS from the previous version's memoized core
+// (the dts.patch.* counters in cfg.Obs) instead of rebuilding from
+// scratch. The table reports, per edit, the planned energy, the graph
+// version, and the cumulative patch-derivation count — all deterministic,
+// so the panel doubles as a regression table while the run report's
+// counters (dts.patch.hit_rate) feed the CI perf gate.
+func EditChurnTable(cfg ExperimentConfig) FigureResult {
+	const rounds = 12
+	n := 20
+	if opts := cfg.TraceOpts; opts.N != 0 && opts.N < n {
+		n = opts.N
+	}
+	out := FigureResult{
+		Title: fmt.Sprintf("Incremental edit churn: patched re-solve after single-contact edits (static, N=%d, delay=%gs)",
+			n, cfg.Delays[0]),
+		XLabel: "edit",
+	}
+	energy := &Series{Label: "energy"}
+	version := &Series{Label: "version"}
+	patched := &Series{Label: "patch-hits"}
+
+	g := cfg.graphFor(n, Static)
+	alg := EEDCB{Level: cfg.SteinerLevel, Workers: cfg.workers(), Obs: cfg.Obs}
+	src := cfg.Sources[0]
+	deadline := cfg.T0 + cfg.Delays[0]
+	solve := func() float64 {
+		s, err := alg.Schedule(g, src, cfg.T0, deadline)
+		var inc *IncompleteError
+		if err != nil && !errors.As(err, &inc) {
+			panic(fmt.Sprintf("tmedb: edit churn solve: %v", err))
+		}
+		return s.TotalCost() / cfg.Params.GammaTh
+	}
+	solve() // warm the version-keyed memos: every churn round derives from here
+	hits0, _ := dts.PatchStats()
+
+	// The churn only ever retimes or removes contacts it added itself, so
+	// every operation is guaranteed applicable no matter what the base
+	// trace holds; `last` tracks the live added contact.
+	var last struct {
+		j  NodeID
+		iv Interval
+	}
+	for r := 1; r <= rounds; r++ {
+		switch r % 3 {
+		case 1: // add a fresh contact inside the solve window
+			last.j = NodeID(1 + r%(n-1))
+			last.iv = Interval{Start: cfg.T0 + 40*float64(r), End: cfg.T0 + 40*float64(r) + 180}
+			g.AddContact(src, last.j, last.iv, 7)
+		case 2: // retime it later in the window (falls back to a fresh
+			// add if the target collides with a base-trace contact)
+			to := Interval{Start: last.iv.Start + 90, End: last.iv.End + 90}
+			if ok, err := g.RetimeChannel(src, last.j, last.iv, to); err != nil {
+				last.iv = Interval{Start: to.End + 30, End: to.End + 210}
+				g.AddContact(src, last.j, last.iv, 7)
+			} else if ok {
+				last.iv = to
+			}
+		default: // remove it again, restoring the base contact set
+			g.RemoveContact(src, last.j, last.iv)
+		}
+		e := solve()
+		hits, _ := dts.PatchStats()
+		energy.Add(float64(r), e)
+		version.Add(float64(r), float64(g.Version()))
+		patched.Add(float64(r), float64(hits-hits0))
+	}
+	out.Series = []*Series{energy, version, patched}
+	return out
+}

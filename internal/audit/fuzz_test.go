@@ -18,3 +18,19 @@ func FuzzDifferential(f *testing.F) {
 		}
 	})
 }
+
+// FuzzIncrementalEdit drives the edit-sequence differential from fuzzed
+// seeds: after every edit in a generated sequence, the incremental
+// (memo-patched) solve must be byte-identical to a cold Build+solve on
+// the edited trace. A seed is the complete reproducer.
+func FuzzIncrementalEdit(f *testing.F) {
+	for seed := int64(0); seed < 8; seed++ {
+		f.Add(seed)
+	}
+	f.Fuzz(func(t *testing.T, seed int64) {
+		c := GenerateEditCase(seed)
+		if diffs := CompareEditCase(c); len(diffs) > 0 {
+			t.Fatalf("%s", EditMismatch{Case: c, Diffs: diffs})
+		}
+	})
+}

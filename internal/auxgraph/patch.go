@@ -1,0 +1,57 @@
+package auxgraph
+
+import (
+	"sync/atomic"
+
+	"repro/internal/dts"
+	"repro/internal/tveg"
+)
+
+// The edit patch derives an edited graph version's core from the
+// memoized core of its ancestor instead of re-running every ψ-heavy DCS
+// query. The seam is the DTS lineage: a DTS produced by dts.Build's own
+// edit patch records which memoized DTS (and which graph version) it was
+// derived from, and the core built against that ancestor DTS — same
+// model, params, and advantage flag — is the one whose candidate cost
+// sets are still valid for every node not incident to an edited pair.
+// The derived core is byte-identical to a cold build: inherited levels
+// are the exact values a fresh DCS query would return (a node's cost set
+// depends only on its own incident edges), and every structural stage
+// (candidate enumeration, edge emission, CSR layout) runs cold.
+
+var patchHits, patchMisses atomic.Int64
+
+// PatchStats returns the process-wide derived-core/cold-core counters
+// (memoized builds only: memo hits and NoMemo builds count as neither).
+func PatchStats() (hits, misses int64) {
+	return patchHits.Load(), patchMisses.Load()
+}
+
+// findParentCore looks up the memoized core this build can derive from:
+// the core built for d's ancestor DTS at the ancestor's graph version,
+// under the same key otherwise. It returns the core plus the per-node
+// edited flags, or (nil, nil) when no ancestor is usable — unknown
+// lineage, trimmed journal, or the ancestor's core aged out of the memo.
+func findParentCore(g *tveg.Graph, d *dts.DTS, key memoKey) (*auxCore, []bool) {
+	pid, pver, ok := d.DerivedFrom()
+	if !ok {
+		return nil, nil
+	}
+	pairs, ok := g.EditsSince(pver)
+	if !ok {
+		return nil, nil
+	}
+	pk := key
+	pk.version = pver
+	pk.did = pid
+	parent, ok := memo.Get(pk)
+	if !ok || parent.candOff == nil {
+		return nil, nil
+	}
+	edited := make([]bool, g.N())
+	for _, p := range pairs {
+		edited[p.A] = true
+		edited[p.B] = true
+	}
+	return parent, edited
+}

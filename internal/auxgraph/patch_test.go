@@ -1,0 +1,244 @@
+package auxgraph
+
+import (
+	"reflect"
+	"testing"
+
+	"repro/internal/dts"
+	"repro/internal/tveg"
+)
+
+// editGraph builds a 5-node graph rich enough that edits leave most
+// nodes untouched (so the patch has something to inherit).
+func editGraph() *tveg.Graph {
+	g := tveg.New(5, iv(0, 200), 0, tveg.DefaultParams(), tveg.Static)
+	g.AddContact(0, 1, iv(10, 40), 5)
+	g.AddContact(1, 2, iv(30, 70), 8)
+	g.AddContact(2, 3, iv(60, 100), 6)
+	g.AddContact(3, 4, iv(90, 130), 9)
+	g.AddContact(0, 4, iv(20, 50), 12)
+	return g
+}
+
+// coresEqual compares every array a solve can observe.
+func coresEqual(t *testing.T, got, want *auxCore) {
+	t.Helper()
+	if !reflect.DeepEqual(got.csr.Off, want.csr.Off) ||
+		!reflect.DeepEqual(got.csr.To, want.csr.To) ||
+		!reflect.DeepEqual(got.csr.W, want.csr.W) {
+		t.Fatal("derived core CSR differs from cold build")
+	}
+	if !reflect.DeepEqual(got.base, want.base) ||
+		!reflect.DeepEqual(got.metaIdx, want.metaIdx) ||
+		!reflect.DeepEqual(got.metas, want.metas) ||
+		got.power != want.power || got.advantage != want.advantage {
+		t.Fatal("derived core metadata differs from cold build")
+	}
+	if !reflect.DeepEqual(got.candOff, want.candOff) ||
+		!reflect.DeepEqual(got.candT, want.candT) ||
+		!reflect.DeepEqual(got.candLevels, want.candLevels) {
+		t.Fatal("derived candidate table differs from cold build")
+	}
+}
+
+// TestDerivedCoreMatchesColdBuild: after an edit, the memo-derived core
+// must be byte-identical to a cold construction on the edited graph.
+func TestDerivedCoreMatchesColdBuild(t *testing.T) {
+	for _, tc := range []struct {
+		name string
+		edit func(g *tveg.Graph)
+	}{
+		{"add-contact", func(g *tveg.Graph) { g.AddContact(1, 3, iv(45, 80), 7) }},
+		{"remove-contact", func(g *tveg.Graph) {
+			if !g.RemoveContact(2, 3, iv(60, 100)) {
+				t.Fatal("test setup: removal must change the graph")
+			}
+		}},
+		{"retime", func(g *tveg.Graph) {
+			if _, err := g.RetimeChannel(0, 4, iv(20, 50), iv(120, 150)); err != nil {
+				t.Fatal(err)
+			}
+		}},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			PurgeMemo()
+			dts.PurgeMemo()
+			defer PurgeMemo()
+			defer dts.PurgeMemo()
+
+			g := editGraph()
+			d0, err := dts.Build(g.Graph, 0, 200, dts.Options{})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if _, err := Build(g, d0, Options{}); err != nil {
+				t.Fatal(err)
+			}
+
+			tc.edit(g)
+			d1, err := dts.Build(g.Graph, 0, 200, dts.Options{})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if _, _, ok := d1.DerivedFrom(); !ok {
+				t.Fatal("test setup: edited DTS must be memo-derived for the core patch to engage")
+			}
+			h0, _ := PatchStats()
+			derived, err := Build(g, d1, Options{})
+			if err != nil {
+				t.Fatal(err)
+			}
+			h1, _ := PatchStats()
+			if h1 != h0+1 {
+				t.Fatalf("patch hits went %d -> %d, want the derived path taken", h0, h1)
+			}
+			cold, err := Build(g, d1, Options{NoMemo: true})
+			if err != nil {
+				t.Fatal(err)
+			}
+			coresEqual(t, derived.core, cold.core)
+
+			// The schedules coming off both cores agree too.
+			sDerived, err := derived.Solve(0, 2)
+			if err != nil {
+				t.Fatal(err)
+			}
+			sCold, err := cold.Solve(0, 2)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !reflect.DeepEqual(sDerived, sCold) {
+				t.Fatalf("schedules diverge:\n derived: %v\n cold:    %v", sDerived, sCold)
+			}
+		})
+	}
+}
+
+// TestEditedVersionNeverHitsParentCoreEntry is the memo-invalidation
+// table at the auxgraph layer: after any edit, Build must construct a
+// new core — served the parent's entry would mean serving pre-edit cost
+// sets and pre-edit time points.
+func TestEditedVersionNeverHitsParentCoreEntry(t *testing.T) {
+	cases := []struct {
+		name string
+		edit func(g *tveg.Graph)
+	}{
+		{"add", func(g *tveg.Graph) { g.AddContact(1, 4, iv(10, 30), 4) }},
+		{"remove", func(g *tveg.Graph) { g.RemoveContact(0, 1, iv(10, 40)) }},
+		{"retime", func(g *tveg.Graph) {
+			if _, err := g.RetimeChannel(1, 2, iv(30, 70), iv(130, 170)); err != nil {
+				t.Fatal(err)
+			}
+		}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			PurgeMemo()
+			dts.PurgeMemo()
+			defer PurgeMemo()
+			defer dts.PurgeMemo()
+
+			g := editGraph()
+			d0, err := dts.Build(g.Graph, 0, 200, dts.Options{})
+			if err != nil {
+				t.Fatal(err)
+			}
+			parentAux, err := Build(g, d0, Options{})
+			if err != nil {
+				t.Fatal(err)
+			}
+			tc.edit(g)
+			d1, err := dts.Build(g.Graph, 0, 200, dts.Options{})
+			if err != nil {
+				t.Fatal(err)
+			}
+			hitsBefore, _ := MemoStats()
+			childAux, err := Build(g, d1, Options{})
+			if err != nil {
+				t.Fatal(err)
+			}
+			hitsAfter, _ := MemoStats()
+			if childAux.core == parentAux.core {
+				t.Fatal("edited graph was served the parent version's core")
+			}
+			if hitsAfter != hitsBefore {
+				t.Fatalf("edited version hit the core memo (%d -> %d)", hitsBefore, hitsAfter)
+			}
+			// Same instance again: now it hits, and hits its OWN entry.
+			again, err := Build(g, d1, Options{})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if again.core != childAux.core {
+				t.Fatal("rebuild of the same edited instance missed its own entry")
+			}
+		})
+	}
+}
+
+// TestNoMemoHoldsOnEditPath pins the opt-outs on the edit path: a NoMemo
+// build after an edit neither probes for a parent core nor stores one.
+func TestNoMemoHoldsOnEditPath(t *testing.T) {
+	PurgeMemo()
+	dts.PurgeMemo()
+	defer PurgeMemo()
+	defer dts.PurgeMemo()
+
+	g := editGraph()
+	d0, err := dts.Build(g.Graph, 0, 200, dts.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Build(g, d0, Options{}); err != nil {
+		t.Fatal(err)
+	}
+	g.AddContact(1, 3, iv(45, 80), 7)
+	d1, err := dts.Build(g.Graph, 0, 200, dts.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	h0, m0 := PatchStats()
+	if _, err := Build(g, d1, Options{NoMemo: true}); err != nil {
+		t.Fatal(err)
+	}
+	h1, m1 := PatchStats()
+	if h1 != h0 || m1 != m0 {
+		t.Fatalf("NoMemo build moved patch stats (%d,%d) -> (%d,%d)", h0, m0, h1, m1)
+	}
+}
+
+// TestDerivedCoreRespectsStaleLineage: a hand-constructed DTS (no
+// lineage) never engages the derivation, even right after an edit.
+func TestDerivedCoreRespectsStaleLineage(t *testing.T) {
+	PurgeMemo()
+	dts.PurgeMemo()
+	defer PurgeMemo()
+	defer dts.PurgeMemo()
+
+	g := editGraph()
+	d0, err := dts.Build(g.Graph, 0, 200, dts.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Build(g, d0, Options{}); err != nil {
+		t.Fatal(err)
+	}
+	g.AddContact(1, 3, iv(45, 80), 7)
+	// Cold-built DTS for the edited graph: correct points, but no
+	// lineage, so the core build must go cold rather than guess.
+	d1, err := dts.Build(g.Graph, 0, 200, dts.Options{NoMemo: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, ok := d1.DerivedFrom(); ok {
+		t.Fatal("test setup: cold DTS must carry no lineage")
+	}
+	h0, _ := PatchStats()
+	if _, err := Build(g, d1, Options{}); err != nil {
+		t.Fatal(err)
+	}
+	h1, _ := PatchStats()
+	if h1 != h0 {
+		t.Fatal("core derivation engaged without DTS lineage")
+	}
+}

@@ -58,7 +58,11 @@ type Options struct {
 	// the same window — the degradation ladder's artifact-reuse seam
 	// (the DTS depends only on the presence structure, never on the
 	// channel model, so one DTS serves every planner view of a graph).
-	// A window mismatch falls through to a fresh build.
+	// The gate requires the reused DTS to come from Build on this exact
+	// graph at its current version: a window mismatch, a hand-constructed
+	// DTS, or a DTS predating an edit all fall through to a fresh build —
+	// a stale reused DTS handed onward to auxgraph.Build would otherwise
+	// serve pre-edit time points.
 	Reuse *DTS
 	// NoMemo bypasses the process-wide DTS memo (see memo.go) for this
 	// build: the result is always freshly constructed and not cached.
@@ -81,6 +85,21 @@ type DTS struct {
 	// instance's cores. IDs are never reused; 0 means "hand-constructed,
 	// never memoize against".
 	id uint64
+	// gid/gver record which graph (by process-unique identity) and which
+	// version of it this DTS was built from. The Options.Reuse gate
+	// checks them so a DTS from before an edit is never reused after it.
+	gid, gver uint64
+	// parentID/parentVersion record the memoized ancestor this DTS was
+	// patched from (zero for cold builds). The auxiliary-graph memo uses
+	// the lineage to derive a patched core from the ancestor's.
+	parentID, parentVersion uint64
+	// global is the deduplicated global point list (steps 1–2 of the
+	// construction) and member[i] the per-node filter bitset over it:
+	// bit p set means global[p] survived node i's degree pruning. They
+	// let an edit patch recompute only the points an edited pair could
+	// have changed, reusing every other filter decision bit-for-bit.
+	global []float64
+	member [][]uint64
 }
 
 // nextDTSID hands out process-unique DTS identities; 0 is reserved for
@@ -97,6 +116,21 @@ func (d *DTS) ID() uint64 { return d.id }
 // production code must never call it.
 func (d *DTS) SetIDForTest(id uint64) { d.id = id }
 
+// SetLineageForTest overrides the graph lineage the Options.Reuse gate
+// checks. It exists solely so regression tests can forge a pre-edit DTS
+// into the current version's lineage and prove a gate without the
+// version check serves stale time points; production code must never
+// call it.
+func (d *DTS) SetLineageForTest(gid, gver uint64) { d.gid, d.gver = gid, gver }
+
+// DerivedFrom returns the identity and build-time graph version of the
+// memoized ancestor this DTS was patched from. ok = false for cold
+// builds and hand-constructed values — there is no ancestor whose
+// derived artifacts downstream caches could patch.
+func (d *DTS) DerivedFrom() (id, gver uint64, ok bool) {
+	return d.parentID, d.parentVersion, d.parentID != 0
+}
+
 // timeEps is the tolerance for deduplicating time points.
 const timeEps = 1e-9
 
@@ -106,7 +140,7 @@ const timeEps = 1e-9
 // (cancel.ErrCancelled / cancel.ErrBudgetExceeded via opts.Cancel).
 func Build(g *tvg.Graph, t0, deadline float64, opts Options) (*DTS, error) {
 	//tmedbvet:ignore floateq reuse gate wants bitwise-identical horizon arguments: a tolerant match could hand back a DTS built for a different window
-	if r := opts.Reuse; r != nil && r.T0 == t0 && r.Deadline == deadline {
+	if r := opts.Reuse; r != nil && r.T0 == t0 && r.Deadline == deadline && r.gid != 0 && r.gid == g.ID() && r.gver == g.Version() {
 		opts.Obs.Counter("dts.reused").Inc()
 		return r, nil
 	}
@@ -121,25 +155,89 @@ func Build(g *tvg.Graph, t0, deadline float64, opts Options) (*DTS, error) {
 		memoMisses.Add(1)
 		opts.Obs.Counter("dts.memo.misses").Inc()
 	}
-	sp := opts.Obs.StartPhase("dts")
-	defer sp.End()
 	span := g.Span()
 	if t0 < span.Start || deadline > span.End || deadline <= t0 {
 		panic(fmt.Sprintf("dts: window [%g,%g] outside span [%g,%g]", t0, deadline, span.Start, span.End))
 	}
+	if !opts.NoMemo {
+		d, err := tryPatch(g, t0, deadline, key, opts)
+		if err != nil {
+			return nil, err
+		}
+		if d != nil {
+			patchHits.Add(1)
+			opts.Obs.Counter("dts.patch.hits").Inc()
+			memo.Put(key, d)
+			return d, nil
+		}
+		patchMisses.Add(1)
+		opts.Obs.Counter("dts.patch.misses").Inc()
+	}
+	sp := opts.Obs.StartPhase("dts")
+	defer sp.End()
 	tok := opts.Cancel
 	n := g.N()
-	tau := g.Tau()
 	maxHops := opts.MaxHops
 	if maxHops <= 0 {
 		maxHops = n - 1
 	}
 
+	base, global, err := globalPoints(g, t0, deadline, maxHops, tok)
+	if err != nil {
+		return nil, err
+	}
+
+	// 3. Per-node partitions: keep points where the node can act, plus
+	// the window endpoints. Each node's filter only reads the graph and
+	// writes its own slot, so the sweep parallelizes without changing
+	// the result. The filter decisions are additionally recorded as
+	// per-node bitsets over the global list, so a later edit can derive
+	// the next version's DTS without re-querying unedited nodes.
+	words := (len(global) + 63) / 64
+	pts := make([][]float64, n)
+	member := make([][]uint64, n)
+	err = parallel.ForEachPoolCancel(opts.Obs.Pool("dts.filter"), tok, opts.Workers, n, func(i int) {
+		bits := make([]uint64, words)
+		var mine []float64
+		for p, x := range global {
+			if opts.NoPrune || g.DegreeAt(tvg.NodeID(i), x) > 0 {
+				mine = append(mine, x)
+				bits[p>>6] |= 1 << uint(p&63)
+			}
+		}
+		mine = append(mine, t0, deadline)
+		pts[i] = dedupSorted(mine)
+		member[i] = bits
+	})
+	if err != nil {
+		return nil, fmt.Errorf("dts: filter sweep: %w", err)
+	}
+	d := &DTS{T0: t0, Deadline: deadline, Points: pts, id: nextDTSID.Add(1),
+		gid: g.ID(), gver: g.Version(), global: global, member: member}
+	sp.SetInt("base_points", len(base))
+	sp.SetInt("global_points", len(global))
+	sp.SetInt("total_points", d.TotalPoints())
+	if !opts.NoMemo {
+		memo.Put(key, d)
+	}
+	return d, nil
+}
+
+// globalPoints runs steps 1–2 of the construction: the adjacency
+// breakpoints of every pair clipped to the window, then the +kτ closure.
+// The cold build and the edit patch share it verbatim — the global list
+// is cheap relative to the per-node filter sweep, and recomputing it
+// from scratch guarantees the patched DTS picks exactly the same
+// deduplication representatives a cold build would.
+func globalPoints(g *tvg.Graph, t0, deadline float64, maxHops int, tok *cancel.Token) (base, global []float64, err error) {
+	n := g.N()
+	tau := g.Tau()
+
 	// 1. Adjacency breakpoints of every pair, clipped to the window.
-	base := []float64{t0}
+	base = []float64{t0}
 	for i := 0; i < n; i++ {
 		if err := tok.Check(); err != nil {
-			return nil, fmt.Errorf("dts: breakpoints: %w", err)
+			return nil, nil, fmt.Errorf("dts: breakpoints: %w", err)
 		}
 		for _, j := range g.EverNeighbors(tvg.NodeID(i)) {
 			if tvg.NodeID(i) > j {
@@ -159,12 +257,11 @@ func Build(g *tvg.Graph, t0, deadline float64, opts Options) (*DTS, error) {
 
 	// 2. τ-propagation: each point spawns t+kτ (arrival chains of
 	// non-stop journeys).
-	var global []float64
 	if tau > 0 {
 		global = make([]float64, 0, len(base)*(maxHops+1))
 		for _, p := range base {
 			if err := tok.Check(); err != nil {
-				return nil, fmt.Errorf("dts: tau-propagation: %w", err)
+				return nil, nil, fmt.Errorf("dts: tau-propagation: %w", err)
 			}
 			for k := 0; k <= maxHops; k++ {
 				q := p + float64(k)*tau
@@ -178,33 +275,7 @@ func Build(g *tvg.Graph, t0, deadline float64, opts Options) (*DTS, error) {
 	} else {
 		global = base
 	}
-
-	// 3. Per-node partitions: keep points where the node can act, plus
-	// the window endpoints. Each node's filter only reads the graph and
-	// writes its own slot, so the sweep parallelizes without changing
-	// the result.
-	pts := make([][]float64, n)
-	err := parallel.ForEachPoolCancel(opts.Obs.Pool("dts.filter"), tok, opts.Workers, n, func(i int) {
-		var mine []float64
-		for _, p := range global {
-			if opts.NoPrune || g.DegreeAt(tvg.NodeID(i), p) > 0 {
-				mine = append(mine, p)
-			}
-		}
-		mine = append(mine, t0, deadline)
-		pts[i] = dedupSorted(mine)
-	})
-	if err != nil {
-		return nil, fmt.Errorf("dts: filter sweep: %w", err)
-	}
-	d := &DTS{T0: t0, Deadline: deadline, Points: pts, id: nextDTSID.Add(1)}
-	sp.SetInt("base_points", len(base))
-	sp.SetInt("global_points", len(global))
-	sp.SetInt("total_points", d.TotalPoints())
-	if !opts.NoMemo {
-		memo.Put(key, d)
-	}
-	return d, nil
+	return base, global, nil
 }
 
 func dedupSorted(xs []float64) []float64 {

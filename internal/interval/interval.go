@@ -170,6 +170,29 @@ func (s Set) Complement(u Interval) Set {
 	return Set{out}
 }
 
+// Subtract returns the set with every point of iv removed. Intervals
+// partially covered by iv are clipped; an interval strictly containing
+// iv splits in two. Subtracting an empty interval returns s unchanged.
+func (s Set) Subtract(iv Interval) Set {
+	if iv.Empty() || len(s.ivs) == 0 {
+		return s
+	}
+	out := make([]Interval, 0, len(s.ivs)+1)
+	for _, cur := range s.ivs {
+		if cur.End <= iv.Start || cur.Start >= iv.End {
+			out = append(out, cur)
+			continue
+		}
+		if left := (Interval{cur.Start, iv.Start}); !left.Empty() {
+			out = append(out, left)
+		}
+		if right := (Interval{iv.End, cur.End}); !right.Empty() {
+			out = append(out, right)
+		}
+	}
+	return Set{out}
+}
+
 // Contains reports whether t is in the set.
 func (s Set) Contains(t float64) bool {
 	i := sort.Search(len(s.ivs), func(i int) bool { return s.ivs[i].End > t })

@@ -165,6 +165,61 @@ func TestSetComplementClipsOutside(t *testing.T) {
 	}
 }
 
+func TestSetSubtract(t *testing.T) {
+	base := NewSet(Interval{0, 10}, Interval{20, 30})
+	cases := []struct {
+		name string
+		iv   Interval
+		want Set
+	}{
+		{"empty interval is identity", Interval{5, 5}, base},
+		{"disjoint is identity", Interval{12, 18}, base},
+		{"split strictly inside", Interval{2, 4}, NewSet(Interval{0, 2}, Interval{4, 10}, Interval{20, 30})},
+		{"clip left edge", Interval{0, 3}, NewSet(Interval{3, 10}, Interval{20, 30})},
+		{"clip right edge", Interval{8, 10}, NewSet(Interval{0, 8}, Interval{20, 30})},
+		{"remove whole interval", Interval{20, 30}, NewSet(Interval{0, 10})},
+		{"span across gap", Interval{5, 25}, NewSet(Interval{0, 5}, Interval{25, 30})},
+		{"superset empties", Interval{-1, 31}, Set{}},
+		{"touching left endpoint only", Interval{-5, 0}, base},
+		{"touching right endpoint only", Interval{10, 12}, base},
+	}
+	for _, c := range cases {
+		if got := base.Subtract(c.iv); !got.Equal(c.want) {
+			t.Errorf("%s: Subtract(%v) = %v, want %v", c.name, c.iv, got, c.want)
+		}
+	}
+}
+
+func TestQuickSubtractComplementsAdd(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		s := randomSet(r)
+		start := r.Float64() * 100
+		iv := Interval{start, start + r.Float64()*30}
+		sub := s.Subtract(iv)
+		// canonical form holds
+		for i, cur := range sub.Intervals() {
+			if cur.Empty() {
+				return false
+			}
+			if i > 0 && sub.Intervals()[i-1].End >= cur.Start {
+				return false
+			}
+		}
+		// nothing of iv survives, everything outside iv survives
+		if !sub.Intersect(NewSet(iv)).Empty() {
+			return false
+		}
+		if !sub.Equal(s.Intersect(NewSet(iv).Complement(Interval{-10, 200}))) {
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
 func TestSetContains(t *testing.T) {
 	s := NewSet(Interval{1, 2}, Interval{5, 7})
 	for _, tc := range []struct {

@@ -18,8 +18,12 @@ import (
 // over special functions.
 //
 // Invalidation rules (documented in DESIGN.md):
-//   - AddContact purges everything — contacts change ρ_τ and the
-//     segments behind every key.
+//   - AddContact/RemoveContact/RetimeChannel invalidate selectively:
+//     an edit to the pair (a, b) deletes the MinCost entries of that
+//     pair and the DCS entries of nodes a and b (a node's cost set
+//     depends only on its own incident edges), across every model.
+//     The ED-function memo survives — it keys on channel parameters
+//     (β, ε), not coordinates.
 //   - WithModel views share the cache; the model is part of every key.
 //   - Params are assumed frozen once planning starts. Mutating
 //     Params.Eps is still safe (ε is part of every key); mutating the
@@ -48,6 +52,29 @@ type dcsKey struct {
 	t     float64
 	model Model
 	eps   float64
+}
+
+// invalidatePair deletes every cached result an edit to the edge (a, b)
+// could change: the pair's MinCost entries (both orientations, every
+// model and ε) and the DCS entries of the two endpoint nodes. Entries of
+// other nodes stay — their cost sets depend only on their own incident
+// edges. Hit/miss counters keep accumulating across selective
+// invalidations so cache-effectiveness metrics span edit sequences.
+func (c *costCache) invalidatePair(a, b tvg.NodeID) {
+	c.minCost.Range(func(k, _ any) bool {
+		mk := k.(minCostKey)
+		if (mk.i == a && mk.j == b) || (mk.i == b && mk.j == a) {
+			c.minCost.Delete(k)
+		}
+		return true
+	})
+	c.dcs.Range(func(k, _ any) bool {
+		dk := k.(dcsKey)
+		if dk.i == a || dk.i == b {
+			c.dcs.Delete(k)
+		}
+		return true
+	})
 }
 
 func (c *costCache) reset() {

@@ -140,9 +140,13 @@ func (g *Graph) AddContact(i, j tvg.NodeID, iv interval.Interval, dist float64) 
 	g.Graph.AddContact(i, j, iv)
 	k := tvg.MakeEdgeKey(i, j)
 	g.segs[k] = append(g.segs[k], Segment{iv, dist})
-	sort.Slice(g.segs[k], func(a, b int) bool { return g.segs[k][a].Iv.Start < g.segs[k][b].Iv.Start })
+	// Stable: equal-start segments keep insertion order, so replaying an
+	// edit sequence on a fresh graph reconstructs identical channel state.
+	sort.SliceStable(g.segs[k], func(a, b int) bool { return g.segs[k][a].Iv.Start < g.segs[k][b].Iv.Start })
 	if g.cache != nil {
-		g.cache.reset() // new contacts change ρ_τ and segments behind every cached key
+		// A new contact only changes ρ_τ, segments, and cost sets at its
+		// own pair; everything else cached stays valid.
+		g.cache.invalidatePair(i, j)
 	}
 }
 

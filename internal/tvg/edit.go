@@ -1,0 +1,107 @@
+package tvg
+
+import (
+	"sort"
+
+	"repro/internal/interval"
+)
+
+// Edit is one entry of the graph's mutation journal: the canonical edge
+// pair whose presence changed, and the version the mutation produced.
+type Edit struct {
+	Pair    EdgeKey
+	Version uint64
+}
+
+// journalCap bounds the retained mutation history. A derivation that
+// spans more edits than this falls back to a cold build, so the cap
+// trades patch reach against the memory pinned per graph.
+const journalCap = 128
+
+// record appends a journal entry for the mutation that just bumped
+// g.version, trimming the oldest history past journalCap.
+func (g *Graph) record(k EdgeKey) {
+	g.journal = append(g.journal, Edit{Pair: k, Version: g.version})
+	if len(g.journal) > journalCap {
+		drop := len(g.journal) - journalCap
+		g.journalBase = g.journal[drop-1].Version
+		g.journal = append(g.journal[:0], g.journal[drop:]...)
+	}
+}
+
+// RemoveContact deletes every point of iv from the presence of the edge
+// (i, j). It reports whether the presence actually changed; no-op
+// removals (absent edge, interval disjoint from all recorded presence)
+// leave the version untouched so downstream memo entries stay valid.
+// When the last presence interval of a pair disappears the pair also
+// leaves both ever-neighbor lists.
+func (g *Graph) RemoveContact(i, j NodeID, iv interval.Interval) bool {
+	if i == j {
+		panic("tvg: self-loop contact")
+	}
+	g.checkNode(i)
+	g.checkNode(j)
+	if iv.Empty() {
+		return false
+	}
+	k := MakeEdgeKey(i, j)
+	old, existed := g.presence[k]
+	if !existed {
+		return false
+	}
+	next := old.Subtract(iv)
+	if next.Equal(old) {
+		return false
+	}
+	if next.Empty() {
+		delete(g.presence, k)
+		g.neighbors[i] = removeSorted(g.neighbors[i], j)
+		g.neighbors[j] = removeSorted(g.neighbors[j], i)
+	} else {
+		g.presence[k] = next
+	}
+	g.version++
+	g.record(k)
+	return true
+}
+
+func removeSorted(s []NodeID, v NodeID) []NodeID {
+	i := sort.Search(len(s), func(i int) bool { return s[i] >= v })
+	if i >= len(s) || s[i] != v {
+		return s
+	}
+	return append(s[:i], s[i+1:]...)
+}
+
+// Journal returns the retained mutation journal entries with
+// Version > since, oldest first. The returned slice aliases internal
+// state and must not be modified.
+func (g *Graph) Journal(since uint64) []Edit {
+	i := sort.Search(len(g.journal), func(i int) bool { return g.journal[i].Version > since })
+	return g.journal[i:]
+}
+
+// EditsSince returns the distinct edge pairs whose presence changed
+// between version v and the current version, in first-edit order.
+// ok = false means the journal no longer covers that range (v predates
+// the retained history, or is not an ancestor version of this graph)
+// and the caller must treat every pair as potentially edited.
+func (g *Graph) EditsSince(v uint64) ([]EdgeKey, bool) {
+	if v > g.version || v < g.journalBase {
+		return nil, false
+	}
+	var out []EdgeKey
+	for _, e := range g.Journal(v) {
+		dup := false
+		for _, p := range out {
+			if p == e.Pair {
+				dup = true
+				break
+			}
+		}
+		if !dup {
+			out = append(out, e.Pair)
+		}
+	}
+	return out, true
+}

@@ -1,0 +1,129 @@
+package tvg
+
+import (
+	"testing"
+
+	"repro/internal/interval"
+)
+
+func TestRemoveContactClipsPresence(t *testing.T) {
+	g := New(4, interval.Interval{Start: 0, End: 100}, 1)
+	g.AddContact(0, 1, interval.Interval{Start: 10, End: 40})
+	v := g.Version()
+
+	if !g.RemoveContact(0, 1, interval.Interval{Start: 20, End: 30}) {
+		t.Fatal("RemoveContact of a covered interval must report a change")
+	}
+	if g.Version() != v+1 {
+		t.Errorf("version = %d, want %d", g.Version(), v+1)
+	}
+	want := interval.NewSet(interval.Interval{Start: 10, End: 20}, interval.Interval{Start: 30, End: 40})
+	if !g.Presence(0, 1).Equal(want) {
+		t.Errorf("presence = %v, want %v", g.Presence(0, 1), want)
+	}
+	// The pair still shares presence, so the ever-neighbor lists keep it.
+	if len(g.EverNeighbors(0)) != 1 || g.EverNeighbors(0)[0] != 1 {
+		t.Errorf("EverNeighbors(0) = %v, want [1]", g.EverNeighbors(0))
+	}
+}
+
+func TestRemoveContactNoOps(t *testing.T) {
+	g := New(4, interval.Interval{Start: 0, End: 100}, 1)
+	g.AddContact(0, 1, interval.Interval{Start: 10, End: 40})
+	v := g.Version()
+
+	cases := []struct {
+		name string
+		i, j NodeID
+		iv   interval.Interval
+	}{
+		{"absent edge", 2, 3, interval.Interval{Start: 0, End: 50}},
+		{"disjoint interval", 0, 1, interval.Interval{Start: 50, End: 60}},
+		{"empty interval", 0, 1, interval.Interval{Start: 20, End: 20}},
+		{"touching endpoint", 0, 1, interval.Interval{Start: 40, End: 45}},
+	}
+	for _, c := range cases {
+		if g.RemoveContact(c.i, c.j, c.iv) {
+			t.Errorf("%s: RemoveContact reported a change", c.name)
+		}
+		if g.Version() != v {
+			t.Errorf("%s: version bumped to %d on a no-op", c.name, g.Version())
+		}
+	}
+}
+
+func TestRemoveContactEmptiesPairDropsNeighbors(t *testing.T) {
+	g := New(4, interval.Interval{Start: 0, End: 100}, 1)
+	g.AddContact(0, 1, interval.Interval{Start: 10, End: 40})
+	g.AddContact(0, 2, interval.Interval{Start: 5, End: 15})
+
+	if !g.RemoveContact(1, 0, interval.Interval{Start: 0, End: 100}) {
+		t.Fatal("RemoveContact must report the change")
+	}
+	if !g.Presence(0, 1).Empty() {
+		t.Errorf("presence(0,1) = %v, want empty", g.Presence(0, 1))
+	}
+	if got := g.EverNeighbors(0); len(got) != 1 || got[0] != 2 {
+		t.Errorf("EverNeighbors(0) = %v, want [2]", got)
+	}
+	if got := g.EverNeighbors(1); len(got) != 0 {
+		t.Errorf("EverNeighbors(1) = %v, want []", got)
+	}
+	// Re-adding resurrects the pair in sorted order.
+	g.AddContact(0, 1, interval.Interval{Start: 50, End: 60})
+	if got := g.EverNeighbors(0); len(got) != 2 || got[0] != 1 || got[1] != 2 {
+		t.Errorf("EverNeighbors(0) after re-add = %v, want [1 2]", got)
+	}
+}
+
+func TestEditsSinceTracksPairs(t *testing.T) {
+	g := New(5, interval.Interval{Start: 0, End: 100}, 1)
+	v0 := g.Version()
+	g.AddContact(0, 1, interval.Interval{Start: 10, End: 40})
+	g.AddContact(2, 3, interval.Interval{Start: 0, End: 20})
+	v2 := g.Version()
+	g.RemoveContact(0, 1, interval.Interval{Start: 15, End: 20})
+	g.AddContact(1, 0, interval.Interval{Start: 70, End: 80})
+
+	pairs, ok := g.EditsSince(v2)
+	if !ok {
+		t.Fatal("EditsSince(v2) must succeed")
+	}
+	if len(pairs) != 1 || pairs[0] != (EdgeKey{0, 1}) {
+		t.Errorf("EditsSince(v2) = %v, want [{0 1}]", pairs)
+	}
+
+	pairs, ok = g.EditsSince(v0)
+	if !ok {
+		t.Fatal("EditsSince(v0) must succeed")
+	}
+	if len(pairs) != 2 || pairs[0] != (EdgeKey{0, 1}) || pairs[1] != (EdgeKey{2, 3}) {
+		t.Errorf("EditsSince(v0) = %v, want [{0 1} {2 3}]", pairs)
+	}
+
+	if pairs, ok := g.EditsSince(g.Version()); !ok || len(pairs) != 0 {
+		t.Errorf("EditsSince(current) = %v, %v, want empty, true", pairs, ok)
+	}
+	if _, ok := g.EditsSince(g.Version() + 1); ok {
+		t.Error("EditsSince(future version) must fail")
+	}
+}
+
+func TestEditsSinceTrimmedHistory(t *testing.T) {
+	g := New(3, interval.Interval{Start: 0, End: 1e6}, 1)
+	g.AddContact(0, 1, interval.Interval{Start: 0, End: 1})
+	v := g.Version()
+	// Overflow the journal so version v falls off the retained history.
+	for k := 0; k < journalCap+10; k++ {
+		g.AddContact(0, 2, interval.Interval{Start: float64(10 + 2*k), End: float64(11 + 2*k)})
+	}
+	if _, ok := g.EditsSince(v); ok {
+		t.Error("EditsSince must fail once the journal trimmed past v")
+	}
+	// Recent history still resolves.
+	recent := g.Version() - 5
+	pairs, ok := g.EditsSince(recent)
+	if !ok || len(pairs) != 1 || pairs[0] != (EdgeKey{0, 2}) {
+		t.Errorf("EditsSince(recent) = %v, %v, want [{0 2}], true", pairs, ok)
+	}
+}

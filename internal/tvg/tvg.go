@@ -54,6 +54,16 @@ type Graph struct {
 	// graph (also at version 0), and a pointer-keyed cache would then
 	// silently serve the dead graph's artifacts. IDs are never reused.
 	id uint64
+	// journal records recent presence mutations (newest last) so
+	// downstream caches can derive a patched artifact for the current
+	// version from a memoized ancestor instead of rebuilding cold. It is
+	// bounded: once trimmed, EditsSince reports the history as lost and
+	// callers fall back to a cold build.
+	journal []Edit
+	// journalBase is the graph version immediately before the oldest
+	// retained journal entry; EditsSince(v) for v < journalBase cannot
+	// reconstruct the edit set and reports ok = false.
+	journalBase uint64
 }
 
 // nextGraphID hands out process-unique graph identities; 0 is reserved
@@ -103,6 +113,7 @@ func (g *Graph) AddContact(i, j NodeID, iv interval.Interval) {
 	old, existed := g.presence[k]
 	g.presence[k] = old.Add(iv)
 	g.version++
+	g.record(k)
 	if !existed {
 		g.neighbors[i] = insertSorted(g.neighbors[i], j)
 		g.neighbors[j] = insertSorted(g.neighbors[j], i)
