@@ -1,21 +1,27 @@
 // Command tmedbvet is the repo's static-analysis gate: it loads the
 // module packages matched by its arguments, runs the contract
 // analyzers from internal/analysis/checks (determinism, cancellation,
-// float tolerance, span pairing), and exits non-zero when any
-// non-suppressed finding remains.
+// float tolerance, span pairing, hot-path allocation, atomic access,
+// goroutine completion), and exits non-zero when any non-suppressed
+// finding remains.
 //
 // Usage:
 //
-//	go run ./cmd/tmedbvet [-json] [-list] [packages...]
+//	go run ./cmd/tmedbvet [-json] [-list] [-v] [packages...]
 //
 // Packages default to ./... relative to the current module. Findings
-// print as file:line:col: [check] message, or as a JSON array with
-// -json (the stable shape CI annotations parse; see DESIGN.md §10).
-// Suppress a finding inline with
+// print as file:line:col: [check] message, or with -json as an object
+// {"findings": [...], "summary": {"findings": N, "suppressed": M}}
+// (the stable shape CI annotations parse; see DESIGN.md §10). -v adds
+// a per-analyzer wall-time breakdown on stderr. Suppress a finding
+// inline with
 //
 //	//tmedbvet:ignore <check> <reason>
 //
-// on the finding's line or the line above; the reason is mandatory.
+// on the finding's line or the line above (a directive above a
+// multi-line statement covers the whole statement); the reason is
+// mandatory, and a directive that suppresses nothing is itself
+// reported as stale.
 package main
 
 import (
@@ -36,8 +42,9 @@ func main() {
 func run(args []string, stdout, stderr io.Writer) int {
 	fs := flag.NewFlagSet("tmedbvet", flag.ContinueOnError)
 	fs.SetOutput(stderr)
-	jsonOut := fs.Bool("json", false, "emit findings as a JSON array instead of text")
+	jsonOut := fs.Bool("json", false, "emit findings as a JSON object instead of text")
 	list := fs.Bool("list", false, "list the registered checks and exit")
+	verbose := fs.Bool("v", false, "print per-analyzer wall time on stderr")
 	if err := fs.Parse(args); err != nil {
 		return 2
 	}
@@ -65,24 +72,30 @@ func run(args []string, stdout, stderr io.Writer) int {
 		fmt.Fprintln(stderr, "tmedbvet:", err)
 		return 2
 	}
-	ds, err := loader.Run(patterns, all)
+	res, err := loader.Run(patterns, all)
 	if err != nil {
 		fmt.Fprintln(stderr, "tmedbvet:", err)
 		return 2
 	}
-
-	if *jsonOut {
-		if err := analysis.WriteJSON(stdout, ds); err != nil {
+	if *verbose {
+		if err := analysis.WriteTimings(stderr, res); err != nil {
 			fmt.Fprintln(stderr, "tmedbvet:", err)
 			return 2
 		}
-	} else if err := analysis.WriteText(stdout, ds); err != nil {
+	}
+
+	if *jsonOut {
+		if err := analysis.WriteJSON(stdout, res); err != nil {
+			fmt.Fprintln(stderr, "tmedbvet:", err)
+			return 2
+		}
+	} else if err := analysis.WriteText(stdout, res.Findings); err != nil {
 		fmt.Fprintln(stderr, "tmedbvet:", err)
 		return 2
 	}
-	if len(ds) > 0 {
+	if len(res.Findings) > 0 {
 		if !*jsonOut {
-			fmt.Fprintf(stderr, "tmedbvet: %d finding(s)\n", len(ds))
+			fmt.Fprintf(stderr, "tmedbvet: %d finding(s), %d suppressed\n", len(res.Findings), res.Suppressed)
 		}
 		return 1
 	}

@@ -43,8 +43,12 @@ func (d Diagnostic) String() string {
 	return fmt.Sprintf("%s:%d:%d: [%s] %s", d.Pos.Filename, d.Pos.Line, d.Pos.Column, d.Check, d.Message)
 }
 
-// Analyzer is one named check. Run inspects a single type-checked
-// package and reports findings through the pass.
+// Analyzer is one named check. Per-package analyzers set Run, which
+// inspects a single type-checked package; module analyzers set
+// RunModule, which sees every analyzed package at once plus the
+// intra-module call graph (reachability-based checks like hotalloc
+// need cross-package callee resolution). Exactly one of Run/RunModule
+// should be set.
 type Analyzer struct {
 	// Name is the check identifier used in output and in
 	// //tmedbvet:ignore comments.
@@ -53,10 +57,13 @@ type Analyzer struct {
 	Doc string
 	// Scope reports whether the analyzer applies to a package import
 	// path. A nil Scope applies everywhere. The fixture harness
-	// bypasses Scope so testdata packages exercise Run directly.
+	// bypasses Scope so testdata packages exercise Run directly. For
+	// module analyzers Scope filters ModulePass.Packages.
 	Scope func(pkgPath string) bool
 	// Run inspects pass.Pkg and calls pass.Report for each finding.
 	Run func(pass *Pass)
+	// RunModule inspects every package of a module-wide pass.
+	RunModule func(pass *ModulePass)
 }
 
 // Pass is one (analyzer, package) unit of work handed to Analyzer.Run.
@@ -87,6 +94,42 @@ func (p *Pass) ObjectOf(id *ast.Ident) types.Object {
 func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
 	p.report(Diagnostic{
 		Pos:     p.Pkg.Fset.Position(pos),
+		Check:   p.Analyzer.Name,
+		Message: fmt.Sprintf(format, args...),
+	})
+}
+
+// ModulePass is one module-wide unit of work handed to
+// Analyzer.RunModule: every analyzed package at once, plus the lazily
+// built intra-module call graph over them.
+type ModulePass struct {
+	Analyzer *Analyzer
+	// Packages are the in-scope packages the analyzer should report on,
+	// sorted by import path.
+	Packages []*Package
+	// All additionally holds every module package the loader pulled in
+	// as a dependency of Packages; the call graph and cross-package
+	// object lookups span these too.
+	All []*Package
+
+	fset   *token.FileSet
+	report func(Diagnostic)
+	// graphFn memoizes the call graph across every module analyzer of
+	// one driver run; the driver injects it.
+	graphFn func() *CallGraph
+}
+
+// Fset returns the file set all positions resolve against.
+func (p *ModulePass) Fset() *token.FileSet { return p.fset }
+
+// Graph returns the intra-module call graph over every loaded package,
+// built on first use and shared by the run's module analyzers.
+func (p *ModulePass) Graph() *CallGraph { return p.graphFn() }
+
+// Reportf records a finding at pos.
+func (p *ModulePass) Reportf(pos token.Pos, format string, args ...any) {
+	p.report(Diagnostic{
+		Pos:     p.fset.Position(pos),
 		Check:   p.Analyzer.Name,
 		Message: fmt.Sprintf(format, args...),
 	})

@@ -8,6 +8,7 @@ import (
 	"sort"
 	"strings"
 	"testing"
+	"time"
 )
 
 // markerAnalyzer reports every call to a function named mark — a toy
@@ -109,9 +110,14 @@ func TestIgnoreDirectives(t *testing.T) {
 	sortDiagnostics(ds)
 
 	wantMarker := fixtureLines(t, func(s string) bool { return strings.Contains(s, "// hit") })
+	// "ignore" findings come from malformed directives (exact bare text)
+	// and from stale ones: the unknown-check directive, the out-of-range
+	// directive that covered nothing, and the reserved-check directive.
 	wantIgnore := fixtureLines(t, func(s string) bool {
 		trimmed := strings.TrimSpace(s)
-		return trimmed == "//tmedbvet:ignore" || trimmed == "//tmedbvet:ignore marker"
+		return trimmed == "//tmedbvet:ignore" || trimmed == "//tmedbvet:ignore marker" ||
+			strings.Contains(s, "othercheck") || strings.Contains(s, "out of range") ||
+			strings.HasPrefix(trimmed, "//tmedbvet:ignore ignore ")
 	})
 
 	gotMarker := make(map[int]bool)
@@ -135,6 +141,98 @@ func TestIgnoreDirectives(t *testing.T) {
 	}
 	if !sameLineSet(gotIgnore, wantIgnore) {
 		t.Errorf("malformed-directive lines = %v, want %v", lineList(gotIgnore), lineList(wantIgnore))
+	}
+}
+
+func TestMultiLineStatementSuppression(t *testing.T) {
+	l, err := NewLoader("testdata/multiline")
+	if err != nil {
+		t.Fatalf("NewLoader: %v", err)
+	}
+	pkg, err := l.LoadDir("testdata/multiline")
+	if err != nil {
+		t.Fatalf("LoadDir: %v", err)
+	}
+	ds := l.RunPackage(pkg, []*Analyzer{markerAnalyzer(nil)}, true)
+
+	var markerLines, ignoreLines []int
+	for _, d := range ds {
+		switch d.Check {
+		case "marker":
+			markerLines = append(markerLines, d.Pos.Line)
+		case "ignore":
+			ignoreLines = append(ignoreLines, d.Pos.Line)
+		}
+	}
+	// The two mark calls on the wrapped statement's continuation lines
+	// are covered by the directive above the statement; only the one
+	// inside the if block survives.
+	data, err := os.ReadFile(filepath.Join("testdata", "multiline", "multiline.go"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wantHit, wantStale int
+	for i, line := range strings.Split(string(data), "\n") {
+		if strings.Contains(line, "// hit") {
+			wantHit = i + 1
+		}
+		if strings.Contains(line, "must not blanket") {
+			wantStale = i + 1
+		}
+	}
+	if len(markerLines) != 1 || markerLines[0] != wantHit {
+		t.Errorf("marker lines = %v, want [%d]", markerLines, wantHit)
+	}
+	// The block directive silenced nothing, so it is reported stale.
+	if len(ignoreLines) != 1 || ignoreLines[0] != wantStale {
+		t.Errorf("ignore lines = %v, want [%d]", ignoreLines, wantStale)
+	}
+}
+
+func TestGeneratedFileExemptFromStale(t *testing.T) {
+	l, err := NewLoader("testdata/generated")
+	if err != nil {
+		t.Fatalf("NewLoader: %v", err)
+	}
+	pkg, err := l.LoadDir("testdata/generated")
+	if err != nil {
+		t.Fatalf("LoadDir: %v", err)
+	}
+	ds := l.RunPackage(pkg, []*Analyzer{markerAnalyzer(nil)}, true)
+
+	for _, d := range ds {
+		if d.Check == "ignore" {
+			t.Errorf("stale suppression reported in generated file at line %d: %s", d.Pos.Line, d.Message)
+		}
+	}
+	// The used directive still suppresses; only the unsuppressed call
+	// survives.
+	var markerLines []int
+	for _, d := range ds {
+		if d.Check == "marker" {
+			markerLines = append(markerLines, d.Pos.Line)
+		}
+	}
+	if len(markerLines) != 1 {
+		t.Errorf("marker lines in generated file = %v, want exactly the uncovered call", markerLines)
+	}
+}
+
+func TestStaleJudgmentHonorsScope(t *testing.T) {
+	// A directive naming an analyzer whose scope excludes the package is
+	// not stale: the check never ran there, so "no finding" proves
+	// nothing. The unknown-check and reserved-check directives are stale
+	// regardless of scope.
+	l, pkg := loadIgnores(t)
+	outOfScope := markerAnalyzer(func(string) bool { return false })
+	var staleMarkerDirectives int
+	for _, d := range l.RunPackage(pkg, []*Analyzer{outOfScope}, true) {
+		if d.Check == "ignore" && strings.Contains(d.Message, "no marker finding") {
+			staleMarkerDirectives++
+		}
+	}
+	if staleMarkerDirectives != 0 {
+		t.Errorf("%d marker directives judged stale though marker's scope excludes the package", staleMarkerDirectives)
 	}
 }
 
@@ -177,36 +275,87 @@ func TestWriteReports(t *testing.T) {
 	}
 
 	var jsonOut strings.Builder
-	if err := WriteJSON(&jsonOut, ds); err != nil {
+	if err := WriteJSON(&jsonOut, &Result{Findings: ds, Suppressed: 4}); err != nil {
 		t.Fatalf("WriteJSON: %v", err)
 	}
-	wantJSON := `[
-  {
-    "file": "internal/core/core.go",
-    "line": 3,
-    "col": 7,
-    "check": "floateq",
-    "message": "exact float == on computed values (a == b)"
-  },
-  {
-    "file": "internal/sim/sim.go",
-    "line": 11,
-    "col": 2,
-    "check": "detrange",
-    "message": "map iteration order reaches planner output (append to out)"
+	wantJSON := `{
+  "findings": [
+    {
+      "file": "internal/core/core.go",
+      "line": 3,
+      "col": 7,
+      "check": "floateq",
+      "message": "exact float == on computed values (a == b)"
+    },
+    {
+      "file": "internal/sim/sim.go",
+      "line": 11,
+      "col": 2,
+      "check": "detrange",
+      "message": "map iteration order reaches planner output (append to out)"
+    }
+  ],
+  "summary": {
+    "findings": 2,
+    "suppressed": 4
   }
-]
+}
 `
 	if jsonOut.String() != wantJSON {
 		t.Errorf("WriteJSON:\n%s\nwant:\n%s", jsonOut.String(), wantJSON)
 	}
 
 	var empty strings.Builder
-	if err := WriteJSON(&empty, nil); err != nil {
-		t.Fatalf("WriteJSON(nil): %v", err)
+	if err := WriteJSON(&empty, &Result{}); err != nil {
+		t.Fatalf("WriteJSON(empty): %v", err)
 	}
-	if empty.String() != "[]\n" {
-		t.Errorf("WriteJSON(nil) = %q, want %q", empty.String(), "[]\n")
+	wantEmpty := `{
+  "findings": [],
+  "summary": {
+    "findings": 0,
+    "suppressed": 0
+  }
+}
+`
+	if empty.String() != wantEmpty {
+		t.Errorf("WriteJSON(empty) = %q, want %q", empty.String(), wantEmpty)
+	}
+}
+
+func TestWriteTimings(t *testing.T) {
+	res := &Result{
+		LoadElapsed: 1234567 * time.Nanosecond,
+		Timings: []AnalyzerTiming{
+			{Name: "marker", Elapsed: 42 * time.Microsecond},
+			{Name: "slowcheck", Elapsed: 2*time.Second + 5*time.Millisecond},
+		},
+	}
+	var out strings.Builder
+	if err := WriteTimings(&out, res); err != nil {
+		t.Fatalf("WriteTimings: %v", err)
+	}
+	want := "load (parse+typecheck)       1.23ms\n" +
+		"marker                         42µs\n" +
+		"slowcheck                     2.01s\n"
+	if out.String() != want {
+		t.Errorf("WriteTimings:\n%q\nwant:\n%q", out.String(), want)
+	}
+}
+
+func TestDedupDiagnostics(t *testing.T) {
+	ds := []Diagnostic{
+		{Pos: token.Position{Filename: "a.go", Line: 1, Column: 1}, Check: "x", Message: "first"},
+		{Pos: token.Position{Filename: "a.go", Line: 1, Column: 1}, Check: "x", Message: "second copy of the same (file, line, col, check)"},
+		{Pos: token.Position{Filename: "a.go", Line: 1, Column: 1}, Check: "y", Message: "different check survives"},
+		{Pos: token.Position{Filename: "a.go", Line: 2, Column: 1}, Check: "x", Message: "different line survives"},
+	}
+	sortDiagnostics(ds)
+	got := dedupDiagnostics(ds)
+	if len(got) != 3 {
+		t.Fatalf("dedup kept %d, want 3: %v", len(got), got)
+	}
+	if got[0].Message != "first" {
+		t.Errorf("dedup kept %q, want the message-smallest survivor %q", got[0].Message, "first")
 	}
 }
 

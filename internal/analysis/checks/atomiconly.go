@@ -1,0 +1,295 @@
+package checks
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"repro/internal/analysis"
+)
+
+// AtomicOnly enforces the serving tier's lock-free access contract
+// (DESIGN.md §13/§15): a word that is touched through sync/atomic
+// anywhere in the module must be touched through sync/atomic
+// everywhere — one plain load or store next to atomic ones is a data
+// race the race detector only catches when the interleaving happens.
+// The targets this guards: the flight recorder's head cursor and slot
+// pointers (obs.Flight), the expvar publish slot, and the memo ID
+// counters.
+//
+// The analyzer also carries the copylocks half of the contract:
+// values containing a sync.Mutex/RWMutex/WaitGroup/Once/Cond/Map/Pool
+// or an atomic.* type must never be copied — not assigned by value,
+// not passed as a value argument, not ranged over by value, not
+// returned by value, and not bound to a value receiver. A copied
+// mutex guards nothing; a copied atomic splits one word into two.
+var AtomicOnly = &analysis.Analyzer{
+	Name: "atomiconly",
+	Doc: "fields accessed via sync/atomic must be accessed atomically everywhere; " +
+		"values containing sync or atomic types must not be copied",
+	RunModule: runAtomicOnly,
+}
+
+func runAtomicOnly(mp *analysis.ModulePass) {
+	// Pass 1 (module-wide, All packages): collect every variable that is
+	// passed by address to an old-style sync/atomic function. These are
+	// the words under the atomic-everywhere contract.
+	atomicVars := make(map[types.Object]bool)
+	for _, pkg := range mp.All {
+		for _, f := range pkg.Files {
+			ast.Inspect(f, func(n ast.Node) bool {
+				call, ok := n.(*ast.CallExpr)
+				if !ok || !isSyncAtomicCall(pkg.Info, call) {
+					return true
+				}
+				for _, arg := range call.Args {
+					un, ok := ast.Unparen(arg).(*ast.UnaryExpr)
+					if !ok || un.Op != token.AND {
+						continue
+					}
+					if obj := rootObject(pkg.Info, un.X); obj != nil {
+						atomicVars[obj] = true
+					}
+				}
+				return true
+			})
+		}
+	}
+
+	// Pass 2 (scoped packages): flag non-atomic accesses of those
+	// variables, and all copylocks violations.
+	for _, pkg := range mp.Packages {
+		checkAtomicAccesses(mp, pkg, atomicVars)
+		checkCopyLocks(mp, pkg)
+	}
+}
+
+// isSyncAtomicCall reports a call to one of sync/atomic's package-level
+// functions (Add*/Load*/Store*/Swap*/CompareAndSwap*). Methods of the
+// new-style atomic.* wrapper types don't count: their receiver already
+// encapsulates the word, so &x arguments to them (e.g. the new pointer
+// handed to atomic.Pointer.CompareAndSwap) do not place x under the
+// atomic-everywhere contract.
+func isSyncAtomicCall(info *types.Info, call *ast.CallExpr) bool {
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok {
+		return false
+	}
+	f, ok := info.Uses[sel.Sel].(*types.Func)
+	if !ok || f.Pkg() == nil || f.Pkg().Path() != "sync/atomic" {
+		return false
+	}
+	return f.Type().(*types.Signature).Recv() == nil
+}
+
+// rootObject resolves the variable object an lvalue expression
+// ultimately denotes: x, x.f, x[i].f peel to the field or variable
+// object of the outermost selector/ident.
+func rootObject(info *types.Info, e ast.Expr) types.Object {
+	switch e := ast.Unparen(e).(type) {
+	case *ast.Ident:
+		return info.Uses[e]
+	case *ast.SelectorExpr:
+		// The accessed word is the field itself: same field reached
+		// through different receivers is the same contract object.
+		return info.Uses[e.Sel]
+	case *ast.IndexExpr:
+		return rootObject(info, e.X)
+	case *ast.StarExpr:
+		return rootObject(info, e.X)
+	}
+	return nil
+}
+
+// checkAtomicAccesses flags plain (non-atomic, non-&) reads and writes
+// of variables in atomicVars.
+func checkAtomicAccesses(mp *analysis.ModulePass, pkg *analysis.Package, atomicVars map[types.Object]bool) {
+	if len(atomicVars) == 0 {
+		return
+	}
+	info := pkg.Info
+	for _, f := range pkg.Files {
+		// skip[pos] marks idents that appear inside a sanctioned context:
+		// an &x argument to a sync/atomic call, or any & (address-taken
+		// uses hand the word to code that is separately checked).
+		skip := make(map[token.Pos]bool)
+		ast.Inspect(f, func(n ast.Node) bool {
+			if un, ok := n.(*ast.UnaryExpr); ok && un.Op == token.AND {
+				markIdents(un.X, skip)
+			}
+			return true
+		})
+		ast.Inspect(f, func(n ast.Node) bool {
+			var id *ast.Ident
+			switch n := n.(type) {
+			case *ast.Ident:
+				id = n
+			case *ast.SelectorExpr:
+				id = n.Sel
+			default:
+				return true
+			}
+			obj := info.Uses[id]
+			if obj == nil || !atomicVars[obj] || skip[id.Pos()] {
+				return true
+			}
+			mp.Reportf(id.Pos(),
+				"%s is accessed via sync/atomic elsewhere; this plain access races with those — use atomic.Load/Store (or take its address only to pass to sync/atomic)",
+				id.Name)
+			return true
+		})
+	}
+}
+
+// markIdents records the positions of every ident under e.
+func markIdents(e ast.Expr, into map[token.Pos]bool) {
+	ast.Inspect(e, func(n ast.Node) bool {
+		if id, ok := n.(*ast.Ident); ok {
+			into[id.Pos()] = true
+		}
+		return true
+	})
+}
+
+// checkCopyLocks flags by-value copies of types that contain a no-copy
+// component (sync primitives, atomic values).
+func checkCopyLocks(mp *analysis.ModulePass, pkg *analysis.Package) {
+	info := pkg.Info
+	flag := func(pos token.Pos, how string, t types.Type) {
+		mp.Reportf(pos, "%s copies %s, which contains a no-copy sync/atomic component — use a pointer", how, t.String())
+	}
+	for _, f := range pkg.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.AssignStmt:
+				for i, rhs := range n.Rhs {
+					if i >= len(n.Lhs) {
+						break
+					}
+					if !copiesValue(rhs) {
+						continue
+					}
+					if t := info.TypeOf(rhs); t != nil && containsNoCopy(t) {
+						flag(rhs.Pos(), "assignment", t)
+					}
+				}
+			case *ast.CallExpr:
+				// Conversions don't copy, and builtin calls (new(T),
+				// make(T, …)) take type arguments, not values — go/types
+				// records call-site signatures for builtins, so they must
+				// be excluded explicitly.
+				if id, ok := ast.Unparen(n.Fun).(*ast.Ident); ok {
+					if _, isBuiltin := info.Uses[id].(*types.Builtin); isBuiltin {
+						return true
+					}
+				}
+				if tv, ok := info.Types[n.Fun]; ok && tv.IsType() {
+					return true
+				}
+				sig, ok := info.TypeOf(n.Fun).(*types.Signature)
+				if !ok {
+					return true
+				}
+				for i, arg := range n.Args {
+					if i >= sig.Params().Len() && !sig.Variadic() {
+						break
+					}
+					if !copiesValue(arg) {
+						continue
+					}
+					if t := info.TypeOf(arg); t != nil && containsNoCopy(t) {
+						flag(arg.Pos(), "call argument", t)
+					}
+				}
+				// Value-receiver method call on a no-copy type.
+				if sel, ok := ast.Unparen(n.Fun).(*ast.SelectorExpr); ok {
+					if s, ok := info.Selections[sel]; ok && s.Kind() == types.MethodVal {
+						if fn, ok := s.Obj().(*types.Func); ok {
+							recv := fn.Type().(*types.Signature).Recv()
+							if recv != nil {
+								if _, isPtr := recv.Type().Underlying().(*types.Pointer); !isPtr && containsNoCopy(recv.Type()) {
+									flag(n.Pos(), "value-receiver call", recv.Type())
+								}
+							}
+						}
+					}
+				}
+			case *ast.RangeStmt:
+				if n.Value == nil {
+					return true
+				}
+				if t := info.TypeOf(n.Value); t != nil && containsNoCopy(t) {
+					flag(n.Value.Pos(), "range value", t)
+				}
+			case *ast.ReturnStmt:
+				for _, r := range n.Results {
+					if !copiesValue(r) {
+						continue
+					}
+					if t := info.TypeOf(r); t != nil && containsNoCopy(t) {
+						flag(r.Pos(), "return", t)
+					}
+				}
+			}
+			return true
+		})
+	}
+}
+
+// copiesValue reports whether the expression shape actually copies an
+// existing value: identifiers, field selections, derefs, and index
+// expressions do; composite literals, calls, and & expressions create
+// or reference rather than copy.
+func copiesValue(e ast.Expr) bool {
+	switch ast.Unparen(e).(type) {
+	case *ast.Ident, *ast.SelectorExpr, *ast.StarExpr, *ast.IndexExpr:
+		return true
+	}
+	return false
+}
+
+// noCopyNames are the sync and sync/atomic types that must not be
+// copied after first use.
+var noCopyNames = map[string]map[string]bool{
+	"sync": {
+		"Mutex": true, "RWMutex": true, "WaitGroup": true, "Once": true,
+		"Cond": true, "Map": true, "Pool": true,
+	},
+	"sync/atomic": {
+		"Bool": true, "Int32": true, "Int64": true, "Uint32": true,
+		"Uint64": true, "Uintptr": true, "Pointer": true, "Value": true,
+	},
+}
+
+// containsNoCopy reports whether t (after peeling names and arrays)
+// is or embeds a no-copy type. Pointers, slices, and maps reference
+// rather than contain, so they pass.
+func containsNoCopy(t types.Type) bool {
+	return containsNoCopyDepth(t, 0)
+}
+
+func containsNoCopyDepth(t types.Type, depth int) bool {
+	if depth > 10 {
+		return false
+	}
+	if n, ok := t.(*types.Named); ok {
+		obj := n.Obj()
+		if obj.Pkg() != nil {
+			if set, ok := noCopyNames[obj.Pkg().Path()]; ok && set[obj.Name()] {
+				return true
+			}
+		}
+		return containsNoCopyDepth(n.Underlying(), depth+1)
+	}
+	switch u := t.(type) {
+	case *types.Struct:
+		for i := 0; i < u.NumFields(); i++ {
+			if containsNoCopyDepth(u.Field(i).Type(), depth+1) {
+				return true
+			}
+		}
+	case *types.Array:
+		return containsNoCopyDepth(u.Elem(), depth+1)
+	}
+	return false
+}

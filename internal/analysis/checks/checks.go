@@ -19,6 +19,15 @@
 //   - logconst: obs.Logger / log/slog messages must be constant
 //     strings; variable data rides in key-value attrs (telemetry
 //     contract, DESIGN.md §13).
+//   - hotalloc: functions reachable from //tmedbvet:hotpath roots must
+//     not allocate — arena, pooled scratch, or capacity-guarded
+//     buffers only (hot-path allocation contract, DESIGN.md §15).
+//   - atomiconly: a word accessed via sync/atomic anywhere must be
+//     accessed atomically everywhere, and no-copy sync/atomic values
+//     must never be copied (serving-tier contract, DESIGN.md §13).
+//   - goexit: go statements in serving/parallel packages need a
+//     visible completion path — Done/close/send/receive (DESIGN.md
+//     §8/§13).
 package checks
 
 import (
@@ -72,9 +81,12 @@ func underAny(path string, roots []string) bool {
 // order.
 func All() []*analysis.Analyzer {
 	return []*analysis.Analyzer{
+		AtomicOnly,
 		CancelThread,
 		DetRange,
 		FloatEq,
+		GoExit,
+		HotAlloc,
 		LogConst,
 		NonDeterm,
 		SpanPair,

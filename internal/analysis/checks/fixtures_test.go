@@ -34,6 +34,18 @@ func TestLogConstFixture(t *testing.T) {
 	analysis.RunFixture(t, "testdata/logconst", LogConst)
 }
 
+func TestHotAllocFixture(t *testing.T) {
+	analysis.RunFixture(t, "testdata/hotalloc", HotAlloc)
+}
+
+func TestAtomicOnlyFixture(t *testing.T) {
+	analysis.RunFixture(t, "testdata/atomiconly", AtomicOnly)
+}
+
+func TestGoExitFixture(t *testing.T) {
+	analysis.RunFixture(t, "testdata/goexit", GoExit)
+}
+
 // TestArenaReuseFixture pins the detrange/spanpair contracts on the
 // arena-reuse hot path (PR 6): pooled buffers and build-wide spans with
 // interleaved PutArena defers must not hide the bug shapes (map-order

@@ -1,0 +1,276 @@
+package checks
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"repro/internal/analysis"
+)
+
+// GoExit enforces the goroutine-completion contract of the serving and
+// parallel tiers (DESIGN.md §8/§13): every `go` statement must have a
+// statically visible completion path — some construct the spawner (or
+// a waiter) can observe to know the goroutine is done. Recognized
+// signals:
+//
+//   - a deferred sync.WaitGroup.Done / close / send (covers all paths)
+//   - a channel send
+//   - a close(ch) call
+//   - a channel receive (including every select communication clause);
+//     ctx-bound loops qualify through their <-ctx.Done() receive
+//
+// The analyzer walks the goroutine body path-sensitively: an exit path
+// (explicit return or falling off the end) reached without any signal
+// is flagged. `go name(...)` resolves through the module call graph;
+// spawning a function the graph cannot see (interface method, function
+// value, external package) is flagged too, because nothing about its
+// completion is verifiable from here. This is what stood between
+// tmedb's old `go http.Serve(ln, nil)` — whose error and exit vanished
+// — and the current DebugServer shape.
+var GoExit = &analysis.Analyzer{
+	Name: "goexit",
+	Doc: "go statements in serving/parallel packages need a visible completion " +
+		"path: WaitGroup.Done, a channel send/close, or a ctx-bound receive loop",
+	Scope:     func(path string) bool { return underAny(path, goexitPkgs) },
+	RunModule: runGoExit,
+}
+
+// goexitPkgs are the packages that own long-lived goroutines: the
+// worker pools, the observability servers, the simulator fan-out, and
+// the binaries. Solver packages are already covered by nondeterm's
+// raw-goroutine ban.
+var goexitPkgs = []string{
+	modulePath + "/internal/parallel",
+	modulePath + "/internal/obs",
+	modulePath + "/internal/sim",
+	modulePath + "/cmd",
+}
+
+func runGoExit(mp *analysis.ModulePass) {
+	for _, pkg := range mp.Packages {
+		for _, f := range pkg.Files {
+			ast.Inspect(f, func(n ast.Node) bool {
+				gs, ok := n.(*ast.GoStmt)
+				if !ok {
+					return true
+				}
+				checkGoStmt(mp, pkg.Info, gs)
+				return true
+			})
+		}
+	}
+}
+
+// checkGoStmt resolves the spawned body and verifies its completion
+// signals.
+func checkGoStmt(mp *analysis.ModulePass, info *types.Info, gs *ast.GoStmt) {
+	var body *ast.BlockStmt
+	switch fun := ast.Unparen(gs.Call.Fun).(type) {
+	case *ast.FuncLit:
+		body = fun.Body
+	default:
+		callee := analysis.StaticCallee(info, gs.Call)
+		if callee == nil {
+			mp.Reportf(gs.Pos(), "go statement spawns a dynamic callee whose completion cannot be verified — spawn a literal with a visible Done/close/send, or a module-internal function")
+			return
+		}
+		node, ok := mp.Graph().Funcs[callee]
+		if !ok {
+			mp.Reportf(gs.Pos(), "go statement spawns external function %s whose completion cannot be verified — wrap it in a literal that signals Done/close/send when it returns", callee.Name())
+			return
+		}
+		info = node.Pkg.Info
+		body = node.Decl.Body
+	}
+	w := &goexitWalker{info: info}
+	// A deferred signal runs on every exit path, panic included — the
+	// strongest shape and the recommended fix.
+	if w.hasDeferredSignal(body) {
+		return
+	}
+	endSig := w.walkStmts(body.List, false)
+	if w.badReturn {
+		mp.Reportf(gs.Pos(), "goroutine has a return path with no completion signal before it — defer wg.Done()/close, or signal before returning")
+		return
+	}
+	if !endSig {
+		mp.Reportf(gs.Pos(), "goroutine body ends without a completion signal (no WaitGroup.Done, send, close, or receive) — nothing can observe it finishing")
+	}
+}
+
+// goexitWalker is the per-goroutine path walk state.
+type goexitWalker struct {
+	info *types.Info
+	// badReturn records a return statement reached with no signal yet.
+	badReturn bool
+}
+
+// hasDeferredSignal reports a defer of a signal call anywhere in body.
+func (w *goexitWalker) hasDeferredSignal(body *ast.BlockStmt) bool {
+	found := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		if d, ok := n.(*ast.DeferStmt); ok && w.isSignalCall(d.Call) {
+			found = true
+		}
+		return !found
+	})
+	return found
+}
+
+// walkStmts walks a statement list with signal-state sig and returns
+// the state at normal fall-through. Branch merges are pessimistic: a
+// signal only counts after a branch if every path through it signals.
+func (w *goexitWalker) walkStmts(stmts []ast.Stmt, sig bool) bool {
+	for _, st := range stmts {
+		sig = w.walkStmt(st, sig)
+	}
+	return sig
+}
+
+func (w *goexitWalker) walkStmt(st ast.Stmt, sig bool) bool {
+	switch st := st.(type) {
+	case *ast.SendStmt:
+		return true
+	case *ast.ExprStmt:
+		if w.isSignal(st.X) {
+			return true
+		}
+	case *ast.AssignStmt:
+		for _, r := range st.Rhs {
+			if w.containsReceive(r) {
+				return true
+			}
+		}
+	case *ast.SelectStmt:
+		// Every communication clause is itself a channel operation; the
+		// clause bodies still need their return paths checked, entered
+		// with the signal already made.
+		for _, c := range st.Body.List {
+			if cc, ok := c.(*ast.CommClause); ok {
+				w.walkStmts(cc.Body, true)
+			}
+		}
+		return true
+	case *ast.BlockStmt:
+		return w.walkStmts(st.List, sig)
+	case *ast.IfStmt:
+		thenEnd := w.walkStmts(st.Body.List, sig)
+		elseEnd := sig
+		if st.Else != nil {
+			elseEnd = w.walkStmt(st.Else, sig)
+		}
+		// Pessimistic merge: the branch may or may not run.
+		return thenEnd && elseEnd
+	case *ast.ForStmt:
+		bodyEnd := w.walkStmts(st.Body.List, sig)
+		if st.Cond == nil && !hasLoopBreak(st.Body) {
+			// An infinite loop with no break never falls through; its
+			// exits are the returns already checked inside.
+			return true
+		}
+		_ = bodyEnd // zero iterations are possible; keep entry state
+		return sig
+	case *ast.RangeStmt:
+		w.walkStmts(st.Body.List, sig)
+		// Ranging over a channel IS a receive: the loop ends when the
+		// channel closes, which the spawner side observes via the close.
+		if _, ok := w.info.TypeOf(st.X).Underlying().(*types.Chan); ok {
+			return true
+		}
+		return sig
+	case *ast.SwitchStmt:
+		all := true
+		hasDefault := false
+		for _, c := range st.Body.List {
+			if cc, ok := c.(*ast.CaseClause); ok {
+				if cc.List == nil {
+					hasDefault = true
+				}
+				all = w.walkStmts(cc.Body, sig) && all
+			}
+		}
+		if all && hasDefault {
+			return true
+		}
+		return sig
+	case *ast.ReturnStmt:
+		if !sig {
+			w.badReturn = true
+		}
+		return sig
+	case *ast.LabeledStmt:
+		return w.walkStmt(st.Stmt, sig)
+	}
+	return sig
+}
+
+// isSignal reports whether the expression statement communicates: a
+// signal call or a bare receive.
+func (w *goexitWalker) isSignal(e ast.Expr) bool {
+	if call, ok := ast.Unparen(e).(*ast.CallExpr); ok && w.isSignalCall(call) {
+		return true
+	}
+	return w.containsReceive(e)
+}
+
+// isSignalCall recognizes close(ch) and sync.WaitGroup.Done.
+func (w *goexitWalker) isSignalCall(call *ast.CallExpr) bool {
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		if b, ok := w.info.Uses[fun].(*types.Builtin); ok && b.Name() == "close" {
+			return true
+		}
+	case *ast.SelectorExpr:
+		if fun.Sel.Name != "Done" {
+			return false
+		}
+		obj := w.info.Uses[fun.Sel]
+		if f, ok := obj.(*types.Func); ok {
+			sig := f.Type().(*types.Signature)
+			if recv := sig.Recv(); recv != nil {
+				t := recv.Type()
+				if p, ok := t.(*types.Pointer); ok {
+					t = p.Elem()
+				}
+				if n, ok := t.(*types.Named); ok {
+					return n.Obj().Pkg() != nil && n.Obj().Pkg().Path() == "sync" && n.Obj().Name() == "WaitGroup"
+				}
+			}
+		}
+	}
+	return false
+}
+
+// containsReceive reports a <-ch anywhere in e.
+func (w *goexitWalker) containsReceive(e ast.Expr) bool {
+	found := false
+	ast.Inspect(e, func(n ast.Node) bool {
+		if un, ok := n.(*ast.UnaryExpr); ok && un.Op == token.ARROW {
+			found = true
+		}
+		return !found
+	})
+	return found
+}
+
+// hasLoopBreak reports an unlabeled break belonging to this loop
+// (breaks inside nested loops, switches, and selects belong to those).
+func hasLoopBreak(body *ast.BlockStmt) bool {
+	found := false
+	var walk func(n ast.Node) bool
+	walk = func(n ast.Node) bool {
+		switch n.(type) {
+		case *ast.ForStmt, *ast.RangeStmt, *ast.SwitchStmt, *ast.TypeSwitchStmt, *ast.SelectStmt:
+			return false // break inside binds to the inner construct
+		case *ast.BranchStmt:
+			br := n.(*ast.BranchStmt)
+			if br.Tok == token.BREAK && br.Label == nil {
+				found = true
+			}
+		}
+		return !found
+	}
+	ast.Inspect(body, walk)
+	return found
+}

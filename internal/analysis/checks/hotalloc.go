@@ -1,0 +1,353 @@
+package checks
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+
+	"repro/internal/analysis"
+)
+
+// HotAlloc enforces the hot-path allocation contract (DESIGN.md §15):
+// no function statically reachable from a //tmedbvet:hotpath root may
+// contain an allocation-inducing construct. The steady-state solve
+// loop — DCS sweeps, Steiner level-2/3 scans, the bucket-queue
+// Dijkstra, the arena paths — must flatline graph.arena.allocs after
+// the first candidate, and this analyzer is what keeps refactors from
+// quietly re-introducing per-candidate garbage.
+//
+// Flagged constructs: non-arena make, new, map/slice literals,
+// &struct{} literals, append onto a provably fresh slice (nil
+// literal, []T(nil), a slice literal, or a var declared without a
+// value in the same function), closures that capture variables,
+// interface boxing at call sites, fmt.* calls, and non-constant
+// string concatenation.
+//
+// Sanctioned idioms are recognized rather than suppressed: the arena
+// and scratch allocators themselves (graph.Arena methods,
+// Get/PutArena, Get/PutScratch), the parallel/obs/cancel primitives
+// (each carries its own zero-alloc guarantees and CI gates), and
+// capacity-guarded growth (any allocation inside an if whose
+// condition tests cap(...) — the prefetched-buffer grow-once shape).
+// Everything else needs a reasoned //tmedbvet:ignore hotalloc.
+var HotAlloc = &analysis.Analyzer{
+	Name: "hotalloc",
+	Doc: "functions reachable from //tmedbvet:hotpath roots must not allocate: " +
+		"no make/new/literals/capturing closures/boxing/fmt on the steady-state " +
+		"solve path; use the arena, pooled scratch, or capacity-guarded buffers",
+	RunModule: runHotAlloc,
+}
+
+// hotStopPkgs are packages whose internals the reachability walk does
+// not enter: sanctioned primitives with their own zero-allocation
+// contracts and CI gates (obs disabled paths, parallel pools, cancel
+// checkpoints). Calls INTO them from hot code are still checked for
+// boxing at the call site.
+var hotStopPkgs = []string{
+	modulePath + "/internal/parallel",
+	modulePath + "/internal/obs",
+	modulePath + "/internal/cancel",
+}
+
+// graphPkgPath hosts the arena allocator the contract sanctions.
+const graphPkgPath = modulePath + "/internal/graph"
+
+// sanctionedAllocator reports whether node IS the allocator the
+// contract routes hot-path buffers through: graph.Arena methods and
+// the package pools' accessors. Their bodies are make-by-design.
+func sanctionedAllocator(n *analysis.FuncNode) bool {
+	if n.Pkg.Path != graphPkgPath {
+		return false
+	}
+	if recvTypeName(n.Decl) == "Arena" {
+		return true
+	}
+	switch n.Decl.Name.Name {
+	case "GetArena", "PutArena", "GetScratch", "PutScratch":
+		return true
+	}
+	return false
+}
+
+// recvTypeName returns the receiver's base type name ("Arena" for
+// *Arena), or "".
+func recvTypeName(fd *ast.FuncDecl) string {
+	if fd.Recv == nil || len(fd.Recv.List) == 0 {
+		return ""
+	}
+	t := fd.Recv.List[0].Type
+	if st, ok := t.(*ast.StarExpr); ok {
+		t = st.X
+	}
+	if id, ok := t.(*ast.Ident); ok {
+		return id.Name
+	}
+	if ix, ok := t.(*ast.IndexExpr); ok { // generic receiver T[P]
+		if id, ok := ix.X.(*ast.Ident); ok {
+			return id.Name
+		}
+	}
+	return ""
+}
+
+func runHotAlloc(mp *analysis.ModulePass) {
+	g := mp.Graph()
+	roots := g.Roots()
+	if len(roots) == 0 {
+		return
+	}
+	stop := func(n *analysis.FuncNode) bool {
+		return underAny(n.Pkg.Path, hotStopPkgs) || sanctionedAllocator(n)
+	}
+	for _, r := range g.Reach(roots, stop) {
+		scanHotFunc(mp, r)
+	}
+}
+
+// scanHotFunc reports every allocation-inducing construct in one
+// reachable function.
+func scanHotFunc(mp *analysis.ModulePass, r analysis.Reached) {
+	info := r.Node.Pkg.Info
+	body := r.Node.Decl.Body
+	chain := r.Chain()
+	report := func(pos token.Pos, what string) {
+		mp.Reportf(pos, "%s on the hot path (reachable from hotpath root %s); "+
+			"use the arena, pooled scratch, or a capacity-guarded buffer", what, chain)
+	}
+
+	// capGuarded tracks if-bodies whose condition tests cap(...): the
+	// sanctioned grow-once idiom `if cap(s.buf) < n { s.buf = make(...) }`.
+	var capGuarded []posSpan
+	ast.Inspect(body, func(n ast.Node) bool {
+		if ifs, ok := n.(*ast.IfStmt); ok && mentionsCap(ifs.Cond) {
+			capGuarded = append(capGuarded, posSpan{ifs.Body.Pos(), ifs.Body.End()})
+		}
+		return true
+	})
+	inGuard := func(pos token.Pos) bool {
+		for _, s := range capGuarded {
+			if s.start <= pos && pos < s.end {
+				return true
+			}
+		}
+		return false
+	}
+
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.CallExpr:
+			scanHotCall(mp, info, n, inGuard, report)
+		case *ast.CompositeLit:
+			if inGuard(n.Pos()) {
+				return true
+			}
+			switch info.TypeOf(n).Underlying().(type) {
+			case *types.Map:
+				report(n.Pos(), "map literal allocates")
+			case *types.Slice:
+				report(n.Pos(), "slice literal allocates")
+			}
+		case *ast.UnaryExpr:
+			if n.Op == token.AND && !inGuard(n.Pos()) {
+				if _, ok := ast.Unparen(n.X).(*ast.CompositeLit); ok {
+					report(n.Pos(), "&composite-literal allocates")
+				}
+			}
+		case *ast.FuncLit:
+			if caps := capturedVars(info, n); len(caps) > 0 {
+				report(n.Pos(), "closure capturing "+strings.Join(caps, ", ")+" allocates per creation")
+			}
+		case *ast.BinaryExpr:
+			if n.Op == token.ADD && !inGuard(n.Pos()) && isNonConstString(info, n) {
+				report(n.Pos(), "string concatenation allocates")
+			}
+		}
+		return true
+	})
+}
+
+// posSpan is a half-open position interval.
+type posSpan struct{ start, end token.Pos }
+
+// mentionsCap reports a call to the cap builtin anywhere in e.
+func mentionsCap(e ast.Expr) bool {
+	found := false
+	ast.Inspect(e, func(n ast.Node) bool {
+		if call, ok := n.(*ast.CallExpr); ok {
+			if id, ok := ast.Unparen(call.Fun).(*ast.Ident); ok && id.Name == "cap" {
+				found = true
+			}
+		}
+		return !found
+	})
+	return found
+}
+
+// scanHotCall handles the call-shaped constructs: make/new builtins,
+// append onto fresh slices, fmt.*, and interface boxing of arguments.
+func scanHotCall(mp *analysis.ModulePass, info *types.Info, call *ast.CallExpr,
+	inGuard func(token.Pos) bool, report func(token.Pos, string)) {
+	if id, ok := ast.Unparen(call.Fun).(*ast.Ident); ok {
+		if b, ok := info.Uses[id].(*types.Builtin); ok {
+			switch b.Name() {
+			case "make":
+				if !inGuard(call.Pos()) {
+					report(call.Pos(), "non-arena make allocates")
+				}
+			case "new":
+				if !inGuard(call.Pos()) {
+					report(call.Pos(), "new allocates")
+				}
+			case "append":
+				if !inGuard(call.Pos()) && len(call.Args) > 0 && freshSliceBase(info, call.Args[0]) {
+					report(call.Pos(), "append onto a fresh slice allocates per call")
+				}
+			}
+			return
+		}
+	}
+	// fmt.* calls.
+	if sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr); ok {
+		if obj := info.Uses[sel.Sel]; obj != nil && obj.Pkg() != nil && obj.Pkg().Path() == "fmt" {
+			report(call.Pos(), "fmt."+sel.Sel.Name+" allocates and reflects")
+			return
+		}
+	}
+	// Interface boxing: a concrete-typed argument passed where the
+	// parameter is an interface escapes to the heap (unless it is a
+	// constant the compiler can intern, or nil).
+	sig, ok := info.TypeOf(call.Fun).(*types.Signature)
+	if !ok {
+		return
+	}
+	for i, arg := range call.Args {
+		var pt types.Type
+		switch {
+		case sig.Variadic() && i >= sig.Params().Len()-1:
+			if call.Ellipsis != token.NoPos {
+				continue // s... forwards the slice, no boxing
+			}
+			pt = sig.Params().At(sig.Params().Len() - 1).Type().(*types.Slice).Elem()
+		case i < sig.Params().Len():
+			pt = sig.Params().At(i).Type()
+		default:
+			continue
+		}
+		if !types.IsInterface(pt) {
+			continue
+		}
+		at := info.TypeOf(arg)
+		if at == nil || types.IsInterface(at) {
+			continue
+		}
+		if tv, ok := info.Types[arg]; ok && (tv.Value != nil || tv.IsNil()) {
+			continue // constants and nil do not box per call
+		}
+		report(arg.Pos(), "interface boxing of "+types.ExprString(arg))
+	}
+}
+
+// capturedVars lists (sorted, deduplicated) the local variables a
+// function literal captures from its enclosing function. A capturing
+// closure forces a heap allocation per creation; capture-free literals
+// compile to static funcvals and pass.
+func capturedVars(info *types.Info, lit *ast.FuncLit) []string {
+	seen := map[string]bool{}
+	var out []string
+	ast.Inspect(lit.Body, func(n ast.Node) bool {
+		id, ok := n.(*ast.Ident)
+		if !ok {
+			return true
+		}
+		v, ok := info.Uses[id].(*types.Var)
+		if !ok || v.IsField() {
+			return true
+		}
+		// Package-level vars are not captured; neither is anything
+		// declared inside the literal itself (params, locals).
+		if v.Parent() != nil && v.Parent().Parent() == types.Universe {
+			return true
+		}
+		if lit.Pos() <= v.Pos() && v.Pos() < lit.End() {
+			return true
+		}
+		if !seen[v.Name()] {
+			seen[v.Name()] = true
+			out = append(out, v.Name())
+		}
+		return true
+	})
+	sort.Strings(out)
+	return out
+}
+
+// isNonConstString reports a string-typed + whose value the compiler
+// cannot fold to a constant — a runtime concatenation, hence an
+// allocation.
+func isNonConstString(info *types.Info, bin *ast.BinaryExpr) bool {
+	t := info.TypeOf(bin)
+	if t == nil {
+		return false
+	}
+	b, ok := t.Underlying().(*types.Basic)
+	if !ok || b.Info()&types.IsString == 0 {
+		return false
+	}
+	tv, ok := info.Types[bin]
+	return !ok || tv.Value == nil
+}
+
+// freshSliceBase reports whether the append base provably starts
+// empty on every call: a nil literal, a []T(nil) conversion, a slice
+// literal, or a local declared `var x []T` with no value.
+func freshSliceBase(info *types.Info, base ast.Expr) bool {
+	switch e := ast.Unparen(base).(type) {
+	case *ast.Ident:
+		if e.Name == "nil" {
+			return true
+		}
+		v, ok := info.Uses[e].(*types.Var)
+		if !ok {
+			return false
+		}
+		return declaredWithoutValue(info, v)
+	case *ast.CompositeLit:
+		_, isSlice := info.TypeOf(e).Underlying().(*types.Slice)
+		return isSlice
+	case *ast.CallExpr:
+		// Conversion []T(nil)?
+		if len(e.Args) != 1 {
+			return false
+		}
+		if tv, ok := info.Types[e.Fun]; ok && tv.IsType() {
+			if id, ok := ast.Unparen(e.Args[0]).(*ast.Ident); ok && id.Name == "nil" {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// declaredWithoutValue reports whether v's declaration is a bare
+// `var x []T` ValueSpec — the fresh-nil-slice shape whose first append
+// must allocate. Parameters, results, and assigned variables do not
+// qualify.
+func declaredWithoutValue(info *types.Info, v *types.Var) bool {
+	if _, isSlice := v.Type().Underlying().(*types.Slice); !isSlice {
+		return false
+	}
+	for id, obj := range info.Defs {
+		if obj == v {
+			return id.Obj != nil && specWithoutValue(id)
+		}
+	}
+	return false
+}
+
+// specWithoutValue checks the defining ident's declaration node.
+func specWithoutValue(id *ast.Ident) bool {
+	spec, ok := id.Obj.Decl.(*ast.ValueSpec)
+	return ok && len(spec.Values) == 0
+}

@@ -1,0 +1,68 @@
+// Package atomiconly pins the lock-free serving-tier contract: a word
+// touched through sync/atomic anywhere must be touched through
+// sync/atomic everywhere, and values containing sync/atomic components
+// must never be copied.
+package atomiconly
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+type counter struct {
+	hits int64
+	cold int64
+}
+
+// bump enrolls hits in the atomic-everywhere contract: its address is
+// passed to a package-level sync/atomic function.
+func bump(c *counter) {
+	atomic.AddInt64(&c.hits, 1)
+}
+
+func readRacy(c *counter) int64 {
+	return c.hits // want "atomiconly: hits is accessed via sync/atomic elsewhere"
+}
+
+func readOK(c *counter) int64 {
+	return atomic.LoadInt64(&c.hits) // address-taken for sync/atomic: sanctioned
+}
+
+func readCold(c *counter) int64 {
+	return c.cold // never touched atomically anywhere: plain access is fine
+}
+
+// wrapperOK shows methods of the new-style wrapper types do not enroll
+// their arguments: the receiver already encapsulates the word, so the
+// plain use of n below stays legal.
+func wrapperOK(p *atomic.Pointer[int], n int) int {
+	p.CompareAndSwap(nil, &n)
+	return n
+}
+
+type guarded struct {
+	mu sync.Mutex
+	n  int
+}
+
+func (g guarded) peek() int { return g.n }
+
+func take(guarded)     {}
+func takePtr(*guarded) {}
+
+func copies(g *guarded, list []guarded) int {
+	v := *g // want "atomiconly: assignment copies .*guarded"
+	v.n = 1
+	take(*g)     // want "atomiconly: call argument copies .*guarded"
+	takePtr(g)   // pointers hand over the original: no copy
+	_ = g.peek() // want "atomiconly: value-receiver call copies .*guarded"
+	total := 0
+	for _, it := range list { // want "atomiconly: range value copies .*guarded"
+		total += it.n
+	}
+	return total
+}
+
+func ret(g *guarded) guarded {
+	return *g // want "atomiconly: return copies .*guarded"
+}

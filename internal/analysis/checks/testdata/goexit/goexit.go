@@ -1,0 +1,94 @@
+// Package goexit pins the goroutine-completion contract: every go
+// statement needs a visible completion path — a deferred or trailing
+// WaitGroup.Done, a channel send/close, a receive loop — and callees
+// the analyzer cannot see into are flagged.
+package goexit
+
+import (
+	"runtime"
+	"sync"
+)
+
+func work() {}
+
+func deferredDone(wg *sync.WaitGroup) {
+	go func() { // deferred Done covers every exit path, panic included
+		defer wg.Done()
+		work()
+	}()
+}
+
+func trailingDone(wg *sync.WaitGroup) {
+	go func() { // trailing Done on the only path
+		work()
+		wg.Done()
+	}()
+}
+
+func trailingClose(done chan struct{}) {
+	go func() { // close is a completion signal
+		work()
+		close(done)
+	}()
+}
+
+func sendSignal(ch chan int) {
+	go func() { // a send is a completion signal
+		ch <- 1
+	}()
+}
+
+func selectLoop(ch chan int, quit chan struct{}) {
+	go func() { // infinite select loop: exit only via the quit receive
+		for {
+			select {
+			case <-ch:
+			case <-quit:
+				return
+			}
+		}
+	}()
+}
+
+func rangeChan(ch chan int) {
+	go func() { // draining a channel is observable: it ends when ch closes
+		for range ch {
+		}
+	}()
+}
+
+func worker(wg *sync.WaitGroup) {
+	defer wg.Done()
+	work()
+}
+
+func namedOK(wg *sync.WaitGroup) {
+	go worker(wg) // module-internal callee with a deferred Done
+}
+
+func noSignal() {
+	go func() { // want "goexit: goroutine body ends without a completion signal"
+		work()
+	}()
+}
+
+func earlyReturn(done chan struct{}, ready bool) {
+	go func() { // want "goexit: goroutine has a return path with no completion signal"
+		if ready {
+			return
+		}
+		close(done)
+	}()
+}
+
+func namedBad() {
+	go work() // want "goexit: goroutine body ends without a completion signal"
+}
+
+func dynamic(f func()) {
+	go f() // want "goexit: go statement spawns a dynamic callee"
+}
+
+func external() {
+	go runtime.Gosched() // want "goexit: go statement spawns external function Gosched"
+}

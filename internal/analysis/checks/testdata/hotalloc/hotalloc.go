@@ -1,0 +1,67 @@
+// Package hotalloc pins the hot-path allocation contract: every
+// allocation-inducing construct reachable from a //tmedbvet:hotpath
+// root is flagged, the sanctioned cap-guard idiom and inline
+// suppressions pass, and unreachable code may allocate freely.
+package hotalloc
+
+import "fmt"
+
+type pair struct{ a, b int }
+
+func sinkAny(any)         {}
+func sinkVariadic(...any) {}
+
+// hot is the fixture's annotated root: everything below, plus the
+// helper it calls, is on the hot path.
+//
+//tmedbvet:hotpath
+func hot(n int, buf []int, s, t string) []int {
+	_ = make([]int, n) // want "hotalloc: non-arena make allocates"
+	_ = new(pair)      // want "hotalloc: new allocates"
+	_ = map[int]int{}  // want "hotalloc: map literal allocates"
+	_ = []int{1, 2, 3} // want "hotalloc: slice literal allocates"
+	_ = &pair{a: 1}    // want "hotalloc: &composite-literal allocates"
+	_ = fmt.Sprint(n)  // want "hotalloc: fmt.Sprint allocates and reflects"
+	_ = s + t          // want "hotalloc: string concatenation allocates"
+	_ = "lit" + "eral" // constant fold: no runtime concatenation
+	sinkAny(n)         // want "hotalloc: interface boxing of n"
+	sinkAny(42)        // constants intern, no boxing
+	sinkAny(nil)       // nil does not box
+	sinkVariadic(n)    // want "hotalloc: interface boxing of n"
+	var fwd []any
+	sinkVariadic(fwd...) // forwarding the slice: no boxing
+
+	var out []int
+	out = append(out, n) // want "hotalloc: append onto a fresh slice allocates per call"
+	buf = append(buf, n) // base arrives with capacity: amortized, not flagged
+
+	// The sanctioned grow-once shape: allocation guarded by cap().
+	if cap(buf) < n {
+		buf = make([]int, 0, n)
+	}
+
+	x := n
+	f := func() int { return x } // want "hotalloc: closure capturing x allocates per creation"
+	_ = f
+	g := func(y int) int { return y + 1 } // capture-free: static funcval
+	_ = g
+
+	//tmedbvet:ignore hotalloc fixture-sanctioned one-off allocation with an inline justification
+	_ = make([]chan int, 1)
+
+	return helper(out)
+}
+
+// helper is not annotated, but reachable from hot — its allocations
+// are on the contract too.
+func helper(xs []int) []int {
+	p := &pair{} // want "hotalloc: &composite-literal allocates"
+	_ = p
+	return xs
+}
+
+// cold is unreachable from any hotpath root: it may allocate freely.
+func cold(n int) []int {
+	m := map[string]int{"k": n}
+	return make([]int, m["k"])
+}

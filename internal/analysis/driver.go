@@ -1,61 +1,224 @@
 package analysis
 
 import (
+	"fmt"
+	"go/token"
 	"path/filepath"
 	"sort"
 	"strings"
+	"time"
 )
 
+// Result is one driver run: the surviving findings plus the audit
+// numbers around them.
+type Result struct {
+	// Findings are the surviving diagnostics, sorted by (file, line,
+	// column, check) and deduplicated (one finding per check per
+	// position).
+	Findings []Diagnostic
+	// Suppressed counts findings silenced by //tmedbvet:ignore
+	// directives — the -json summary CI tracks so suppression drift is
+	// as visible as finding drift.
+	Suppressed int
+	// LoadElapsed is the wall time spent parsing and type-checking.
+	LoadElapsed time.Duration
+	// Timings holds per-analyzer wall time, in analyzer order.
+	Timings []AnalyzerTiming
+}
+
+// AnalyzerTiming is one analyzer's accumulated wall time across every
+// package of a run.
+type AnalyzerTiming struct {
+	Name    string
+	Elapsed time.Duration
+}
+
 // Run loads every package matched by patterns, applies each in-scope
-// analyzer, filters suppressed findings, and returns the surviving
-// diagnostics sorted by (file, line, column, check). Positions inside
-// the module are relativized to the module root so output is stable
-// across checkouts.
-func (l *Loader) Run(patterns []string, analyzers []*Analyzer) ([]Diagnostic, error) {
+// analyzer (per-package analyzers to each package, module analyzers to
+// the whole set at once), filters suppressed findings, flags stale
+// suppressions, and returns the deduplicated survivors sorted by
+// (file, line, column, check). Positions inside the module are
+// relativized to the module root so output is stable across checkouts.
+func (l *Loader) Run(patterns []string, analyzers []*Analyzer) (*Result, error) {
 	dirs, err := l.Expand(patterns)
 	if err != nil {
 		return nil, err
 	}
-	var all []Diagnostic
+	loadStart := time.Now()
+	var pkgs []*Package
 	for _, dir := range dirs {
 		pkg, err := l.LoadDir(dir)
 		if err != nil {
 			return nil, err
 		}
-		all = append(all, l.RunPackage(pkg, analyzers, true)...)
+		pkgs = append(pkgs, pkg)
 	}
-	sortDiagnostics(all)
-	return all, nil
+	loadElapsed := time.Since(loadStart)
+	res := l.runCore(pkgs, l.loadedPackages(), analyzers, true)
+	res.LoadElapsed = loadElapsed
+	return res, nil
 }
 
 // RunPackage applies the analyzers to one loaded package and returns
-// its surviving diagnostics (unsorted). When honorScope is false every
+// its surviving diagnostics (sorted). When honorScope is false every
 // analyzer runs regardless of its Scope — the fixture harness uses
 // this so testdata packages exercise checks that are scoped to solver
 // packages in production runs. Suppression directives are always
-// honored (fixtures test them too).
+// honored, and stale ones flagged (fixtures test both).
 func (l *Loader) RunPackage(pkg *Package, analyzers []*Analyzer, honorScope bool) []Diagnostic {
+	return l.runCore([]*Package{pkg}, []*Package{pkg}, analyzers, honorScope).Findings
+}
+
+// runCore is the shared driver body: pkgs are the packages findings
+// are reported for, all is the wider set module-wide passes may
+// traverse (pkgs plus loaded dependencies in full runs; just the
+// fixture package in fixture runs, so fixtures never diff against the
+// real tree).
+func (l *Loader) runCore(pkgs, all []*Package, analyzers []*Analyzer, honorScope bool) *Result {
 	var raw []Diagnostic
 	report := func(d Diagnostic) {
 		d.Pos.Filename = l.relativize(d.Pos.Filename)
 		raw = append(raw, d)
 	}
-	dirs := collectIgnores(pkg, report)
-	for i := range dirs {
-		dirs[i].file = l.relativize(dirs[i].file)
+	discard := func(Diagnostic) {}
+
+	// Suppression context comes from every package findings can land
+	// in: module analyzers may report inside dependencies of the
+	// matched set. Malformed directives are reported only for matched
+	// packages.
+	matched := make(map[string]bool, len(pkgs))
+	for _, pkg := range pkgs {
+		matched[pkg.Path] = true
 	}
+	facts := make(map[string]*fileFacts)
+	var dirs []*ignoreDirective
+	for _, pkg := range pkgs {
+		dirs = append(dirs, collectIgnores(pkg, report)...)
+		collectFileFacts(pkg, true, facts)
+	}
+	for _, pkg := range all {
+		if !matched[pkg.Path] {
+			dirs = append(dirs, collectIgnores(pkg, discard)...)
+			collectFileFacts(pkg, false, facts)
+		}
+	}
+	for _, ig := range dirs {
+		ig.file = l.relativize(ig.file)
+	}
+	relFacts := make(map[string]*fileFacts, len(facts))
+	for name, ff := range facts {
+		relFacts[l.relativize(name)] = ff
+	}
+
+	// The call graph is built once and shared by every module analyzer.
+	var cg *CallGraph
+	graphFn := func() *CallGraph {
+		if cg == nil {
+			cg = BuildCallGraph(all)
+		}
+		return cg
+	}
+
+	timings := make([]AnalyzerTiming, 0, len(analyzers))
 	for _, a := range analyzers {
-		if honorScope && a.Scope != nil && !a.Scope(pkg.Path) {
+		start := time.Now()
+		if a.Run != nil {
+			for _, pkg := range pkgs {
+				if honorScope && a.Scope != nil && !a.Scope(pkg.Path) {
+					continue
+				}
+				a.Run(&Pass{Analyzer: a, Pkg: pkg, report: report})
+			}
+		}
+		if a.RunModule != nil {
+			scoped := pkgs
+			if honorScope && a.Scope != nil {
+				scoped = nil
+				for _, pkg := range pkgs {
+					if a.Scope(pkg.Path) {
+						scoped = append(scoped, pkg)
+					}
+				}
+			}
+			a.RunModule(&ModulePass{
+				Analyzer: a, Packages: scoped, All: all,
+				fset: l.Fset, report: report, graphFn: graphFn,
+			})
+		}
+		timings = append(timings, AnalyzerTiming{Name: a.Name, Elapsed: time.Since(start)})
+	}
+
+	sortDiagnostics(raw)
+	raw = dedupDiagnostics(raw)
+
+	res := &Result{Timings: timings}
+	kept := raw[:0]
+	for _, d := range raw {
+		if suppressed(d, dirs, relFacts) {
+			res.Suppressed++
+		} else {
+			kept = append(kept, d)
+		}
+	}
+	kept = append(kept, l.staleDirectives(dirs, relFacts, analyzers, honorScope)...)
+	sortDiagnostics(kept)
+	res.Findings = kept
+	return res
+}
+
+// staleDirectives flags suppressions that cannot or did not silence
+// anything: directives naming the reserved "ignore" check, directives
+// naming a check unknown to this run, and well-formed directives whose
+// check ran on their package without producing a covered finding.
+// Generated files are exempt — their directives are machine-owned and
+// may cover findings that come and go across regenerations. Only
+// directives inside matched packages are judged (facts track which
+// files those are via their package's membership in the run).
+func (l *Loader) staleDirectives(dirs []*ignoreDirective, facts map[string]*fileFacts, analyzers []*Analyzer, honorScope bool) []Diagnostic {
+	byName := make(map[string]*Analyzer, len(analyzers))
+	for _, a := range analyzers {
+		byName[a.Name] = a
+	}
+	var out []Diagnostic
+	for _, ig := range dirs {
+		if ig.used {
 			continue
 		}
-		pass := &Pass{Analyzer: a, Pkg: pkg, report: report}
-		a.Run(pass)
-	}
-	out := raw[:0]
-	for _, d := range raw {
-		if !suppressed(d, dirs) {
-			out = append(out, d)
+		ff, ok := facts[ig.file]
+		if !ok || !ff.matched || ff.generated {
+			continue
 		}
+		pos := token.Position{Filename: ig.file, Line: ig.line, Column: 1}
+		switch a := byName[ig.check]; {
+		case ig.check == "ignore":
+			out = append(out, Diagnostic{Pos: pos, Check: "ignore",
+				Message: "directive names the reserved ignore check, which cannot be suppressed — remove it"})
+		case a == nil:
+			out = append(out, Diagnostic{Pos: pos, Check: "ignore",
+				Message: fmt.Sprintf("suppression names unknown check %q — fix the name or remove the directive", ig.check)})
+		case !honorScope || a.Scope == nil || a.Scope(ff.pkgPath):
+			out = append(out, Diagnostic{Pos: pos, Check: "ignore",
+				Message: fmt.Sprintf("stale suppression: no %s finding on the covered lines — remove the directive", ig.check)})
+		}
+	}
+	return out
+}
+
+// dedupDiagnostics collapses findings that share (file, line, column,
+// check) — two analyzers, or a package and a module pass, reporting
+// the same violation at the same position emit once. Input must be
+// sorted; the first (message-smallest) survivor is kept.
+func dedupDiagnostics(ds []Diagnostic) []Diagnostic {
+	out := ds[:0]
+	for i, d := range ds {
+		if i > 0 {
+			p := ds[i-1]
+			if p.Pos.Filename == d.Pos.Filename && p.Pos.Line == d.Pos.Line &&
+				p.Pos.Column == d.Pos.Column && p.Check == d.Check {
+				continue
+			}
+		}
+		out = append(out, d)
 	}
 	return out
 }

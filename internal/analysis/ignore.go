@@ -1,6 +1,10 @@
 package analysis
 
-import "strings"
+import (
+	"go/ast"
+	"regexp"
+	"strings"
+)
 
 // ignorePrefix introduces an inline suppression comment:
 //
@@ -8,9 +12,16 @@ import "strings"
 //
 // It silences findings of <check> on the comment's own line and on the
 // line directly below it (so both trailing comments and stand-alone
-// comment lines work). The reason is mandatory: suppressions are audit
-// records, and a suppression nobody can justify is a finding in its
-// own right.
+// comment lines work). When the covered line starts a multi-line
+// statement, findings anywhere inside that statement are silenced too
+// — a directive above a wrapped call covers the call's continuation
+// lines. The reason is mandatory: suppressions are audit records, and
+// a suppression nobody can justify is a finding in its own right.
+//
+// A directive that silences nothing is itself reported as a stale
+// suppression (under the reserved "ignore" check) — except inside
+// generated files, whose directives are machine-owned and may
+// legitimately cover findings that come and go across regenerations.
 const ignorePrefix = "//tmedbvet:ignore"
 
 // ignoreDirective is one parsed suppression.
@@ -18,14 +29,91 @@ type ignoreDirective struct {
 	file  string
 	line  int
 	check string
+	// used is set when the directive silences at least one finding; an
+	// unused directive in a non-generated file is a stale suppression.
+	used bool
+}
+
+// generatedRE is the standard generated-file marker (golang.org/s/
+// generatedcode): a whole-line comment anywhere before or after the
+// package clause.
+var generatedRE = regexp.MustCompile(`^// Code generated .* DO NOT EDIT\.$`)
+
+// fileFacts holds the per-file suppression context: statement anchors
+// for multi-line coverage, the generated-file flag, and which package
+// the file belongs to (stale judgment is scope- and match-aware).
+type fileFacts struct {
+	// anchor maps a line to the starting line of the innermost simple
+	// statement spanning it, when that statement covers several lines.
+	anchor map[int]int
+	// generated reports the DO-NOT-EDIT marker.
+	generated bool
+	// pkgPath is the owning package's import path.
+	pkgPath string
+	// matched reports whether the owning package was directly matched
+	// by the run's patterns (vs loaded as a dependency).
+	matched bool
+}
+
+// collectFileFacts builds fileFacts for every file of pkg, keyed by the
+// position-resolved (not yet relativized) filename.
+func collectFileFacts(pkg *Package, matched bool, into map[string]*fileFacts) {
+	for _, f := range pkg.Files {
+		name := pkg.Fset.Position(f.Pos()).Filename
+		if _, ok := into[name]; ok {
+			continue
+		}
+		ff := &fileFacts{anchor: make(map[int]int), generated: isGenerated(f),
+			pkgPath: pkg.Path, matched: matched}
+		ast.Inspect(f, func(n ast.Node) bool {
+			st, ok := n.(ast.Stmt)
+			if !ok {
+				return true
+			}
+			switch st.(type) {
+			// Only simple statements anchor: a directive above a block
+			// statement (if/for/switch) must not blanket the whole block.
+			case *ast.AssignStmt, *ast.ExprStmt, *ast.ReturnStmt, *ast.DeclStmt,
+				*ast.GoStmt, *ast.DeferStmt, *ast.SendStmt, *ast.IncDecStmt:
+			default:
+				return true
+			}
+			start := pkg.Fset.Position(st.Pos()).Line
+			end := pkg.Fset.Position(st.End()).Line
+			// Innermost statement wins: later (deeper) visits overwrite.
+			for line := start; line <= end; line++ {
+				ff.anchor[line] = start
+			}
+			return true
+		})
+		into[name] = ff
+	}
+}
+
+// isGenerated reports whether f carries the standard generated-file
+// comment.
+func isGenerated(f *ast.File) bool {
+	for _, cg := range f.Comments {
+		if cg.Pos() > f.Package && cg.Pos() > f.Name.End() {
+			// Markers must precede or immediately follow the package
+			// clause; stop scanning once past the header region.
+			break
+		}
+		for _, c := range cg.List {
+			if generatedRE.MatchString(c.Text) {
+				return true
+			}
+		}
+	}
+	return false
 }
 
 // collectIgnores parses every suppression comment in the package.
 // Malformed directives (no check name, or no reason) are reported as
 // diagnostics of the reserved check "ignore", which cannot itself be
 // suppressed.
-func collectIgnores(pkg *Package, report func(Diagnostic)) []ignoreDirective {
-	var out []ignoreDirective
+func collectIgnores(pkg *Package, report func(Diagnostic)) []*ignoreDirective {
+	var out []*ignoreDirective
 	for _, f := range pkg.Files {
 		for _, cg := range f.Comments {
 			for _, c := range cg.List {
@@ -45,7 +133,7 @@ func collectIgnores(pkg *Package, report func(Diagnostic)) []ignoreDirective {
 						Message: "tmedbvet:ignore " + fields[0] + " needs a reason — suppressions must be justified inline"})
 					continue
 				}
-				out = append(out, ignoreDirective{file: pos.Filename, line: pos.Line, check: fields[0]})
+				out = append(out, &ignoreDirective{file: pos.Filename, line: pos.Line, check: fields[0]})
 			}
 		}
 	}
@@ -53,18 +141,32 @@ func collectIgnores(pkg *Package, report func(Diagnostic)) []ignoreDirective {
 }
 
 // suppressed reports whether d is covered by one of the directives: a
-// matching check on the same line or the line directly above.
-func suppressed(d Diagnostic, dirs []ignoreDirective) bool {
+// matching check on the finding's line, the line above it, or — when
+// the finding sits inside a multi-line simple statement — the
+// statement's starting line or the line above that. Matching
+// directives are marked used.
+func suppressed(d Diagnostic, dirs []*ignoreDirective, facts map[string]*fileFacts) bool {
 	if d.Check == "ignore" {
 		return false
 	}
+	lines := [4]int{d.Pos.Line, d.Pos.Line - 1, 0, 0}
+	if ff, ok := facts[d.Pos.Filename]; ok {
+		if a, ok := ff.anchor[d.Pos.Line]; ok && a != d.Pos.Line {
+			lines[2], lines[3] = a, a-1
+		}
+	}
+	hit := false
 	for _, ig := range dirs {
 		if ig.check != d.Check || ig.file != d.Pos.Filename {
 			continue
 		}
-		if ig.line == d.Pos.Line || ig.line == d.Pos.Line-1 {
-			return true
+		for _, ln := range lines {
+			if ln != 0 && ig.line == ln {
+				ig.used = true
+				hit = true
+				break
+			}
 		}
 	}
-	return false
+	return hit
 }

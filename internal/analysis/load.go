@@ -11,6 +11,7 @@ import (
 	"path/filepath"
 	"sort"
 	"strings"
+	"sync"
 )
 
 // Package is one loaded, type-checked module package.
@@ -48,8 +49,43 @@ type Loader struct {
 	loading map[string]bool
 }
 
+// The standard-library source importer re-parses and re-type-checks
+// every stdlib package it resolves, which dominates loader start-up
+// (~seconds of fmt/sync/net transitive closure). All Loaders in the
+// process therefore share one importer bound to one process-global
+// FileSet: the first import of "fmt" pays the resolution cost, every
+// later Loader — each fixture test builds its own — hits the
+// importer's internal cache. The mutex serializes Import because the
+// shared importer memoizes into unsynchronized maps.
+var (
+	sharedFset    = token.NewFileSet()
+	sharedStdOnce sync.Once
+	sharedStd     types.Importer
+)
+
+// stdImporter returns the process-wide cached stdlib importer.
+func stdImporter() types.Importer {
+	sharedStdOnce.Do(func() {
+		sharedStd = &lockedImporter{imp: importer.ForCompiler(sharedFset, "source", nil)}
+	})
+	return sharedStd
+}
+
+// lockedImporter serializes Import calls on the shared importer.
+type lockedImporter struct {
+	mu  sync.Mutex
+	imp types.Importer
+}
+
+func (li *lockedImporter) Import(path string) (*types.Package, error) {
+	li.mu.Lock()
+	defer li.mu.Unlock()
+	return li.imp.Import(path)
+}
+
 // NewLoader locates the module containing dir (walking up to the
-// nearest go.mod) and returns a loader rooted there.
+// nearest go.mod) and returns a loader rooted there. Loaders share the
+// process-global FileSet and stdlib importer cache.
 func NewLoader(dir string) (*Loader, error) {
 	abs, err := filepath.Abs(dir)
 	if err != nil {
@@ -70,12 +106,11 @@ func NewLoader(dir string) (*Loader, error) {
 	if err != nil {
 		return nil, err
 	}
-	fset := token.NewFileSet()
 	return &Loader{
 		ModuleDir:  root,
 		ModulePath: modPath,
-		Fset:       fset,
-		std:        importer.ForCompiler(fset, "source", nil),
+		Fset:       sharedFset,
+		std:        stdImporter(),
 		pkgs:       make(map[string]*Package),
 		loading:    make(map[string]bool),
 	}, nil
@@ -268,6 +303,19 @@ func (l *Loader) load(path, dir string) (*Package, error) {
 	pkg := &Package{Path: path, Dir: dir, Files: parsed, Types: tpkg, Info: info, Fset: l.Fset}
 	l.pkgs[path] = pkg
 	return pkg, nil
+}
+
+// loadedPackages returns every module package this loader has loaded —
+// the requested packages plus their module-internal dependencies, which
+// the importer parses and type-checks with full ASTs — sorted by import
+// path for deterministic module-wide traversals.
+func (l *Loader) loadedPackages() []*Package {
+	out := make([]*Package, 0, len(l.pkgs))
+	for _, p := range l.pkgs {
+		out = append(out, p)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Path < out[j].Path })
+	return out
 }
 
 // loaderImporter routes module-internal imports back through the

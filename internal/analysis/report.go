@@ -4,6 +4,7 @@ import (
 	"encoding/json"
 	"fmt"
 	"io"
+	"time"
 )
 
 // jsonDiagnostic is the machine-readable shape of one finding, the
@@ -15,6 +16,19 @@ type jsonDiagnostic struct {
 	Col     int    `json:"col"`
 	Check   string `json:"check"`
 	Message string `json:"message"`
+}
+
+// jsonReport is the -json envelope: the findings array plus the
+// summary counters (the suppressed count makes suppression drift as
+// visible across PRs as finding drift). Fields are additive-only.
+type jsonReport struct {
+	Findings []jsonDiagnostic `json:"findings"`
+	Summary  jsonSummary      `json:"summary"`
+}
+
+type jsonSummary struct {
+	Findings   int `json:"findings"`
+	Suppressed int `json:"suppressed"`
 }
 
 // WriteText prints one finding per line as
@@ -29,13 +43,18 @@ func WriteText(w io.Writer, ds []Diagnostic) error {
 	return nil
 }
 
-// WriteJSON prints the findings as an indented JSON array (an empty
-// run prints "[]"), newline-terminated. Output is byte-stable for a
-// given tree: the driver sorts findings and paths are module-relative.
-func WriteJSON(w io.Writer, ds []Diagnostic) error {
-	out := make([]jsonDiagnostic, 0, len(ds))
-	for _, d := range ds {
-		out = append(out, jsonDiagnostic{
+// WriteJSON prints the result as an indented JSON object holding the
+// findings array (empty run: "findings": []) and a summary with the
+// finding and suppressed counts, newline-terminated. Output is
+// byte-stable for a given tree: the driver sorts findings and paths
+// are module-relative.
+func WriteJSON(w io.Writer, res *Result) error {
+	out := jsonReport{
+		Findings: make([]jsonDiagnostic, 0, len(res.Findings)),
+		Summary:  jsonSummary{Findings: len(res.Findings), Suppressed: res.Suppressed},
+	}
+	for _, d := range res.Findings {
+		out.Findings = append(out.Findings, jsonDiagnostic{
 			File:    d.Pos.Filename,
 			Line:    d.Pos.Line,
 			Col:     d.Pos.Column,
@@ -50,4 +69,32 @@ func WriteJSON(w io.Writer, ds []Diagnostic) error {
 	data = append(data, '\n')
 	_, err = w.Write(data)
 	return err
+}
+
+// WriteTimings prints the -v per-analyzer wall-time breakdown: the
+// parse/type-check cost first, then one line per analyzer in run
+// order.
+func WriteTimings(w io.Writer, res *Result) error {
+	if _, err := fmt.Fprintf(w, "load (parse+typecheck) %12s\n", res.LoadElapsed.Round(timeUnit(res.LoadElapsed))); err != nil {
+		return err
+	}
+	for _, t := range res.Timings {
+		if _, err := fmt.Fprintf(w, "%-22s %12s\n", t.Name, t.Elapsed.Round(timeUnit(t.Elapsed))); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// timeUnit picks a display rounding so timings stay short but never
+// collapse to 0.
+func timeUnit(d time.Duration) time.Duration {
+	switch {
+	case d >= time.Second:
+		return 10 * time.Millisecond
+	case d >= time.Millisecond:
+		return 10 * time.Microsecond
+	default:
+		return 100 * time.Nanosecond
+	}
 }

@@ -1,0 +1,28 @@
+// Package multiline exercises the multi-line statement anchor: a
+// directive above a statement that spans several lines must cover
+// findings on every line of the statement, not just the first.
+package multiline
+
+func mark() int { return 1 }
+
+func use(...int) {}
+
+// wrapped has its mark calls on continuation lines of one statement;
+// the directive above the statement covers all of them.
+func wrapped() {
+	//tmedbvet:ignore marker directive above a wrapped call covers its continuation lines
+	use(
+		mark(),
+		mark(),
+	)
+}
+
+// blockNotBlanketed shows the anchor is statement-scoped, not
+// block-scoped: a directive above an if statement does not silence
+// findings inside the block's own statements.
+func blockNotBlanketed() {
+	//tmedbvet:ignore marker a directive above a block statement must not blanket the body
+	if true {
+		use(mark()) // hit
+	}
+}

@@ -1,0 +1,72 @@
+package auxgraph
+
+import (
+	"testing"
+
+	"repro/internal/dts"
+)
+
+// TestDerivedCoreAllocGuard cross-checks hotalloc's static verdict on
+// the core-derivation path dynamically: building the auxiliary graph
+// of an edited version from a memoized parent core (the CSR prefill —
+// untouched nodes' rows copied, only edited endpoints recomputed) must
+// stay within a fixed allocation budget. Workers: 1 keeps the count
+// deterministic. The ceiling is generous — a derivation legitimately
+// allocates the new core's CSR arrays and candidate table — but a
+// regression that re-runs the ψ-heavy DCS sweep per node, or leaks
+// per-edge scratch, blows through it.
+func TestDerivedCoreAllocGuard(t *testing.T) {
+	PurgeMemo()
+	dts.PurgeMemo()
+	defer PurgeMemo()
+	defer dts.PurgeMemo()
+
+	g := editGraph()
+	opts := Options{Workers: 1}
+	d0, err := dts.Build(g.Graph, 0, 200, dts.Options{Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Build(g, d0, opts); err != nil {
+		t.Fatal(err)
+	}
+
+	// Alternate add/remove of one contact so every iteration is a real
+	// edit and the graph does not grow without bound across runs.
+	present := false
+	edit := func() {
+		if present {
+			if !g.RemoveContact(1, 3, iv(45, 80)) {
+				t.Fatal("test setup: removal must change the graph")
+			}
+		} else {
+			g.AddContact(1, 3, iv(45, 80), 7)
+		}
+		present = !present
+	}
+
+	hits0, _ := PatchStats()
+	avg := testing.AllocsPerRun(20, func() {
+		edit()
+		d, err := dts.Build(g.Graph, 0, 200, dts.Options{Workers: 1})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := Build(g, d, opts); err != nil {
+			t.Fatal(err)
+		}
+	})
+	hits1, _ := PatchStats()
+
+	if hits1-hits0 < 20 {
+		t.Fatalf("core patch hits went %d -> %d; the guard lost its subject (cold cores measured instead)",
+			hits0, hits1)
+	}
+	// The budget covers the derived auxgraph core plus the patched DTS
+	// it consumes (both are on the same edit path).
+	const ceiling = 1200
+	if avg > ceiling {
+		t.Errorf("derived-core Build allocates %.0f objects/run, budget %d — the prefill path regressed",
+			avg, ceiling)
+	}
+}

@@ -413,6 +413,8 @@ func (a *Aux) Terminals() []int {
 // MetaFor returns the transmission behind a paying edge, if any. It
 // scans u's CSR row — out-degrees are small (wait edge + per-level
 // fan-out), so the scan beats a hash lookup on the hot path.
+//
+//tmedbvet:hotpath
 func (a *Aux) MetaFor(u, v int) (TxMeta, bool) {
 	c := a.core
 	g := c.csr

@@ -1,0 +1,50 @@
+package dts
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// TestPatchDeriveAllocGuard cross-checks hotalloc's static verdict on
+// the edit patch path dynamically: a patched Build of an edited graph
+// must stay within a fixed allocation budget per derivation, so a
+// refactor that quietly switches the patch onto per-point or per-node
+// garbage shows up as a count regression here even when the
+// differential tests still pass. Workers: 1 keeps the count
+// deterministic (no pool fan-out, no goroutine stacks). The ceiling is
+// generous — the patch legitimately allocates the new DTS's point
+// arrays and bitset — but an order-of-magnitude regression (cold-build
+// behavior sneaking back in, per-query scratch) blows through it.
+func TestPatchDeriveAllocGuard(t *testing.T) {
+	PurgeMemo()
+	defer PurgeMemo()
+	r := rand.New(rand.NewSource(11))
+	g := randomGraph(r, 8, 2)
+	opts := Options{Workers: 1}
+	if _, err := Build(g, 0, 200, opts); err != nil {
+		t.Fatal(err)
+	}
+
+	hits0, _ := PatchStats()
+	avg := testing.AllocsPerRun(20, func() {
+		for !randomEdit(r, g) {
+		}
+		if _, err := Build(g, 0, 200, opts); err != nil {
+			t.Fatal(err)
+		}
+	})
+	hits1, _ := PatchStats()
+
+	// Every measured run must have gone through the patch path (the
+	// graph version changes before each Build, so a memo hit is
+	// impossible and a miss would mean the ancestor probe broke).
+	if hits1-hits0 < 20 {
+		t.Fatalf("patch hits went %d -> %d; the guard lost its subject (cold builds measured instead)",
+			hits0, hits1)
+	}
+	const ceiling = 600
+	if avg > ceiling {
+		t.Errorf("patched Build allocates %.0f objects/run, budget %d — the patch path regressed",
+			avg, ceiling)
+	}
+}

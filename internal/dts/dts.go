@@ -300,6 +300,8 @@ func (d *DTS) TotalPoints() int {
 
 // Index returns the index of the largest point of P_i^di that is <= t
 // (within tolerance), or -1 when t precedes every point.
+//
+//tmedbvet:hotpath
 func (d *DTS) Index(i tvg.NodeID, t float64) int {
 	p := d.Points[i]
 	k := sort.SearchFloat64s(p, t+timeEps)
@@ -311,6 +313,8 @@ func (d *DTS) Index(i tvg.NodeID, t float64) int {
 // how receptions at time t map onto the receiver's partition: informed
 // status persists, so arriving "between" points is equivalent to arriving
 // at the next point.
+//
+//tmedbvet:hotpath
 func (d *DTS) IndexAtOrAfter(i tvg.NodeID, t float64) int {
 	p := d.Points[i]
 	k := sort.SearchFloat64s(p, t-timeEps)

@@ -131,9 +131,12 @@ func bqPop(b []bqEntry, scanned *int64) (bqEntry, []bqEntry) {
 // predecessors into dist and prev (each len N, fully overwritten;
 // prev[v] = -1 for src and unreachable vertices). sc provides the queue
 // storage; nil allocates a throwaway.
+//
+//tmedbvet:hotpath
 func (g *CSR) ShortestPathsInto(src int, dist []float64, prev []int32, sc *DijkstraScratch) {
 	n := g.N()
 	if sc == nil {
+		//tmedbvet:ignore hotalloc documented nil-scratch fallback for one-off callers; hot callers pass pooled scratch
 		sc = new(DijkstraScratch)
 	}
 	for i := 0; i < n; i++ {

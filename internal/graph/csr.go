@@ -135,6 +135,7 @@ func FromDigraph(d *Digraph) *CSR {
 func (g *CSR) Transpose(a *Arena) *CSR {
 	n := g.N()
 	m := g.M()
+	//tmedbvet:ignore hotalloc builds a fresh CSR once per solver: hot callers reach this only through the memoized revGraph/WithReverse path
 	r := &CSR{
 		Off:  make([]int32, n+1),
 		To:   make([]int32, m),
@@ -195,10 +196,23 @@ func (g *CSR) ReachableInto(src int, seen []bool, stack []int32) []int32 {
 // PathTo32 reconstructs the path src→dst from an int32 predecessor array
 // produced by the CSR Dijkstra. It returns nil when dst is unreachable.
 func PathTo32(prev []int32, src, dst int) []int {
-	if dst != src && prev[dst] == -1 {
+	p, ok := PathTo32Into(prev, src, dst, nil)
+	if !ok {
 		return nil
 	}
-	var rev []int
+	return p
+}
+
+// PathTo32Into is PathTo32 writing into buf (appended from buf[:0],
+// grown as needed) so hot callers can recycle one buffer across
+// reconstructions. It returns the filled buffer and whether dst is
+// reachable; on false the returned buffer is buf with undefined
+// contents, kept so its capacity survives.
+func PathTo32Into(prev []int32, src, dst int, buf []int) ([]int, bool) {
+	rev := buf[:0]
+	if dst != src && prev[dst] == -1 {
+		return rev, false
+	}
 	for v := dst; v != -1; v = int(prev[v]) {
 		rev = append(rev, v)
 		if v == src {
@@ -206,10 +220,10 @@ func PathTo32(prev []int32, src, dst int) []int {
 		}
 	}
 	if rev[len(rev)-1] != src {
-		return nil
+		return rev, false
 	}
 	for i, j := 0, len(rev)-1; i < j; i, j = i+1, j-1 {
 		rev[i], rev[j] = rev[j], rev[i]
 	}
-	return rev
+	return rev, true
 }

@@ -50,6 +50,7 @@ type Solution struct {
 }
 
 func newSolution(root int) Solution {
+	//tmedbvet:ignore hotalloc per-solve result object: the edge map escapes to the caller and outlives the solver's buffers
 	return Solution{Root: root, edges: make(map[edgeID]float64)}
 }
 
@@ -237,6 +238,22 @@ type Solver struct {
 	// entry points surface it as the returned error.
 	tripped  error
 	released bool
+
+	// Reusable scan buffers (hot-path allocation contract, DESIGN.md
+	// §15): grown once to high-water capacity, then reused by every
+	// greedy round so the steady-state density scan allocates nothing.
+	// The per-chunk slots (cands, covBuf) are touched only by their
+	// owning chunk during a parallel scan; everything else is filled
+	// serially before a fan-out or read after it joins.
+	dTo       [][]float64  // distToAll result, aliased into bwd cache entries
+	missing   []int        // distToAll cache-miss indices
+	computed  []*sp        // distToAll per-miss result slots
+	locals    []level2Best // per-chunk scan winners
+	cands     [][]td       // per-chunk candidate (terminal, distance) pairs
+	covBuf    [][]int      // per-chunk winning-coverage accumulators
+	baseCands []td         // rgBase candidate pairs (serial only)
+	rmBits    []bool       // subtract scratch bit-set, kept all-clear between calls
+	pathBuf   []int        // addPath reconstruction buffer
 }
 
 // check polls the cancellation token, latching the first error. It
@@ -350,6 +367,7 @@ func (s *Solver) from(u int) *sp {
 	}
 	s.obs.Counter("steiner.dijkstra.fwd").Inc()
 	n := s.g.N()
+	//tmedbvet:ignore hotalloc fwd cache fill: one pair of arena-backed headers per distinct source, amortized across every later query
 	c := &sp{dist: s.arena.F64(n), prev: s.arena.I32(n)}
 	s.g.ShortestPathsInto(u, c.dist, c.prev, s.scratch)
 	s.fwd[u] = c
@@ -377,8 +395,12 @@ func (s *Solver) distTo(x int) []float64 {
 // own pre-assigned slot with a pool-local scratch, so the arena is never
 // touched concurrently.
 func (s *Solver) distToAll(rem []int) [][]float64 {
-	dTo := make([][]float64, len(rem))
-	var missing []int // indices into rem with no cached run
+	if cap(s.dTo) < len(rem) {
+		s.dTo = make([][]float64, len(rem))
+		s.missing = make([]int, 0, len(rem))
+	}
+	dTo := s.dTo[:len(rem)]
+	missing := s.missing[:0] // indices into rem with no cached run
 	for xi, x := range rem {
 		if c, ok := s.bwd[x]; ok {
 			dTo[xi] = c.dist
@@ -391,11 +413,16 @@ func (s *Solver) distToAll(rem []int) [][]float64 {
 	}
 	rev := s.revGraph()
 	n := s.g.N()
-	computed := make([]*sp, len(missing))
+	if cap(s.computed) < len(missing) {
+		s.computed = make([]*sp, len(missing))
+	}
+	computed := s.computed[:len(missing)]
 	for mi := range missing {
+		//tmedbvet:ignore hotalloc bwd cache fill: one pair of arena-backed headers per distinct terminal, amortized across every later round
 		computed[mi] = &sp{dist: s.arena.F64(n), prev: s.arena.I32(n)}
 	}
 	s.obs.Counter("steiner.dijkstra.bwd").Add(int64(len(missing)))
+	//tmedbvet:ignore hotalloc one capturing closure per pool fan-out, not per work item; the fan-out itself costs goroutine spawns
 	err := parallel.ForEachPoolCancel(s.obs.Pool("steiner.dijkstra"), s.cancel, s.workers, len(missing), func(mi int) {
 		sc := graph.GetScratch()
 		rev.ShortestPathsInto(rem[missing[mi]], computed[mi].dist, computed[mi].prev, sc)
@@ -422,8 +449,9 @@ func (s *Solver) Dist(u, v int) float64 { return s.from(u).dist[v] }
 // is unreachable from u.
 func (s *Solver) addPath(sol Solution, u, v int) bool {
 	c := s.from(u)
-	p := graph.PathTo32(c.prev, u, v)
-	if p == nil {
+	p, ok := graph.PathTo32Into(c.prev, u, v, s.pathBuf)
+	s.pathBuf = p // keep the grown buffer for the next reconstruction
+	if !ok {
 		return false
 	}
 	for i := 0; i+1 < len(p); i++ {
@@ -487,7 +515,7 @@ func (s *Solver) RecursiveGreedy(root int, terminals []int, level int) (Solution
 			return Solution{}, fmt.Errorf("steiner: no progress covering %v", remaining)
 		}
 		sol.merge(sub)
-		remaining = subtract(remaining, covered)
+		remaining = s.subtract(remaining, covered)
 	}
 	return sol.Pruned(terminals), nil
 }
@@ -495,6 +523,8 @@ func (s *Solver) RecursiveGreedy(root int, terminals []int, level int) (Solution
 // rg is the recursive density-greedy A_level(k, r, X): it returns a
 // partial solution rooted at r covering up to k terminals of X, the
 // covered terminals, and the density-estimate cost.
+//
+//tmedbvet:hotpath
 func (s *Solver) rg(level, k, r int, X []int) (Solution, []int, float64) {
 	if level <= 1 {
 		return s.rgBase(k, r, X)
@@ -502,6 +532,7 @@ func (s *Solver) rg(level, k, r int, X []int) (Solution, []int, float64) {
 	sol := newSolution(r)
 	var covered []int
 	var cost float64
+	//tmedbvet:ignore hotalloc recursion works on a disjoint copy: sibling rg calls at the same level must not share the shrinking terminal list
 	rem := append([]int(nil), X...)
 	distR := s.from(r).dist
 	for k > 0 && len(rem) > 0 {
@@ -525,8 +556,9 @@ func (s *Solver) rg(level, k, r int, X []int) (Solution, []int, float64) {
 			s.addPath(sol, bestV, x)
 		}
 		cost += distR[bestV] + bestCost
+		//tmedbvet:ignore hotalloc per-call result accumulation: the coverage escapes to the recursive caller, which holds it across later rounds
 		covered = append(covered, bestCov...)
-		rem = subtract(rem, bestCov)
+		rem = s.subtract(rem, bestCov)
 		k -= len(bestCov)
 	}
 	return sol, covered, cost
@@ -550,13 +582,19 @@ func (s *Solver) scanLevel2(k int, distR []float64, rem []int) (int, []int, floa
 		return -1, nil, 0 // cancellation latched in distToAll
 	}
 	ranges := parallel.ChunkRanges(s.workers, s.g.N())
+	if cap(s.cands) < len(ranges) {
+		s.cands = make([][]td, len(ranges))
+		s.covBuf = make([][]int, len(ranges))
+		s.locals = make([]level2Best, len(ranges))
+	}
 	if len(ranges) == 1 {
-		best := s.scanLevel2Range(k, distR, rem, dTo, ranges[0])
+		best := s.scanLevel2Range(k, distR, rem, dTo, 0, ranges[0])
 		return best.v, best.cov, best.cost
 	}
-	locals := make([]level2Best, len(ranges))
+	locals := s.locals[:len(ranges)]
+	//tmedbvet:ignore hotalloc one capturing closure per pool fan-out, not per work item; the fan-out itself costs goroutine spawns
 	parallel.ForEachRangePool(s.obs.Pool("steiner.scan"), s.workers, s.g.N(), func(chunk int, r parallel.Range) {
-		locals[chunk] = s.scanLevel2Range(k, distR, rem, dTo, r)
+		locals[chunk] = s.scanLevel2Range(k, distR, rem, dTo, chunk, r)
 	})
 	best := level2Best{v: -1, density: math.Inf(1)}
 	for _, l := range locals {
@@ -597,11 +635,13 @@ type td struct {
 // of the candidate-collection pass and skips the sort. Each parallel
 // chunk starts from its own +Inf best, so chunks prune less than the
 // serial scan but select identical winners.
-func (s *Solver) scanLevel2Range(k int, distR []float64, rem []int, dTo [][]float64, r parallel.Range) level2Best {
+func (s *Solver) scanLevel2Range(k int, distR []float64, rem []int, dTo [][]float64, chunk int, r parallel.Range) level2Best {
 	best := level2Best{v: -1, density: math.Inf(1)}
-	var bestCov []int
+	// Chunk-owned buffers: first scan grows them, every later scan runs
+	// allocation-free. Written back below so growth sticks.
+	bestCov := s.covBuf[chunk][:0]
 	var pruned int64
-	cands := make([]td, 0, len(rem))
+	cands := s.cands[chunk][:0]
 	for v := r.Lo; v < r.Hi; v++ {
 		if math.IsInf(distR[v], 1) {
 			continue
@@ -659,10 +699,14 @@ func (s *Solver) scanLevel2Range(k int, distR []float64, rem []int, dTo [][]floa
 		}
 	}
 	s.obs.Counter("steiner.level2.pruned").Add(pruned)
+	s.cands[chunk] = cands
+	s.covBuf[chunk] = bestCov
 	if best.v == -1 {
 		return best
 	}
-	best.cov = append([]int(nil), bestCov...)
+	// best.cov aliases the chunk buffer: the caller consumes it (addPath,
+	// covered, subtract) before the next scan can reset the buffer.
+	best.cov = bestCov
 	return best
 }
 
@@ -700,7 +744,10 @@ func (s *Solver) scanRecursive(level, k int, distR []float64, rem []int) (int, [
 // by direct shortest paths.
 func (s *Solver) rgBase(k, r int, X []int) (Solution, []int, float64) {
 	dist := s.from(r).dist
-	cands := make([]td, 0, len(X))
+	if cap(s.baseCands) < len(X) {
+		s.baseCands = make([]td, 0, len(X))
+	}
+	cands := s.baseCands[:0]
 	for xi, t := range X {
 		if d := dist[t]; !math.IsInf(d, 1) {
 			cands = append(cands, td{xi, d})
@@ -720,20 +767,30 @@ func (s *Solver) rgBase(k, r int, X []int) (Solution, []int, float64) {
 	if k > len(cands) {
 		k = len(cands)
 	}
+	s.baseCands = cands
 	sol := newSolution(r)
 	var covered []int
 	var cost float64
 	for _, c := range cands[:k] {
 		t := X[c.xi]
 		s.addPath(sol, r, t)
+		//tmedbvet:ignore hotalloc per-call result accumulation: the coverage escapes to the recursive caller, which holds it across later rounds
 		covered = append(covered, t)
 		cost += c.d
 	}
 	return sol, covered, cost
 }
 
-func subtract(xs, remove []int) []int {
-	rm := make(map[int]bool, len(remove))
+// subtract removes the covered terminals from xs in place, marking
+// them in a solver-held bit-set keyed by vertex id so the steady-state
+// greedy round performs no map allocation. The function maintains the
+// all-clear invariant itself: every bit set here is cleared before
+// returning.
+func (s *Solver) subtract(xs, remove []int) []int {
+	if cap(s.rmBits) < s.g.N() {
+		s.rmBits = make([]bool, s.g.N())
+	}
+	rm := s.rmBits[:s.g.N()]
 	for _, r := range remove {
 		rm[r] = true
 	}
@@ -742,6 +799,9 @@ func subtract(xs, remove []int) []int {
 		if !rm[x] {
 			out = append(out, x)
 		}
+	}
+	for _, r := range remove {
+		rm[r] = false
 	}
 	return out
 }
